@@ -1,0 +1,71 @@
+//! Finite-difference gradient checking used by the test suite.
+
+use crate::tape::{Tape, Var};
+use crate::Result;
+use hwpr_tensor::Matrix;
+
+/// Builds deterministic pseudo-random input values for gradient checks.
+fn test_input(rows: usize, cols: usize, salt: usize) -> Matrix {
+    let mut data = Vec::with_capacity(rows * cols);
+    for i in 0..rows * cols {
+        // low-discrepancy-ish values in roughly [-1, 1], never exactly 0
+        let x = ((i * 2654435761 + salt * 97_003 + 1) % 1000) as f32 / 500.0 - 1.0;
+        data.push(if x == 0.0 { 0.123 } else { x });
+    }
+    Matrix::from_vec(rows, cols, data).expect("test input shape")
+}
+
+/// Checks analytic gradients against central finite differences.
+///
+/// `build` receives a fresh tape plus one leaf per requested shape and must
+/// return a scalar loss node. Gradients of every leaf are compared against
+/// `(f(x+h) - f(x-h)) / 2h` element-wise.
+///
+/// # Panics
+///
+/// Panics when the relative error of any gradient element exceeds the
+/// tolerance, or when `build` fails.
+pub(crate) fn finite_difference_check<F>(shapes: &[(usize, usize)], build: F)
+where
+    F: Fn(&mut Tape, &[Var]) -> Result<Var>,
+{
+    let inputs: Vec<Matrix> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(r, c))| test_input(r, c, i))
+        .collect();
+
+    let eval = |inputs: &[Matrix]| -> f32 {
+        let mut tape = Tape::new();
+        let vars: Vec<Var> = inputs.iter().map(|m| tape.leaf(m.clone())).collect();
+        let loss = build(&mut tape, &vars).expect("build failed");
+        tape.value(loss)[(0, 0)]
+    };
+
+    // analytic gradients
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|m| tape.leaf(m.clone())).collect();
+    let loss = build(&mut tape, &vars).expect("build failed");
+    tape.backward(loss).expect("backward failed");
+
+    let h = 1e-2f32;
+    for (vi, var) in vars.iter().enumerate() {
+        let analytic = tape
+            .grad(*var)
+            .cloned()
+            .unwrap_or_else(|| Matrix::zeros(shapes[vi].0, shapes[vi].1));
+        for idx in 0..inputs[vi].len() {
+            let mut plus = inputs.clone();
+            plus[vi].as_mut_slice()[idx] += h;
+            let mut minus = inputs.clone();
+            minus[vi].as_mut_slice()[idx] -= h;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * h);
+            let a = analytic.as_slice()[idx];
+            let denom = a.abs().max(numeric.abs()).max(1.0);
+            assert!(
+                (a - numeric).abs() / denom < 5e-2,
+                "grad mismatch input {vi} elem {idx}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for autograd operations.
+
+use hwpr_tensor::ShapeError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by tape operations and [`crate::Tape::backward`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AutogradError {
+    /// An underlying matrix operation received incompatible shapes.
+    Shape(ShapeError),
+    /// `backward` was called on a node whose value is not `1 x 1`.
+    NonScalarLoss {
+        /// Shape of the offending loss node.
+        shape: (usize, usize),
+    },
+    /// An op received an out-of-range row index (embedding gather).
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of rows available.
+        rows: usize,
+    },
+    /// A ranking loss was given an invalid permutation or pair list.
+    InvalidRanking(String),
+}
+
+impl fmt::Display for AutogradError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutogradError::Shape(e) => write!(f, "{e}"),
+            AutogradError::NonScalarLoss { shape } => {
+                write!(f, "backward requires a 1x1 loss, got {}x{}", shape.0, shape.1)
+            }
+            AutogradError::IndexOutOfRange { index, rows } => {
+                write!(f, "row index {index} out of range for {rows} rows")
+            }
+            AutogradError::InvalidRanking(msg) => write!(f, "invalid ranking input: {msg}"),
+        }
+    }
+}
+
+impl Error for AutogradError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AutogradError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for AutogradError {
+    fn from(e: ShapeError) -> Self {
+        AutogradError::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let s = AutogradError::NonScalarLoss { shape: (2, 3) }.to_string();
+        assert!(s.contains("2x3"));
+        let s = AutogradError::IndexOutOfRange { index: 9, rows: 4 }.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+        let s = AutogradError::InvalidRanking("empty".into()).to_string();
+        assert!(s.contains("empty"));
+    }
+
+    #[test]
+    fn shape_error_converts_and_sources() {
+        let e: AutogradError = ShapeError::new("matmul", (1, 2), (3, 4)).into();
+        assert!(e.to_string().contains("matmul"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AutogradError>();
+    }
+}

@@ -1,0 +1,653 @@
+//! Forward op builders and their backward rules.
+
+use crate::error::AutogradError;
+use crate::tape::{Op, Tape, Var};
+use crate::Result;
+use hwpr_tensor::Matrix;
+
+impl Tape {
+    /// Matrix product `a @ b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when inner dimensions disagree.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let value = self.value(a).matmul(self.value(b))?;
+        Ok(self.push(value, Op::MatMul(a, b)))
+    }
+
+    /// Element-wise sum `a + b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when shapes differ.
+    pub fn add(&mut self, a: Var, b: Var) -> Result<Var> {
+        let value = self.value(a).add(self.value(b))?;
+        Ok(self.push(value, Op::Add(a, b)))
+    }
+
+    /// Element-wise difference `a - b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when shapes differ.
+    pub fn sub(&mut self, a: Var, b: Var) -> Result<Var> {
+        let value = self.value(a).sub(self.value(b))?;
+        Ok(self.push(value, Op::Sub(a, b)))
+    }
+
+    /// Element-wise product `a * b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when shapes differ.
+    pub fn mul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let value = self.value(a).hadamard(self.value(b))?;
+        Ok(self.push(value, Op::Mul(a, b)))
+    }
+
+    /// Adds the `1 x cols` row vector `bias` to every row of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `bias` is not `1 x a.cols()`.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Result<Var> {
+        let value = self.value(a).add_row_broadcast(self.value(bias))?;
+        Ok(self.push(value, Op::AddBias(a, bias)))
+    }
+
+    /// Scalar product `a * scalar`.
+    pub fn scale(&mut self, a: Var, scalar: f32) -> Var {
+        let value = self.value(a).scale(scalar);
+        self.push(value, Op::Scale(a, scalar))
+    }
+
+    /// Element-wise `a + scalar`.
+    pub fn add_scalar(&mut self, a: Var, scalar: f32) -> Var {
+        let value = self.value(a).map(|x| x + scalar);
+        self.push(value, Op::AddScalar(a, scalar))
+    }
+
+    /// Rectified linear unit `max(a, 0)`.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid `1 / (1 + exp(-a))`.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::exp);
+        self.push(value, Op::Exp(a))
+    }
+
+    /// Element-wise `sqrt(a + eps)`; `eps` keeps the derivative finite at 0.
+    pub fn sqrt(&mut self, a: Var, eps: f32) -> Var {
+        let value = self.value(a).map(|x| (x + eps).sqrt());
+        self.push(value, Op::Sqrt(a, eps))
+    }
+
+    /// Horizontal concatenation of `parts` (equal row counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `parts` is empty or row counts differ.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Result<Var> {
+        let values: Vec<&Matrix> = parts.iter().map(|&v| self.value(v)).collect();
+        let value = Matrix::concat_cols(&values)?;
+        Ok(self.push(value, Op::ConcatCols(parts.to_vec())))
+    }
+
+    /// Columns `start..end` of `a` as a new node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the range is out of bounds or empty.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Result<Var> {
+        let src = self.value(a);
+        if start >= end || end > src.cols() {
+            return Err(AutogradError::Shape(hwpr_tensor::ShapeError::new(
+                "slice_cols",
+                src.shape(),
+                (start, end),
+            )));
+        }
+        let mut value = Matrix::zeros(src.rows(), end - start);
+        for r in 0..src.rows() {
+            value.row_mut(r).copy_from_slice(&src.row(r)[start..end]);
+        }
+        Ok(self.push(value, Op::SliceCols(a, start, end)))
+    }
+
+    /// Gathers rows of `a` by index (embedding lookup); duplicate indices
+    /// are allowed and their gradients accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutogradError::IndexOutOfRange`] for invalid indices.
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Result<Var> {
+        let src = self.value(a);
+        let rows = src.rows();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= rows) {
+            return Err(AutogradError::IndexOutOfRange { index: bad, rows });
+        }
+        let value = src.select_rows(indices);
+        Ok(self.push(value, Op::GatherRows(a, indices.to_vec())))
+    }
+
+    /// Per-sample constant graph convolution: interprets `x` as
+    /// `adjacency.len()` stacked blocks of `n` rows and left-multiplies
+    /// block `b` by `adjacency[b]`. The adjacencies are constants (they are
+    /// derived from the architecture, not learned), so only `x` receives
+    /// gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the block structure is inconsistent.
+    pub fn block_graph_matmul(&mut self, x: Var, adjacency: Vec<Matrix>, n: usize) -> Result<Var> {
+        let value = self.value(x).block_left_matmul(&adjacency, n)?;
+        Ok(self.push(value, Op::BlockGraphMatmul(x, adjacency, n)))
+    }
+
+    /// Element-wise product with a fixed dropout `mask` (entries are `0` or
+    /// `1/(1-p)`; the caller generates the mask so the tape stays
+    /// deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the mask shape differs from `a`.
+    pub fn dropout(&mut self, a: Var, mask: Matrix) -> Result<Var> {
+        let value = self.value(a).hadamard(&mask)?;
+        Ok(self.push(value, Op::Dropout(a, mask)))
+    }
+
+    /// Mean over all elements of `a`, producing a `1 x 1` node.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Matrix::filled(1, 1, self.value(a).mean());
+        self.push(value, Op::MeanAll(a))
+    }
+
+    /// Sum over all elements of `a`, producing a `1 x 1` node.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Matrix::filled(1, 1, self.value(a).sum());
+        self.push(value, Op::SumAll(a))
+    }
+
+    /// Mean squared error between `pred` and the constant `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when shapes differ.
+    pub fn mse_loss(&mut self, pred: Var, target: &Matrix) -> Result<Var> {
+        let diff = self.value(pred).sub(target)?;
+        let mse = diff.map(|x| x * x).mean();
+        Ok(self.push(Matrix::filled(1, 1, mse), Op::MseLoss(pred, target.clone())))
+    }
+
+    /// ListMLE listwise ranking loss (Eq. 4 of the paper).
+    ///
+    /// `scores` must be an `n x 1` column of model scores and `order` a
+    /// permutation of `0..n` listing rows from most-dominant to
+    /// least-dominant. The loss is
+    /// `Σ_i [-s_{π(i)} + log Σ_{j≥i} exp(s_{π(j)})]`, computed with
+    /// suffix log-sum-exp stabilisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutogradError::InvalidRanking`] if `order` is not a
+    /// permutation of the score rows, or a shape error if `scores` is not a
+    /// column vector.
+    pub fn list_mle(&mut self, scores: Var, order: &[usize]) -> Result<Var> {
+        let s = self.value(scores);
+        if s.cols() != 1 {
+            return Err(AutogradError::Shape(hwpr_tensor::ShapeError::new(
+                "list_mle",
+                s.shape(),
+                (s.rows(), 1),
+            )));
+        }
+        validate_permutation(order, s.rows())?;
+        let loss = list_mle_forward(s.as_slice(), order);
+        Ok(self.push(Matrix::filled(1, 1, loss), Op::ListMle(scores, order.to_vec())))
+    }
+
+    /// Pairwise hinge ranking loss with a margin (GATES-style).
+    ///
+    /// For each `(hi, lo)` pair the model should score row `hi` at least
+    /// `margin` above row `lo`; violations contribute
+    /// `margin - (s_hi - s_lo)` and the loss is the mean over pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutogradError::InvalidRanking`] when `pairs` is empty or
+    /// holds out-of-range indices, or a shape error if `scores` is not a
+    /// column vector.
+    pub fn pairwise_hinge(&mut self, scores: Var, pairs: &[(usize, usize)], margin: f32) -> Result<Var> {
+        let s = self.value(scores);
+        if s.cols() != 1 {
+            return Err(AutogradError::Shape(hwpr_tensor::ShapeError::new(
+                "pairwise_hinge",
+                s.shape(),
+                (s.rows(), 1),
+            )));
+        }
+        if pairs.is_empty() {
+            return Err(AutogradError::InvalidRanking("empty pair list".into()));
+        }
+        let n = s.rows();
+        if let Some(&(a, b)) = pairs.iter().find(|&&(a, b)| a >= n || b >= n) {
+            return Err(AutogradError::InvalidRanking(format!(
+                "pair ({a}, {b}) out of range for {n} scores"
+            )));
+        }
+        let v = s.as_slice();
+        let loss: f32 = pairs
+            .iter()
+            .map(|&(hi, lo)| (margin - (v[hi] - v[lo])).max(0.0))
+            .sum::<f32>()
+            / pairs.len() as f32;
+        Ok(self.push(
+            Matrix::filled(1, 1, loss),
+            Op::PairwiseHinge(scores, pairs.to_vec(), margin),
+        ))
+    }
+
+    pub(crate) fn backprop_node(&mut self, i: usize) -> Result<()> {
+        let grad = self.nodes[i]
+            .grad
+            .clone()
+            .expect("backprop_node called on node without gradient");
+        let op = self.nodes[i].op.clone();
+        match op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let da = grad.matmul_nt(self.value(b))?;
+                let db = self.value(a).matmul_tn(&grad)?;
+                self.accumulate(a, &da);
+                self.accumulate(b, &db);
+            }
+            Op::Add(a, b) => {
+                self.accumulate(a, &grad);
+                self.accumulate(b, &grad);
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(a, &grad);
+                let neg = grad.scale(-1.0);
+                self.accumulate(b, &neg);
+            }
+            Op::Mul(a, b) => {
+                let da = grad.hadamard(self.value(b))?;
+                let db = grad.hadamard(self.value(a))?;
+                self.accumulate(a, &da);
+                self.accumulate(b, &db);
+            }
+            Op::AddBias(a, bias) => {
+                self.accumulate(a, &grad);
+                let db = grad.sum_rows();
+                self.accumulate(bias, &db);
+            }
+            Op::Scale(a, s) => {
+                let da = grad.scale(s);
+                self.accumulate(a, &da);
+            }
+            Op::AddScalar(a, _) => {
+                self.accumulate(a, &grad);
+            }
+            Op::Relu(a) => {
+                let da = grad.zip_with("relu_bwd", self.value(a), |g, x| if x > 0.0 { g } else { 0.0 })?;
+                self.accumulate(a, &da);
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[i].value;
+                let da = grad.zip_with("tanh_bwd", y, |g, y| g * (1.0 - y * y))?;
+                self.accumulate(a, &da);
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let da = grad.zip_with("sigmoid_bwd", y, |g, y| g * y * (1.0 - y))?;
+                self.accumulate(a, &da);
+            }
+            Op::Exp(a) => {
+                let y = &self.nodes[i].value;
+                let da = grad.hadamard(y)?;
+                self.accumulate(a, &da);
+            }
+            Op::Sqrt(a, _) => {
+                let y = &self.nodes[i].value;
+                let da = grad.zip_with("sqrt_bwd", y, |g, y| g * 0.5 / y.max(1e-12))?;
+                self.accumulate(a, &da);
+            }
+            Op::ConcatCols(parts) => {
+                let mut offset = 0;
+                for p in parts {
+                    let w = self.value(p).cols();
+                    let rows = grad.rows();
+                    let mut dp = Matrix::zeros(rows, w);
+                    for r in 0..rows {
+                        dp.row_mut(r).copy_from_slice(&grad.row(r)[offset..offset + w]);
+                    }
+                    self.accumulate(p, &dp);
+                    offset += w;
+                }
+            }
+            Op::SliceCols(a, start, end) => {
+                let src = self.value(a);
+                let mut da = Matrix::zeros(src.rows(), src.cols());
+                for r in 0..grad.rows() {
+                    da.row_mut(r)[start..end].copy_from_slice(grad.row(r));
+                }
+                self.accumulate(a, &da);
+            }
+            Op::GatherRows(a, indices) => {
+                let src = self.value(a);
+                let mut da = Matrix::zeros(src.rows(), src.cols());
+                for (out_row, &src_row) in indices.iter().enumerate() {
+                    for (dst, &g) in da.row_mut(src_row).iter_mut().zip(grad.row(out_row)) {
+                        *dst += g;
+                    }
+                }
+                self.accumulate(a, &da);
+            }
+            Op::BlockGraphMatmul(x, adjacency, n) => {
+                let transposed: Vec<Matrix> = adjacency.iter().map(Matrix::transpose).collect();
+                let dx = grad.block_left_matmul(&transposed, n)?;
+                self.accumulate(x, &dx);
+            }
+            Op::Dropout(a, mask) => {
+                let da = grad.hadamard(&mask)?;
+                self.accumulate(a, &da);
+            }
+            Op::MeanAll(a) => {
+                let src = self.value(a);
+                let g = grad[(0, 0)] / src.len().max(1) as f32;
+                let da = Matrix::filled(src.rows(), src.cols(), g);
+                self.accumulate(a, &da);
+            }
+            Op::SumAll(a) => {
+                let src = self.value(a);
+                let da = Matrix::filled(src.rows(), src.cols(), grad[(0, 0)]);
+                self.accumulate(a, &da);
+            }
+            Op::MseLoss(pred, target) => {
+                let src = self.value(pred);
+                let scale = grad[(0, 0)] * 2.0 / src.len().max(1) as f32;
+                let da = src.zip_with("mse_bwd", &target, |p, t| scale * (p - t))?;
+                self.accumulate(pred, &da);
+            }
+            Op::ListMle(scores, order) => {
+                let s = self.value(scores).as_slice().to_vec();
+                let mut ds = list_mle_backward(&s, &order);
+                for d in &mut ds {
+                    *d *= grad[(0, 0)];
+                }
+                let da = Matrix::from_vec(s.len(), 1, ds).expect("grad shape");
+                self.accumulate(scores, &da);
+            }
+            Op::PairwiseHinge(scores, pairs, margin) => {
+                let s = self.value(scores).as_slice().to_vec();
+                let mut ds = vec![0.0f32; s.len()];
+                let w = grad[(0, 0)] / pairs.len() as f32;
+                for &(hi, lo) in &pairs {
+                    if margin - (s[hi] - s[lo]) > 0.0 {
+                        ds[hi] -= w;
+                        ds[lo] += w;
+                    }
+                }
+                let da = Matrix::from_vec(s.len(), 1, ds).expect("grad shape");
+                self.accumulate(scores, &da);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_permutation(order: &[usize], n: usize) -> Result<()> {
+    if order.len() != n {
+        return Err(AutogradError::InvalidRanking(format!(
+            "order has {} entries for {} scores",
+            order.len(),
+            n
+        )));
+    }
+    let mut seen = vec![false; n];
+    for &i in order {
+        if i >= n || seen[i] {
+            return Err(AutogradError::InvalidRanking(format!(
+                "order is not a permutation (offending index {i})"
+            )));
+        }
+        seen[i] = true;
+    }
+    Ok(())
+}
+
+/// Forward ListMLE loss with suffix log-sum-exp stabilisation.
+fn list_mle_forward(scores: &[f32], order: &[usize]) -> f32 {
+    let log_z = suffix_log_sum_exp(scores, order);
+    order
+        .iter()
+        .enumerate()
+        .map(|(i, &idx)| log_z[i] - scores[idx])
+        .sum()
+}
+
+/// Gradient of the ListMLE loss with respect to each score.
+fn list_mle_backward(scores: &[f32], order: &[usize]) -> Vec<f32> {
+    let n = order.len();
+    let log_z = suffix_log_sum_exp(scores, order);
+    let mut grad = vec![0.0f32; scores.len()];
+    // dL/ds_{π(k)} = -1 + Σ_{i≤k} exp(s_{π(k)} - logZ_i)
+    let mut prefix = vec![0.0f32; n];
+    for (k, &idx) in order.iter().enumerate() {
+        let mut acc = 0.0;
+        for lz in log_z.iter().take(k + 1) {
+            acc += (scores[idx] - lz).exp();
+        }
+        prefix[k] = acc;
+        grad[idx] = -1.0 + acc;
+    }
+    grad
+}
+
+/// `log Σ_{j≥i} exp(s_{π(j)})` for every suffix start `i`.
+fn suffix_log_sum_exp(scores: &[f32], order: &[usize]) -> Vec<f32> {
+    let n = order.len();
+    let mut out = vec![0.0f32; n];
+    // running (max, sum of exp(s - max)) maintained from the tail
+    let mut max = f32::NEG_INFINITY;
+    let mut sum = 0.0f32;
+    for i in (0..n).rev() {
+        let s = scores[order[i]];
+        if s > max {
+            sum = sum * (max - s).exp() + 1.0;
+            max = s;
+        } else {
+            sum += (s - max).exp();
+        }
+        out[i] = max + sum.ln();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::finite_difference_check;
+
+    #[test]
+    fn matmul_gradients() {
+        finite_difference_check(&[(2, 3), (3, 2)], |tape, vars| {
+            let y = tape.matmul(vars[0], vars[1])?;
+            Ok(tape.mean_all(y))
+        });
+    }
+
+    #[test]
+    fn add_sub_mul_gradients() {
+        finite_difference_check(&[(2, 2), (2, 2)], |tape, vars| {
+            let s = tape.add(vars[0], vars[1])?;
+            let d = tape.sub(s, vars[1])?;
+            let m = tape.mul(d, vars[0])?;
+            Ok(tape.mean_all(m))
+        });
+    }
+
+    #[test]
+    fn bias_and_scale_gradients() {
+        finite_difference_check(&[(3, 4), (1, 4)], |tape, vars| {
+            let b = tape.add_bias(vars[0], vars[1])?;
+            let s = tape.scale(b, 0.5);
+            let t = tape.add_scalar(s, 1.0);
+            Ok(tape.mean_all(t))
+        });
+    }
+
+    #[test]
+    fn nonlinearity_gradients() {
+        finite_difference_check(&[(2, 3)], |tape, vars| {
+            let t = tape.tanh(vars[0]);
+            let s = tape.sigmoid(t);
+            let e = tape.exp(s);
+            let q = tape.sqrt(e, 1e-6);
+            Ok(tape.mean_all(q))
+        });
+    }
+
+    #[test]
+    fn relu_gradient_away_from_kink() {
+        // offset inputs so no element sits exactly at the ReLU kink
+        finite_difference_check(&[(2, 3)], |tape, vars| {
+            let shifted = tape.add_scalar(vars[0], 0.37);
+            let r = tape.relu(shifted);
+            Ok(tape.mean_all(r))
+        });
+    }
+
+    #[test]
+    fn concat_and_slice_gradients() {
+        finite_difference_check(&[(2, 2), (2, 3)], |tape, vars| {
+            let c = tape.concat_cols(&[vars[0], vars[1]])?;
+            let s = tape.slice_cols(c, 1, 4)?;
+            Ok(tape.mean_all(s))
+        });
+    }
+
+    #[test]
+    fn gather_rows_gradients_accumulate_duplicates() {
+        finite_difference_check(&[(4, 3)], |tape, vars| {
+            let g = tape.gather_rows(vars[0], &[0, 2, 2, 3])?;
+            Ok(tape.mean_all(g))
+        });
+    }
+
+    #[test]
+    fn block_graph_matmul_gradients() {
+        let adj0 = Matrix::from_rows(&[&[0.5, 1.0], &[0.0, 0.5]]);
+        let adj1 = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]);
+        finite_difference_check(&[(4, 3)], move |tape, vars| {
+            let y = tape.block_graph_matmul(vars[0], vec![adj0.clone(), adj1.clone()], 2)?;
+            Ok(tape.mean_all(y))
+        });
+    }
+
+    #[test]
+    fn dropout_gradient_uses_mask() {
+        let mask = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]]);
+        finite_difference_check(&[(2, 2)], move |tape, vars| {
+            let d = tape.dropout(vars[0], mask.clone())?;
+            Ok(tape.mean_all(d))
+        });
+    }
+
+    #[test]
+    fn sum_and_mse_gradients() {
+        let target = Matrix::from_rows(&[&[0.3, -0.2], &[0.1, 0.9]]);
+        finite_difference_check(&[(2, 2)], move |tape, vars| {
+            let l = tape.mse_loss(vars[0], &target)?;
+            Ok(l)
+        });
+        finite_difference_check(&[(2, 2)], |tape, vars| Ok(tape.sum_all(vars[0])));
+    }
+
+    #[test]
+    fn list_mle_gradients() {
+        finite_difference_check(&[(5, 1)], |tape, vars| {
+            tape.list_mle(vars[0], &[3, 1, 4, 0, 2])
+        });
+    }
+
+    #[test]
+    fn pairwise_hinge_gradients() {
+        // margin large enough that all pairs are active (nonsmooth boundary avoided)
+        finite_difference_check(&[(4, 1)], |tape, vars| {
+            tape.pairwise_hinge(vars[0], &[(0, 1), (1, 2), (0, 3)], 10.0)
+        });
+    }
+
+    #[test]
+    fn list_mle_perfect_order_is_low() {
+        // scores already sorted best-first: loss should be lower than reversed
+        let mut tape = Tape::new();
+        let good = tape.leaf(Matrix::col_vector(&[3.0, 2.0, 1.0, 0.0]));
+        let l_good = tape.list_mle(good, &[0, 1, 2, 3]).unwrap();
+        let l_bad = tape.list_mle(good, &[3, 2, 1, 0]).unwrap();
+        assert!(tape.value(l_good)[(0, 0)] < tape.value(l_bad)[(0, 0)]);
+    }
+
+    #[test]
+    fn list_mle_rejects_bad_permutation() {
+        let mut tape = Tape::new();
+        let s = tape.leaf(Matrix::col_vector(&[1.0, 2.0]));
+        assert!(tape.list_mle(s, &[0, 0]).is_err());
+        assert!(tape.list_mle(s, &[0]).is_err());
+        assert!(tape.list_mle(s, &[0, 2]).is_err());
+    }
+
+    #[test]
+    fn pairwise_hinge_rejects_bad_pairs() {
+        let mut tape = Tape::new();
+        let s = tape.leaf(Matrix::col_vector(&[1.0, 2.0]));
+        assert!(tape.pairwise_hinge(s, &[], 0.1).is_err());
+        assert!(tape.pairwise_hinge(s, &[(0, 5)], 0.1).is_err());
+    }
+
+    #[test]
+    fn hinge_zero_when_margin_satisfied() {
+        let mut tape = Tape::new();
+        let s = tape.leaf(Matrix::col_vector(&[5.0, 0.0]));
+        let l = tape.pairwise_hinge(s, &[(0, 1)], 0.1).unwrap();
+        assert_eq!(tape.value(l)[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn suffix_lse_matches_naive() {
+        let scores = [0.3f32, -1.2, 2.5, 0.0];
+        let order = [2usize, 0, 3, 1];
+        let fast = suffix_log_sum_exp(&scores, &order);
+        for i in 0..order.len() {
+            let naive: f32 = order[i..].iter().map(|&j| scores[j].exp()).sum();
+            assert!((fast[i] - naive.ln()).abs() < 1e-5, "suffix {i}");
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_across_reuse() {
+        // y = x + x means dy/dx = 2
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::filled(1, 1, 3.0));
+        let y = tape.add(x, x).unwrap();
+        tape.backward(y).unwrap();
+        assert_eq!(tape.grad(x).unwrap()[(0, 0)], 2.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the ranking losses and core tape invariants.
+
+use crate::tape::Tape;
+use hwpr_tensor::Matrix;
+use proptest::prelude::*;
+
+fn scores_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, 2..12)
+}
+
+fn permutation_of(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+proptest! {
+    /// ListMLE is shift-invariant, so its score gradients must sum to 0:
+    /// adding a constant to every score cannot change the loss.
+    #[test]
+    fn listmle_gradients_sum_to_zero(scores in scores_strategy()) {
+        let n = scores.len();
+        let order: Vec<usize> = (0..n).collect();
+        let mut tape = Tape::new();
+        let s = tape.leaf(Matrix::col_vector(&scores));
+        let loss = tape.list_mle(s, &order).unwrap();
+        tape.backward(loss).unwrap();
+        let grad_sum: f32 = tape.grad(s).unwrap().as_slice().iter().sum();
+        prop_assert!(grad_sum.abs() < 1e-4, "gradient sum {grad_sum}");
+    }
+
+    /// Shift invariance of the ListMLE value itself.
+    #[test]
+    fn listmle_value_is_shift_invariant(scores in scores_strategy(), shift in -3.0f32..3.0) {
+        let n = scores.len();
+        let order: Vec<usize> = (0..n).collect();
+        let value = |v: &[f32]| {
+            let mut tape = Tape::new();
+            let s = tape.leaf(Matrix::col_vector(v));
+            let l = tape.list_mle(s, &order).unwrap();
+            tape.value(l)[(0, 0)]
+        };
+        let shifted: Vec<f32> = scores.iter().map(|x| x + shift).collect();
+        let a = value(&scores);
+        let b = value(&shifted);
+        prop_assert!((a - b).abs() < 1e-3 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    /// The pairwise hinge gradients also sum to zero (each active pair
+    /// contributes +w to one score and -w to another).
+    #[test]
+    fn hinge_gradients_sum_to_zero(scores in scores_strategy()) {
+        let n = scores.len();
+        let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let mut tape = Tape::new();
+        let s = tape.leaf(Matrix::col_vector(&scores));
+        let loss = tape.pairwise_hinge(s, &pairs, 0.1).unwrap();
+        tape.backward(loss).unwrap();
+        if let Some(g) = tape.grad(s) {
+            let sum: f32 = g.as_slice().iter().sum();
+            prop_assert!(sum.abs() < 1e-5, "gradient sum {sum}");
+        }
+    }
+
+    /// The best-first permutation minimises ListMLE over all permutations
+    /// (checked against random permutations).
+    #[test]
+    fn sorted_order_minimises_listmle(
+        scores in scores_strategy().prop_filter("distinct", |s| {
+            let mut v = s.clone();
+            v.sort_by(f32::total_cmp);
+            v.windows(2).all(|w| w[1] - w[0] > 1e-3)
+        }),
+    ) {
+        let n = scores.len();
+        let mut best_first: Vec<usize> = (0..n).collect();
+        best_first.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        let value = |order: &[usize]| {
+            let mut tape = Tape::new();
+            let s = tape.leaf(Matrix::col_vector(&scores));
+            let l = tape.list_mle(s, order).unwrap();
+            tape.value(l)[(0, 0)]
+        };
+        let optimal = value(&best_first);
+        // any rotation of the best order is no better
+        let mut rotated = best_first.clone();
+        rotated.rotate_left(1);
+        prop_assert!(optimal <= value(&rotated) + 1e-5);
+    }
+
+    /// Backward through compositions never changes forward values.
+    #[test]
+    fn backward_does_not_mutate_values(data in proptest::collection::vec(-2.0f32..2.0, 4)) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_vec(2, 2, data.clone()).unwrap());
+        let t = tape.tanh(x);
+        let m = tape.mean_all(t);
+        let before = tape.value(t).clone();
+        tape.backward(m).unwrap();
+        prop_assert_eq!(tape.value(t), &before);
+    }
+}
+
+proptest! {
+    /// Random permutations round-trip through the validator inside
+    /// `list_mle` (any true permutation is accepted).
+    #[test]
+    fn valid_permutations_accepted(order in permutation_of(8)) {
+        let mut tape = Tape::new();
+        let s = tape.leaf(Matrix::col_vector(&[0.0; 8]));
+        prop_assert!(tape.list_mle(s, &order).is_ok());
+    }
+}

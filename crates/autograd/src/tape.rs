@@ -1,0 +1,208 @@
+//! The gradient tape: node arena, handles and the backward pass.
+
+use crate::error::AutogradError;
+use crate::Result;
+use hwpr_tensor::Matrix;
+
+/// Handle to a node on a [`Tape`].
+///
+/// `Var` is a plain index: copying it is free and it is only meaningful for
+/// the tape that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Operation recorded on the tape; parents are stored as [`Var`] handles.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Input node (parameter or data); gradients accumulate here.
+    Leaf,
+    /// `a @ b`.
+    MatMul(Var, Var),
+    /// `a + b` (same shape).
+    Add(Var, Var),
+    /// `a - b` (same shape).
+    Sub(Var, Var),
+    /// Element-wise `a * b` (same shape).
+    Mul(Var, Var),
+    /// `a + broadcast_rows(bias)` where `bias` is `1 x cols`.
+    AddBias(Var, Var),
+    /// `a * scalar`.
+    Scale(Var, f32),
+    /// `a + scalar` element-wise (scalar kept for Debug output).
+    AddScalar(Var, #[allow(dead_code)] f32),
+    /// `max(a, 0)`.
+    Relu(Var),
+    /// `tanh(a)`.
+    Tanh(Var),
+    /// Logistic sigmoid of `a`.
+    Sigmoid(Var),
+    /// `exp(a)`.
+    Exp(Var),
+    /// `sqrt(a + eps)` (epsilon kept for Debug output).
+    Sqrt(Var, #[allow(dead_code)] f32),
+    /// Horizontal concatenation of the parents.
+    ConcatCols(Vec<Var>),
+    /// Columns `start..end` of the parent.
+    SliceCols(Var, usize, usize),
+    /// Rows gathered by index (embedding lookup); duplicates allowed.
+    GatherRows(Var, Vec<usize>),
+    /// Per-sample constant-adjacency product: block `b` of the parent
+    /// (shape `n x f`) is left-multiplied by `adjacency[b]`.
+    BlockGraphMatmul(Var, Vec<Matrix>, usize),
+    /// Element-wise product with a fixed dropout mask.
+    Dropout(Var, Matrix),
+    /// Mean over all elements, producing `1 x 1`.
+    MeanAll(Var),
+    /// Sum over all elements, producing `1 x 1`.
+    SumAll(Var),
+    /// Mean squared error against a constant target, producing `1 x 1`.
+    MseLoss(Var, Matrix),
+    /// ListMLE listwise ranking loss over an `n x 1` score column given a
+    /// best-first permutation of row indices. Produces `1 x 1`.
+    ListMle(Var, Vec<usize>),
+    /// Pairwise hinge ranking loss: for each `(hi, lo)` pair the score of
+    /// `hi` should exceed the score of `lo` by at least the margin.
+    PairwiseHinge(Var, Vec<(usize, usize)>, f32),
+}
+
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub(crate) value: Matrix,
+    pub(crate) grad: Option<Matrix>,
+    pub(crate) op: Op,
+}
+
+/// Records a computation graph and runs reverse-mode differentiation.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Default)]
+pub struct Tape {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty tape with capacity for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Inserts an input node holding `value` and returns its handle.
+    ///
+    /// Leaves are where gradients are read back after [`Tape::backward`];
+    /// both trainable parameters and constant inputs are leaves (gradients
+    /// of constants are simply ignored by the caller).
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// The value held by `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this tape.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient accumulated into `v`, if [`Tape::backward`] has run and
+    /// `v` participated in the loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this tape.
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    pub(crate) fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Runs the backward pass from `loss`, accumulating gradients into every
+    /// node that contributed to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutogradError::NonScalarLoss`] if `loss` is not `1 x 1`.
+    pub fn backward(&mut self, loss: Var) -> Result<()> {
+        let shape = self.nodes[loss.0].value.shape();
+        if shape != (1, 1) {
+            return Err(AutogradError::NonScalarLoss { shape });
+        }
+        self.nodes[loss.0].grad = Some(Matrix::ones(1, 1));
+        for i in (0..=loss.0).rev() {
+            if self.nodes[i].grad.is_none() {
+                continue;
+            }
+            self.backprop_node(i)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn accumulate(&mut self, v: Var, delta: &Matrix) {
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.add_assign(delta),
+            slot @ None => *slot = Some(delta.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_round_trip() {
+        let mut t = Tape::new();
+        let m = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let v = t.leaf(m.clone());
+        assert_eq!(t.value(v), &m);
+        assert!(t.grad(v).is_none());
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn backward_rejects_non_scalar() {
+        let mut t = Tape::new();
+        let v = t.leaf(Matrix::zeros(2, 2));
+        let err = t.backward(v).unwrap_err();
+        assert_eq!(err, AutogradError::NonScalarLoss { shape: (2, 2) });
+    }
+
+    #[test]
+    fn backward_on_scalar_leaf_sets_unit_grad() {
+        let mut t = Tape::new();
+        let v = t.leaf(Matrix::ones(1, 1));
+        t.backward(v).unwrap();
+        assert_eq!(t.grad(v).unwrap(), &Matrix::ones(1, 1));
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let t = Tape::with_capacity(64);
+        assert!(t.is_empty());
+    }
+}

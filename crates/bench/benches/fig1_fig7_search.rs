@@ -1,0 +1,87 @@
+//! Benchmarks behind Figs. 1 & 7: the full MOEA search loop under the
+//! fused single-surrogate evaluator vs a two-surrogate pair — the source
+//! of the paper's search-time comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwpr_bench::fixture_dataset;
+use hwpr_core::baselines::SurrogatePair;
+use hwpr_core::{HwPrNas, ModelConfig, TrainConfig};
+use hwpr_hwmodel::Platform;
+use hwpr_nasbench::{Architecture, SearchSpaceId};
+use hwpr_search::{
+    Evaluator, Fitness, Moea, MoeaConfig, Result as SearchResult2, ScoreEvaluator, SearchClock,
+    SearchError,
+};
+use std::sync::Arc;
+
+/// Objective evaluator over a shared surrogate pair (benchmark-only
+/// wrapper so one trained pair can serve many iterations).
+struct SharedPairEvaluator(Arc<SurrogatePair>);
+
+impl Evaluator for SharedPairEvaluator {
+    fn name(&self) -> String {
+        self.0.name().to_string()
+    }
+
+    fn evaluate(
+        &mut self,
+        archs: &[Architecture],
+        _clock: &mut SearchClock,
+    ) -> SearchResult2<Fitness> {
+        Ok(Fitness::Objectives(
+            self.0
+                .predict_objectives(archs)
+                .map_err(|e| SearchError::Surrogate(e.to_string()))?,
+        ))
+    }
+
+    fn calls_per_arch(&self) -> usize {
+        2
+    }
+}
+
+fn moea() -> Moea {
+    Moea::new(MoeaConfig {
+        population: 24,
+        generations: 5,
+        ..MoeaConfig::small(SearchSpaceId::NasBench201)
+    })
+    .expect("valid config")
+}
+
+fn bench_search(c: &mut Criterion) {
+    let data = fixture_dataset(96);
+    let (hwpr, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny())
+        .expect("training failed");
+    let hwpr = Arc::new(hwpr);
+    let (pair, _) = SurrogatePair::brp_nas(&data, &ModelConfig::tiny(), &TrainConfig::tiny())
+        .expect("training failed");
+    let pair = Arc::new(pair);
+
+    let mut group = c.benchmark_group("fig1_fig7_search");
+    group.sample_size(10);
+    group.bench_function("moea_hw_pr_nas_1call", |b| {
+        b.iter(|| {
+            let model = Arc::clone(&hwpr);
+            let mut eval = ScoreEvaluator::from_fn(
+                "HW-PR-NAS",
+                Box::new(move |archs| {
+                    model
+                        .predict_scores(archs, Platform::EdgeGpu)
+                        .map_err(|e| SearchError::Surrogate(e.to_string()))
+                }),
+            );
+            moea().run(&mut eval).expect("search failed")
+        });
+    });
+    group.bench_function("moea_brp_nas_2calls", |b| {
+        b.iter(|| {
+            let mut eval = SharedPairEvaluator(Arc::clone(&pair));
+            moea().run(&mut eval).expect("search failed")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

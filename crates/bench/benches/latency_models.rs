@@ -1,0 +1,51 @@
+//! Benchmarks behind the §III-E latency study and the SimBench tables:
+//! profiling throughput and per-platform roofline evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwpr_bench::fixture_archs;
+use hwpr_hwmodel::{latency_ms, Platform, SimBench};
+use hwpr_nasbench::profile::profile;
+use hwpr_nasbench::{Dataset, SearchSpaceId};
+
+fn bench_latency_models(c: &mut Criterion) {
+    let nb = fixture_archs(SearchSpaceId::NasBench201, 32);
+    let fb = fixture_archs(SearchSpaceId::FBNet, 32);
+    let mut group = c.benchmark_group("latency_models");
+
+    group.bench_function("profile_nb201_batch32", |b| {
+        b.iter(|| {
+            nb.iter()
+                .map(|a| profile(a, Dataset::Cifar10).total_flops())
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("profile_fbnet_batch32", |b| {
+        b.iter(|| {
+            fb.iter()
+                .map(|a| profile(a, Dataset::Cifar10).total_flops())
+                .sum::<f64>()
+        });
+    });
+    for platform in [Platform::EdgeGpu, Platform::FpgaZcu102, Platform::Pixel3] {
+        group.bench_with_input(
+            BenchmarkId::new("latency_all_archs", platform.name()),
+            &platform,
+            |b, &platform| {
+                b.iter(|| {
+                    nb.iter()
+                        .map(|a| latency_ms(a, Dataset::Cifar10, platform))
+                        .sum::<f64>()
+                });
+            },
+        );
+    }
+    group.bench_function("simbench_measure_one_arch", |b| {
+        let bench = hwpr_bench::fixture_bench(4);
+        let model = bench.oracle_model();
+        b.iter(|| SimBench::measure(&nb[0], &model));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency_models);
+criterion_main!(benches);

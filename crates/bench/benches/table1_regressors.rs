@@ -1,0 +1,60 @@
+//! Benchmarks behind Table I: fitting and querying the three regressor
+//! families (MLP / XGBoost-style / LightGBM-style).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwpr_bench::fixture_dataset;
+use hwpr_core::encoders::EncoderChoice;
+use hwpr_core::predictor::{Predictor, PredictorConfig, RegressorKind, TargetMetric};
+use hwpr_core::{ModelConfig, TrainConfig};
+use hwpr_gbdt::{Gbdt, GbdtConfig};
+
+fn bench_regressors(c: &mut Criterion) {
+    let data = fixture_dataset(192);
+    let mut group = c.benchmark_group("table1_regressors");
+    group.sample_size(10);
+
+    group.bench_function("fit_xgboost_style", |b| {
+        let rows: Vec<Vec<f32>> = data
+            .samples()
+            .iter()
+            .map(|s| vec![s.latency_ms as f32, s.energy_mj as f32, s.accuracy as f32])
+            .collect();
+        let targets: Vec<f32> = data.samples().iter().map(|s| s.accuracy as f32).collect();
+        let mut cfg = GbdtConfig::xgboost_preset(0);
+        cfg.n_trees = 30;
+        b.iter(|| Gbdt::fit(&rows, &targets, &cfg).expect("fit failed"));
+    });
+
+    group.bench_function("fit_lgboost_style", |b| {
+        let rows: Vec<Vec<f32>> = data
+            .samples()
+            .iter()
+            .map(|s| vec![s.latency_ms as f32, s.energy_mj as f32, s.accuracy as f32])
+            .collect();
+        let targets: Vec<f32> = data.samples().iter().map(|s| s.accuracy as f32).collect();
+        let mut cfg = GbdtConfig::lgboost_preset(0);
+        cfg.n_trees = 30;
+        b.iter(|| Gbdt::fit(&rows, &targets, &cfg).expect("fit failed"));
+    });
+
+    group.bench_function("fit_mlp_predictor", |b| {
+        let config = PredictorConfig {
+            model: ModelConfig::tiny(),
+            train: TrainConfig::tiny(),
+            ..PredictorConfig::mlp(EncoderChoice::AF, TargetMetric::Accuracy)
+        };
+        b.iter(|| Predictor::fit(&data, &config).expect("fit failed"));
+    });
+
+    group.bench_function("predict_boosted_batch", |b| {
+        let config = PredictorConfig::boosted(RegressorKind::XgBoost, TargetMetric::Latency);
+        let (model, _) = Predictor::fit(&data, &config).expect("fit failed");
+        let archs: Vec<_> = data.samples().iter().map(|s| s.arch.clone()).collect();
+        b.iter(|| model.predict(&archs).expect("predict failed"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_regressors);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benchmarks behind Table III and Fig. 6: the multi-objective kernels —
+//! fast non-dominated sorting, Pareto ranking and hypervolume — at the
+//! population sizes the MOEA uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwpr_bench::fixture_objectives;
+use hwpr_moo::{fast_non_dominated_sort, hypervolume, nadir_reference_point, pareto_ranks};
+
+fn bench_moo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_moo_kernels");
+    for &n in &[150usize, 300] {
+        let objs2 = fixture_objectives(n, 2);
+        group.bench_with_input(BenchmarkId::new("nds_2d", n), &objs2, |b, objs| {
+            b.iter(|| fast_non_dominated_sort(objs).expect("sort failed"));
+        });
+        group.bench_with_input(BenchmarkId::new("pareto_ranks_2d", n), &objs2, |b, objs| {
+            b.iter(|| pareto_ranks(objs).expect("ranks failed"));
+        });
+        let reference = nadir_reference_point(&objs2, 1.0).expect("reference");
+        group.bench_with_input(
+            BenchmarkId::new("hypervolume_2d", n),
+            &(objs2.clone(), reference),
+            |b, (objs, reference)| {
+                b.iter(|| hypervolume(objs, reference).expect("hv failed"));
+            },
+        );
+    }
+    // the 3-objective kernel of Fig. 9
+    let objs3 = fixture_objectives(64, 3);
+    let reference3 = nadir_reference_point(&objs3, 1.0).expect("reference");
+    group.bench_function("hypervolume_3d_64", |b| {
+        b.iter(|| hypervolume(&objs3, &reference3).expect("hv failed"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_moo);
+criterion_main!(benches);

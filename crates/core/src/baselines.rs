@@ -1,0 +1,165 @@
+//! Baseline surrogates the paper compares against (§IV-C2): BRP-NAS-style
+//! per-objective GCN regressors and a GATES-style ranking surrogate.
+
+use crate::config::{ModelConfig, TrainConfig};
+use crate::data::SurrogateDataset;
+use crate::encoders::EncoderChoice;
+use crate::predictor::{Predictor, PredictorConfig, PredictorReport, RegressorKind, TargetMetric};
+use crate::Result;
+use hwpr_nasbench::Architecture;
+
+/// A pair of independent per-objective surrogates — the design HW-PR-NAS
+/// argues against. Each objective gets its own model; the search combines
+/// the two predictions with non-dominated sorting.
+#[derive(Debug)]
+pub struct SurrogatePair {
+    accuracy: Predictor,
+    latency: Predictor,
+    name: &'static str,
+}
+
+/// Validation quality of both members of a [`SurrogatePair`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairReport {
+    /// Accuracy-model quality.
+    pub accuracy: PredictorReport,
+    /// Latency-model quality.
+    pub latency: PredictorReport,
+}
+
+impl SurrogatePair {
+    /// BRP-NAS-style pair: GCN encoders (with the BRP-NAS global node) and
+    /// MSE-trained MLP regressors for both accuracy and latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError`] on data or training failures.
+    pub fn brp_nas(
+        data: &SurrogateDataset,
+        model: &ModelConfig,
+        train: &TrainConfig,
+    ) -> Result<(Self, PairReport)> {
+        let make = |target| PredictorConfig {
+            encoders: EncoderChoice::GCN,
+            regressor: RegressorKind::Mlp,
+            target,
+            model: model.clone(),
+            train: train.clone(),
+            hinge_weight: 0.0,
+        };
+        let (accuracy, acc_report) = Predictor::fit(data, &make(TargetMetric::Accuracy))?;
+        let (latency, lat_report) = Predictor::fit(data, &make(TargetMetric::Latency))?;
+        Ok((
+            Self {
+                accuracy,
+                latency,
+                name: "BRP-NAS",
+            },
+            PairReport {
+                accuracy: acc_report,
+                latency: lat_report,
+            },
+        ))
+    }
+
+    /// GATES-style pair: GCN encoders trained with the margin-0.1 pairwise
+    /// hinge ranking loss (plus a small MSE anchor so predictions stay in
+    /// the objective's units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError`] on data or training failures.
+    pub fn gates(
+        data: &SurrogateDataset,
+        model: &ModelConfig,
+        train: &TrainConfig,
+    ) -> Result<(Self, PairReport)> {
+        let make = |target| PredictorConfig {
+            encoders: EncoderChoice::GCN,
+            regressor: RegressorKind::Mlp,
+            target,
+            model: model.clone(),
+            train: train.clone(),
+            hinge_weight: 1.0,
+        };
+        let (accuracy, acc_report) = Predictor::fit(data, &make(TargetMetric::Accuracy))?;
+        let (latency, lat_report) = Predictor::fit(data, &make(TargetMetric::Latency))?;
+        Ok((
+            Self {
+                accuracy,
+                latency,
+                name: "GATES",
+            },
+            PairReport {
+                accuracy: acc_report,
+                latency: lat_report,
+            },
+        ))
+    }
+
+    /// The baseline's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Predicted minimisation objectives `[error %, latency ms]` for each
+    /// architecture. Note this costs **two** model evaluations per
+    /// architecture — the overhead Fig. 7 measures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction failures.
+    pub fn predict_objectives(&self, archs: &[Architecture]) -> Result<Vec<Vec<f64>>> {
+        let acc = self.accuracy.predict(archs)?;
+        let lat = self.latency.predict(archs)?;
+        Ok(acc
+            .into_iter()
+            .zip(lat)
+            .map(|(a, l)| vec![(100.0 - a).clamp(0.0, 100.0), l.max(0.0)])
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwpr_hwmodel::{Platform, SimBench, SimBenchConfig};
+    use hwpr_nasbench::{Dataset, SearchSpaceId};
+
+    fn data() -> SurrogateDataset {
+        let bench = SimBench::generate(SimBenchConfig {
+            space: SearchSpaceId::NasBench201,
+            sample_size: Some(96),
+            seed: 4,
+        });
+        SurrogateDataset::from_simbench(&bench, Dataset::Cifar10, Platform::EdgeGpu).unwrap()
+    }
+
+    #[test]
+    fn brp_nas_predicts_two_objectives() {
+        let d = data();
+        let (pair, report) =
+            SurrogatePair::brp_nas(&d, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+        assert_eq!(pair.name(), "BRP-NAS");
+        assert!(report.accuracy.rmse.is_finite());
+        assert!(report.latency.rmse.is_finite());
+        let archs: Vec<Architecture> = d.samples().iter().take(6).map(|s| s.arch.clone()).collect();
+        let objs = pair.predict_objectives(&archs).unwrap();
+        assert_eq!(objs.len(), 6);
+        for o in objs {
+            assert_eq!(o.len(), 2);
+            assert!((0.0..=100.0).contains(&o[0]));
+            assert!(o[1] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gates_trains_with_hinge() {
+        let d = data();
+        let (pair, _) =
+            SurrogatePair::gates(&d, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+        assert_eq!(pair.name(), "GATES");
+        let archs = vec![d.samples()[0].arch.clone()];
+        assert_eq!(pair.predict_objectives(&archs).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Model and training configurations (Table II).
+
+use serde::{Deserialize, Serialize};
+
+/// Sizes of the HW-PR-NAS network components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Hidden width of the GCN encoder layers.
+    pub gcn_hidden: usize,
+    /// Number of GCN layers.
+    pub gcn_layers: usize,
+    /// Hidden width of the LSTM encoder.
+    pub lstm_hidden: usize,
+    /// Number of stacked LSTM layers.
+    pub lstm_layers: usize,
+    /// Token-embedding dimension for the LSTM encoder.
+    pub embed_dim: usize,
+    /// Hidden widths of the predictor MLP heads.
+    pub mlp_hidden: Vec<usize>,
+    /// Dropout probability inside the MLP heads.
+    pub dropout: f32,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// The paper's published sizes: 2-layer GCN with 600 hidden units,
+    /// 2-layer LSTM with 225 hidden units.
+    pub fn paper() -> Self {
+        Self {
+            gcn_hidden: 600,
+            gcn_layers: 2,
+            lstm_hidden: 225,
+            lstm_layers: 2,
+            embed_dim: 48,
+            mlp_hidden: vec![256, 128],
+            dropout: 0.02,
+            seed: 0,
+        }
+    }
+
+    /// Reduced sizes for CPU-scale experiments (same topology, smaller
+    /// widths); the reproduction's default.
+    pub fn fast() -> Self {
+        Self {
+            gcn_hidden: 96,
+            gcn_layers: 2,
+            lstm_hidden: 64,
+            lstm_layers: 2,
+            embed_dim: 24,
+            mlp_hidden: vec![64, 32],
+            dropout: 0.02,
+            seed: 0,
+        }
+    }
+
+    /// Tiny sizes for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            gcn_hidden: 16,
+            gcn_layers: 2,
+            lstm_hidden: 12,
+            lstm_layers: 1,
+            embed_dim: 8,
+            mlp_hidden: vec![16],
+            dropout: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+/// Optimisation hyperparameters (Table II of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Maximum number of epochs.
+    pub epochs: usize,
+    /// Early-stopping patience in epochs (no validation improvement).
+    pub early_stop_patience: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate (cosine-annealed to zero).
+    pub learning_rate: f32,
+    /// AdamW decoupled weight decay.
+    pub weight_decay: f32,
+    /// Weight of the listwise Pareto ranking loss.
+    pub rank_loss_weight: f32,
+    /// Weight of the per-branch RMSE auxiliary losses.
+    pub rmse_loss_weight: f32,
+    /// Extra epochs training *only the fusion layer* with the ranking
+    /// loss after the joint phase ("we further train the last dense layer
+    /// one last time to achieve an optimal Pareto ranking", §IV-A).
+    pub fusion_finetune_epochs: usize,
+    /// Weight of the within-front score-variance regulariser enforcing
+    /// the paper's stated property that "architectures within the same
+    /// Pareto front will have a similar score".
+    pub tie_regularizer_weight: f32,
+    /// Shuffling/dropout seed.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// Table II exactly: 80 epochs (early stop ~30), lr 3e-4, cosine
+    /// annealing, batch 128, AdamW, weight decay 3e-4, dropout 0.02.
+    pub fn paper() -> Self {
+        Self {
+            epochs: 80,
+            early_stop_patience: 30,
+            batch_size: 128,
+            learning_rate: 3e-4,
+            weight_decay: 3e-4,
+            rank_loss_weight: 1.0,
+            rmse_loss_weight: 1.0,
+            fusion_finetune_epochs: 20,
+            tie_regularizer_weight: 0.2,
+            seed: 0,
+        }
+    }
+
+    /// Shorter schedule for CPU-scale experiments; same optimiser.
+    pub fn fast() -> Self {
+        Self {
+            epochs: 25,
+            early_stop_patience: 8,
+            batch_size: 128,
+            learning_rate: 1e-3,
+            weight_decay: 3e-4,
+            rank_loss_weight: 1.0,
+            rmse_loss_weight: 1.0,
+            fusion_finetune_epochs: 10,
+            tie_regularizer_weight: 0.2,
+            seed: 0,
+        }
+    }
+
+    /// A handful of epochs for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            epochs: 4,
+            early_stop_patience: 4,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            weight_decay: 0.0,
+            rank_loss_weight: 1.0,
+            rmse_loss_weight: 1.0,
+            fusion_finetune_epochs: 3,
+            tie_regularizer_weight: 0.2,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_ii() {
+        let t = TrainConfig::paper();
+        assert_eq!(t.epochs, 80);
+        assert_eq!(t.early_stop_patience, 30);
+        assert_eq!(t.batch_size, 128);
+        assert!((t.learning_rate - 3e-4).abs() < 1e-9);
+        assert!((t.weight_decay - 3e-4).abs() < 1e-9);
+        let m = ModelConfig::paper();
+        assert_eq!(m.gcn_hidden, 600);
+        assert_eq!(m.gcn_layers, 2);
+        assert_eq!(m.lstm_hidden, 225);
+        assert_eq!(m.lstm_layers, 2);
+        assert!((m.dropout - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeding_builders() {
+        assert_eq!(ModelConfig::fast().with_seed(9).seed, 9);
+        assert_eq!(TrainConfig::fast().with_seed(9).seed, 9);
+    }
+
+    #[test]
+    fn defaults_are_fast() {
+        assert_eq!(ModelConfig::default(), ModelConfig::fast());
+        assert_eq!(TrainConfig::default(), TrainConfig::fast());
+    }
+}

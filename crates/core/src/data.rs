@@ -1,0 +1,317 @@
+//! Training data containers and the per-architecture encoding cache.
+
+use crate::{CoreError, Result};
+use hwpr_hwmodel::{BenchEntry, Platform, SimBench};
+use hwpr_nasbench::features::ArchFeatures;
+use hwpr_nasbench::graph::{self, ArchGraph};
+use hwpr_nasbench::{tokens, Architecture, Dataset, SearchSpaceId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One labelled architecture: the supervision HW-PR-NAS trains on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchSample {
+    /// The architecture.
+    pub arch: Architecture,
+    /// Measured (here: simulated-benchmark) accuracy in percent.
+    pub accuracy: f64,
+    /// Measured latency on the target platform in milliseconds.
+    pub latency_ms: f64,
+    /// Measured energy on the target platform in millijoules.
+    pub energy_mj: f64,
+}
+
+impl ArchSample {
+    /// The minimisation objectives `[error %, latency ms]`.
+    pub fn objectives(&self) -> Vec<f64> {
+        vec![100.0 - self.accuracy, self.latency_ms]
+    }
+
+    /// The three-objective vector `[error %, latency ms, energy mJ]`.
+    pub fn objectives3(&self) -> Vec<f64> {
+        vec![100.0 - self.accuracy, self.latency_ms, self.energy_mj]
+    }
+}
+
+/// A labelled dataset bound to one image dataset and one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateDataset {
+    samples: Vec<ArchSample>,
+    dataset: Dataset,
+    platform: Platform,
+}
+
+impl SurrogateDataset {
+    /// Builds a dataset from benchmark rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Data`] when `bench` is empty.
+    pub fn from_simbench(bench: &SimBench, dataset: Dataset, platform: Platform) -> Result<Self> {
+        Self::from_entries(bench.entries(), dataset, platform)
+    }
+
+    /// Builds a dataset from a subset of benchmark rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Data`] when `entries` is empty.
+    pub fn from_entries(
+        entries: &[BenchEntry],
+        dataset: Dataset,
+        platform: Platform,
+    ) -> Result<Self> {
+        if entries.is_empty() {
+            return Err(CoreError::Data("no benchmark entries".into()));
+        }
+        let samples = entries
+            .iter()
+            .map(|e| ArchSample {
+                arch: e.arch().clone(),
+                accuracy: e.accuracy(dataset),
+                latency_ms: e.latency_on(dataset, platform),
+                energy_mj: e.energy_on(dataset, platform),
+            })
+            .collect();
+        Ok(Self {
+            samples,
+            dataset,
+            platform,
+        })
+    }
+
+    /// Builds a dataset directly from samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Data`] when `samples` is empty.
+    pub fn from_samples(
+        samples: Vec<ArchSample>,
+        dataset: Dataset,
+        platform: Platform,
+    ) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(CoreError::Data("no samples".into()));
+        }
+        Ok(Self {
+            samples,
+            dataset,
+            platform,
+        })
+    }
+
+    /// The labelled samples.
+    pub fn samples(&self) -> &[ArchSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The image dataset the accuracies refer to.
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// The platform the latencies refer to.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// Largest latency in the set (used to normalise regression targets).
+    pub fn max_latency(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.latency_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Deterministic train/validation split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Data`] if either side would be empty.
+    pub fn split(&self, val_fraction: f32, seed: u64) -> Result<(Self, Self)> {
+        let (train_idx, val_idx) = hwpr_nn::batch::train_val_split(self.len(), val_fraction, seed);
+        if train_idx.is_empty() || val_idx.is_empty() {
+            return Err(CoreError::Data(format!(
+                "split {val_fraction} of {} samples leaves one side empty",
+                self.len()
+            )));
+        }
+        let pick = |idx: &[usize]| Self {
+            samples: idx.iter().map(|&i| self.samples[i].clone()).collect(),
+            dataset: self.dataset,
+            platform: self.platform,
+        };
+        Ok((pick(&train_idx), pick(&val_idx)))
+    }
+}
+
+/// All three encodings of one architecture, computed once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedEncoding {
+    /// Graph encoding (padded to the cache's node count).
+    pub graph: ArchGraph,
+    /// Token sequence (padded to the cache's sequence length).
+    pub tokens: Vec<usize>,
+    /// Raw (unnormalised) architecture features.
+    pub af: Vec<f32>,
+}
+
+/// Thread-safe memoisation of architecture encodings.
+///
+/// Encoding an architecture (profiling + graph building) costs far more
+/// than a surrogate forward pass, and the MOEA re-scores populations every
+/// generation; the cache makes repeat scoring cheap.
+#[derive(Debug)]
+pub struct EncodingCache {
+    dataset: Dataset,
+    nodes: usize,
+    seq_len: usize,
+    entries: Mutex<HashMap<(SearchSpaceId, u128), CachedEncoding>>,
+}
+
+impl EncodingCache {
+    /// Creates a cache that pads graphs to `nodes` and token sequences to
+    /// `seq_len`; `dataset` fixes the input resolution for AF extraction.
+    pub fn new(dataset: Dataset, nodes: usize, seq_len: usize) -> Self {
+        Self {
+            dataset,
+            nodes,
+            seq_len,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A cache sized for a single search space (natural node count and
+    /// sequence length — no padding waste).
+    pub fn for_space(space: SearchSpaceId, dataset: Dataset) -> Self {
+        match space {
+            SearchSpaceId::NasBench201 => Self::new(dataset, graph::NB201_NODES, 6),
+            SearchSpaceId::FBNet => Self::new(dataset, graph::FBNET_NODES, 22),
+        }
+    }
+
+    /// A cache sized to hold both spaces in one batch layout.
+    pub fn for_mixed(dataset: Dataset) -> Self {
+        Self::new(dataset, graph::FBNET_NODES, tokens::MAX_SEQUENCE_LEN)
+    }
+
+    /// Graph node count used by this cache.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Token sequence length used by this cache.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// The dataset (input resolution) AF features are extracted at.
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// The encoding of `arch`, computed on first use.
+    pub fn encoding(&self, arch: &Architecture) -> CachedEncoding {
+        let key = (arch.space(), arch.index());
+        if let Some(hit) = self.entries.lock().get(&key) {
+            return hit.clone();
+        }
+        let enc = CachedEncoding {
+            graph: graph::encode_padded(arch, self.nodes),
+            tokens: tokens::padded_tokens(arch, self.seq_len),
+            af: ArchFeatures::extract(arch, self.dataset).to_vec(),
+        };
+        self.entries.lock().insert(key, enc.clone());
+        enc
+    }
+
+    /// Number of memoised architectures.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwpr_hwmodel::SimBenchConfig;
+
+    fn bench() -> SimBench {
+        SimBench::generate(SimBenchConfig {
+            space: SearchSpaceId::NasBench201,
+            sample_size: Some(24),
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn dataset_from_simbench() {
+        let ds =
+            SurrogateDataset::from_simbench(&bench(), Dataset::Cifar10, Platform::EdgeGpu).unwrap();
+        assert_eq!(ds.len(), 24);
+        assert_eq!(ds.dataset(), Dataset::Cifar10);
+        assert_eq!(ds.platform(), Platform::EdgeGpu);
+        assert!(ds.max_latency() > 0.0);
+        let s = &ds.samples()[0];
+        assert_eq!(s.objectives().len(), 2);
+        assert_eq!(s.objectives3().len(), 3);
+        assert!((s.objectives()[0] - (100.0 - s.accuracy)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let ds =
+            SurrogateDataset::from_simbench(&bench(), Dataset::Cifar10, Platform::Pixel3).unwrap();
+        let (train, val) = ds.split(0.25, 0).unwrap();
+        assert_eq!(train.len() + val.len(), 24);
+        assert_eq!(val.len(), 6);
+        assert!(ds.split(0.0, 0).is_err());
+    }
+
+    #[test]
+    fn empty_sources_rejected() {
+        assert!(SurrogateDataset::from_entries(&[], Dataset::Cifar10, Platform::EdgeGpu).is_err());
+        assert!(SurrogateDataset::from_samples(vec![], Dataset::Cifar10, Platform::EdgeGpu).is_err());
+    }
+
+    #[test]
+    fn cache_memoises() {
+        let cache = EncodingCache::for_space(SearchSpaceId::NasBench201, Dataset::Cifar10);
+        let arch = Architecture::nb201_from_index(11).unwrap();
+        assert!(cache.is_empty());
+        let a = cache.encoding(&arch);
+        let b = cache.encoding(&arch);
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a.tokens.len(), 6);
+        assert_eq!(a.graph.node_count(), graph::NB201_NODES);
+        assert_eq!(a.af.len(), hwpr_nasbench::features::ARCH_FEATURE_DIM);
+    }
+
+    #[test]
+    fn mixed_cache_pads_both_spaces() {
+        let cache = EncodingCache::for_mixed(Dataset::Cifar100);
+        let nb = Architecture::nb201_from_index(0).unwrap();
+        let enc = cache.encoding(&nb);
+        assert_eq!(enc.graph.node_count(), graph::FBNET_NODES);
+        assert_eq!(enc.tokens.len(), tokens::MAX_SEQUENCE_LEN);
+        assert_eq!(cache.nodes(), graph::FBNET_NODES);
+        assert_eq!(cache.seq_len(), 22);
+        assert_eq!(cache.dataset(), Dataset::Cifar100);
+    }
+}

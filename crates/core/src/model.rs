@@ -1,0 +1,342 @@
+//! The HW-PR-NAS surrogate model (§III-B, Fig. 3).
+
+use crate::config::ModelConfig;
+use crate::data::EncodingCache;
+use crate::encoders::{EncoderChoice, EncoderSet};
+use crate::Result;
+use hwpr_autograd::{Tape, Var};
+use hwpr_hwmodel::Platform;
+use hwpr_nasbench::{Architecture, Dataset};
+use hwpr_nn::layers::{LayerRng, Mlp, MlpConfig};
+use hwpr_nn::{Binder, Params};
+use rand_chacha::rand_core::SeedableRng;
+
+/// Maximum batch size used during inference (bounds tape memory).
+pub(crate) const INFER_BATCH: usize = 256;
+
+/// The trained HW-PR-NAS surrogate.
+///
+/// Built by [`HwPrNas::fit`] (single platform) or [`HwPrNas::fit_multi`]
+/// (multi-platform latency head bank); scoring follows Fig. 3: a GCN+AF
+/// accuracy branch and an LSTM+AF latency branch whose two predictions a
+/// dense fusion layer turns into one Pareto score.
+#[derive(Debug)]
+pub struct HwPrNas {
+    pub(crate) params: Params,
+    pub(crate) accuracy_encoder: EncoderSet,
+    pub(crate) latency_encoder: EncoderSet,
+    pub(crate) accuracy_head: Mlp,
+    pub(crate) latency_heads: Vec<Mlp>,
+    pub(crate) platforms: Vec<Platform>,
+    pub(crate) fusion: Mlp,
+    /// Index of the first fusion parameter (everything below is frozen
+    /// during the fusion fine-tune phase).
+    pub(crate) fusion_param_start: usize,
+    pub(crate) cache: EncodingCache,
+    pub(crate) max_latency: Vec<f64>,
+    pub(crate) dataset: Dataset,
+    pub(crate) model_config: ModelConfig,
+}
+
+/// The raw branch outputs for one forward pass (still on the tape).
+pub(crate) struct BranchOutputs {
+    /// Normalised accuracy prediction, `[batch, 1]`.
+    pub accuracy: Var,
+    /// Normalised latency prediction, `[batch, 1]`.
+    pub latency: Var,
+    /// Fused Pareto score, `[batch, 1]`.
+    pub score: Var,
+}
+
+impl HwPrNas {
+    /// Builds an untrained model (used by the trainer).
+    pub(crate) fn build(
+        config: &ModelConfig,
+        cache: EncodingCache,
+        train_archs: &[Architecture],
+        platforms: Vec<Platform>,
+        max_latency: Vec<f64>,
+        dataset: Dataset,
+    ) -> Result<Self> {
+        assert_eq!(platforms.len(), max_latency.len());
+        let model_config = config.clone();
+        let mut params = Params::new();
+        let accuracy_encoder = EncoderSet::new(
+            &mut params,
+            "acc_enc",
+            config,
+            EncoderChoice::GCN_AF,
+            &cache,
+            train_archs,
+        )?;
+        let latency_encoder = EncoderSet::new(
+            &mut params,
+            "lat_enc",
+            config,
+            EncoderChoice::LSTM_AF,
+            &cache,
+            train_archs,
+        )?;
+        let accuracy_head = Mlp::new(
+            &mut params,
+            "acc_head",
+            &MlpConfig {
+                input_dim: accuracy_encoder.output_dim(),
+                hidden: config.mlp_hidden.clone(),
+                output_dim: 1,
+                activation: Default::default(),
+                dropout: config.dropout,
+                seed: config.seed.wrapping_add(100),
+            },
+        )?;
+        let latency_heads = platforms
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Mlp::new(
+                    &mut params,
+                    &format!("lat_head.{}", p.name()),
+                    &MlpConfig {
+                        input_dim: latency_encoder.output_dim(),
+                        hidden: config.mlp_hidden.clone(),
+                        output_dim: 1,
+                        activation: Default::default(),
+                        dropout: config.dropout,
+                        seed: config.seed.wrapping_add(200 + i as u64),
+                    },
+                )
+            })
+            .collect::<hwpr_nn::Result<Vec<_>>>()?;
+        let fusion_param_start = params.len();
+        // the fusion head combines the two branch predictions into one
+        // Pareto score. A purely linear layer would make the score a
+        // weighted-sum scalarisation whose maximiser is a single corner of
+        // the front; a small nonlinear head lets the ranking loss flatten
+        // the score along the front (equal scores within a Pareto rank).
+        let fusion = Mlp::new(
+            &mut params,
+            "fusion",
+            &MlpConfig {
+                input_dim: 2,
+                hidden: vec![16, 16],
+                output_dim: 1,
+                activation: Default::default(),
+                dropout: 0.0,
+                seed: config.seed.wrapping_add(300),
+            },
+        )?;
+        Ok(Self {
+            params,
+            accuracy_encoder,
+            latency_encoder,
+            accuracy_head,
+            latency_heads,
+            platforms,
+            fusion,
+            fusion_param_start,
+            cache,
+            max_latency,
+            dataset,
+            model_config,
+        })
+    }
+
+    /// The platforms this model carries latency heads for.
+    pub fn platforms(&self) -> &[Platform] {
+        &self.platforms
+    }
+
+    /// The image dataset the model was trained for.
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// Total number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.params.scalar_count()
+    }
+
+    pub(crate) fn platform_slot(&self, platform: Platform) -> Result<usize> {
+        self.platforms
+            .iter()
+            .position(|&p| p == platform)
+            .ok_or_else(|| {
+                crate::CoreError::Data(format!(
+                    "model has no latency head for {platform}; available: {:?}",
+                    self.platforms
+                ))
+            })
+    }
+
+    /// One forward pass over a batch (used by training and inference).
+    pub(crate) fn forward(
+        &self,
+        binder: &mut Binder<'_, '_>,
+        archs: &[Architecture],
+        platform_slot: usize,
+        rng: &mut LayerRng,
+    ) -> Result<BranchOutputs> {
+        let acc_repr = self
+            .accuracy_encoder
+            .forward(binder, &self.cache, archs, rng)?;
+        let accuracy = self.accuracy_head.forward(binder, acc_repr, rng)?;
+        let lat_repr = self
+            .latency_encoder
+            .forward(binder, &self.cache, archs, rng)?;
+        let latency = self.latency_heads[platform_slot].forward(binder, lat_repr, rng)?;
+        let both = binder
+            .tape()
+            .concat_cols(&[accuracy, latency])
+            .map_err(hwpr_nn::NnError::from)?;
+        let score = self.fusion.forward(binder, both, rng)?;
+        Ok(BranchOutputs {
+            accuracy,
+            latency,
+            score,
+        })
+    }
+
+    /// Pareto scores of `archs` on `platform` (higher = closer to the
+    /// predicted Pareto front). This is the single call the MOEA makes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model has no head for `platform`.
+    pub fn predict_scores(&self, archs: &[Architecture], platform: Platform) -> Result<Vec<f64>> {
+        let slot = self.platform_slot(platform)?;
+        let mut rng = LayerRng::seed_from_u64(0);
+        let mut out = Vec::with_capacity(archs.len());
+        for chunk in archs.chunks(INFER_BATCH) {
+            let mut tape = Tape::new();
+            let mut binder = Binder::new(&mut tape, &self.params);
+            let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
+            out.extend(tape.value(outputs.score).as_slice().iter().map(|&v| v as f64));
+        }
+        Ok(out)
+    }
+
+    /// Scores and predicted minimisation objectives `[error %, latency
+    /// ms]` from a *single* forward pass — everything Fig. 3 produces in
+    /// one surrogate call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model has no head for `platform`.
+    pub fn predict_full(
+        &self,
+        archs: &[Architecture],
+        platform: Platform,
+    ) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
+        let slot = self.platform_slot(platform)?;
+        let mut rng = LayerRng::seed_from_u64(0);
+        let mut scores = Vec::with_capacity(archs.len());
+        let mut objectives = Vec::with_capacity(archs.len());
+        for chunk in archs.chunks(INFER_BATCH) {
+            let mut tape = Tape::new();
+            let mut binder = Binder::new(&mut tape, &self.params);
+            let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
+            scores.extend(tape.value(outputs.score).as_slice().iter().map(|&v| v as f64));
+            let acc = tape.value(outputs.accuracy).as_slice().to_vec();
+            let lat = tape.value(outputs.latency).as_slice().to_vec();
+            for (a, l) in acc.into_iter().zip(lat) {
+                objectives.push(vec![
+                    (100.0 - a as f64 * 100.0).clamp(0.0, 100.0),
+                    (l as f64 * self.max_latency[slot]).max(0.0),
+                ]);
+            }
+        }
+        Ok((scores, objectives))
+    }
+
+    /// Predicted `(accuracy %, latency ms)` pairs — the branch outputs
+    /// denormalised. Exposed for the predictor-quality studies.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model has no head for `platform`.
+    pub fn predict_objectives(
+        &self,
+        archs: &[Architecture],
+        platform: Platform,
+    ) -> Result<Vec<(f64, f64)>> {
+        let slot = self.platform_slot(platform)?;
+        let mut rng = LayerRng::seed_from_u64(0);
+        let mut out = Vec::with_capacity(archs.len());
+        for chunk in archs.chunks(INFER_BATCH) {
+            let mut tape = Tape::new();
+            let mut binder = Binder::new(&mut tape, &self.params);
+            let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
+            let acc = tape.value(outputs.accuracy).as_slice().to_vec();
+            let lat = tape.value(outputs.latency).as_slice().to_vec();
+            for (a, l) in acc.into_iter().zip(lat) {
+                out.push((
+                    (a as f64 * 100.0).clamp(0.0, 100.0),
+                    (l as f64 * self.max_latency[slot]).max(0.0),
+                ));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::data::SurrogateDataset;
+    use hwpr_hwmodel::{SimBench, SimBenchConfig};
+    use hwpr_nasbench::SearchSpaceId;
+
+    fn tiny_dataset() -> SurrogateDataset {
+        let bench = SimBench::generate(SimBenchConfig {
+            space: SearchSpaceId::NasBench201,
+            sample_size: Some(48),
+            seed: 3,
+        });
+        SurrogateDataset::from_simbench(&bench, Dataset::Cifar10, Platform::EdgeGpu).unwrap()
+    }
+
+    #[test]
+    fn fit_and_predict_shapes() {
+        let data = tiny_dataset();
+        let (model, report) =
+            HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+        assert!(report.epochs_run >= 1);
+        assert!(model.parameter_count() > 0);
+        assert_eq!(model.platforms(), &[Platform::EdgeGpu]);
+        assert_eq!(model.dataset(), Dataset::Cifar10);
+        let archs: Vec<Architecture> = data.samples().iter().map(|s| s.arch.clone()).collect();
+        let scores = model.predict_scores(&archs, Platform::EdgeGpu).unwrap();
+        assert_eq!(scores.len(), archs.len());
+        assert!(scores.iter().all(|s| s.is_finite()));
+        let objs = model.predict_objectives(&archs, Platform::EdgeGpu).unwrap();
+        assert_eq!(objs.len(), archs.len());
+        for (a, l) in objs {
+            assert!((0.0..=100.0).contains(&a));
+            assert!(l >= 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_platform_is_an_error() {
+        let data = tiny_dataset();
+        let (model, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+        let archs = vec![data.samples()[0].arch.clone()];
+        assert!(model.predict_scores(&archs, Platform::Eyeriss).is_err());
+    }
+
+    #[test]
+    fn deterministic_inference() {
+        let data = tiny_dataset();
+        let (model, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+        let archs: Vec<Architecture> = data
+            .samples()
+            .iter()
+            .take(5)
+            .map(|s| s.arch.clone())
+            .collect();
+        let a = model.predict_scores(&archs, Platform::EdgeGpu).unwrap();
+        let b = model.predict_scores(&archs, Platform::EdgeGpu).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,238 @@
+//! Saving and loading trained HW-PR-NAS models.
+//!
+//! Training a surrogate costs GPU-hours in the paper's setting (Table II);
+//! a downstream user searches many times with one trained model, so the
+//! model must round-trip through disk. The format is a single JSON
+//! document: the [`ModelConfig`], the target metadata, and every
+//! parameter matrix in registration order (registration order is a pure
+//! function of the config, so rebuilding the architecture and overwriting
+//! the weights reproduces the exact model).
+
+use crate::config::ModelConfig;
+use crate::data::EncodingCache;
+use crate::model::HwPrNas;
+use crate::{CoreError, Result};
+use hwpr_hwmodel::Platform;
+use hwpr_nasbench::{Architecture, Dataset};
+use hwpr_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// On-disk representation of a trained model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Network sizes (drives the rebuild).
+    pub model_config: ModelConfig,
+    /// Platforms with latency heads, in head order.
+    pub platforms: Vec<Platform>,
+    /// Latency normalisation per head.
+    pub max_latency: Vec<f64>,
+    /// Dataset the model was trained for.
+    pub dataset: Dataset,
+    /// Graph padding size of the encoding cache.
+    pub cache_nodes: usize,
+    /// Token padding length of the encoding cache.
+    pub cache_seq_len: usize,
+    /// The accuracy branch's fitted AF normaliser.
+    pub accuracy_normalizer: Option<hwpr_nasbench::features::FeatureNormalizer>,
+    /// The latency branch's fitted AF normaliser.
+    pub latency_normalizer: Option<hwpr_nasbench::features::FeatureNormalizer>,
+    /// Every parameter matrix, in registration order.
+    pub parameters: Vec<Matrix>,
+}
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+impl HwPrNas {
+    /// Serialises the model to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Data`] if serialisation fails (cannot happen
+    /// for well-formed models).
+    pub fn to_json(&self) -> Result<String> {
+        let parameters: Vec<Matrix> = self
+            .params
+            .ids()
+            .into_iter()
+            .map(|id| self.params.get(id).clone())
+            .collect();
+        let saved = SavedModel {
+            version: FORMAT_VERSION,
+            model_config: self.model_config.clone(),
+            platforms: self.platforms.clone(),
+            max_latency: self.max_latency.clone(),
+            dataset: self.dataset,
+            cache_nodes: self.cache.nodes(),
+            cache_seq_len: self.cache.seq_len(),
+            accuracy_normalizer: self.accuracy_encoder.normalizer().cloned(),
+            latency_normalizer: self.latency_encoder.normalizer().cloned(),
+            parameters,
+        };
+        serde_json::to_string(&saved).map_err(|e| CoreError::Data(format!("serialise: {e}")))
+    }
+
+    /// Writes the model to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Data`] on I/O or serialisation failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let json = self.to_json()?;
+        std::fs::write(path.as_ref(), json)
+            .map_err(|e| CoreError::Data(format!("write {}: {e}", path.as_ref().display())))
+    }
+
+    /// Rebuilds a model from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Data`] when the document is malformed, the
+    /// version is unsupported, or the parameter shapes disagree with the
+    /// rebuilt architecture.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let saved: SavedModel =
+            serde_json::from_str(json).map_err(|e| CoreError::Data(format!("parse: {e}")))?;
+        if saved.version != FORMAT_VERSION {
+            return Err(CoreError::Data(format!(
+                "unsupported model format version {} (expected {FORMAT_VERSION})",
+                saved.version
+            )));
+        }
+        let cache = EncodingCache::new(saved.dataset, saved.cache_nodes, saved.cache_seq_len);
+        // any single architecture suffices to construct the encoders; the
+        // fitted normalisers are restored explicitly right after
+        let seed_arch = Architecture::nb201_from_index(0).expect("index 0 exists");
+        let mut model = Self::build(
+            &saved.model_config,
+            cache,
+            &[seed_arch],
+            saved.platforms,
+            saved.max_latency,
+            saved.dataset,
+        )?;
+        if let Some(n) = saved.accuracy_normalizer {
+            model.accuracy_encoder.set_normalizer(n);
+        }
+        if let Some(n) = saved.latency_normalizer {
+            model.latency_encoder.set_normalizer(n);
+        }
+        let ids = model.params.ids();
+        if ids.len() != saved.parameters.len() {
+            return Err(CoreError::Data(format!(
+                "parameter count mismatch: document has {}, architecture needs {}",
+                saved.parameters.len(),
+                ids.len()
+            )));
+        }
+        for (id, value) in ids.into_iter().zip(saved.parameters) {
+            if model.params.get(id).shape() != value.shape() {
+                return Err(CoreError::Data(format!(
+                    "parameter `{}` shape mismatch",
+                    model.params.name(id)
+                )));
+            }
+            *model.params.get_mut(id) = value;
+        }
+        Ok(model)
+    }
+
+    /// Loads a model previously written by [`HwPrNas::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Data`] on I/O or parse failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let json = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| CoreError::Data(format!("read {}: {e}", path.as_ref().display())))?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::data::SurrogateDataset;
+    use hwpr_hwmodel::{SimBench, SimBenchConfig};
+    use hwpr_nasbench::SearchSpaceId;
+
+    fn trained() -> (HwPrNas, SurrogateDataset) {
+        let bench = SimBench::generate(SimBenchConfig {
+            space: SearchSpaceId::NasBench201,
+            sample_size: Some(40),
+            seed: 8,
+        });
+        let data =
+            SurrogateDataset::from_simbench(&bench, Dataset::Cifar10, Platform::EdgeGpu).unwrap();
+        let (model, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+        (model, data)
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let (model, data) = trained();
+        let archs: Vec<Architecture> = data
+            .samples()
+            .iter()
+            .take(8)
+            .map(|s| s.arch.clone())
+            .collect();
+        let before = model.predict_scores(&archs, Platform::EdgeGpu).unwrap();
+        let json = model.to_json().unwrap();
+        let restored = HwPrNas::from_json(&json).unwrap();
+        let after = restored.predict_scores(&archs, Platform::EdgeGpu).unwrap();
+        for (b, a) in before.iter().zip(&after) {
+            assert!(
+                (b - a).abs() < 1e-5,
+                "prediction drift after round trip: {b} vs {a}"
+            );
+        }
+        assert_eq!(restored.platforms(), model.platforms());
+        assert_eq!(restored.dataset(), model.dataset());
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let (model, data) = trained();
+        let dir = std::env::temp_dir().join("hwpr_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).unwrap();
+        let restored = HwPrNas::load(&path).unwrap();
+        let arch = data.samples()[0].arch.clone();
+        assert_eq!(
+            model.predict_scores(&[arch.clone()], Platform::EdgeGpu).unwrap(),
+            restored.predict_scores(&[arch], Platform::EdgeGpu).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_garbage() {
+        let (model, _) = trained();
+        let mut json = model.to_json().unwrap();
+        json = json.replacen("\"version\":1", "\"version\":99", 1);
+        assert!(HwPrNas::from_json(&json).is_err());
+        assert!(HwPrNas::from_json("{not json").is_err());
+        assert!(HwPrNas::load("/nonexistent/path/model.json").is_err());
+    }
+
+    #[test]
+    fn restored_normalizers_match() {
+        let (model, _) = trained();
+        let json = model.to_json().unwrap();
+        let restored = HwPrNas::from_json(&json).unwrap();
+        assert_eq!(
+            model.accuracy_encoder.normalizer(),
+            restored.accuracy_encoder.normalizer()
+        );
+        assert_eq!(
+            model.latency_encoder.normalizer(),
+            restored.latency_encoder.normalizer()
+        );
+    }
+}

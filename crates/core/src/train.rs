@@ -1,0 +1,404 @@
+//! The Pareto ranking training loop (§III-A, Table II).
+
+use crate::config::{ModelConfig, TrainConfig};
+use crate::data::{EncodingCache, SurrogateDataset};
+use crate::model::HwPrNas;
+use crate::Result;
+use hwpr_autograd::Tape;
+use hwpr_hwmodel::{BenchEntry, Platform};
+use hwpr_moo::pareto_ranks;
+use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
+use hwpr_nn::batch::shuffled_batches;
+use hwpr_nn::layers::LayerRng;
+use hwpr_nn::optim::{AdamW, CosineAnnealing, EarlyStopping, Optimizer};
+use hwpr_nn::Binder;
+use hwpr_tensor::Matrix;
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+
+/// Summary of one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Number of epochs actually run (≤ configured epochs).
+    pub epochs_run: usize,
+    /// Kendall τ between predicted scores and (negated) true Pareto rank
+    /// on the validation split.
+    pub val_rank_tau: f64,
+    /// Final training loss (rank + RMSE terms).
+    pub final_loss: f64,
+}
+
+/// Adds the within-front score-variance penalty: for every rank group of
+/// two or more members, the variance of their scores (flat scores within
+/// a front make top-k selection cover the whole front).
+fn tie_variance_loss(
+    tape_ref: &mut Tape,
+    score: hwpr_autograd::Var,
+    ranks: &[usize],
+) -> Result<Option<hwpr_autograd::Var>> {
+    let max_rank = ranks.iter().copied().max().unwrap_or(0);
+    let mut terms: Option<hwpr_autograd::Var> = None;
+    for rank in 0..=max_rank {
+        let group: Vec<usize> = (0..ranks.len()).filter(|&i| ranks[i] == rank).collect();
+        if group.len() < 2 {
+            continue;
+        }
+        let s = tape_ref.gather_rows(score, &group).map_err(hwpr_nn::NnError::from)?;
+        let sq = tape_ref.mul(s, s).map_err(hwpr_nn::NnError::from)?;
+        let mean_sq = tape_ref.mean_all(sq);
+        let mean = tape_ref.mean_all(s);
+        let mean2 = tape_ref.mul(mean, mean).map_err(hwpr_nn::NnError::from)?;
+        let var = tape_ref.sub(mean_sq, mean2).map_err(hwpr_nn::NnError::from)?;
+        terms = Some(match terms {
+            None => var,
+            Some(acc) => tape_ref.add(acc, var).map_err(hwpr_nn::NnError::from)?,
+        });
+    }
+    Ok(terms)
+}
+
+/// Sorts batch-local indices best-rank-first, shuffling ties so the
+/// listwise loss sees a valid (and unbiased) permutation.
+fn rank_order(ranks: &[usize], rng: &mut LayerRng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..ranks.len()).collect();
+    order.shuffle(rng);
+    order.sort_by_key(|&i| ranks[i]);
+    order
+}
+
+impl HwPrNas {
+    /// Trains a single-platform model on `data` with the Pareto ranking
+    /// loss plus per-branch RMSE (§III-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError`] on empty data or layer failures.
+    pub fn fit(
+        data: &SurrogateDataset,
+        model_config: &ModelConfig,
+        train_config: &TrainConfig,
+    ) -> Result<(Self, TrainReport)> {
+        let space = data.samples()[0].arch.space();
+        let mixed = data.samples().iter().any(|s| s.arch.space() != space);
+        let cache = if mixed {
+            EncodingCache::for_mixed(data.dataset())
+        } else {
+            EncodingCache::for_space(space, data.dataset())
+        };
+        let (train, val) = data.split(0.2, train_config.seed)?;
+        let train_archs: Vec<Architecture> =
+            train.samples().iter().map(|s| s.arch.clone()).collect();
+        let mut model = Self::build(
+            model_config,
+            cache,
+            &train_archs,
+            vec![data.platform()],
+            vec![data.max_latency().max(1e-9)],
+            data.dataset(),
+        )?;
+        let report = train_loop(&mut model, &train, &val, train_config)?;
+        Ok((model, report))
+    }
+
+    /// Trains a multi-platform model: one shared LSTM encoder with a bank
+    /// of per-platform latency heads (§III-E). Latency targets come from
+    /// the benchmark rows for every requested platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError`] on empty data or layer failures.
+    pub fn fit_multi(
+        entries: &[BenchEntry],
+        dataset: Dataset,
+        platforms: &[Platform],
+        model_config: &ModelConfig,
+        train_config: &TrainConfig,
+    ) -> Result<(Self, TrainReport)> {
+        if entries.is_empty() || platforms.is_empty() {
+            return Err(crate::CoreError::Data(
+                "multi-platform training needs entries and platforms".into(),
+            ));
+        }
+        // train round-robin: each platform gets its own dataset view and
+        // the shared encoders see every batch
+        let space = entries[0].arch().space();
+        let mixed = entries.iter().any(|e| e.arch().space() != space);
+        let cache = if mixed {
+            EncodingCache::for_mixed(dataset)
+        } else {
+            EncodingCache::for_space(space, dataset)
+        };
+        let per_platform: Vec<SurrogateDataset> = platforms
+            .iter()
+            .map(|&p| SurrogateDataset::from_entries(entries, dataset, p))
+            .collect::<Result<_>>()?;
+        let train_archs: Vec<Architecture> =
+            entries.iter().map(|e| e.arch().clone()).collect();
+        let max_latency: Vec<f64> = per_platform
+            .iter()
+            .map(|d| d.max_latency().max(1e-9))
+            .collect();
+        let mut model = Self::build(
+            model_config,
+            cache,
+            &train_archs,
+            platforms.to_vec(),
+            max_latency,
+            dataset,
+        )?;
+        // rotate the trained platform each epoch; validation tracks the
+        // first platform for early stopping
+        let mut report = TrainReport {
+            epochs_run: 0,
+            val_rank_tau: 0.0,
+            final_loss: f64::INFINITY,
+        };
+        for (round, ds) in per_platform.iter().cycle().take(platforms.len()).enumerate() {
+            let mut cfg = train_config.clone();
+            cfg.epochs = (train_config.epochs / platforms.len()).max(1);
+            cfg.seed = train_config.seed.wrapping_add(round as u64);
+            let (train, val) = ds.split(0.2, cfg.seed)?;
+            let r = train_loop(&mut model, &train, &val, &cfg)?;
+            report.epochs_run += r.epochs_run;
+            report.val_rank_tau = r.val_rank_tau;
+            report.final_loss = r.final_loss;
+        }
+        Ok((model, report))
+    }
+}
+
+/// Runs the epoch loop for whichever platform `train` targets.
+fn train_loop(
+    model: &mut HwPrNas,
+    train: &SurrogateDataset,
+    val: &SurrogateDataset,
+    config: &TrainConfig,
+) -> Result<TrainReport> {
+    let slot = model.platform_slot(train.platform())?;
+    let max_lat = model.max_latency[slot];
+    let mut optimizer = AdamW::new(config.learning_rate).with_weight_decay(config.weight_decay);
+    let schedule = CosineAnnealing::new(config.learning_rate, config.learning_rate * 0.01, config.epochs);
+    let mut stopper = EarlyStopping::new(config.early_stop_patience);
+    let mut rng = LayerRng::seed_from_u64(config.seed);
+    let samples = train.samples();
+    // §III-A: Pareto ranks are computed over the whole training set
+    // *before* batching; each batch is ordered by these global ranks
+    let global_objectives: Vec<Vec<f64>> = samples.iter().map(|s| s.objectives()).collect();
+    let global_ranks = pareto_ranks(&global_objectives)?;
+    let mut final_loss = f64::INFINITY;
+    let mut epochs_run = 0;
+    let mut best_tau = -1.0f64;
+    for epoch in 0..config.epochs {
+        optimizer.set_learning_rate(schedule.learning_rate_at(epoch));
+        let batches = shuffled_batches(
+            samples.len(),
+            config.batch_size,
+            config.seed.wrapping_add(epoch as u64),
+        );
+        let mut epoch_loss = 0.0f64;
+        for batch in &batches {
+            if batch.len() < 2 {
+                continue;
+            }
+            let archs: Vec<Architecture> =
+                batch.iter().map(|&i| samples[i].arch.clone()).collect();
+            let ranks: Vec<usize> = batch.iter().map(|&i| global_ranks[i]).collect();
+            let order = rank_order(&ranks, &mut rng);
+            let acc_targets = Matrix::col_vector(
+                &batch
+                    .iter()
+                    .map(|&i| (samples[i].accuracy / 100.0) as f32)
+                    .collect::<Vec<_>>(),
+            );
+            let lat_targets = Matrix::col_vector(
+                &batch
+                    .iter()
+                    .map(|&i| (samples[i].latency_ms / max_lat) as f32)
+                    .collect::<Vec<_>>(),
+            );
+            let mut tape = Tape::new();
+            let mut binder = Binder::for_training(&mut tape, &model.params);
+            let out = model.forward(&mut binder, &archs, slot, &mut rng)?;
+            let tape_ref = binder.tape();
+            let rank_loss = tape_ref.list_mle(out.score, &order)?;
+            // normalise the listwise loss by the batch size so batches of
+            // different sizes weigh equally
+            let mut rank_loss = tape_ref.scale(rank_loss, config.rank_loss_weight / batch.len() as f32);
+            if config.tie_regularizer_weight > 0.0 {
+                if let Some(var) = tie_variance_loss(tape_ref, out.score, &ranks)? {
+                    let var = tape_ref.scale(var, config.tie_regularizer_weight);
+                    rank_loss = tape_ref.add(rank_loss, var)?;
+                }
+            }
+            let acc_mse = tape_ref.mse_loss(out.accuracy, &acc_targets)?;
+            let acc_rmse = tape_ref.sqrt(acc_mse, 1e-9);
+            let lat_mse = tape_ref.mse_loss(out.latency, &lat_targets)?;
+            let lat_rmse = tape_ref.sqrt(lat_mse, 1e-9);
+            let rmse_sum = tape_ref.add(acc_rmse, lat_rmse)?;
+            let rmse_term = tape_ref.scale(rmse_sum, config.rmse_loss_weight);
+            let loss = tape_ref.add(rank_loss, rmse_term)?;
+            epoch_loss += tape_ref.value(loss)[(0, 0)] as f64;
+            let grads = binder.finish(loss)?;
+            optimizer.step(&mut model.params, &grads);
+        }
+        epochs_run = epoch + 1;
+        final_loss = epoch_loss / batches.len().max(1) as f64;
+        // validation: how well do predicted scores rank the true fronts?
+        let tau = validation_tau(model, val, slot)?;
+        best_tau = best_tau.max(tau);
+        if stopper.update(1.0 - tau as f32) {
+            break;
+        }
+    }
+    // §IV-A: retrain the fusion layer alone (frozen branches) with only
+    // the ranking loss for an optimal final Pareto ordering
+    if config.fusion_finetune_epochs > 0 {
+        let mut fusion_opt =
+            AdamW::new(config.learning_rate).with_weight_decay(config.weight_decay);
+        for epoch in 0..config.fusion_finetune_epochs {
+            let batches = shuffled_batches(
+                samples.len(),
+                config.batch_size,
+                config.seed.wrapping_add(10_000 + epoch as u64),
+            );
+            for batch in &batches {
+                if batch.len() < 2 {
+                    continue;
+                }
+                let archs: Vec<Architecture> =
+                    batch.iter().map(|&i| samples[i].arch.clone()).collect();
+                let ranks: Vec<usize> = batch.iter().map(|&i| global_ranks[i]).collect();
+                let order = rank_order(&ranks, &mut rng);
+                let mut tape = Tape::new();
+                let mut binder = Binder::for_training(&mut tape, &model.params);
+                let out = model.forward(&mut binder, &archs, slot, &mut rng)?;
+                let tape_ref = binder.tape();
+                let mut loss = tape_ref.list_mle(out.score, &order)?;
+                loss = tape_ref.scale(loss, 1.0 / batch.len() as f32);
+                if config.tie_regularizer_weight > 0.0 {
+                    if let Some(var) = tie_variance_loss(tape_ref, out.score, &ranks)? {
+                        let var = tape_ref.scale(var, config.tie_regularizer_weight);
+                        loss = tape_ref.add(loss, var)?;
+                    }
+                }
+                let mut grads = binder.finish(loss)?;
+                for g in grads.iter_mut().take(model.fusion_param_start) {
+                    *g = None;
+                }
+                fusion_opt.step(&mut model.params, &grads);
+            }
+        }
+        best_tau = best_tau.max(validation_tau(model, val, slot)?);
+    }
+    Ok(TrainReport {
+        epochs_run,
+        val_rank_tau: best_tau,
+        final_loss,
+    })
+}
+
+/// Kendall τ between predicted scores and negated true Pareto ranks on a
+/// validation split.
+fn validation_tau(model: &HwPrNas, val: &SurrogateDataset, slot: usize) -> Result<f64> {
+    let archs: Vec<Architecture> = val.samples().iter().map(|s| s.arch.clone()).collect();
+    let objectives: Vec<Vec<f64>> = val.samples().iter().map(|s| s.objectives()).collect();
+    let ranks = pareto_ranks(&objectives)?;
+    let platform = model.platforms[slot];
+    let scores = model.predict_scores(&archs, platform)?;
+    let pred: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
+    let truth: Vec<f32> = ranks.iter().map(|&r| -(r as f32)).collect();
+    Ok(hwpr_metrics::kendall_tau(&pred, &truth).unwrap_or(0.0))
+}
+
+/// Fraction of NAS-Bench-201 architectures in a list (used in Table IV).
+pub fn nb201_fraction(archs: &[Architecture]) -> f64 {
+    if archs.is_empty() {
+        return 0.0;
+    }
+    archs
+        .iter()
+        .filter(|a| a.space() == SearchSpaceId::NasBench201)
+        .count() as f64
+        / archs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SurrogateDataset;
+    use hwpr_hwmodel::{SimBench, SimBenchConfig};
+
+    fn bench(n: usize) -> SimBench {
+        SimBench::generate(SimBenchConfig {
+            space: SearchSpaceId::NasBench201,
+            sample_size: Some(n),
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn rank_order_groups_by_rank() {
+        let mut rng = LayerRng::seed_from_u64(0);
+        let ranks = vec![2, 0, 1, 0, 2];
+        let order = rank_order(&ranks, &mut rng);
+        let sorted: Vec<usize> = order.iter().map(|&i| ranks[i]).collect();
+        assert_eq!(sorted, vec![0, 0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn training_learns_to_rank() {
+        // enough data and epochs that the surrogate clearly beats chance
+        let b = bench(160);
+        let data =
+            SurrogateDataset::from_simbench(&b, Dataset::Cifar10, Platform::EdgeGpu).unwrap();
+        let mut cfg = TrainConfig::tiny();
+        cfg.epochs = 12;
+        let (_, report) = HwPrNas::fit(&data, &ModelConfig::tiny(), &cfg).unwrap();
+        assert!(
+            report.val_rank_tau > 0.2,
+            "surrogate failed to learn: tau {}",
+            report.val_rank_tau
+        );
+    }
+
+    #[test]
+    fn multi_platform_training_runs() {
+        let b = bench(48);
+        let (model, report) = HwPrNas::fit_multi(
+            b.entries(),
+            Dataset::Cifar10,
+            &[Platform::EdgeGpu, Platform::Pixel3],
+            &ModelConfig::tiny(),
+            &TrainConfig::tiny(),
+        )
+        .unwrap();
+        assert_eq!(model.platforms().len(), 2);
+        assert!(report.epochs_run >= 2);
+        let archs = vec![b.entries()[0].arch().clone()];
+        assert!(model.predict_scores(&archs, Platform::Pixel3).is_ok());
+        assert!(model.predict_scores(&archs, Platform::EdgeGpu).is_ok());
+        assert!(model.predict_scores(&archs, Platform::Eyeriss).is_err());
+    }
+
+    #[test]
+    fn fit_multi_rejects_empty() {
+        assert!(HwPrNas::fit_multi(
+            &[],
+            Dataset::Cifar10,
+            &[Platform::EdgeGpu],
+            &ModelConfig::tiny(),
+            &TrainConfig::tiny()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn nb201_fraction_counts() {
+        use hwpr_nasbench::FbnetOp;
+        let a = Architecture::nb201_from_index(0).unwrap();
+        let f = Architecture::fbnet([FbnetOp::Skip; 22]);
+        assert_eq!(nb201_fraction(&[a.clone(), f.clone()]), 0.5);
+        assert_eq!(nb201_fraction(&[a]), 1.0);
+        assert_eq!(nb201_fraction(&[]), 0.0);
+    }
+}

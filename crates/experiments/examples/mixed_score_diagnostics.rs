@@ -1,0 +1,37 @@
+//! Dev diagnostic: does the mixed-space surrogate rank FBNet correctly on
+//! Pixel 3 (where FBNet dominates the true front)?
+use hwpr_experiments::{Harness, Scale};
+use hwpr_hwmodel::Platform;
+use hwpr_moo::pareto_ranks;
+use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
+
+fn main() {
+    let h = Harness::with_scale(Scale::Fast);
+    let data = h.mixed_dataset(Dataset::Cifar10, Platform::EdgeTpu);
+    let model = h.train_hw_pr_nas(&data, 2000);
+    let archs: Vec<Architecture> = data.samples().iter().map(|s| s.arch.clone()).collect();
+    let objs: Vec<Vec<f64>> = data.samples().iter().map(|s| s.objectives()).collect();
+    let ranks = pareto_ranks(&objs).unwrap();
+    let scores = model.predict_scores(&archs, Platform::EdgeTpu).unwrap();
+    let pred: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
+    let truth: Vec<f32> = ranks.iter().map(|&r| -(r as f32)).collect();
+    println!("global rank tau: {:.3}", hwpr_metrics::kendall_tau(&pred, &truth).unwrap());
+    for (label, space) in [("NB201", SearchSpaceId::NasBench201), ("FBNet", SearchSpaceId::FBNet)] {
+        let subset: Vec<(usize, f64)> = archs.iter().zip(&scores).enumerate()
+            .filter(|(_, (a, _))| a.space() == space).map(|(i, (_, &s))| (i, s)).collect();
+        let mean_score = subset.iter().map(|(_, s)| s).sum::<f64>() / subset.len() as f64;
+        let front0: Vec<f64> = subset.iter().filter(|(i, _)| ranks[*i] == 0).map(|(_, s)| *s).collect();
+        let mean_front0 = front0.iter().sum::<f64>() / front0.len().max(1) as f64;
+        println!("{label}: n={} mean score {mean_score:.3}, front-0 n={} mean {mean_front0:.3}", subset.len(), front0.len());
+    }
+    // predicted objectives sanity: mean predicted latency per space vs true
+    let (_, pred_objs) = model.predict_full(&archs, Platform::EdgeTpu).unwrap();
+    for (label, space) in [("NB201", SearchSpaceId::NasBench201), ("FBNet", SearchSpaceId::FBNet)] {
+        let idx: Vec<usize> = (0..archs.len()).filter(|&i| archs[i].space() == space).collect();
+        let t: f64 = idx.iter().map(|&i| objs[i][1]).sum::<f64>() / idx.len() as f64;
+        let p: f64 = idx.iter().map(|&i| pred_objs[i][1]).sum::<f64>() / idx.len() as f64;
+        let te: f64 = idx.iter().map(|&i| objs[i][0]).sum::<f64>() / idx.len() as f64;
+        let pe: f64 = idx.iter().map(|&i| pred_objs[i][0]).sum::<f64>() / idx.len() as f64;
+        println!("{label}: true lat {t:.2} pred lat {p:.2} | true err {te:.2} pred err {pe:.2}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Dev diagnostic: space proportions through a mixed-space MOEA run.
+use hwpr_core::nb201_fraction;
+use hwpr_experiments::{Harness, Scale};
+use hwpr_hwmodel::Platform;
+use hwpr_nasbench::{Dataset, SearchSpaceId};
+use hwpr_search::{HwPrNasEvaluator, Moea};
+
+fn main() {
+    let h = Harness::with_scale(Scale::Fast);
+    for platform in [
+        Platform::EdgeGpu,
+        Platform::EdgeTpu,
+        Platform::FpgaZc706,
+        Platform::Pixel3,
+    ] {
+        let data = h.mixed_dataset(Dataset::Cifar10, platform);
+        let model = h.train_hw_pr_nas(&data, 2000);
+        let cfg = h
+            .scale
+            .moea_config(vec![SearchSpaceId::NasBench201, SearchSpaceId::FBNet])
+            .with_seed(2000);
+        let moea = Moea::new(cfg).unwrap();
+        let mut eval = HwPrNasEvaluator::new(model, platform);
+        let result = moea.run(&mut eval).unwrap();
+        println!(
+            "{platform:>12}: final population NB201 {:.0}%",
+            nb201_fraction(&result.population) * 100.0
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Dev diagnostic: ground-truth mixed-space front proportions per platform
+//! (what a perfect search would produce in Table IV).
+use hwpr_core::nb201_fraction;
+use hwpr_experiments::{Harness, Scale};
+use hwpr_hwmodel::Platform;
+use hwpr_moo::pareto_front;
+use hwpr_nasbench::Dataset;
+
+fn main() {
+    let h = Harness::with_scale(Scale::Fast);
+    for platform in [Platform::EdgeGpu, Platform::EdgeTpu, Platform::FpgaZc706, Platform::Pixel3] {
+        let mut entries = h.nb201().entries().to_vec();
+        entries.extend_from_slice(h.fbnet().entries());
+        let objs: Vec<Vec<f64>> = entries
+            .iter()
+            .map(|e| e.objectives(Dataset::Cifar10, platform))
+            .collect();
+        let front = pareto_front(&objs).unwrap();
+        let archs: Vec<_> = front.iter().map(|&i| entries[i].arch().clone()).collect();
+        println!(
+            "{platform:>14}: front {} archs, NB201 {:.1}%",
+            front.len(),
+            nb201_fraction(&archs) * 100.0
+        );
+        // print the front to inspect the accuracy/latency ranges per space
+        let mut pts: Vec<(f64, f64, bool)> = front
+            .iter()
+            .map(|&i| (objs[i][0], objs[i][1], entries[i].arch().space() == hwpr_nasbench::SearchSpaceId::NasBench201))
+            .collect();
+        pts.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for (err, lat, nb) in pts.iter().take(12) {
+            println!("    err {err:6.2}%  lat {lat:8.3}ms  {}", if *nb { "NB201" } else { "FBNet" });
+        }
+    }
+}

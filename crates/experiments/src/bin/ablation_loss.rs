@@ -1,0 +1,6 @@
+//! Regenerates the training-loss ablation (paper footnote 2).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::ablation_loss::run(&harness);
+    hwpr_experiments::write_report("ablation_loss", &report);
+}

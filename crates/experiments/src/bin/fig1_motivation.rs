@@ -1,0 +1,6 @@
+//! Regenerates Figure 1 (one vs two surrogates: fronts, speedup, hypervolume).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::fig1::run(&harness);
+    hwpr_experiments::write_report("fig1_motivation", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (encoding-scheme ablation).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::fig4::run(&harness);
+    hwpr_experiments::write_report("fig4_encodings", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 (Pareto fronts across edge platforms).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::fig6::run(&harness);
+    hwpr_experiments::write_report("fig6_pareto_fronts", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (MOEA search time per evaluation method).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::fig7::run(&harness);
+    hwpr_experiments::write_report("fig7_search_time", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (least-latency architectures per platform).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::fig8::run(&harness);
+    hwpr_experiments::write_report("fig8_architectures", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 9 (three-objective Pareto fronts).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::fig9::run(&harness);
+    hwpr_experiments::write_report("fig9_three_objectives", &report);
+}

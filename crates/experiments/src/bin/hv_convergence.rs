@@ -1,0 +1,6 @@
+//! Regenerates the hypervolume-convergence analysis (§IV-D).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::hv_convergence::run(&harness);
+    hwpr_experiments::write_report("hv_convergence", &report);
+}

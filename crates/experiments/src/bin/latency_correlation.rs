@@ -1,0 +1,6 @@
+//! Regenerates the §III-E cross-platform latency correlation study.
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::latency_corr::run(&harness);
+    hwpr_experiments::write_report("latency_correlation", &report);
+}

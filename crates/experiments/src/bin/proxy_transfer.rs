@@ -1,0 +1,6 @@
+//! Regenerates the proxy-device latency-transfer study (extension of §III-E).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::proxy_transfer::run(&harness);
+    hwpr_experiments::write_report("proxy_transfer", &report);
+}

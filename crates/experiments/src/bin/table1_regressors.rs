@@ -1,0 +1,6 @@
+//! Regenerates Table I (MLP/XGBoost/LGBoost regressor comparison).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::table1::run(&harness);
+    hwpr_experiments::write_report("table1_regressors", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table III (final hypervolume, 8 methods x 3 datasets).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::table3::run(&harness);
+    hwpr_experiments::write_report("table3_hypervolume", &report);
+}

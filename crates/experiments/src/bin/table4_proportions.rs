@@ -1,0 +1,6 @@
+//! Regenerates Table IV (benchmark proportions in the final front).
+fn main() {
+    let harness = hwpr_experiments::Harness::new();
+    let report = hwpr_experiments::exps::table4::run(&harness);
+    hwpr_experiments::write_report("table4_proportions", &report);
+}

@@ -1,0 +1,103 @@
+//! Figure 7: search time of the MOEA under each evaluation method
+//! (250 generations, 24 h cap in the paper's setup).
+
+use crate::{fmt_duration, Harness, MarkdownTable};
+use hwpr_hwmodel::Platform;
+use hwpr_metrics::mean;
+use hwpr_nasbench::{Dataset, SearchSpaceId};
+use hwpr_search::{HwPrNasEvaluator, Moea, PairEvaluator};
+use std::fmt::Write as _;
+
+/// Simulated serving overhead per surrogate call (seconds): the paper's
+/// searches evaluate each architecture through a Python/GPU model-serving
+/// stack where dispatch dominates (their Fig. 7 bars span hours for
+/// 37 500 evaluations, ≈1 s per evaluation).
+pub const CALL_COST_S: f64 = 0.5;
+
+/// Runs the experiment and returns the markdown report.
+pub fn run(h: &Harness) -> String {
+    let dataset = Dataset::Cifar10;
+    let platform = Platform::EdgeGpu;
+    let spaces = vec![SearchSpaceId::NasBench201, SearchSpaceId::FBNet];
+    let data = h.mixed_dataset(dataset, platform);
+    let runs = h.scale.runs();
+
+    let mut measured_times = Vec::new();
+    let mut brp_times = Vec::new();
+    let mut gates_times = Vec::new();
+    let mut hwpr_times = Vec::new();
+    let mut hwpr_calls = 0usize;
+    let mut brp_calls = 0usize;
+    let mut hwpr_wall = Vec::new();
+    let mut brp_wall = Vec::new();
+    for run in 0..runs {
+        let seed = 500 + run as u64;
+        let r = h.run_moea_measured(dataset, platform, spaces.clone(), seed);
+        measured_times.push(r.total_time().as_secs_f64());
+        let moea =
+            Moea::new(h.scale.moea_config(spaces.clone()).with_seed(seed)).expect("valid config");
+        let brp = h.train_brp_nas(&data, seed);
+        let mut eval = PairEvaluator::new(brp).with_simulated_call_cost(CALL_COST_S);
+        let r = moea.run(&mut eval).expect("search failed");
+        brp_times.push(r.total_time().as_secs_f64());
+        brp_wall.push(r.wall_time.as_secs_f64());
+        brp_calls = r.surrogate_calls;
+        let gates = h.train_gates(&data, seed);
+        let mut eval = PairEvaluator::new(gates).with_simulated_call_cost(CALL_COST_S);
+        let r = moea.run(&mut eval).expect("search failed");
+        gates_times.push(r.total_time().as_secs_f64());
+        let hwpr = h.train_hw_pr_nas(&data, seed);
+        let mut eval = HwPrNasEvaluator::new(hwpr, platform).with_simulated_call_cost(CALL_COST_S);
+        let r = moea.run(&mut eval).expect("search failed");
+        hwpr_times.push(r.total_time().as_secs_f64());
+        hwpr_wall.push(r.wall_time.as_secs_f64());
+        hwpr_calls = r.surrogate_calls;
+    }
+
+    let m = mean(&measured_times);
+    let b = mean(&brp_times);
+    let g = mean(&gates_times);
+    let w = mean(&hwpr_times);
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 7 — MOEA search time per evaluation method\n");
+    let _ = writeln!(
+        out,
+        "Mean over {runs} runs; measured-values runs charge a simulated \
+         {:.1} s per new architecture (device measurement); surrogate runs \
+         charge {CALL_COST_S:.1} s of serving overhead per *model call* \
+         (the paper's per-evaluation serving cost — their Fig. 7 bars \
+         imply ≈1 s per evaluation), so one fused call beats two. \
+         Surrogate training happens before the search and is excluded, as \
+         in the paper.\n",
+        hwpr_search::MeasuredEvaluator::DEFAULT_SECONDS_PER_EVAL
+    );
+    let mut t = MarkdownTable::new(vec!["Evaluation method", "Mean search time", "Speedup vs HW-PR-NAS"]);
+    for (name, v) in [
+        ("Measured Values", m),
+        ("BRP-NAS (2 surrogates)", b),
+        ("GATES (2 surrogates)", g),
+        ("HW-PR-NAS (1 surrogate)", w),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            fmt_duration(std::time::Duration::from_secs_f64(v)),
+            format!("{:.2}x", v / w.max(1e-12)),
+        ]);
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "\nSurrogate calls per run: HW-PR-NAS {hwpr_calls} (one fused call \
+         per architecture) vs BRP-NAS {brp_calls} (two models per \
+         architecture, plus non-dominated sorting inside selection). Raw \
+         in-process Rust wall time (no serving stack): HW-PR-NAS \
+         {:.0} ms vs BRP-NAS {:.0} ms per run — the speedup the paper \
+         measures comes from the per-call serving overhead its stack \
+         pays, which the fused single call halves. Paper's shape: \
+         measured ≫ two-surrogate > HW-PR-NAS with ≈2-2.5x between two \
+         surrogates and one.",
+        mean(&hwpr_wall) * 1e3,
+        mean(&brp_wall) * 1e3,
+    );
+    out
+}

@@ -1,0 +1,74 @@
+//! Figure 8: the least-latency Pareto-front architectures found for the
+//! Edge GPU and the Pixel 3 (qualitative comparison).
+
+use crate::{true_objectives, Harness};
+use hwpr_hwmodel::{latency_ms, Platform};
+use hwpr_nasbench::profile::profile;
+use hwpr_nasbench::{Architecture, Dataset, OpKind};
+use std::fmt::Write as _;
+
+/// Renders a human-readable description of an architecture.
+pub fn describe(arch: &Architecture, dataset: Dataset) -> String {
+    let net = profile(arch, dataset);
+    let dw = net
+        .ops
+        .iter()
+        .filter(|o| o.kind == OpKind::DepthwiseConv)
+        .count();
+    let convs = net.conv_count();
+    let mut out = String::new();
+    let _ = writeln!(out, "- space: {}", arch.space());
+    let _ = writeln!(out, "- encoding: `{}`", arch.to_arch_string());
+    let _ = writeln!(
+        out,
+        "- {:.1} MFLOPs, {:.2} M params, {} convolutions ({} depthwise), depth {}",
+        net.total_flops() / 1e6,
+        net.total_params() / 1e6,
+        convs,
+        dw,
+        net.effective_depth(),
+    );
+    let _ = writeln!(
+        out,
+        "- latency: {:.3} ms on Edge GPU, {:.3} ms on Pixel 3",
+        latency_ms(arch, dataset, Platform::EdgeGpu),
+        latency_ms(arch, dataset, Platform::Pixel3),
+    );
+    out
+}
+
+/// Runs the experiment and returns the markdown report.
+pub fn run(h: &Harness) -> String {
+    let dataset = Dataset::Cifar10;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Figure 8 — least-latency front architectures (Edge GPU vs Pixel 3)\n"
+    );
+    for platform in [Platform::EdgeGpu, Platform::Pixel3] {
+        let front = super::table4::front_members(h, platform);
+        let oracle = h.measured(dataset, platform);
+        let objs = true_objectives(&front, &oracle);
+        let fastest = objs
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a[1].total_cmp(&b[1]))
+            .map(|(i, _)| i)
+            .expect("front is non-empty");
+        let _ = writeln!(out, "## {platform}\n");
+        let _ = writeln!(
+            out,
+            "Least-latency front member (error {:.2} %, latency {:.3} ms):\n",
+            objs[fastest][0], objs[fastest][1]
+        );
+        out.push_str(&describe(&front[fastest], dataset));
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "Paper's shape: the Pixel 3 pick is an FBNet depthwise architecture \
+         (fast on mobile CPUs without accuracy collapse); the Edge GPU pick \
+         is a bigger NAS-Bench-201 model with standard convolutions."
+    );
+    out
+}

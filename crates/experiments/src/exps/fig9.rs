@@ -1,0 +1,95 @@
+//! Figure 9: three-objective Pareto fronts (accuracy, latency, energy) on
+//! CIFAR-10 / Edge GPU using the scalable HW-PR-NAS variant (§III-F).
+
+use crate::{shared_reference, Harness, MarkdownTable};
+use hwpr_core::scalable::ScalableHwPrNas;
+use hwpr_hwmodel::Platform;
+use hwpr_moo::{hypervolume, pareto_front};
+use hwpr_nasbench::{Dataset, SearchSpaceId};
+use hwpr_search::{Moea, ScoreEvaluator, SearchError, ScoreFn};
+use std::fmt::Write as _;
+
+/// Runs the experiment and returns the markdown report.
+pub fn run(h: &Harness) -> String {
+    let dataset = Dataset::Cifar10;
+    let platform = Platform::EdgeGpu;
+    let space = SearchSpaceId::NasBench201;
+    let data = h.dataset(space, dataset, platform);
+
+    // train on two objectives, then fine-tune the head only (5 epochs,
+    // frozen encoders) to add energy — exactly §III-F
+    let mut model = ScalableHwPrNas::fit(&data, &h.scale.model_config(), &h.scale.train_config())
+        .expect("scalable training failed");
+    model
+        .extend_to_three_objectives(&data, 5, 9)
+        .expect("fine-tuning failed");
+
+    let score_fn: ScoreFn = Box::new(move |archs| {
+        model
+            .predict_scores(archs)
+            .map_err(|e| SearchError::Surrogate(e.to_string()))
+    });
+    let mut eval = ScoreEvaluator::from_fn("Scalable HW-PR-NAS", score_fn);
+    let moea = Moea::new(h.scale.moea_config(vec![space]).with_seed(9)).expect("valid config");
+    let result = moea.run(&mut eval).expect("search failed");
+
+    // baseline: measured-values MOEA on the same three objectives
+    let mut measured = h.measured(dataset, platform).with_three_objectives();
+    let baseline = moea.run(&mut measured).expect("search failed");
+
+    let oracle = h.measured(dataset, platform);
+    let objs3 = |pop: &[hwpr_nasbench::Architecture]| -> Vec<Vec<f64>> {
+        pop.iter().map(|a| oracle.true_objectives3(a)).collect()
+    };
+    let ours = objs3(&result.population);
+    let base = objs3(&baseline.population);
+    let reference = shared_reference(&[ours.clone(), base.clone()]);
+    let front_of = |objs: &Vec<Vec<f64>>| -> Vec<Vec<f64>> {
+        pareto_front(objs)
+            .expect("non-empty population")
+            .into_iter()
+            .map(|i| objs[i].clone())
+            .collect()
+    };
+    let our_front = front_of(&ours);
+    let base_front = front_of(&base);
+    let hv_ours = hypervolume(&our_front, &reference).expect("bounded");
+    let hv_base = hypervolume(&base_front, &reference).expect("bounded");
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Figure 9 — three objectives (accuracy, latency, energy)\n"
+    );
+    let _ = writeln!(
+        out,
+        "Scalable HW-PR-NAS (concatenated AF+GCN+LSTM encodings, single \
+         score MLP) fine-tuned for 5 epochs with frozen encoders to add \
+         the energy objective; NAS-Bench-201 / {dataset} / {platform}.\n"
+    );
+    let mut t = MarkdownTable::new(vec!["Method", "3-D hypervolume ↑", "Front size"]);
+    t.row(vec![
+        "MOEA + Scalable HW-PR-NAS".to_string(),
+        format!("{hv_ours:.1}"),
+        our_front.len().to_string(),
+    ]);
+    t.row(vec![
+        "MOEA + Measured Values (3 objectives)".to_string(),
+        format!("{hv_base:.1}"),
+        base_front.len().to_string(),
+    ]);
+    out.push_str(&t.render());
+    let _ = writeln!(out, "\n## Front points (error %, latency ms, energy mJ)\n");
+    let mut sorted = our_front.clone();
+    sorted.sort_by(|a, b| a[1].total_cmp(&b[1]));
+    for p in sorted.iter().take(20) {
+        let _ = writeln!(out, "- {:.2}, {:.3}, {:.3}", p[0], p[1], p[2]);
+    }
+    let _ = writeln!(
+        out,
+        "\nPaper's shape: the surrogate-driven 3-objective front covers a \
+         comparable hypervolume to exhaustive measurement while evaluating \
+         only through the fused score model."
+    );
+    out
+}

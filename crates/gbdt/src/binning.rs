@@ -1,0 +1,138 @@
+//! Per-feature quantile binning for histogram split finding.
+
+/// Quantile-based bin edges for every feature of a training set.
+///
+/// Candidate split thresholds are taken from these edges, so split search
+/// is `O(bins)` per feature per node instead of `O(samples)`.
+#[derive(Debug, Clone)]
+pub struct FeatureBins {
+    /// `edges[f]` holds the strictly increasing inner edges for feature `f`.
+    edges: Vec<Vec<f32>>,
+}
+
+impl FeatureBins {
+    /// Builds up to `max_bins` quantile bins per feature from `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or `max_bins < 2`.
+    pub fn from_rows(rows: &[Vec<f32>], max_bins: usize) -> Self {
+        assert!(!rows.is_empty(), "binning requires at least one row");
+        assert!(max_bins >= 2, "need at least two bins");
+        let dim = rows[0].len();
+        let mut edges = Vec::with_capacity(dim);
+        for f in 0..dim {
+            let mut vals: Vec<f32> = rows.iter().map(|r| r[f]).collect();
+            vals.sort_by(f32::total_cmp);
+            vals.dedup();
+            let mut feature_edges = Vec::new();
+            if vals.len() > 1 {
+                let step = (vals.len() as f32 / max_bins as f32).max(1.0);
+                let mut pos = step;
+                while (pos as usize) < vals.len() {
+                    let lo = vals[pos as usize - 1];
+                    let hi = vals[pos as usize];
+                    let edge = (lo + hi) * 0.5;
+                    if feature_edges.last() != Some(&edge) {
+                        feature_edges.push(edge);
+                    }
+                    pos += step;
+                }
+                // make sure every adjacent distinct pair can be separated when
+                // there are few distinct values
+                if feature_edges.is_empty() {
+                    feature_edges.push((vals[0] + vals[1]) * 0.5);
+                }
+            }
+            edges.push(feature_edges);
+        }
+        Self { edges }
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The candidate thresholds for feature `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn thresholds(&self, f: usize) -> &[f32] {
+        &self.edges[f]
+    }
+
+    /// The bin index of `value` under feature `f` (values `<= edge` go
+    /// left, so bin `i` covers `(edge[i-1], edge[i]]`-style ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn bin_of(&self, f: usize, value: f32) -> usize {
+        self.edges[f].partition_point(|&e| e < value)
+    }
+
+    /// Number of bins for feature `f` (edges + 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn bin_count(&self, f: usize) -> usize {
+        self.edges[f].len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_feature_has_no_edges() {
+        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let bins = FeatureBins::from_rows(&rows, 8);
+        assert!(bins.thresholds(0).is_empty());
+        assert_eq!(bins.bin_count(0), 1);
+    }
+
+    #[test]
+    fn binary_feature_gets_one_edge() {
+        let rows = vec![vec![0.0], vec![1.0], vec![0.0], vec![1.0]];
+        let bins = FeatureBins::from_rows(&rows, 8);
+        assert_eq!(bins.thresholds(0), &[0.5]);
+        assert_eq!(bins.bin_of(0, 0.0), 0);
+        assert_eq!(bins.bin_of(0, 1.0), 1);
+    }
+
+    #[test]
+    fn edges_are_strictly_increasing() {
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![(i % 13) as f32]).collect();
+        let bins = FeatureBins::from_rows(&rows, 8);
+        let e = bins.thresholds(0);
+        assert!(!e.is_empty() && e.len() <= 13);
+        for w in e.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn bin_of_is_monotone() {
+        let rows: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32]).collect();
+        let bins = FeatureBins::from_rows(&rows, 8);
+        let mut prev = 0;
+        for i in 0..50 {
+            let b = bins.bin_of(0, i as f32);
+            assert!(b >= prev);
+            prev = b;
+        }
+        assert!(prev < bins.bin_count(0));
+    }
+
+    #[test]
+    fn respects_max_bins() {
+        let rows: Vec<Vec<f32>> = (0..1000).map(|i| vec![i as f32]).collect();
+        let bins = FeatureBins::from_rows(&rows, 16);
+        assert!(bins.bin_count(0) <= 17);
+        assert!(bins.bin_count(0) >= 8);
+    }
+}

@@ -1,0 +1,80 @@
+//! Gradient-boosted regression trees for the HW-PR-NAS regressor study.
+//!
+//! Table I of the paper compares three regressor families — MLP, XGBoost
+//! and LGBoost (LightGBM) — as the head of the accuracy and latency
+//! predictors. This crate implements the two tree ensembles from scratch:
+//!
+//! - second-order gradient boosting on squared loss with L2-regularised
+//!   leaf weights and gain-based splits (the XGBoost objective),
+//! - histogram-based split finding with per-feature quantile bins,
+//! - two growth strategies: **level-wise** (XGBoost-style, grow all leaves
+//!   to a depth budget) and **leaf-wise** (LightGBM-style, repeatedly split
+//!   the leaf with the largest gain up to a leaf budget),
+//! - stochastic row subsampling and shrinkage.
+//!
+//! # Examples
+//!
+//! ```
+//! use hwpr_gbdt::{Gbdt, GbdtConfig};
+//!
+//! // learn y = x0 + 2*x1 on a small grid
+//! let mut rows = Vec::new();
+//! let mut targets = Vec::new();
+//! for i in 0..20 {
+//!     for j in 0..20 {
+//!         rows.push(vec![i as f32 / 20.0, j as f32 / 20.0]);
+//!         targets.push(i as f32 / 20.0 + 2.0 * j as f32 / 20.0);
+//!     }
+//! }
+//! let model = Gbdt::fit(&rows, &targets, &GbdtConfig::xgboost_preset(7))?;
+//! let pred = model.predict(&[0.5, 0.5]);
+//! assert!((pred - 1.5).abs() < 0.1);
+//! # Ok::<(), hwpr_gbdt::GbdtError>(())
+//! ```
+
+
+#![warn(missing_docs)]
+mod binning;
+mod boosting;
+mod tree;
+
+pub use binning::FeatureBins;
+pub use boosting::{Gbdt, GbdtConfig, GrowthStrategy};
+pub use tree::{RegressionTree, TreeConfig};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when fitting or configuring a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GbdtError {
+    /// The training set is empty or features/targets disagree in length.
+    InvalidDataset(String),
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for GbdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GbdtError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            GbdtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for GbdtError {}
+
+/// Convenience alias for fallible GBDT operations.
+pub type Result<T> = std::result::Result<T, GbdtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(GbdtError::InvalidDataset("x".into()).to_string().contains('x'));
+        assert!(GbdtError::InvalidConfig("y".into()).to_string().contains('y'));
+    }
+}

@@ -1,0 +1,398 @@
+//! A single regression tree trained on gradient/hessian statistics.
+
+use crate::binning::FeatureBins;
+use crate::boosting::GrowthStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of a single tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeConfig {
+    /// Growth strategy (level-wise depth budget or leaf-wise leaf budget).
+    pub growth: GrowthStrategy,
+    /// L2 regularisation on leaf weights (XGBoost's λ).
+    pub lambda: f32,
+    /// Minimum gain required to keep a split (XGBoost's γ).
+    pub min_gain: f32,
+    /// Minimum number of samples on each side of a split.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            growth: GrowthStrategy::LevelWise { max_depth: 6 },
+            lambda: 1.0,
+            min_gain: 0.0,
+            min_samples_leaf: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        weight: f32,
+    },
+}
+
+/// A trained regression tree; predictions are leaf weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    total_gain: Vec<f64>,
+}
+
+struct SplitCandidate {
+    gain: f64,
+    feature: usize,
+    threshold: f32,
+    left_rows: Vec<usize>,
+    right_rows: Vec<usize>,
+}
+
+/// A leaf awaiting expansion during growth.
+struct OpenLeaf {
+    node: usize,
+    rows: Vec<usize>,
+    depth: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree to gradient statistics `grad`/`hess` over the rows
+    /// listed in `rows` (hessian is 1 for squared loss; the general form
+    /// supports other losses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or statistics lengths disagree with the
+    /// dataset.
+    pub fn fit(
+        data: &[Vec<f32>],
+        grad: &[f32],
+        hess: &[f32],
+        rows: &[usize],
+        bins: &FeatureBins,
+        config: &TreeConfig,
+    ) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
+        assert_eq!(data.len(), grad.len(), "grad length mismatch");
+        assert_eq!(data.len(), hess.len(), "hess length mismatch");
+        let mut tree = Self {
+            nodes: Vec::new(),
+            total_gain: vec![0.0; bins.features()],
+        };
+        let root_weight = leaf_weight(grad, hess, rows, config.lambda);
+        tree.nodes.push(Node::Leaf { weight: root_weight });
+        let root = OpenLeaf {
+            node: 0,
+            rows: rows.to_vec(),
+            depth: 0,
+        };
+        match config.growth {
+            GrowthStrategy::LevelWise { max_depth } => {
+                tree.grow_level_wise(data, grad, hess, bins, config, root, max_depth);
+            }
+            GrowthStrategy::LeafWise { max_leaves } => {
+                tree.grow_leaf_wise(data, grad, hess, bins, config, root, max_leaves);
+            }
+        }
+        tree
+    }
+
+    fn grow_level_wise(
+        &mut self,
+        data: &[Vec<f32>],
+        grad: &[f32],
+        hess: &[f32],
+        bins: &FeatureBins,
+        config: &TreeConfig,
+        root: OpenLeaf,
+        max_depth: usize,
+    ) {
+        let mut frontier = vec![root];
+        while let Some(leaf) = frontier.pop() {
+            if leaf.depth >= max_depth {
+                continue;
+            }
+            if let Some((left, right)) = self.try_split(data, grad, hess, bins, config, &leaf) {
+                frontier.push(left);
+                frontier.push(right);
+            }
+        }
+    }
+
+    fn grow_leaf_wise(
+        &mut self,
+        data: &[Vec<f32>],
+        grad: &[f32],
+        hess: &[f32],
+        bins: &FeatureBins,
+        config: &TreeConfig,
+        root: OpenLeaf,
+        max_leaves: usize,
+    ) {
+        // best-first expansion: keep splitting the leaf with the highest gain
+        let mut leaves = 1usize;
+        let mut open = vec![root];
+        while leaves < max_leaves && !open.is_empty() {
+            // find the openable leaf with the best candidate split
+            let mut best: Option<(usize, SplitCandidate)> = None;
+            for (i, leaf) in open.iter().enumerate() {
+                if let Some(cand) = best_split(data, grad, hess, bins, config, &leaf.rows) {
+                    if best.as_ref().is_none_or(|(_, b)| cand.gain > b.gain) {
+                        best = Some((i, cand));
+                    }
+                }
+            }
+            let Some((i, cand)) = best else { break };
+            let leaf = open.swap_remove(i);
+            let (left, right) = self.apply_split(grad, hess, config, &leaf, cand);
+            open.push(left);
+            open.push(right);
+            leaves += 1;
+        }
+    }
+
+    /// Attempts the best split of `leaf`; on success rewrites the leaf node
+    /// into a split and returns the two children as open leaves.
+    fn try_split(
+        &mut self,
+        data: &[Vec<f32>],
+        grad: &[f32],
+        hess: &[f32],
+        bins: &FeatureBins,
+        config: &TreeConfig,
+        leaf: &OpenLeaf,
+    ) -> Option<(OpenLeaf, OpenLeaf)> {
+        let cand = best_split(data, grad, hess, bins, config, &leaf.rows)?;
+        Some(self.apply_split(grad, hess, config, leaf, cand))
+    }
+
+    fn apply_split(
+        &mut self,
+        grad: &[f32],
+        hess: &[f32],
+        config: &TreeConfig,
+        leaf: &OpenLeaf,
+        cand: SplitCandidate,
+    ) -> (OpenLeaf, OpenLeaf) {
+        self.total_gain[cand.feature] += cand.gain;
+        let left_weight = leaf_weight(grad, hess, &cand.left_rows, config.lambda);
+        let right_weight = leaf_weight(grad, hess, &cand.right_rows, config.lambda);
+        let left_id = self.nodes.len();
+        self.nodes.push(Node::Leaf { weight: left_weight });
+        let right_id = self.nodes.len();
+        self.nodes.push(Node::Leaf { weight: right_weight });
+        self.nodes[leaf.node] = Node::Split {
+            feature: cand.feature,
+            threshold: cand.threshold,
+            left: left_id,
+            right: right_id,
+        };
+        (
+            OpenLeaf {
+                node: left_id,
+                rows: cand.left_rows,
+                depth: leaf.depth + 1,
+            },
+            OpenLeaf {
+                node: right_id,
+                rows: cand.right_rows,
+                depth: leaf.depth + 1,
+            },
+        )
+    }
+
+    /// Predicts the leaf weight for a feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than a feature index used by the tree.
+    pub fn predict(&self, row: &[f32]) -> f32 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { weight } => return *weight,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Total split gain attributed to each feature.
+    pub fn feature_gain(&self) -> &[f64] {
+        &self.total_gain
+    }
+}
+
+fn leaf_weight(grad: &[f32], hess: &[f32], rows: &[usize], lambda: f32) -> f32 {
+    let g: f64 = rows.iter().map(|&i| grad[i] as f64).sum();
+    let h: f64 = rows.iter().map(|&i| hess[i] as f64).sum();
+    (-g / (h + lambda as f64)) as f32
+}
+
+/// Finds the best histogram split of `rows`, if any split clears the
+/// configured gain and leaf-size thresholds.
+fn best_split(
+    data: &[Vec<f32>],
+    grad: &[f32],
+    hess: &[f32],
+    bins: &FeatureBins,
+    config: &TreeConfig,
+    rows: &[usize],
+) -> Option<SplitCandidate> {
+    if rows.len() < 2 * config.min_samples_leaf {
+        return None;
+    }
+    let total_g: f64 = rows.iter().map(|&i| grad[i] as f64).sum();
+    let total_h: f64 = rows.iter().map(|&i| hess[i] as f64).sum();
+    let lambda = config.lambda as f64;
+    let parent_score = total_g * total_g / (total_h + lambda);
+
+    let mut best: Option<(f64, usize, f32)> = None;
+    for f in 0..bins.features() {
+        let edges = bins.thresholds(f);
+        if edges.is_empty() {
+            continue;
+        }
+        let nb = bins.bin_count(f);
+        let mut hist_g = vec![0.0f64; nb];
+        let mut hist_h = vec![0.0f64; nb];
+        let mut hist_n = vec![0usize; nb];
+        for &i in rows {
+            let b = bins.bin_of(f, data[i][f]);
+            hist_g[b] += grad[i] as f64;
+            hist_h[b] += hess[i] as f64;
+            hist_n[b] += 1;
+        }
+        let mut left_g = 0.0;
+        let mut left_h = 0.0;
+        let mut left_n = 0usize;
+        for (b, &edge) in edges.iter().enumerate() {
+            left_g += hist_g[b];
+            left_h += hist_h[b];
+            left_n += hist_n[b];
+            let right_n = rows.len() - left_n;
+            if left_n < config.min_samples_leaf || right_n < config.min_samples_leaf {
+                continue;
+            }
+            let right_g = total_g - left_g;
+            let right_h = total_h - left_h;
+            let gain = 0.5
+                * (left_g * left_g / (left_h + lambda) + right_g * right_g / (right_h + lambda)
+                    - parent_score)
+                - config.min_gain as f64;
+            if gain > 0.0 && best.is_none_or(|(bg, _, _)| gain > bg) {
+                best = Some((gain, f, edge));
+            }
+        }
+    }
+    let (gain, feature, threshold) = best?;
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+        rows.iter().partition(|&&i| data[i][feature] <= threshold);
+    Some(SplitCandidate {
+        gain,
+        feature,
+        threshold,
+        left_rows,
+        right_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f32>>, Vec<f32>, Vec<f32>, Vec<usize>) {
+        // target is a step function of x0
+        let data: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i % 3) as f32]).collect();
+        let targets: Vec<f32> = (0..40).map(|i| if i < 20 { -1.0 } else { 1.0 }).collect();
+        // squared-loss stats with initial prediction 0
+        let grad: Vec<f32> = targets.iter().map(|&t| -t).collect();
+        let hess = vec![1.0f32; 40];
+        (data, grad, hess, (0..40).collect())
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let (data, grad, hess, rows) = step_data();
+        let bins = FeatureBins::from_rows(&data, 32);
+        let tree = RegressionTree::fit(&data, &grad, &hess, &rows, &bins, &TreeConfig::default());
+        assert!(tree.predict(&[5.0, 0.0]) < -0.8);
+        assert!(tree.predict(&[35.0, 0.0]) > 0.8);
+        // the informative feature gets all the gain
+        assert!(tree.feature_gain()[0] > 0.0);
+        assert_eq!(tree.feature_gain()[1], 0.0);
+    }
+
+    #[test]
+    fn leaf_wise_respects_leaf_budget() {
+        let (data, grad, hess, rows) = step_data();
+        let bins = FeatureBins::from_rows(&data, 32);
+        let config = TreeConfig {
+            growth: GrowthStrategy::LeafWise { max_leaves: 4 },
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&data, &grad, &hess, &rows, &bins, &config);
+        assert!(tree.leaf_count() <= 4);
+    }
+
+    #[test]
+    fn level_wise_depth_zero_is_single_leaf() {
+        let (data, grad, hess, rows) = step_data();
+        let bins = FeatureBins::from_rows(&data, 32);
+        let config = TreeConfig {
+            growth: GrowthStrategy::LevelWise { max_depth: 0 },
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&data, &grad, &hess, &rows, &bins, &config);
+        assert_eq!(tree.leaf_count(), 1);
+        // root weight is -mean(grad)/(n+lambda) ≈ 0 here (balanced labels)
+        assert!(tree.predict(&[0.0, 0.0]).abs() < 0.1);
+    }
+
+    #[test]
+    fn min_samples_leaf_blocks_tiny_splits() {
+        let data = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let grad = vec![-1.0, 0.0, 1.0];
+        let hess = vec![1.0; 3];
+        let bins = FeatureBins::from_rows(&data, 8);
+        let config = TreeConfig {
+            min_samples_leaf: 2,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&data, &grad, &hess, &[0, 1, 2], &bins, &config);
+        // only one split is possible that leaves >= 2 on a side: none (3 rows)
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn constant_target_produces_stump() {
+        let data: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let grad = vec![0.5f32; 10];
+        let hess = vec![1.0f32; 10];
+        let bins = FeatureBins::from_rows(&data, 8);
+        let tree = RegressionTree::fit(&data, &grad, &hess, &(0..10).collect::<Vec<_>>(), &bins, &TreeConfig::default());
+        assert_eq!(tree.leaf_count(), 1);
+    }
+}

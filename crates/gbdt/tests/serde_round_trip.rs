@@ -1,0 +1,46 @@
+//! Trained ensembles must round-trip through serde without prediction
+//! drift (model persistence).
+
+use hwpr_gbdt::{Gbdt, GbdtConfig};
+
+fn toy() -> (Vec<Vec<f32>>, Vec<f32>) {
+    let rows: Vec<Vec<f32>> = (0..200)
+        .map(|i| vec![(i % 13) as f32, (i % 7) as f32])
+        .collect();
+    let targets: Vec<f32> = rows.iter().map(|r| r[0] * 0.5 - r[1] * 1.5).collect();
+    (rows, targets)
+}
+
+#[test]
+fn json_round_trip_preserves_predictions() {
+    let (rows, targets) = toy();
+    let mut config = GbdtConfig::xgboost_preset(3);
+    config.n_trees = 40;
+    let model = Gbdt::fit(&rows, &targets, &config).unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: Gbdt = serde_json::from_str(&json).unwrap();
+    assert_eq!(model.tree_count(), restored.tree_count());
+    for row in rows.iter().take(25) {
+        assert_eq!(model.predict(row), restored.predict(row));
+    }
+    // JSON renders floats as shortest-round-trip decimal text; gains are
+    // compared with a tolerance of a few ULPs
+    for (a, b) in model
+        .feature_importance()
+        .iter()
+        .zip(restored.feature_importance())
+    {
+        assert!((a - b).abs() <= a.abs() * 1e-12, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn leaf_wise_models_round_trip_too() {
+    let (rows, targets) = toy();
+    let mut config = GbdtConfig::lgboost_preset(4);
+    config.n_trees = 20;
+    let model = Gbdt::fit(&rows, &targets, &config).unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: Gbdt = serde_json::from_str(&json).unwrap();
+    assert_eq!(model.predict(&rows[0]), restored.predict(&rows[0]));
+}

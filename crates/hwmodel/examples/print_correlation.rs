@@ -1,0 +1,12 @@
+//! Prints the cross-platform latency correlation matrices (dev aid).
+use hwpr_hwmodel::correlation::latency_correlation;
+use hwpr_nasbench::{Dataset, SearchSpaceId};
+
+fn main() {
+    for ds in [Dataset::Cifar10, Dataset::ImageNet16] {
+        let m = latency_correlation(SearchSpaceId::NasBench201, ds, 300, 0);
+        println!("== NB201 {ds} ==\n{}", m.to_markdown());
+    }
+    let m = latency_correlation(SearchSpaceId::FBNet, Dataset::Cifar10, 300, 0);
+    println!("== FBNet CIFAR-10 ==\n{}", m.to_markdown());
+}

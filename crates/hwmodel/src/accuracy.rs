@@ -1,0 +1,272 @@
+//! Deterministic synthetic accuracy model.
+//!
+//! The paper reads accuracies out of the NAS-Bench-201 / HW-NAS-Bench
+//! tables; those tables are not available here, so this module plays their
+//! role. The model is built so that the *orderings* the paper's claims
+//! rest on are preserved:
+//!
+//! - accuracy grows with capacity (log-FLOPs) and saturates,
+//! - cells whose input→output paths are all zeroized collapse to chance,
+//! - skip connections help trainability a little, pooling-only cells are
+//!   weak, convolutions carry the signal,
+//! - datasets share most of the ranking but differ in difficulty
+//!   (CIFAR-10 ≈ 90 %+, CIFAR-100 ≈ 70 %, ImageNet16-120 ≈ 45 %),
+//! - every architecture gets stable hash-seeded training noise.
+
+use crate::hash_gaussian;
+use hwpr_nasbench::features::ArchFeatures;
+use hwpr_nasbench::{Architecture, Dataset, Nb201Op};
+
+/// Configuration of the synthetic accuracy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyModel {
+    /// Global seed mixed into the per-architecture noise.
+    pub seed: u64,
+    /// Standard deviation of the training-noise term, in accuracy points.
+    pub noise_std: f64,
+}
+
+/// Default model seed (spells "HWPRNAS!" in ASCII).
+const DEFAULT_SEED: u64 = 0x4857_5052_4e41_5321;
+
+impl Default for AccuracyModel {
+    fn default() -> Self {
+        Self {
+            seed: DEFAULT_SEED,
+            noise_std: 0.4,
+        }
+    }
+}
+
+impl AccuracyModel {
+    /// Creates a model with the given seed and default noise.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            noise_std: 0.4,
+        }
+    }
+
+    /// Top-1 accuracy (in percent) of `arch` trained on `dataset`.
+    pub fn accuracy(&self, arch: &Architecture, dataset: Dataset) -> f64 {
+        let chance = 100.0 / dataset.classes() as f64;
+        let ceiling = match dataset {
+            Dataset::Cifar10 => 94.5,
+            Dataset::Cifar100 => 73.5,
+            Dataset::ImageNet16 => 47.0,
+        };
+        let connectivity = connectivity_factor(arch);
+        if connectivity == 0.0 {
+            // no data path: the network cannot learn anything
+            return chance;
+        }
+        let features = ArchFeatures::extract(arch, dataset);
+        // capacity: log-FLOPs normalised to roughly [0, 1] on these spaces
+        let capacity = ((features.flops.max(1.0).log10() - 6.0) / 2.5).clamp(0.0, 1.2);
+        // saturating capacity curve
+        let mut quality = 1.0 - (-4.0 * capacity).exp();
+        // architectural modifiers
+        quality *= connectivity;
+        quality *= op_quality(arch);
+        // difficulty-dependent dataset transfer: harder datasets punish
+        // low-capacity architectures slightly more
+        let difficulty = match dataset {
+            Dataset::Cifar10 => 1.0,
+            Dataset::Cifar100 => 1.12,
+            Dataset::ImageNet16 => 1.25,
+        };
+        quality = quality.powf(difficulty);
+        let noise_key = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(arch.index() as u64)
+            .wrapping_add((dataset.classes() as u64) << 32);
+        let noise = hash_gaussian(noise_key) * self.noise_std;
+        (chance + (ceiling - chance) * quality + noise).clamp(chance, 99.9)
+    }
+}
+
+/// Convenience wrapper with the default model.
+pub fn accuracy_percent(arch: &Architecture, dataset: Dataset) -> f64 {
+    AccuracyModel::default().accuracy(arch, dataset)
+}
+
+/// Fraction of usable connectivity from the cell input to the output.
+///
+/// For NAS-Bench-201, walks the 4-node cell DAG keeping only non-`none`
+/// edges and measures how many of the final node's inputs carry signal;
+/// returns 0 when nothing reaches the output. FBNet chains always carry
+/// signal (skips are identities), so they score 1.
+fn connectivity_factor(arch: &Architecture) -> f64 {
+    match arch {
+        Architecture::Fbnet(_) => 1.0,
+        Architecture::Nb201(ops) => {
+            use hwpr_nasbench::NB201_EDGES;
+            // reachable[i] = data reaches cell node i
+            let mut reachable = [false; 4];
+            reachable[0] = true;
+            let edge_nodes: [(usize, usize); NB201_EDGES] =
+                [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)];
+            // edges are ordered so sources precede targets: one pass works
+            let mut signal_edges_into_3 = 0usize;
+            let mut conv_edges_into_3 = 0usize;
+            for (e, &(src, dst)) in edge_nodes.iter().enumerate() {
+                if ops[e] == Nb201Op::None || !reachable[src] {
+                    continue;
+                }
+                reachable[dst] = true;
+                if dst == 3 {
+                    signal_edges_into_3 += 1;
+                    if matches!(ops[e], Nb201Op::NorConv1x1 | Nb201Op::NorConv3x3) {
+                        conv_edges_into_3 += 1;
+                    }
+                }
+            }
+            if !reachable[3] {
+                return 0.0;
+            }
+            // more independent paths into the output help a little, and at
+            // least one transforming edge helps more
+            let path_bonus = 0.85 + 0.05 * signal_edges_into_3.min(3) as f64;
+            let transform_bonus = if conv_edges_into_3 > 0 { 1.0 } else { 0.92 };
+            path_bonus * transform_bonus
+        }
+    }
+}
+
+/// Operation-mix quality multiplier in `(0, 1]`.
+fn op_quality(arch: &Architecture) -> f64 {
+    match arch {
+        Architecture::Nb201(ops) => {
+            let count =
+                |target: Nb201Op| ops.iter().filter(|&&o| o == target).count() as f64 / 6.0;
+            let conv = count(Nb201Op::NorConv3x3) + count(Nb201Op::NorConv1x1);
+            let skip = count(Nb201Op::SkipConnect);
+            let pool = count(Nb201Op::AvgPool3x3);
+            let none = count(Nb201Op::None);
+            // convolutions carry representation power; a bit of skip helps;
+            // pooling and zeroize dilute it
+            (0.62 + 0.38 * conv + 0.10 * skip.min(0.34) - 0.08 * pool - 0.15 * none)
+                .clamp(0.05, 1.0)
+        }
+        Architecture::Fbnet(ops) => {
+            let skips = ops
+                .iter()
+                .filter(|&&o| o == hwpr_nasbench::FbnetOp::Skip)
+                .count() as f64
+                / ops.len() as f64;
+            let wide = ops
+                .iter()
+                .filter(|o| o.expansion() == Some(6))
+                .count() as f64
+                / ops.len() as f64;
+            let k5 = ops.iter().filter(|o| o.kernel() == Some(5)).count() as f64 / ops.len() as f64;
+            // depth (fewer skips) and width help; 5x5 receptive fields help
+            // slightly on 32x32 inputs
+            (0.68 + 0.22 * (1.0 - skips) + 0.07 * wide + 0.03 * k5).clamp(0.05, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwpr_nasbench::{FbnetOp, SearchSpaceId};
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn all_none_collapses_to_chance() {
+        let a = Architecture::nb201([Nb201Op::None; 6]);
+        assert_eq!(accuracy_percent(&a, Dataset::Cifar10), 10.0);
+        assert_eq!(accuracy_percent(&a, Dataset::Cifar100), 1.0);
+    }
+
+    #[test]
+    fn disconnected_output_collapses_even_with_convs() {
+        // all edges into node 3 are none -> no path to output
+        let a = Architecture::nb201([
+            Nb201Op::NorConv3x3,
+            Nb201Op::NorConv3x3,
+            Nb201Op::NorConv3x3,
+            Nb201Op::None,
+            Nb201Op::None,
+            Nb201Op::None,
+        ]);
+        assert_eq!(accuracy_percent(&a, Dataset::Cifar10), 10.0);
+    }
+
+    #[test]
+    fn conv_cell_beats_pool_cell() {
+        let convs = Architecture::nb201([Nb201Op::NorConv3x3; 6]);
+        let pools = Architecture::nb201([Nb201Op::AvgPool3x3; 6]);
+        assert!(
+            accuracy_percent(&convs, Dataset::Cifar10)
+                > accuracy_percent(&pools, Dataset::Cifar10) + 3.0
+        );
+    }
+
+    #[test]
+    fn dataset_difficulty_ordering() {
+        let a = Architecture::nb201([Nb201Op::NorConv3x3; 6]);
+        let c10 = accuracy_percent(&a, Dataset::Cifar10);
+        let c100 = accuracy_percent(&a, Dataset::Cifar100);
+        let inet = accuracy_percent(&a, Dataset::ImageNet16);
+        assert!(c10 > c100 && c100 > inet, "{c10} {c100} {inet}");
+        assert!(c10 > 88.0 && c10 < 96.0, "c10 {c10}");
+        assert!((60.0..76.0).contains(&c100), "c100 {c100}");
+        assert!((30.0..50.0).contains(&inet), "inet {inet}");
+    }
+
+    #[test]
+    fn datasets_are_rank_correlated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let archs: Vec<Architecture> = (0..200)
+            .map(|_| Architecture::random(SearchSpaceId::NasBench201, &mut rng))
+            .collect();
+        let c10: Vec<f32> = archs
+            .iter()
+            .map(|a| accuracy_percent(a, Dataset::Cifar10) as f32)
+            .collect();
+        let c100: Vec<f32> = archs
+            .iter()
+            .map(|a| accuracy_percent(a, Dataset::Cifar100) as f32)
+            .collect();
+        let tau = hwpr_metrics::kendall_tau(&c10, &c100).unwrap();
+        assert!(tau > 0.7, "tau {tau}");
+    }
+
+    #[test]
+    fn fbnet_deeper_is_better() {
+        let deep = Architecture::fbnet([FbnetOp::K3E6; 22]);
+        let shallow = Architecture::fbnet([FbnetOp::Skip; 22]);
+        assert!(
+            accuracy_percent(&deep, Dataset::Cifar10)
+                > accuracy_percent(&shallow, Dataset::Cifar10) + 5.0
+        );
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_seed_dependent() {
+        let a = Architecture::nb201([Nb201Op::NorConv1x1; 6]);
+        let m1 = AccuracyModel::new(1);
+        let m2 = AccuracyModel::new(2);
+        assert_eq!(m1.accuracy(&a, Dataset::Cifar10), m1.accuracy(&a, Dataset::Cifar10));
+        assert_ne!(m1.accuracy(&a, Dataset::Cifar10), m2.accuracy(&a, Dataset::Cifar10));
+    }
+
+    #[test]
+    fn accuracies_stay_in_valid_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for space in [SearchSpaceId::NasBench201, SearchSpaceId::FBNet] {
+            for _ in 0..50 {
+                let a = Architecture::random(space, &mut rng);
+                for d in Dataset::ALL {
+                    let acc = accuracy_percent(&a, d);
+                    let chance = 100.0 / d.classes() as f64;
+                    assert!(acc >= chance - 1e-9 && acc < 100.0, "{acc}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-platform latency correlation study (§III-E of the paper).
+//!
+//! The paper justifies its multi-platform latency predictor by showing
+//! that platform latencies correlate weakly in general — even the two
+//! FPGAs disagree — while {Raspberry Pi 4, Pixel 3, ZC706} form a
+//! correlated family at CIFAR input sizes that falls apart at other input
+//! resolutions.
+
+use crate::platform::{latency_ms, Platform};
+use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A full 7x7 cross-platform correlation matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationMatrix {
+    /// Pearson correlations indexed by `[Platform::index()][Platform::index()]`.
+    values: [[f64; 7]; 7],
+    dataset: Dataset,
+}
+
+impl CorrelationMatrix {
+    /// Correlation between two platforms' latencies.
+    pub fn get(&self, a: Platform, b: Platform) -> f64 {
+        self.values[a.index()][b.index()]
+    }
+
+    /// The dataset (input size) the study was run on.
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// Renders the matrix as a Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("| |");
+        for p in Platform::ALL {
+            out.push_str(&format!(" {} |", p.name()));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in Platform::ALL {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for a in Platform::ALL {
+            out.push_str(&format!("| {} |", a.name()));
+            for b in Platform::ALL {
+                out.push_str(&format!(" {:.2} |", self.get(a, b)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Computes the cross-platform latency correlation over `samples` random
+/// architectures of `space` at the input size of `dataset`.
+pub fn latency_correlation(
+    space: SearchSpaceId,
+    dataset: Dataset,
+    samples: usize,
+    seed: u64,
+) -> CorrelationMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let archs: Vec<Architecture> = (0..samples)
+        .map(|_| Architecture::random(space, &mut rng))
+        .collect();
+    let mut latencies: Vec<Vec<f32>> = Vec::with_capacity(7);
+    for p in Platform::ALL {
+        latencies.push(
+            archs
+                .iter()
+                .map(|a| latency_ms(a, dataset, p) as f32)
+                .collect(),
+        );
+    }
+    let mut values = [[0.0; 7]; 7];
+    for a in Platform::ALL {
+        for b in Platform::ALL {
+            values[a.index()][b.index()] = if a == b {
+                1.0
+            } else {
+                hwpr_metrics::pearson(&latencies[a.index()], &latencies[b.index()]).unwrap_or(0.0)
+            };
+        }
+    }
+    CorrelationMatrix { values, dataset }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let m = latency_correlation(SearchSpaceId::NasBench201, Dataset::Cifar10, 60, 0);
+        for a in Platform::ALL {
+            assert_eq!(m.get(a, a), 1.0);
+            for b in Platform::ALL {
+                assert!((m.get(a, b) - m.get(b, a)).abs() < 1e-9);
+                assert!(m.get(a, b) <= 1.0 + 1e-9);
+            }
+        }
+        assert_eq!(m.dataset(), Dataset::Cifar10);
+    }
+
+    #[test]
+    fn cpu_family_is_strongly_correlated_on_cifar() {
+        // the paper's §III-E family: Raspberry Pi 4, Pixel 3, FPGA ZC706
+        let m = latency_correlation(SearchSpaceId::NasBench201, Dataset::Cifar10, 150, 1);
+        assert!(
+            m.get(Platform::RaspberryPi4, Platform::Pixel3) > 0.9,
+            "pi/pixel {}",
+            m.get(Platform::RaspberryPi4, Platform::Pixel3)
+        );
+        assert!(
+            m.get(Platform::RaspberryPi4, Platform::FpgaZc706) > 0.75,
+            "pi/zc706 {}",
+            m.get(Platform::RaspberryPi4, Platform::FpgaZc706)
+        );
+    }
+
+    #[test]
+    fn fpga_pair_is_weakly_correlated() {
+        let m = latency_correlation(SearchSpaceId::NasBench201, Dataset::Cifar10, 150, 2);
+        let c = m.get(Platform::FpgaZc706, Platform::FpgaZcu102);
+        assert!(
+            c < 0.45,
+            "FPGAs should disagree (paper reports 0.23), got {c}"
+        );
+    }
+
+    #[test]
+    fn markdown_render_contains_all_platforms() {
+        let m = latency_correlation(SearchSpaceId::NasBench201, Dataset::Cifar10, 30, 3);
+        let md = m.to_markdown();
+        for p in Platform::ALL {
+            assert!(md.contains(p.name()));
+        }
+    }
+}

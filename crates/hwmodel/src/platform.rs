@@ -1,0 +1,468 @@
+//! The seven target platforms and their roofline latency/energy models.
+
+use hwpr_nasbench::profile::{profile, NetworkProfile, OpProfile};
+use hwpr_nasbench::{Architecture, Dataset, OpKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The hardware platforms evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// NVIDIA Jetson-class edge GPU.
+    EdgeGpu,
+    /// Google Edge TPU (int8 systolic accelerator).
+    EdgeTpu,
+    /// Raspberry Pi 4 (Cortex-A72 CPU).
+    RaspberryPi4,
+    /// Xilinx ZC706 FPGA accelerator.
+    FpgaZc706,
+    /// Xilinx ZCU102 FPGA accelerator.
+    FpgaZcu102,
+    /// Google Pixel 3 (mobile big.LITTLE CPU).
+    Pixel3,
+    /// Eyeriss (row-stationary CNN ASIC).
+    Eyeriss,
+}
+
+impl Platform {
+    /// All seven platforms, in the paper's order.
+    pub const ALL: [Platform; 7] = [
+        Platform::EdgeGpu,
+        Platform::EdgeTpu,
+        Platform::RaspberryPi4,
+        Platform::FpgaZc706,
+        Platform::FpgaZcu102,
+        Platform::Pixel3,
+        Platform::Eyeriss,
+    ];
+
+    /// Canonical index (0..7).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&p| p == self).expect("in ALL")
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::EdgeGpu => "Edge GPU",
+            Platform::EdgeTpu => "Edge TPU",
+            Platform::RaspberryPi4 => "Raspberry Pi 4",
+            Platform::FpgaZc706 => "FPGA ZC706",
+            Platform::FpgaZcu102 => "FPGA ZCU102",
+            Platform::Pixel3 => "Pixel 3",
+            Platform::Eyeriss => "Eyeriss",
+        }
+    }
+
+    /// The analytical cost-model parameters of this platform.
+    pub fn spec(self) -> PlatformSpec {
+        match self {
+            // Wide SIMT device: huge peak, large kernel-launch overhead,
+            // depthwise kernels badly underutilise the SMs.
+            Platform::EdgeGpu => PlatformSpec {
+                peak_gflops: 2000.0,
+                bandwidth_gbps: 58.0,
+                op_overhead_us: 25.0,
+                lanes: 60_000.0,
+                conv_eff: 0.60,
+                depthwise_eff: 0.07,
+                grouped_eff: 0.25,
+                pool_eff: 0.15,
+                linear_eff: 0.35,
+                kernel1_eff: 0.75,
+                kernel3_eff: 1.0,
+                kernel5_eff: 0.95,
+                skip_is_free: false,
+                pool_host_us: 0.0,
+                power_w: 10.0,
+                dram_nj_per_byte: 20.0,
+            },
+            // Int8 systolic array: enormous dense-conv throughput, rigid
+            // dataflow that hates depthwise and pooling, moderate overhead.
+            Platform::EdgeTpu => PlatformSpec {
+                peak_gflops: 4000.0,
+                bandwidth_gbps: 25.0,
+                op_overhead_us: 4.0,
+                lanes: 120_000.0,
+                conv_eff: 0.55,
+                depthwise_eff: 0.05,
+                grouped_eff: 0.15,
+                pool_eff: 0.05,
+                linear_eff: 0.50,
+                kernel1_eff: 0.90,
+                kernel3_eff: 1.0,
+                kernel5_eff: 0.70,
+                skip_is_free: false,
+                pool_host_us: 60.0,
+                power_w: 2.0,
+                dram_nj_per_byte: 15.0,
+            },
+            // In-order-ish CPU: tiny peak, but NEON handles depthwise almost
+            // as efficiently as dense convolution; negligible dispatch cost.
+            Platform::RaspberryPi4 => PlatformSpec {
+                peak_gflops: 24.0,
+                bandwidth_gbps: 4.0,
+                op_overhead_us: 0.4,
+                lanes: 256.0,
+                conv_eff: 0.50,
+                depthwise_eff: 0.42,
+                grouped_eff: 0.45,
+                pool_eff: 0.35,
+                linear_eff: 0.45,
+                kernel1_eff: 0.95,
+                kernel3_eff: 1.0,
+                kernel5_eff: 0.9,
+                skip_is_free: true,
+                pool_host_us: 0.0,
+                power_w: 6.0,
+                dram_nj_per_byte: 40.0,
+            },
+            // Mid-size FPGA overlay: modest compute, narrow array that is
+            // well utilised even on CIFAR maps, flexible dataflow — its
+            // latency profile tracks dense-conv work like the mobile CPUs.
+            Platform::FpgaZc706 => PlatformSpec {
+                peak_gflops: 60.0,
+                bandwidth_gbps: 4.2,
+                op_overhead_us: 3.0,
+                lanes: 1_024.0,
+                conv_eff: 0.70,
+                depthwise_eff: 0.10,
+                grouped_eff: 0.30,
+                pool_eff: 0.25,
+                linear_eff: 0.40,
+                kernel1_eff: 0.90,
+                kernel3_eff: 1.0,
+                kernel5_eff: 0.60,
+                skip_is_free: false,
+                pool_host_us: 0.0,
+                power_w: 9.0,
+                dram_nj_per_byte: 25.0,
+            },
+            // Large FPGA with a wide 3x3-tuned systolic array: heavily
+            // underutilised by small maps, 1x1 convs map almost as badly
+            // as 3x3 maps well, and pooling falls back to the host CPU —
+            // so its ranking disagrees with every other platform (the
+            // paper measures only 0.23 correlation against the ZC706).
+            Platform::FpgaZcu102 => PlatformSpec {
+                peak_gflops: 900.0,
+                bandwidth_gbps: 19.0,
+                op_overhead_us: 20.0,
+                lanes: 200_000.0,
+                conv_eff: 0.78,
+                depthwise_eff: 0.08,
+                grouped_eff: 0.22,
+                pool_eff: 0.10,
+                linear_eff: 0.30,
+                kernel1_eff: 0.12,
+                kernel3_eff: 1.0,
+                kernel5_eff: 0.85,
+                skip_is_free: false,
+                pool_host_us: 320.0,
+                power_w: 20.0,
+                dram_nj_per_byte: 22.0,
+            },
+            // Mobile big-core CPU: like the Pi but faster and with better
+            // bandwidth; depthwise-friendly.
+            Platform::Pixel3 => PlatformSpec {
+                peak_gflops: 40.0,
+                bandwidth_gbps: 12.0,
+                op_overhead_us: 0.3,
+                lanes: 512.0,
+                conv_eff: 0.48,
+                depthwise_eff: 0.44,
+                grouped_eff: 0.42,
+                pool_eff: 0.35,
+                linear_eff: 0.45,
+                kernel1_eff: 0.95,
+                kernel3_eff: 1.0,
+                kernel5_eff: 0.9,
+                skip_is_free: true,
+                pool_host_us: 0.0,
+                power_w: 4.0,
+                dram_nj_per_byte: 35.0,
+            },
+            // Row-stationary ASIC: modest peak, excellent 3x3 reuse, weak
+            // on 1x1 (no filter reuse) and depthwise (PE underuse).
+            Platform::Eyeriss => PlatformSpec {
+                peak_gflops: 84.0,
+                bandwidth_gbps: 3.0,
+                op_overhead_us: 1.5,
+                lanes: 3_000.0,
+                conv_eff: 0.80,
+                depthwise_eff: 0.12,
+                grouped_eff: 0.30,
+                pool_eff: 0.20,
+                linear_eff: 0.35,
+                kernel1_eff: 0.15,
+                kernel3_eff: 1.0,
+                kernel5_eff: 0.75,
+                skip_is_free: false,
+                pool_host_us: 0.0,
+                power_w: 0.45,
+                dram_nj_per_byte: 18.0,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Roofline parameters of a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Peak compute throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Main-memory bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Fixed per-op dispatch/launch overhead in microseconds.
+    pub op_overhead_us: f64,
+    /// Parallel width: output elements needed to saturate the device.
+    pub lanes: f64,
+    /// Efficiency (fraction of peak) for dense convolutions.
+    pub conv_eff: f64,
+    /// Efficiency for depthwise convolutions.
+    pub depthwise_eff: f64,
+    /// Efficiency for grouped convolutions.
+    pub grouped_eff: f64,
+    /// Efficiency for pooling.
+    pub pool_eff: f64,
+    /// Efficiency for fully-connected layers.
+    pub linear_eff: f64,
+    /// Kernel-size multiplier for 1x1 kernels.
+    pub kernel1_eff: f64,
+    /// Kernel-size multiplier for 3x3 kernels.
+    pub kernel3_eff: f64,
+    /// Kernel-size multiplier for 5x5 kernels.
+    pub kernel5_eff: f64,
+    /// Whether identity ops are fused away (CPUs) or cost a copy.
+    pub skip_is_free: bool,
+    /// Extra fixed cost per pooling op in microseconds (host fallback on
+    /// accelerators without a pooling engine).
+    pub pool_host_us: f64,
+    /// Average active power in watts (energy model).
+    pub power_w: f64,
+    /// DRAM access energy in nanojoules per byte.
+    pub dram_nj_per_byte: f64,
+}
+
+impl PlatformSpec {
+    /// Latency of one op in seconds under this spec.
+    pub fn op_latency_s(&self, op: &OpProfile) -> f64 {
+        match op.kind {
+            OpKind::Zero => return 0.0,
+            OpKind::Skip => {
+                if self.skip_is_free {
+                    return 0.0;
+                }
+                // identity costs one activation copy
+                let bytes = (op.input_hw * op.input_hw * op.in_channels * 4) as f64;
+                return bytes / (self.bandwidth_gbps * 1e9) + self.op_overhead_us * 1e-6;
+            }
+            _ => {}
+        }
+        let eff = self.kind_efficiency(op.kind) * self.kernel_efficiency(op.kernel);
+        let concurrency = (op.output_hw * op.output_hw * op.out_channels) as f64;
+        let utilisation = concurrency / (concurrency + self.lanes);
+        let compute_s = op.flops / (self.peak_gflops * 1e9 * eff * utilisation.max(1e-6));
+        let memory_s = op.memory_bytes() / (self.bandwidth_gbps * 1e9);
+        let fallback_s = if op.kind == OpKind::Pool {
+            self.pool_host_us * 1e-6
+        } else {
+            0.0
+        };
+        compute_s.max(memory_s) + self.op_overhead_us * 1e-6 + fallback_s
+    }
+
+    fn kind_efficiency(&self, kind: OpKind) -> f64 {
+        match kind {
+            OpKind::Conv => self.conv_eff,
+            OpKind::DepthwiseConv => self.depthwise_eff,
+            OpKind::GroupedConv => self.grouped_eff,
+            OpKind::Pool => self.pool_eff,
+            OpKind::Linear => self.linear_eff,
+            OpKind::Skip | OpKind::Zero => 1.0,
+        }
+    }
+
+    fn kernel_efficiency(&self, kernel: usize) -> f64 {
+        match kernel {
+            0 | 1 => self.kernel1_eff,
+            3 => self.kernel3_eff,
+            _ => self.kernel5_eff,
+        }
+    }
+
+    /// Latency of a whole profiled network in milliseconds.
+    pub fn network_latency_ms(&self, net: &NetworkProfile) -> f64 {
+        net.ops.iter().map(|op| self.op_latency_s(op)).sum::<f64>() * 1e3
+    }
+
+    /// Energy of one inference in millijoules: active power over the run
+    /// plus DRAM traffic energy.
+    pub fn network_energy_mj(&self, net: &NetworkProfile) -> f64 {
+        let latency_s = self.network_latency_ms(net) * 1e-3;
+        let bytes: f64 = net.ops.iter().map(OpProfile::memory_bytes).sum();
+        self.power_w * latency_s * 1e3 + self.dram_nj_per_byte * bytes * 1e-6
+    }
+}
+
+/// End-to-end latency of `arch` on `platform` for `dataset` inputs, in
+/// milliseconds.
+pub fn latency_ms(arch: &Architecture, dataset: Dataset, platform: Platform) -> f64 {
+    platform.spec().network_latency_ms(&profile(arch, dataset))
+}
+
+/// Per-inference energy of `arch` on `platform` in millijoules.
+pub fn energy_mj(arch: &Architecture, dataset: Dataset, platform: Platform) -> f64 {
+    platform.spec().network_energy_mj(&profile(arch, dataset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwpr_nasbench::{FbnetOp, Nb201Op, SearchSpaceId};
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn conv_arch() -> Architecture {
+        Architecture::nb201([Nb201Op::NorConv3x3; 6])
+    }
+
+    #[test]
+    fn platform_index_and_names() {
+        for (i, p) in Platform::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn latency_positive_and_deterministic() {
+        for p in Platform::ALL {
+            let l1 = latency_ms(&conv_arch(), Dataset::Cifar10, p);
+            let l2 = latency_ms(&conv_arch(), Dataset::Cifar10, p);
+            assert!(l1 > 0.0, "{p}");
+            assert_eq!(l1, l2);
+        }
+    }
+
+    #[test]
+    fn bigger_network_is_slower_everywhere() {
+        let small = Architecture::nb201([Nb201Op::SkipConnect; 6]);
+        for p in Platform::ALL {
+            assert!(
+                latency_ms(&conv_arch(), Dataset::Cifar10, p)
+                    > latency_ms(&small, Dataset::Cifar10, p),
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_relative_cost_is_platform_dependent() {
+        // depthwise-heavy vs dense-heavy FBNet architectures
+        let dw = Architecture::fbnet([FbnetOp::K3E1; 22]);
+        let dense_ish = Architecture::fbnet([FbnetOp::K3E6; 22]); // more 1x1 dense work
+        let ratio = |p: Platform| {
+            latency_ms(&dense_ish, Dataset::Cifar10, p) / latency_ms(&dw, Dataset::Cifar10, p)
+        };
+        // mobile CPUs pay more for the extra dense work than the GPU does
+        assert!(
+            ratio(Platform::Pixel3) > ratio(Platform::EdgeGpu),
+            "pixel {} vs gpu {}",
+            ratio(Platform::Pixel3),
+            ratio(Platform::EdgeGpu)
+        );
+    }
+
+    #[test]
+    fn smaller_inputs_are_faster() {
+        for p in Platform::ALL {
+            assert!(
+                latency_ms(&conv_arch(), Dataset::ImageNet16, p)
+                    < latency_ms(&conv_arch(), Dataset::Cifar10, p),
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_positive_and_scales_with_latency_platforms() {
+        let e_gpu = energy_mj(&conv_arch(), Dataset::Cifar10, Platform::EdgeGpu);
+        let e_eyeriss = energy_mj(&conv_arch(), Dataset::Cifar10, Platform::Eyeriss);
+        assert!(e_gpu > 0.0 && e_eyeriss > 0.0);
+        // the ASIC is far more energy-efficient than the GPU
+        assert!(e_eyeriss < e_gpu);
+    }
+
+    #[test]
+    fn zero_op_costs_nothing_and_skip_costs_little() {
+        let spec = Platform::EdgeGpu.spec();
+        let zero = OpProfile {
+            name: "z".into(),
+            kind: OpKind::Zero,
+            flops: 0.0,
+            params: 0.0,
+            input_hw: 32,
+            output_hw: 32,
+            in_channels: 16,
+            out_channels: 16,
+            kernel: 0,
+            groups: 1,
+        };
+        assert_eq!(spec.op_latency_s(&zero), 0.0);
+        let skip = OpProfile {
+            kind: OpKind::Skip,
+            name: "s".into(),
+            ..zero.clone()
+        };
+        let conv = OpProfile {
+            kind: OpKind::Conv,
+            flops: 1e9,
+            kernel: 3,
+            name: "c".into(),
+            ..zero
+        };
+        assert!(spec.op_latency_s(&skip) < spec.op_latency_s(&conv));
+    }
+
+    #[test]
+    fn cpu_skips_are_free() {
+        let spec = Platform::RaspberryPi4.spec();
+        let skip = OpProfile {
+            name: "s".into(),
+            kind: OpKind::Skip,
+            flops: 0.0,
+            params: 0.0,
+            input_hw: 32,
+            output_hw: 32,
+            in_channels: 64,
+            out_channels: 64,
+            kernel: 0,
+            groups: 1,
+        };
+        assert_eq!(spec.op_latency_s(&skip), 0.0);
+    }
+
+    #[test]
+    fn random_archs_have_finite_costs_everywhere() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for space in [SearchSpaceId::NasBench201, SearchSpaceId::FBNet] {
+            for _ in 0..10 {
+                let a = Architecture::random(space, &mut rng);
+                for p in Platform::ALL {
+                    for d in Dataset::ALL {
+                        let l = latency_ms(&a, d, p);
+                        let e = energy_mj(&a, d, p);
+                        assert!(l.is_finite() && l >= 0.0);
+                        assert!(e.is_finite() && e >= 0.0);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! The synthetic benchmark table: the stand-in for NAS-Bench-201 /
+//! HW-NAS-Bench lookups.
+
+use crate::accuracy::AccuracyModel;
+use crate::platform::Platform;
+use hwpr_nasbench::profile::profile;
+use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`SimBench::generate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimBenchConfig {
+    /// Which search space to materialise.
+    pub space: SearchSpaceId,
+    /// Number of architectures to sample; `None` enumerates the whole
+    /// space (only possible for NAS-Bench-201).
+    pub sample_size: Option<usize>,
+    /// Seed driving sampling and the accuracy noise.
+    pub seed: u64,
+}
+
+impl Default for SimBenchConfig {
+    fn default() -> Self {
+        Self {
+            space: SearchSpaceId::NasBench201,
+            sample_size: None,
+            seed: 0,
+        }
+    }
+}
+
+/// One benchmark row: an architecture with its accuracy on every dataset
+/// and its latency/energy on every platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    arch: Architecture,
+    /// `accuracy[dataset]` in percent, indexed by [`Dataset::ALL`] order.
+    accuracy: [f64; 3],
+    /// `latency_ms[dataset][platform]` in milliseconds.
+    latency_ms: [[f64; 7]; 3],
+    /// `energy_mj[dataset][platform]` in millijoules.
+    energy_mj: [[f64; 7]; 3],
+}
+
+impl BenchEntry {
+    /// The architecture this row describes.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// Accuracy in percent on `dataset`.
+    pub fn accuracy(&self, dataset: Dataset) -> f64 {
+        self.accuracy[dataset_index(dataset)]
+    }
+
+    /// Latency in milliseconds on `platform` with CIFAR-10 inputs.
+    pub fn latency(&self, platform: Platform) -> f64 {
+        self.latency_on(Dataset::Cifar10, platform)
+    }
+
+    /// Latency in milliseconds on `platform` with `dataset` inputs.
+    pub fn latency_on(&self, dataset: Dataset, platform: Platform) -> f64 {
+        self.latency_ms[dataset_index(dataset)][platform.index()]
+    }
+
+    /// Energy in millijoules on `platform` with `dataset` inputs.
+    pub fn energy_on(&self, dataset: Dataset, platform: Platform) -> f64 {
+        self.energy_mj[dataset_index(dataset)][platform.index()]
+    }
+
+    /// The two-objective vector the paper optimises: classification error
+    /// (percent, minimise) and latency (ms, minimise).
+    pub fn objectives(&self, dataset: Dataset, platform: Platform) -> Vec<f64> {
+        vec![
+            100.0 - self.accuracy(dataset),
+            self.latency_on(dataset, platform),
+        ]
+    }
+
+    /// The three-objective vector for the scalable variant (Fig. 9):
+    /// error, latency and energy.
+    pub fn objectives3(&self, dataset: Dataset, platform: Platform) -> Vec<f64> {
+        vec![
+            100.0 - self.accuracy(dataset),
+            self.latency_on(dataset, platform),
+            self.energy_on(dataset, platform),
+        ]
+    }
+}
+
+fn dataset_index(dataset: Dataset) -> usize {
+    Dataset::ALL
+        .iter()
+        .position(|&d| d == dataset)
+        .expect("dataset in ALL")
+}
+
+/// A fully materialised benchmark table, the substitute for the paper's
+/// tabular benchmarks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimBench {
+    config: SimBenchConfig,
+    entries: Vec<BenchEntry>,
+}
+
+impl SimBench {
+    /// Generates the table deterministically from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked to enumerate FBNet exhaustively
+    /// (`sample_size: None` on a 9²²-architecture space).
+    pub fn generate(config: SimBenchConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let archs: Vec<Architecture> = match (config.space, config.sample_size) {
+            (SearchSpaceId::NasBench201, None) => (0..SearchSpaceId::NasBench201.size())
+                .map(|i| Architecture::nb201_from_index(i).expect("index in range"))
+                .collect(),
+            (SearchSpaceId::NasBench201, Some(n)) => {
+                let mut all: Vec<u64> = (0..SearchSpaceId::NasBench201.size()).collect();
+                all.shuffle(&mut rng);
+                all.truncate(n);
+                all.into_iter()
+                    .map(|i| Architecture::nb201_from_index(i).expect("index in range"))
+                    .collect()
+            }
+            (SearchSpaceId::FBNet, Some(n)) => {
+                let mut seen = std::collections::HashSet::with_capacity(n);
+                let mut archs = Vec::with_capacity(n);
+                while archs.len() < n {
+                    let a = Architecture::random(SearchSpaceId::FBNet, &mut rng);
+                    if seen.insert(a.index()) {
+                        archs.push(a);
+                    }
+                }
+                archs
+            }
+            (SearchSpaceId::FBNet, None) => {
+                panic!("FBNet has 9^22 architectures; exhaustive enumeration is not possible")
+            }
+        };
+        let model = AccuracyModel::new(config.seed ^ 0xACC0_5EED);
+        let entries = archs
+            .into_iter()
+            .map(|arch| Self::measure(&arch, &model))
+            .collect();
+        Self { config, entries }
+    }
+
+    /// Measures a single architecture with the same models the table uses
+    /// (the "oracle evaluation" of the search loop).
+    pub fn measure(arch: &Architecture, model: &AccuracyModel) -> BenchEntry {
+        let mut accuracy = [0.0; 3];
+        let mut latency_ms = [[0.0; 7]; 3];
+        let mut energy_mj = [[0.0; 7]; 3];
+        for (di, &dataset) in Dataset::ALL.iter().enumerate() {
+            accuracy[di] = model.accuracy(arch, dataset);
+            let net = profile(arch, dataset);
+            for platform in Platform::ALL {
+                let spec = platform.spec();
+                latency_ms[di][platform.index()] = spec.network_latency_ms(&net);
+                energy_mj[di][platform.index()] = spec.network_energy_mj(&net);
+            }
+        }
+        BenchEntry {
+            arch: arch.clone(),
+            accuracy,
+            latency_ms,
+            energy_mj,
+        }
+    }
+
+    /// The accuracy model that generated (and can extend) this table —
+    /// the "oracle" used to score search results.
+    pub fn oracle_model(&self) -> AccuracyModel {
+        AccuracyModel::new(self.config.seed ^ 0xACC0_5EED)
+    }
+
+    /// The configuration this table was generated from.
+    pub fn config(&self) -> &SimBenchConfig {
+        &self.config
+    }
+
+    /// All benchmark rows.
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A deterministic subsample of row indices (for train/val/test
+    /// splits of surrogate training).
+    pub fn sample_indices<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.entries.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(n);
+        idx
+    }
+
+    /// The objective vectors of every row for `(dataset, platform)`.
+    pub fn objective_matrix(&self, dataset: Dataset, platform: Platform) -> Vec<Vec<f64>> {
+        self.entries
+            .iter()
+            .map(|e| e.objectives(dataset, platform))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(space: SearchSpaceId, n: usize, seed: u64) -> SimBench {
+        SimBench::generate(SimBenchConfig {
+            space,
+            sample_size: Some(n),
+            seed,
+        })
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let b = small(SearchSpaceId::NasBench201, 32, 1);
+        assert_eq!(b.len(), 32);
+        assert!(!b.is_empty());
+        let b = small(SearchSpaceId::FBNet, 16, 1);
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small(SearchSpaceId::NasBench201, 16, 7);
+        let b = small(SearchSpaceId::NasBench201, 16, 7);
+        assert_eq!(a, b);
+        let c = small(SearchSpaceId::NasBench201, 16, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn entries_have_consistent_values() {
+        let b = small(SearchSpaceId::NasBench201, 8, 2);
+        for e in b.entries() {
+            for d in Dataset::ALL {
+                assert!(e.accuracy(d) > 0.0 && e.accuracy(d) < 100.0);
+                for p in Platform::ALL {
+                    assert!(e.latency_on(d, p) > 0.0);
+                    assert!(e.energy_on(d, p) > 0.0);
+                }
+            }
+            let obj = e.objectives(Dataset::Cifar10, Platform::EdgeGpu);
+            assert_eq!(obj.len(), 2);
+            assert!((obj[0] - (100.0 - e.accuracy(Dataset::Cifar10))).abs() < 1e-12);
+            assert_eq!(e.objectives3(Dataset::Cifar10, Platform::EdgeGpu).len(), 3);
+        }
+    }
+
+    #[test]
+    fn fbnet_samples_are_unique() {
+        let b = small(SearchSpaceId::FBNet, 64, 3);
+        let mut ids: Vec<u128> = b.entries().iter().map(|e| e.arch().index()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive enumeration")]
+    fn fbnet_full_enumeration_panics() {
+        let _ = SimBench::generate(SimBenchConfig {
+            space: SearchSpaceId::FBNet,
+            sample_size: None,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn objective_matrix_shape() {
+        let b = small(SearchSpaceId::NasBench201, 10, 4);
+        let m = b.objective_matrix(Dataset::Cifar100, Platform::Pixel3);
+        assert_eq!(m.len(), 10);
+        assert!(m.iter().all(|row| row.len() == 2));
+    }
+
+    #[test]
+    fn sample_indices_unique_and_bounded() {
+        let b = small(SearchSpaceId::NasBench201, 20, 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let s = b.sample_indices(10, &mut rng);
+        assert_eq!(s.len(), 10);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(s.iter().all(|&i| i < 20));
+    }
+}

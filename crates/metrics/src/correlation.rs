@@ -1,0 +1,256 @@
+//! Rank and linear correlation coefficients.
+
+use crate::{check_pair, MetricError, Result};
+
+/// Kendall rank correlation (τ-b, tie-corrected), `O(n log n)`.
+///
+/// This is the ranking-quality metric the paper reports for every
+/// predictor (Fig. 4, Table I).
+///
+/// # Errors
+///
+/// Returns [`MetricError`] when lengths differ, fewer than two samples are
+/// given, or either input is entirely tied.
+///
+/// # Examples
+///
+/// ```
+/// let a = [1.0, 2.0, 3.0];
+/// let b = [3.0, 2.0, 1.0];
+/// assert_eq!(hwpr_metrics::kendall_tau(&a, &b).unwrap(), -1.0);
+/// ```
+pub fn kendall_tau(a: &[f32], b: &[f32]) -> Result<f64> {
+    check_pair(a, b)?;
+    let n = a.len();
+    // sort indices by a (ties broken by b) so discordances reduce to
+    // counting inversions of the b-sequence
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| a[i].total_cmp(&a[j]).then(b[i].total_cmp(&b[j])));
+
+    // tie counts in a, in b, and jointly
+    let tie_pairs = |key: &mut dyn FnMut(usize) -> (u64, u64), order: &[usize]| -> f64 {
+        let mut total = 0.0f64;
+        let mut run = 1usize;
+        for w in 1..order.len() {
+            if key(order[w]) == key(order[w - 1]) {
+                run += 1;
+            } else {
+                total += (run * (run - 1) / 2) as f64;
+                run = 1;
+            }
+        }
+        total + (run * (run - 1) / 2) as f64
+    };
+
+    let mut key_a = |i: usize| (a[i].to_bits() as u64, 0u64);
+    let ties_a = tie_pairs(&mut key_a, &idx);
+    let mut idx_b = idx.clone();
+    idx_b.sort_by(|&i, &j| b[i].total_cmp(&b[j]));
+    let mut key_b = |i: usize| (b[i].to_bits() as u64, 0u64);
+    let ties_b = tie_pairs(&mut key_b, &idx_b);
+    let mut key_ab = |i: usize| (a[i].to_bits() as u64, b[i].to_bits() as u64);
+    let ties_ab = tie_pairs(&mut key_ab, &idx);
+
+    let total_pairs = (n * (n - 1) / 2) as f64;
+    if ties_a == total_pairs || ties_b == total_pairs {
+        return Err(MetricError::ZeroVariance);
+    }
+
+    // count discordant pairs = inversions in b along the a-order,
+    // counting strict inversions only (ties contribute nothing)
+    let seq: Vec<f32> = idx.iter().map(|&i| b[i]).collect();
+    let discordant = count_inversions(&seq);
+
+    // concordant - discordant = total - ties_a - ties_b + ties_ab - 2*discordant
+    let s = total_pairs - ties_a - ties_b + ties_ab - 2.0 * discordant;
+    let denom = ((total_pairs - ties_a) * (total_pairs - ties_b)).sqrt();
+    Ok((s / denom).clamp(-1.0, 1.0))
+}
+
+/// Counts strict inversions (`i < j` with `seq[i] > seq[j]`) by merge sort.
+fn count_inversions(seq: &[f32]) -> f64 {
+    fn go(v: &mut Vec<f32>, buf: &mut Vec<f32>, lo: usize, hi: usize) -> f64 {
+        if hi - lo <= 1 {
+            return 0.0;
+        }
+        let mid = (lo + hi) / 2;
+        let mut inv = go(v, buf, lo, mid) + go(v, buf, mid, hi);
+        buf.clear();
+        let (mut i, mut j) = (lo, mid);
+        while i < mid && j < hi {
+            if v[i] <= v[j] {
+                buf.push(v[i]);
+                i += 1;
+            } else {
+                inv += (mid - i) as f64;
+                buf.push(v[j]);
+                j += 1;
+            }
+        }
+        buf.extend_from_slice(&v[i..mid]);
+        buf.extend_from_slice(&v[j..hi]);
+        v[lo..hi].copy_from_slice(buf);
+        inv
+    }
+    let mut v = seq.to_vec();
+    let mut buf = Vec::with_capacity(v.len());
+    let n = v.len();
+    go(&mut v, &mut buf, 0, n)
+}
+
+/// Pearson linear correlation coefficient.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] on length mismatch, fewer than two samples, or
+/// zero variance in either input.
+pub fn pearson(a: &[f32], b: &[f32]) -> Result<f64> {
+    check_pair(a, b)?;
+    let n = a.len() as f64;
+    let mean_a = a.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let mean_b = b.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x as f64 - mean_a;
+        let dy = y as f64 - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return Err(MetricError::ZeroVariance);
+    }
+    Ok((cov / (var_a * var_b).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// Spearman rank correlation: Pearson correlation of the (average) ranks.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn spearman(a: &[f32], b: &[f32]) -> Result<f64> {
+    check_pair(a, b)?;
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Converts values to average ranks (ties share the mean rank).
+fn average_ranks(v: &[f32]) -> Vec<f32> {
+    let n = v.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
+    let mut ranks = vec![0.0f32; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f32 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n²) reference implementation of τ-b.
+    fn kendall_naive(a: &[f32], b: &[f32]) -> f64 {
+        let n = a.len();
+        let (mut conc, mut disc, mut ties_a, mut ties_b) = (0f64, 0f64, 0f64, 0f64);
+        for i in 0..n {
+            for j in i + 1..n {
+                let da = a[i] - a[j];
+                let db = b[i] - b[j];
+                if da == 0.0 && db == 0.0 {
+                    ties_a += 1.0;
+                    ties_b += 1.0;
+                } else if da == 0.0 {
+                    ties_a += 1.0;
+                } else if db == 0.0 {
+                    ties_b += 1.0;
+                } else if da * db > 0.0 {
+                    conc += 1.0;
+                } else {
+                    disc += 1.0;
+                }
+            }
+        }
+        let total = (n * (n - 1) / 2) as f64;
+        (conc - disc) / ((total - ties_a) * (total - ties_b)).sqrt()
+    }
+
+    #[test]
+    fn tau_matches_naive_with_ties() {
+        let a = [1.0f32, 2.0, 2.0, 3.0, 5.0, 4.0, 2.5, 2.5];
+        let b = [2.0f32, 1.0, 3.0, 3.0, 4.0, 6.0, 2.5, 0.5];
+        let fast = kendall_tau(&a, &b).unwrap();
+        let naive = kendall_naive(&a, &b);
+        assert!((fast - naive).abs() < 1e-9, "{fast} vs {naive}");
+    }
+
+    #[test]
+    fn tau_matches_naive_pseudorandom() {
+        let a: Vec<f32> = (0..64).map(|i| ((i * 37 + 11) % 97) as f32).collect();
+        let b: Vec<f32> = (0..64).map(|i| ((i * 53 + 7) % 89) as f32).collect();
+        let fast = kendall_tau(&a, &b).unwrap();
+        let naive = kendall_naive(&a, &b);
+        assert!((fast - naive).abs() < 1e-9, "{fast} vs {naive}");
+    }
+
+    #[test]
+    fn tau_perfect_and_reversed() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let rev = [4.0f32, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&a, &a).unwrap(), 1.0);
+        assert_eq!(kendall_tau(&a, &rev).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn tau_rejects_constant_input() {
+        assert_eq!(
+            kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            MetricError::ZeroVariance
+        );
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [2.0f32, 4.0, 6.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-9);
+        let c = [6.0f32, 4.0, 2.0];
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-9);
+        assert!(pearson(&a, &[5.0, 5.0, 5.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [1.0f32, 8.0, 27.0, 64.0];
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_ranks_handles_ties() {
+        let r = average_ranks(&[10.0, 20.0, 10.0]);
+        assert_eq!(r, vec![1.5, 3.0, 1.5]);
+    }
+
+    #[test]
+    fn inversions_counter() {
+        assert_eq!(count_inversions(&[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(count_inversions(&[3.0, 2.0, 1.0]), 3.0);
+        assert_eq!(count_inversions(&[2.0, 1.0, 3.0]), 1.0);
+        // equal elements are not inversions
+        assert_eq!(count_inversions(&[2.0, 2.0, 1.0]), 2.0);
+    }
+}

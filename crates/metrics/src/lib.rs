@@ -1,0 +1,155 @@
+//! Ranking-correlation and regression metrics used throughout the
+//! HW-PR-NAS evaluation: Kendall τ (the paper's predictor-quality metric,
+//! Fig. 4 and Table I), Spearman ρ, Pearson r, RMSE/MAE and mean ±
+//! standard-error summaries (Table III).
+//!
+//! # Examples
+//!
+//! ```
+//! let pred = [1.0, 2.0, 3.0, 4.0];
+//! let truth = [10.0, 20.0, 30.0, 40.0];
+//! assert_eq!(hwpr_metrics::kendall_tau(&pred, &truth).unwrap(), 1.0);
+//! ```
+
+
+#![warn(missing_docs)]
+mod correlation;
+mod regression;
+mod summary;
+
+pub use correlation::{kendall_tau, pearson, spearman};
+pub use regression::{mae, rmse};
+pub use summary::{mean, std_dev, std_error, MeanStdError};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when metric inputs are unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// The two input slices have different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The input is too short for the metric (fewer than 2 samples).
+    TooFewSamples {
+        /// Number of samples provided.
+        len: usize,
+    },
+    /// The metric is undefined because an input is constant (zero variance).
+    ZeroVariance,
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::LengthMismatch { left, right } => {
+                write!(f, "input lengths differ: {left} vs {right}")
+            }
+            MetricError::TooFewSamples { len } => {
+                write!(f, "metric needs at least 2 samples, got {len}")
+            }
+            MetricError::ZeroVariance => write!(f, "metric undefined for constant input"),
+        }
+    }
+}
+
+impl Error for MetricError {}
+
+/// Convenience alias for fallible metric computations.
+pub type Result<T> = std::result::Result<T, MetricError>;
+
+pub(crate) fn check_pair(a: &[f32], b: &[f32]) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(MetricError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.len() < 2 {
+        return Err(MetricError::TooFewSamples { len: a.len() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(MetricError::LengthMismatch { left: 1, right: 2 }
+            .to_string()
+            .contains("1 vs 2"));
+        assert!(MetricError::TooFewSamples { len: 0 }.to_string().contains('0'));
+        assert!(!MetricError::ZeroVariance.to_string().is_empty());
+    }
+
+    #[test]
+    fn check_pair_rules() {
+        assert!(check_pair(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(check_pair(&[1.0], &[1.0]).is_err());
+        assert!(check_pair(&[1.0, 2.0], &[3.0, 4.0]).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vec_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+        (2usize..30).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(-100.0f32..100.0, n),
+                proptest::collection::vec(-100.0f32..100.0, n),
+            )
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn kendall_tau_in_range((a, b) in vec_pair()) {
+            if let Ok(t) = kendall_tau(&a, &b) {
+                prop_assert!((-1.0..=1.0).contains(&(t as f64 as f32)), "tau {t}");
+            }
+        }
+
+        #[test]
+        fn kendall_tau_self_is_one(a in proptest::collection::vec(-100.0f32..100.0, 2..30)) {
+            // de-duplicate to avoid ties making tau-b < 1
+            let mut uniq = a.clone();
+            uniq.sort_by(f32::total_cmp);
+            uniq.dedup();
+            if uniq.len() >= 2 {
+                let t = kendall_tau(&uniq, &uniq).unwrap();
+                prop_assert!((t - 1.0).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn kendall_tau_antisymmetric((a, b) in vec_pair()) {
+            let neg: Vec<f32> = b.iter().map(|x| -x).collect();
+            if let (Ok(t1), Ok(t2)) = (kendall_tau(&a, &b), kendall_tau(&a, &neg)) {
+                prop_assert!((t1 + t2).abs() < 1e-5, "{t1} vs {t2}");
+            }
+        }
+
+        #[test]
+        fn spearman_in_range((a, b) in vec_pair()) {
+            if let Ok(r) = spearman(&a, &b) {
+                prop_assert!((-1.0001..=1.0001).contains(&r));
+            }
+        }
+
+        #[test]
+        fn rmse_upper_bounds_mae((a, b) in vec_pair()) {
+            let r = rmse(&a, &b).unwrap();
+            let m = mae(&a, &b).unwrap();
+            prop_assert!(r + 1e-4 >= m, "rmse {r} < mae {m}");
+        }
+    }
+}

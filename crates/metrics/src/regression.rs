@@ -1,0 +1,75 @@
+//! Regression error metrics.
+
+use crate::{check_pair, Result};
+
+/// Root mean squared error between predictions and targets.
+///
+/// # Errors
+///
+/// Returns [`crate::MetricError`] on length mismatch or fewer than two
+/// samples.
+///
+/// # Examples
+///
+/// ```
+/// let r = hwpr_metrics::rmse(&[1.0, 2.0], &[1.0, 4.0]).unwrap();
+/// assert!((r - 2.0f64.sqrt()).abs() < 1e-6);
+/// ```
+pub fn rmse(pred: &[f32], target: &[f32]) -> Result<f64> {
+    check_pair(pred, target)?;
+    let mse = pred
+        .iter()
+        .zip(target)
+        .map(|(&p, &t)| {
+            let d = (p - t) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / pred.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Mean absolute error between predictions and targets.
+///
+/// # Errors
+///
+/// Returns [`crate::MetricError`] on length mismatch or fewer than two
+/// samples.
+pub fn mae(pred: &[f32], target: &[f32]) -> Result<f64> {
+    check_pair(pred, target)?;
+    Ok(pred
+        .iter()
+        .zip(target)
+        .map(|(&p, &t)| ((p - t) as f64).abs())
+        .sum::<f64>()
+        / pred.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_zero() {
+        let v = [1.0f32, -2.0, 3.5];
+        assert_eq!(rmse(&v, &v).unwrap(), 0.0);
+        assert_eq!(mae(&v, &v).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let p = [0.0f32, 0.0, 0.0, 0.0];
+        let t = [1.0f32, 1.0, 1.0, 1.0];
+        assert!((rmse(&p, &t).unwrap() - 1.0).abs() < 1e-12);
+        assert!((mae(&p, &t).unwrap() - 1.0).abs() < 1e-12);
+        let t2 = [2.0f32, 0.0, 0.0, 0.0];
+        assert!((mae(&p, &t2).unwrap() - 0.5).abs() < 1e-12);
+        assert!((rmse(&p, &t2).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mae(&[1.0, 2.0, 3.0], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Summary statistics for repeated experiment runs.
+
+use std::fmt;
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (Bessel-corrected; 0 for fewer than two
+/// samples).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Standard error of the mean: `std_dev / sqrt(n)`.
+pub fn std_error(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        std_dev(values) / (values.len() as f64).sqrt()
+    }
+}
+
+/// A `mean ± standard error` pair, as reported in Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MeanStdError {
+    /// Mean over runs.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+}
+
+impl MeanStdError {
+    /// Summarises a set of run results.
+    pub fn from_values(values: &[f64]) -> Self {
+        Self {
+            mean: mean(values),
+            std_error: std_error(values),
+        }
+    }
+}
+
+impl fmt::Display for MeanStdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ±{:.2}", self.mean, self.std_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.13808993).abs() < 1e-6);
+        assert!((std_error(&v) - 2.13808993 / 8.0f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(std_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn summary_display() {
+        let s = MeanStdError::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        let text = s.to_string();
+        assert!(text.contains("2.00") && text.contains('±'), "{text}");
+    }
+}

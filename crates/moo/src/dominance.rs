@@ -1,0 +1,66 @@
+//! Pareto dominance relations (minimization convention).
+
+/// Strict Pareto dominance: `a` dominates `b` iff `a` is no worse in every
+/// objective and strictly better in at least one (§II-C of the paper).
+///
+/// # Panics
+///
+/// Panics if the two points have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use hwpr_moo::dominates;
+/// assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+/// assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // trade-off: incomparable
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "dominance requires equal dimensions");
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Weak dominance: `a` is no worse than `b` in every objective.
+///
+/// # Panics
+///
+/// Panics if the two points have different lengths.
+pub fn weakly_dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "dominance requires equal dimensions");
+    a.iter().zip(b).all(|(&x, &y)| x <= y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_dominance_cases() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal: no strict gain
+        assert!(!dominates(&[1.0, 3.0], &[3.0, 1.0])); // incomparable
+        assert!(!dominates(&[2.0], &[1.0]));
+    }
+
+    #[test]
+    fn weak_dominance_includes_equality() {
+        assert!(weakly_dominates(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(weakly_dominates(&[1.0, 1.0], &[1.0, 2.0]));
+        assert!(!weakly_dominates(&[2.0, 1.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensions")]
+    fn mismatched_dimensions_panic() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Exact hypervolume computation (minimization convention).
+
+use crate::dominance::weakly_dominates;
+use crate::sort::pareto_front;
+use crate::{validate_points, MooError, Result};
+
+/// The hypervolume dominated by `points` with respect to `reference`
+/// (every objective minimised; the reference must be weakly worse than
+/// every point in every objective).
+///
+/// Uses an exact sweep for 1-D/2-D and the WFG exclusive-hypervolume
+/// recursion for three or more objectives — the same quantity pymoo
+/// computes for the paper's Table III.
+///
+/// # Errors
+///
+/// Returns [`MooError`] for empty/inconsistent input, a reference point of
+/// the wrong dimension, or a reference that does not bound the points.
+///
+/// # Examples
+///
+/// ```
+/// // a single point at (1, 1) with reference (3, 3) dominates a 2x2 box
+/// let hv = hwpr_moo::hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]).unwrap();
+/// assert_eq!(hv, 4.0);
+/// ```
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> Result<f64> {
+    let dim = validate_points(points)?;
+    if reference.len() != dim {
+        return Err(MooError::DimensionMismatch {
+            expected: dim,
+            found: reference.len(),
+        });
+    }
+    if reference.iter().any(|v| !v.is_finite()) {
+        return Err(MooError::NonFinite);
+    }
+    if points
+        .iter()
+        .any(|p| p.iter().zip(reference).any(|(x, r)| x > r))
+    {
+        return Err(MooError::ReferenceNotDominating);
+    }
+    // only the non-dominated points contribute
+    let front_idx = pareto_front(points)?;
+    let front: Vec<Vec<f64>> = front_idx.iter().map(|&i| points[i].clone()).collect();
+    Ok(match dim {
+        1 => reference[0] - front.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min),
+        2 => hv2(&front, reference),
+        _ => wfg(&front, reference),
+    })
+}
+
+/// 2-D hypervolume by sweeping points sorted on the first objective.
+fn hv2(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut pts = front.to_vec();
+    pts.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for p in pts {
+        // front is non-dominated, so y strictly decreases along increasing x
+        let width = reference[0] - p[0];
+        let height = prev_y - p[1];
+        if height > 0.0 {
+            hv += width * height;
+            prev_y = p[1];
+        }
+    }
+    hv
+}
+
+/// WFG exclusive-hypervolume recursion for `d >= 3`.
+fn wfg(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut pts = front.to_vec();
+    // processing points sorted worst-first on the last objective improves
+    // limit-set pruning
+    pts.sort_by(|a, b| b[a.len() - 1].total_cmp(&a[a.len() - 1]));
+    let mut total = 0.0;
+    for i in 0..pts.len() {
+        total += exclusive_hv(&pts[i], &pts[i + 1..], reference);
+    }
+    total
+}
+
+/// Volume dominated by `p` alone, minus the part also dominated by `rest`.
+fn exclusive_hv(p: &[f64], rest: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let box_vol: f64 = p.iter().zip(reference).map(|(x, r)| r - x).product();
+    if rest.is_empty() {
+        return box_vol;
+    }
+    // limit set: clip every other point into p's dominated box
+    let limited: Vec<Vec<f64>> = rest
+        .iter()
+        .map(|q| q.iter().zip(p).map(|(&qv, &pv)| qv.max(pv)).collect())
+        .collect();
+    // non-dominated subset of the limit set
+    let nd = non_dominated(&limited);
+    box_vol - hv_dispatch(&nd, reference)
+}
+
+fn hv_dispatch(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    if front.is_empty() {
+        return 0.0;
+    }
+    match front[0].len() {
+        1 => reference[0] - front.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min),
+        2 => hv2(front, reference),
+        _ => wfg(front, reference),
+    }
+}
+
+fn non_dominated(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut keep: Vec<Vec<f64>> = Vec::new();
+    for p in points {
+        if keep.iter().any(|q| weakly_dominates(q, p)) {
+            continue;
+        }
+        keep.retain(|q| !weakly_dominates(p, q));
+        keep.push(p.clone());
+    }
+    keep
+}
+
+/// Hypervolume of `approximation` normalised by the hypervolume of
+/// `true_front` under the same reference point — the paper's quality
+/// metric for Pareto front approximations (0 ≤ value ≤ 1 when the true
+/// front is optimal).
+///
+/// # Errors
+///
+/// Propagates [`MooError`] from either hypervolume computation, and
+/// returns [`MooError::EmptySet`] if the true front has zero hypervolume.
+pub fn normalized_hypervolume(
+    approximation: &[Vec<f64>],
+    true_front: &[Vec<f64>],
+    reference: &[f64],
+) -> Result<f64> {
+    let denom = hypervolume(true_front, reference)?;
+    if denom <= 0.0 {
+        return Err(MooError::EmptySet);
+    }
+    Ok(hypervolume(approximation, reference)? / denom)
+}
+
+/// The reference point the paper uses: the coordinate-wise worst value
+/// over `points` ("the furthest point from the Pareto front"), pushed out
+/// by `margin` in every objective.
+///
+/// # Errors
+///
+/// Returns [`MooError`] for empty or inconsistent point sets.
+pub fn nadir_reference_point(points: &[Vec<f64>], margin: f64) -> Result<Vec<f64>> {
+    let dim = validate_points(points)?;
+    let mut reference = vec![f64::NEG_INFINITY; dim];
+    for p in points {
+        for (r, &v) in reference.iter_mut().zip(p) {
+            *r = r.max(v);
+        }
+    }
+    for r in &mut reference {
+        *r += margin;
+    }
+    Ok(reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_d_staircase() {
+        let front = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+        let hv = hypervolume(&front, &[4.0, 4.0]).unwrap();
+        // boxes: (4-1)(4-3)=3 + (4-2)(3-2)=2 + (4-3)(2-1)=1
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_do_not_change_hv() {
+        let front = vec![vec![1.0, 3.0], vec![2.0, 2.0]];
+        let with_dominated = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 3.5]];
+        let r = [5.0, 5.0];
+        assert_eq!(
+            hypervolume(&front, &r).unwrap(),
+            hypervolume(&with_dominated, &r).unwrap()
+        );
+    }
+
+    #[test]
+    fn duplicate_points_do_not_double_count() {
+        let front = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(hypervolume(&front, &[2.0, 2.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let hv = hypervolume(&[vec![2.0], vec![5.0]], &[10.0]).unwrap();
+        assert_eq!(hv, 8.0);
+    }
+
+    #[test]
+    fn three_d_single_point() {
+        let hv = hypervolume(&[vec![1.0, 1.0, 1.0]], &[2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(hv, 1.0 * 2.0 * 3.0);
+    }
+
+    #[test]
+    fn three_d_union_of_two_boxes() {
+        // boxes [0,2]^3 and [1,3]x[1,3]x[0,3]... compute via inclusion-exclusion
+        let a = vec![1.0, 1.0, 1.0]; // box to (4,4,4): 27
+        let b = vec![2.0, 2.0, 0.0]; // box: 2*2*4 = 16, overlap with a: 2*2*3 = 12
+        let hv = hypervolume(&[a, b], &[4.0, 4.0, 4.0]).unwrap();
+        assert!((hv - (27.0 + 16.0 - 12.0)).abs() < 1e-9, "hv = {hv}");
+    }
+
+    #[test]
+    fn three_d_matches_monte_carlo() {
+        let front = vec![
+            vec![0.2, 0.7, 0.5],
+            vec![0.5, 0.2, 0.8],
+            vec![0.8, 0.5, 0.1],
+            vec![0.4, 0.4, 0.4],
+        ];
+        let reference = [1.0, 1.0, 1.0];
+        let exact = hypervolume(&front, &reference).unwrap();
+        // deterministic grid estimate
+        let n = 64;
+        let mut hits = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let q = [
+                        (i as f64 + 0.5) / n as f64,
+                        (j as f64 + 0.5) / n as f64,
+                        (k as f64 + 0.5) / n as f64,
+                    ];
+                    if front.iter().any(|p| weakly_dominates(p, &q)) {
+                        hits += 1;
+                    }
+                }
+            }
+        }
+        let estimate = hits as f64 / (n * n * n) as f64;
+        assert!((exact - estimate).abs() < 0.02, "exact {exact} vs grid {estimate}");
+    }
+
+    #[test]
+    fn rejects_bad_reference() {
+        let front = vec![vec![1.0, 1.0]];
+        assert!(matches!(
+            hypervolume(&front, &[0.5, 2.0]).unwrap_err(),
+            MooError::ReferenceNotDominating
+        ));
+        assert!(matches!(
+            hypervolume(&front, &[1.0]).unwrap_err(),
+            MooError::DimensionMismatch { .. }
+        ));
+        assert!(hypervolume(&front, &[f64::INFINITY, 2.0]).is_err());
+    }
+
+    #[test]
+    fn normalized_hv_of_true_front_is_one() {
+        let truth = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+        let reference = nadir_reference_point(&truth, 1.0).unwrap();
+        let nhv = normalized_hypervolume(&truth, &truth, &reference).unwrap();
+        assert!((nhv - 1.0).abs() < 1e-12);
+        // a worse approximation scores below one
+        let approx = vec![vec![2.0, 3.0], vec![3.0, 2.0]];
+        let nhv = normalized_hypervolume(&approx, &truth, &reference).unwrap();
+        assert!(nhv < 1.0);
+    }
+
+    #[test]
+    fn nadir_reference_is_worst_plus_margin() {
+        let pts = vec![vec![1.0, 9.0], vec![5.0, 2.0]];
+        assert_eq!(nadir_reference_point(&pts, 1.0).unwrap(), vec![6.0, 10.0]);
+        assert!(nadir_reference_point(&[], 1.0).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Multi-objective optimization primitives for HW-PR-NAS.
+//!
+//! Everything here follows the *minimization* convention: an architecture's
+//! objective vector is e.g. `[error = 100 - accuracy, latency_ms]`, so
+//! smaller is better in every coordinate. The crate provides:
+//!
+//! - [`dominates`] — strict Pareto dominance (§II-C of the paper),
+//! - [`fast_non_dominated_sort`] / [`pareto_ranks`] — NSGA-II layering,
+//!   satisfying Eqs. (1)–(3) of the paper,
+//! - [`crowding_distance`] — NSGA-II diversity measure for tie-breaking,
+//! - [`hypervolume`] — exact hypervolume (2-D sweep, WFG recursion for
+//!   higher dimensions) and [`normalized_hypervolume`], the paper's
+//!   front-quality metric (Figs. 1 and 6, Table III),
+//! - [`nadir_reference_point`] — the "furthest point from the Pareto
+//!   front" reference the paper uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use hwpr_moo::{dominates, pareto_ranks};
+//!
+//! let points = vec![
+//!     vec![1.0, 4.0], // front 0
+//!     vec![2.0, 2.0], // front 0
+//!     vec![3.0, 3.0], // dominated by [2, 2]
+//! ];
+//! assert!(dominates(&points[1], &points[2]));
+//! assert_eq!(pareto_ranks(&points).unwrap(), vec![0, 0, 1]);
+//! ```
+
+
+#![warn(missing_docs)]
+mod dominance;
+mod hypervolume;
+mod sort;
+
+pub use dominance::{dominates, weakly_dominates};
+pub use hypervolume::{hypervolume, nadir_reference_point, normalized_hypervolume};
+pub use sort::{crowding_distance, fast_non_dominated_sort, pareto_front, pareto_ranks};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by multi-objective computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MooError {
+    /// The point set is empty where at least one point is required.
+    EmptySet,
+    /// Points (or the reference point) have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Expected number of objectives.
+        expected: usize,
+        /// Found number of objectives.
+        found: usize,
+    },
+    /// An objective value is NaN or infinite.
+    NonFinite,
+    /// The reference point does not weakly dominate-from-below every point
+    /// (some point lies outside the reference box).
+    ReferenceNotDominating,
+}
+
+impl fmt::Display for MooError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MooError::EmptySet => write!(f, "point set is empty"),
+            MooError::DimensionMismatch { expected, found } => {
+                write!(f, "objective dimension mismatch: expected {expected}, found {found}")
+            }
+            MooError::NonFinite => write!(f, "objective values must be finite"),
+            MooError::ReferenceNotDominating => {
+                write!(f, "reference point must be worse than every point in every objective")
+            }
+        }
+    }
+}
+
+impl Error for MooError {}
+
+/// Convenience alias for fallible multi-objective computations.
+pub type Result<T> = std::result::Result<T, MooError>;
+
+pub(crate) fn validate_points(points: &[Vec<f64>]) -> Result<usize> {
+    let first = points.first().ok_or(MooError::EmptySet)?;
+    let dim = first.len();
+    if dim == 0 {
+        return Err(MooError::DimensionMismatch {
+            expected: 1,
+            found: 0,
+        });
+    }
+    for p in points {
+        if p.len() != dim {
+            return Err(MooError::DimensionMismatch {
+                expected: dim,
+                found: p.len(),
+            });
+        }
+        if p.iter().any(|v| !v.is_finite()) {
+            return Err(MooError::NonFinite);
+        }
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_bad_inputs() {
+        assert_eq!(validate_points(&[]).unwrap_err(), MooError::EmptySet);
+        assert!(matches!(
+            validate_points(&[vec![]]).unwrap_err(),
+            MooError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            validate_points(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err(),
+            MooError::DimensionMismatch { .. }
+        ));
+        assert_eq!(
+            validate_points(&[vec![f64::NAN]]).unwrap_err(),
+            MooError::NonFinite
+        );
+        assert_eq!(validate_points(&[vec![1.0, 2.0]]).unwrap(), 2);
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            MooError::EmptySet,
+            MooError::DimensionMismatch { expected: 2, found: 3 },
+            MooError::NonFinite,
+            MooError::ReferenceNotDominating,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn point_set(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+        proptest::collection::vec(
+            proptest::collection::vec(0.0f64..100.0, dim),
+            1..25,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn dominance_is_a_strict_partial_order(points in point_set(2)) {
+            for a in &points {
+                // irreflexive
+                prop_assert!(!dominates(a, a));
+                for b in &points {
+                    // asymmetric
+                    if dominates(a, b) {
+                        prop_assert!(!dominates(b, a));
+                    }
+                    for c in &points {
+                        // transitive
+                        if dominates(a, b) && dominates(b, c) {
+                            prop_assert!(dominates(a, c));
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Eqs. (1)-(3) of the paper: within a front no one dominates anyone;
+        /// no member of front k+1 dominates any member of front k; every
+        /// member of front k+1 is dominated by someone in front k.
+        #[test]
+        fn fronts_satisfy_paper_equations(points in point_set(3)) {
+            let fronts = fast_non_dominated_sort(&points).unwrap();
+            for (k, front) in fronts.iter().enumerate() {
+                for &i in front {
+                    for &j in front {
+                        prop_assert!(!dominates(&points[i], &points[j])); // Eq. 1
+                    }
+                }
+                if k + 1 < fronts.len() {
+                    for &i in &fronts[k + 1] {
+                        for &j in front {
+                            prop_assert!(!dominates(&points[i], &points[j])); // Eq. 2
+                        }
+                        // Eq. 3
+                        prop_assert!(front.iter().any(|&j| dominates(&points[j], &points[i])));
+                    }
+                }
+            }
+            // fronts partition the set
+            let total: usize = fronts.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, points.len());
+        }
+
+        #[test]
+        fn hypervolume_monotone_under_extra_points(points in point_set(2)) {
+            let reference = nadir_reference_point(&points, 1.0).unwrap();
+            let hv_all = hypervolume(&points, &reference).unwrap();
+            let subset = &points[..points.len().max(1) - 1];
+            if !subset.is_empty() {
+                let hv_subset = hypervolume(subset, &reference).unwrap();
+                prop_assert!(hv_all + 1e-9 >= hv_subset);
+            }
+        }
+
+        #[test]
+        fn hypervolume_invariant_to_order(points in point_set(3)) {
+            let reference = nadir_reference_point(&points, 1.0).unwrap();
+            let hv = hypervolume(&points, &reference).unwrap();
+            let mut reversed = points.clone();
+            reversed.reverse();
+            let hv_rev = hypervolume(&reversed, &reference).unwrap();
+            prop_assert!((hv - hv_rev).abs() < 1e-6 * hv.max(1.0));
+        }
+    }
+}

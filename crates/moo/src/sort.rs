@@ -1,0 +1,192 @@
+//! NSGA-II fast non-dominated sorting and crowding distance.
+
+use crate::dominance::dominates;
+use crate::{validate_points, Result};
+
+/// Partitions `points` into Pareto fronts (indices), best front first.
+///
+/// This is the NSGA-II fast non-dominated sort: `F_1` contains all
+/// non-dominated points, `F_2` the points only dominated by `F_1`, and so
+/// on — the layering the HW-PR-NAS surrogate is trained to reproduce.
+///
+/// # Errors
+///
+/// Returns [`crate::MooError`] when the set is empty, dimensions are
+/// inconsistent, or values are non-finite.
+pub fn fast_non_dominated_sort(points: &[Vec<f64>]) -> Result<Vec<Vec<usize>>> {
+    validate_points(points)?;
+    let n = points.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&points[i], &points[j]) {
+                dominated_by[i].push(j);
+                domination_count[j] += 1;
+            } else if dominates(&points[j], &points[i]) {
+                dominated_by[j].push(i);
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    Ok(fronts)
+}
+
+/// The Pareto rank (0-based front index) of every point.
+///
+/// # Errors
+///
+/// Same conditions as [`fast_non_dominated_sort`].
+pub fn pareto_ranks(points: &[Vec<f64>]) -> Result<Vec<usize>> {
+    let fronts = fast_non_dominated_sort(points)?;
+    let mut ranks = vec![0usize; points.len()];
+    for (k, front) in fronts.iter().enumerate() {
+        for &i in front {
+            ranks[i] = k;
+        }
+    }
+    Ok(ranks)
+}
+
+/// Indices of the non-dominated (first-front) points.
+///
+/// # Errors
+///
+/// Same conditions as [`fast_non_dominated_sort`].
+pub fn pareto_front(points: &[Vec<f64>]) -> Result<Vec<usize>> {
+    Ok(fast_non_dominated_sort(points)?.remove(0))
+}
+
+/// NSGA-II crowding distance of each point *within one front*.
+///
+/// Boundary points get `f64::INFINITY`; interior points get the sum of
+/// normalised neighbour gaps per objective. Used to break ties when
+/// truncating a front to the population size.
+///
+/// # Errors
+///
+/// Returns [`crate::MooError`] for empty/inconsistent inputs.
+pub fn crowding_distance(points: &[Vec<f64>]) -> Result<Vec<f64>> {
+    let dim = validate_points(points)?;
+    let n = points.len();
+    let mut distance = vec![0.0f64; n];
+    if n <= 2 {
+        return Ok(vec![f64::INFINITY; n]);
+    }
+    for d in 0..dim {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| points[i][d].total_cmp(&points[j][d]));
+        let span = points[order[n - 1]][d] - points[order[0]][d];
+        distance[order[0]] = f64::INFINITY;
+        distance[order[n - 1]] = f64::INFINITY;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..n - 1 {
+            let gap = (points[order[w + 1]][d] - points[order[w - 1]][d]) / span;
+            distance[order[w]] += gap;
+        }
+    }
+    Ok(distance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 5.0], // front 0
+            vec![2.0, 3.0], // front 0
+            vec![4.0, 1.0], // front 0
+            vec![3.0, 4.0], // front 1 (dominated by [2,3])
+            vec![5.0, 5.0], // front 2 (dominated by [3,4])
+            vec![2.0, 3.0], // duplicate of front-0 point: same front
+        ]
+    }
+
+    #[test]
+    fn sorts_known_layout() {
+        let fronts = fast_non_dominated_sort(&sample()).unwrap();
+        assert_eq!(fronts.len(), 3);
+        let mut f0 = fronts[0].clone();
+        f0.sort_unstable();
+        assert_eq!(f0, vec![0, 1, 2, 5]);
+        assert_eq!(fronts[1], vec![3]);
+        assert_eq!(fronts[2], vec![4]);
+    }
+
+    #[test]
+    fn ranks_align_with_fronts() {
+        let ranks = pareto_ranks(&sample()).unwrap();
+        assert_eq!(ranks, vec![0, 0, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn pareto_front_returns_first_layer() {
+        let mut front = pareto_front(&sample()).unwrap();
+        front.sort_unstable();
+        assert_eq!(front, vec![0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn single_point_is_front_zero() {
+        let fronts = fast_non_dominated_sort(&[vec![1.0, 2.0]]).unwrap();
+        assert_eq!(fronts, vec![vec![0]]);
+    }
+
+    #[test]
+    fn totally_ordered_chain_gives_singleton_fronts() {
+        let chain: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, i as f64]).collect();
+        let fronts = fast_non_dominated_sort(&chain).unwrap();
+        assert_eq!(fronts.len(), 5);
+        for (k, f) in fronts.iter().enumerate() {
+            assert_eq!(f, &vec![k]);
+        }
+    }
+
+    #[test]
+    fn crowding_boundary_is_infinite() {
+        let front = vec![vec![1.0, 5.0], vec![2.0, 3.0], vec![3.0, 2.0], vec![5.0, 1.0]];
+        let d = crowding_distance(&front).unwrap();
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn crowding_small_fronts_all_infinite() {
+        let d = crowding_distance(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn crowding_constant_objective_is_handled() {
+        let front = vec![vec![1.0, 7.0], vec![2.0, 7.0], vec![3.0, 7.0]];
+        let d = crowding_distance(&front).unwrap();
+        // middle point has finite distance from the varying objective only
+        assert!(d[1].is_finite());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(fast_non_dominated_sort(&[]).is_err());
+        assert!(pareto_ranks(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(crowding_distance(&[vec![f64::NAN]]).is_err());
+    }
+}

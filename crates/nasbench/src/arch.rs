@@ -1,0 +1,429 @@
+//! The architecture type: codecs, enumeration and evolutionary operators.
+
+use crate::op::{FbnetOp, Nb201Op};
+use crate::SearchSpaceId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of searchable edges in a NAS-Bench-201 cell.
+pub const NB201_EDGES: usize = 6;
+
+/// Number of searchable layers in the FBNet macro-architecture.
+pub const FBNET_LAYERS: usize = 22;
+
+/// The `(source, target)` cell nodes of each NAS-Bench-201 edge, in the
+/// canonical string order `|e(0,1)| + |e(0,2) e(1,2)| + |e(0,3) e(1,3) e(2,3)|`.
+pub const NB201_EDGE_NODES: [(usize, usize); NB201_EDGES] =
+    [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)];
+
+/// A sampled neural architecture from either benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use hwpr_nasbench::{Architecture, Nb201Op};
+///
+/// let arch = Architecture::nb201([Nb201Op::NorConv3x3; 6]);
+/// assert_eq!(
+///     arch.to_arch_string(),
+///     "|nor_conv_3x3~0|+|nor_conv_3x3~0|nor_conv_3x3~1|+|nor_conv_3x3~0|nor_conv_3x3~1|nor_conv_3x3~2|"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Architecture {
+    /// A NAS-Bench-201 cell: one op per edge in canonical order.
+    Nb201([Nb201Op; NB201_EDGES]),
+    /// An FBNet macro-architecture: one block per searchable layer.
+    Fbnet([FbnetOp; FBNET_LAYERS]),
+}
+
+/// Error returned when parsing an architecture string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchParseError {
+    message: String,
+}
+
+impl ArchParseError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ArchParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid architecture string: {}", self.message)
+    }
+}
+
+impl Error for ArchParseError {}
+
+impl Architecture {
+    /// Creates a NAS-Bench-201 architecture from its edge ops.
+    pub fn nb201(ops: [Nb201Op; NB201_EDGES]) -> Self {
+        Architecture::Nb201(ops)
+    }
+
+    /// Creates an FBNet architecture from its layer blocks.
+    pub fn fbnet(ops: [FbnetOp; FBNET_LAYERS]) -> Self {
+        Architecture::Fbnet(ops)
+    }
+
+    /// The NAS-Bench-201 architecture with enumeration index `index`
+    /// (base-5 digits, most significant digit = first edge).
+    ///
+    /// Returns `None` when `index >= 15 625`.
+    pub fn nb201_from_index(index: u64) -> Option<Self> {
+        if index >= SearchSpaceId::NasBench201.size() {
+            return None;
+        }
+        let mut ops = [Nb201Op::None; NB201_EDGES];
+        let mut rest = index;
+        for slot in ops.iter_mut().rev() {
+            *slot = Nb201Op::from_index((rest % 5) as usize).expect("digit < 5");
+            rest /= 5;
+        }
+        Some(Architecture::Nb201(ops))
+    }
+
+    /// The FBNet architecture with enumeration index `index` (base-9
+    /// digits). The space has 9²² members, so indices are `u128`.
+    ///
+    /// Returns `None` when `index >= 9^22`.
+    pub fn fbnet_from_index(index: u128) -> Option<Self> {
+        let total = 9u128.pow(FBNET_LAYERS as u32);
+        if index >= total {
+            return None;
+        }
+        let mut ops = [FbnetOp::Skip; FBNET_LAYERS];
+        let mut rest = index;
+        for slot in ops.iter_mut().rev() {
+            *slot = FbnetOp::from_index((rest % 9) as usize).expect("digit < 9");
+            rest /= 9;
+        }
+        Some(Architecture::Fbnet(ops))
+    }
+
+    /// The enumeration index of this architecture within its space.
+    pub fn index(&self) -> u128 {
+        match self {
+            Architecture::Nb201(ops) => ops
+                .iter()
+                .fold(0u128, |acc, op| acc * 5 + op.index() as u128),
+            Architecture::Fbnet(ops) => ops
+                .iter()
+                .fold(0u128, |acc, op| acc * 9 + op.index() as u128),
+        }
+    }
+
+    /// Which benchmark this architecture belongs to.
+    pub fn space(&self) -> SearchSpaceId {
+        match self {
+            Architecture::Nb201(_) => SearchSpaceId::NasBench201,
+            Architecture::Fbnet(_) => SearchSpaceId::FBNet,
+        }
+    }
+
+    /// Op index at each searchable position.
+    pub fn op_indices(&self) -> Vec<usize> {
+        match self {
+            Architecture::Nb201(ops) => ops.iter().map(|o| o.index()).collect(),
+            Architecture::Fbnet(ops) => ops.iter().map(|o| o.index()).collect(),
+        }
+    }
+
+    /// Samples a uniformly random architecture from `space`.
+    pub fn random<R: Rng>(space: SearchSpaceId, rng: &mut R) -> Self {
+        match space {
+            SearchSpaceId::NasBench201 => {
+                let mut ops = [Nb201Op::None; NB201_EDGES];
+                for slot in &mut ops {
+                    *slot = Nb201Op::from_index(rng.gen_range(0..5)).expect("range");
+                }
+                Architecture::Nb201(ops)
+            }
+            SearchSpaceId::FBNet => {
+                let mut ops = [FbnetOp::Skip; FBNET_LAYERS];
+                for slot in &mut ops {
+                    *slot = FbnetOp::from_index(rng.gen_range(0..9)).expect("range");
+                }
+                Architecture::Fbnet(ops)
+            }
+        }
+    }
+
+    /// Returns a mutated copy: one random position is changed to a
+    /// different random operation.
+    pub fn mutate<R: Rng>(&self, rng: &mut R) -> Self {
+        let mut out = self.clone();
+        match &mut out {
+            Architecture::Nb201(ops) => {
+                let pos = rng.gen_range(0..ops.len());
+                let current = ops[pos].index();
+                let mut pick = rng.gen_range(0..4);
+                if pick >= current {
+                    pick += 1;
+                }
+                ops[pos] = Nb201Op::from_index(pick).expect("range");
+            }
+            Architecture::Fbnet(ops) => {
+                let pos = rng.gen_range(0..ops.len());
+                let current = ops[pos].index();
+                let mut pick = rng.gen_range(0..8);
+                if pick >= current {
+                    pick += 1;
+                }
+                ops[pos] = FbnetOp::from_index(pick).expect("range");
+            }
+        }
+        out
+    }
+
+    /// Uniform crossover between two parents *of the same space*: each
+    /// position is inherited from a random parent.
+    ///
+    /// Returns `None` if the parents come from different spaces.
+    pub fn crossover<R: Rng>(&self, other: &Self, rng: &mut R) -> Option<Self> {
+        match (self, other) {
+            (Architecture::Nb201(a), Architecture::Nb201(b)) => {
+                let mut ops = *a;
+                for (slot, &bv) in ops.iter_mut().zip(b.iter()) {
+                    if rng.gen_bool(0.5) {
+                        *slot = bv;
+                    }
+                }
+                Some(Architecture::Nb201(ops))
+            }
+            (Architecture::Fbnet(a), Architecture::Fbnet(b)) => {
+                let mut ops = *a;
+                for (slot, &bv) in ops.iter_mut().zip(b.iter()) {
+                    if rng.gen_bool(0.5) {
+                        *slot = bv;
+                    }
+                }
+                Some(Architecture::Fbnet(ops))
+            }
+            _ => None,
+        }
+    }
+
+    /// The canonical string encoding.
+    ///
+    /// NAS-Bench-201 uses the benchmark's own format
+    /// (`|op~0|+|op~0|op~1|+|op~0|op~1|op~2|`); FBNet architectures are
+    /// encoded in the same pipe-delimited style (`fbnet:|k3_e1|skip|...|`),
+    /// as the paper does when feeding FBNet to the LSTM encoder.
+    pub fn to_arch_string(&self) -> String {
+        match self {
+            Architecture::Nb201(ops) => {
+                let op = |i: usize| format!("{}~{}", ops[i].name(), NB201_EDGE_NODES[i].0);
+                format!(
+                    "|{}|+|{}|{}|+|{}|{}|{}|",
+                    op(0),
+                    op(1),
+                    op(2),
+                    op(3),
+                    op(4),
+                    op(5)
+                )
+            }
+            Architecture::Fbnet(ops) => {
+                let mut s = String::from("fbnet:|");
+                for op in ops {
+                    s.push_str(op.name());
+                    s.push('|');
+                }
+                s
+            }
+        }
+    }
+}
+
+impl FromStr for Architecture {
+    type Err = ArchParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(body) = s.strip_prefix("fbnet:") {
+            let parts: Vec<&str> = body
+                .split('|')
+                .filter(|p| !p.is_empty())
+                .collect();
+            if parts.len() != FBNET_LAYERS {
+                return Err(ArchParseError::new(format!(
+                    "expected {FBNET_LAYERS} FBNet blocks, found {}",
+                    parts.len()
+                )));
+            }
+            let mut ops = [FbnetOp::Skip; FBNET_LAYERS];
+            for (slot, part) in ops.iter_mut().zip(&parts) {
+                *slot = FbnetOp::from_name(part)
+                    .ok_or_else(|| ArchParseError::new(format!("unknown FBNet block `{part}`")))?;
+            }
+            return Ok(Architecture::Fbnet(ops));
+        }
+        // NAS-Bench-201 format
+        let tokens: Vec<&str> = s
+            .split(['|', '+'])
+            .filter(|p| !p.is_empty())
+            .collect();
+        if tokens.len() != NB201_EDGES {
+            return Err(ArchParseError::new(format!(
+                "expected {NB201_EDGES} edge tokens, found {}",
+                tokens.len()
+            )));
+        }
+        let mut ops = [Nb201Op::None; NB201_EDGES];
+        for (i, (slot, token)) in ops.iter_mut().zip(&tokens).enumerate() {
+            let (name, src) = token
+                .rsplit_once('~')
+                .ok_or_else(|| ArchParseError::new(format!("edge token `{token}` lacks `~source`")))?;
+            let expected = NB201_EDGE_NODES[i].0.to_string();
+            if src != expected {
+                return Err(ArchParseError::new(format!(
+                    "edge {i} source `{src}`, expected `{expected}`"
+                )));
+            }
+            *slot = Nb201Op::from_name(name)
+                .ok_or_else(|| ArchParseError::new(format!("unknown op `{name}`")))?;
+        }
+        Ok(Architecture::Nb201(ops))
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_arch_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn nb201_index_round_trip() {
+        for idx in [0u64, 1, 4, 5, 624, 15_624, 8_888] {
+            let a = Architecture::nb201_from_index(idx).unwrap();
+            assert_eq!(a.index(), idx as u128);
+        }
+        assert!(Architecture::nb201_from_index(15_625).is_none());
+    }
+
+    #[test]
+    fn fbnet_index_round_trip() {
+        for idx in [0u128, 1, 8, 9, 9u128.pow(22) - 1, 123_456_789_012_345] {
+            let a = Architecture::fbnet_from_index(idx).unwrap();
+            assert_eq!(a.index(), idx);
+        }
+        assert!(Architecture::fbnet_from_index(9u128.pow(22)).is_none());
+    }
+
+    #[test]
+    fn string_round_trip_nb201() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a = Architecture::random(SearchSpaceId::NasBench201, &mut rng);
+            let s = a.to_arch_string();
+            let back: Architecture = s.parse().unwrap();
+            assert_eq!(a, back);
+        }
+    }
+
+    #[test]
+    fn string_round_trip_fbnet() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..50 {
+            let a = Architecture::random(SearchSpaceId::FBNet, &mut rng);
+            let back: Architecture = a.to_arch_string().parse().unwrap();
+            assert_eq!(a, back);
+        }
+    }
+
+    #[test]
+    fn canonical_nb201_string_format() {
+        let a = Architecture::nb201_from_index(0).unwrap();
+        assert_eq!(
+            a.to_arch_string(),
+            "|none~0|+|none~0|none~1|+|none~0|none~1|none~2|"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("".parse::<Architecture>().is_err());
+        assert!("|bogus~0|+|none~0|none~1|+|none~0|none~1|none~2|"
+            .parse::<Architecture>()
+            .is_err());
+        assert!("|none~1|+|none~0|none~1|+|none~0|none~1|none~2|"
+            .parse::<Architecture>()
+            .is_err()); // wrong source node
+        assert!("fbnet:|k3_e1|".parse::<Architecture>().is_err());
+        assert!("fbnet:|bogus|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|k3_e1|"
+            .parse::<Architecture>()
+            .is_err());
+    }
+
+    #[test]
+    fn mutate_changes_exactly_one_position() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for space in [SearchSpaceId::NasBench201, SearchSpaceId::FBNet] {
+            let a = Architecture::random(space, &mut rng);
+            let b = a.mutate(&mut rng);
+            let diff: usize = a
+                .op_indices()
+                .iter()
+                .zip(b.op_indices())
+                .filter(|(x, y)| **x != *y)
+                .count();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn crossover_same_space_mixes_parents() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let a = Architecture::random(SearchSpaceId::NasBench201, &mut rng);
+        let b = Architecture::random(SearchSpaceId::NasBench201, &mut rng);
+        let child = a.crossover(&b, &mut rng).unwrap();
+        for ((&c, &x), &y) in child
+            .op_indices()
+            .iter()
+            .zip(a.op_indices().iter())
+            .zip(b.op_indices().iter())
+        {
+            assert!(c == x || c == y);
+        }
+    }
+
+    #[test]
+    fn crossover_across_spaces_is_none() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = Architecture::random(SearchSpaceId::NasBench201, &mut rng);
+        let b = Architecture::random(SearchSpaceId::FBNet, &mut rng);
+        assert!(a.crossover(&b, &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(7);
+        let mut r2 = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(
+            Architecture::random(SearchSpaceId::FBNet, &mut r1),
+            Architecture::random(SearchSpaceId::FBNet, &mut r2)
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Architecture::nb201_from_index(31).unwrap();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Architecture = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

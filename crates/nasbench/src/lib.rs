@@ -1,0 +1,172 @@
+//! NAS search spaces, architecture encodings and a layer-by-layer
+//! profiler for the HW-PR-NAS reproduction.
+//!
+//! The paper searches two benchmarks:
+//!
+//! - **NAS-Bench-201** — a cell-based space: 6 edges in a 4-node DAG, each
+//!   carrying one of 5 operations (`none`/zeroize, `skip_connect`,
+//!   `nor_conv_1x1`, `nor_conv_3x3`, `avg_pool_3x3`); 5⁶ = 15 625
+//!   architectures, exhaustively enumerable.
+//! - **FBNet** — a layer-wise mobile space: 22 searchable positions, each
+//!   one of 9 blocks (MBConv with kernel ∈ {3,5} × expansion ∈ {1,3,6},
+//!   two grouped variants, plus `skip`), which removes the cell repetition
+//!   and adds depthwise/grouped convolutions.
+//!
+//! Three encodings feed the surrogate models (§III-C of the paper):
+//!
+//! - [`features::ArchFeatures`] — manual **Architecture Features** (AF):
+//!   FLOPs, parameters, #convolutions, input size, depth, first/last
+//!   channels, #downsamples;
+//! - [`tokens`] — the string/token sequence for the **LSTM** encoder;
+//! - [`graph::ArchGraph`] — adjacency + one-hot op nodes (+ global node)
+//!   for the **GCN** encoder.
+//!
+//! The [`profile`] module computes per-operation FLOPs/params/shapes on
+//! the paper's macro-skeletons; the hardware models in `hwpr-hwmodel`
+//! consume those records to derive platform latency and energy.
+//!
+//! # Examples
+//!
+//! ```
+//! use hwpr_nasbench::{Architecture, SearchSpaceId};
+//!
+//! let arch = Architecture::nb201_from_index(151).unwrap();
+//! let s = arch.to_arch_string();
+//! let back: Architecture = s.parse().unwrap();
+//! assert_eq!(arch, back);
+//! assert_eq!(arch.space(), SearchSpaceId::NasBench201);
+//! ```
+
+
+#![warn(missing_docs)]
+mod arch;
+pub mod features;
+pub mod graph;
+mod op;
+pub mod profile;
+pub mod tokens;
+
+pub use arch::{Architecture, ArchParseError, FBNET_LAYERS, NB201_EDGES};
+pub use op::{FbnetOp, Nb201Op, OpKind};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one of the two NAS benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SearchSpaceId {
+    /// The NAS-Bench-201 cell-based space (15 625 architectures).
+    NasBench201,
+    /// The FBNet layer-wise mobile space (9²² architectures).
+    FBNet,
+}
+
+impl SearchSpaceId {
+    /// Number of searchable positions (edges or layers).
+    pub fn positions(self) -> usize {
+        match self {
+            SearchSpaceId::NasBench201 => NB201_EDGES,
+            SearchSpaceId::FBNet => FBNET_LAYERS,
+        }
+    }
+
+    /// Number of candidate operations per position.
+    pub fn ops_per_position(self) -> usize {
+        match self {
+            SearchSpaceId::NasBench201 => Nb201Op::ALL.len(),
+            SearchSpaceId::FBNet => FbnetOp::ALL.len(),
+        }
+    }
+
+    /// Total number of architectures (saturating; FBNet overflows `u64`
+    /// and reports `u64::MAX`).
+    pub fn size(self) -> u64 {
+        let ops = self.ops_per_position() as u64;
+        let mut total: u64 = 1;
+        for _ in 0..self.positions() {
+            total = total.saturating_mul(ops);
+        }
+        total
+    }
+}
+
+impl fmt::Display for SearchSpaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchSpaceId::NasBench201 => write!(f, "NAS-Bench-201"),
+            SearchSpaceId::FBNet => write!(f, "FBNet"),
+        }
+    }
+}
+
+/// The image datasets the paper evaluates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// CIFAR-10: 32x32 inputs, 10 classes.
+    Cifar10,
+    /// CIFAR-100: 32x32 inputs, 100 classes.
+    Cifar100,
+    /// ImageNet16-120: 16x16 inputs, 120 classes.
+    ImageNet16,
+}
+
+impl Dataset {
+    /// All three datasets, in the paper's order.
+    pub const ALL: [Dataset; 3] = [Dataset::Cifar10, Dataset::Cifar100, Dataset::ImageNet16];
+
+    /// Input spatial resolution (square).
+    pub fn input_size(self) -> usize {
+        match self {
+            Dataset::Cifar10 | Dataset::Cifar100 => 32,
+            Dataset::ImageNet16 => 16,
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(self) -> usize {
+        match self {
+            Dataset::Cifar10 => 10,
+            Dataset::Cifar100 => 100,
+            Dataset::ImageNet16 => 120,
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dataset::Cifar10 => write!(f, "CIFAR-10"),
+            Dataset::Cifar100 => write!(f, "CIFAR-100"),
+            Dataset::ImageNet16 => write!(f, "ImageNet16-120"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_sizes() {
+        assert_eq!(SearchSpaceId::NasBench201.size(), 15_625);
+        assert_eq!(SearchSpaceId::FBNet.size(), u64::MAX); // saturates
+        assert_eq!(SearchSpaceId::NasBench201.positions(), 6);
+        assert_eq!(SearchSpaceId::FBNet.positions(), 22);
+        assert_eq!(SearchSpaceId::NasBench201.ops_per_position(), 5);
+        assert_eq!(SearchSpaceId::FBNet.ops_per_position(), 9);
+    }
+
+    #[test]
+    fn dataset_properties() {
+        assert_eq!(Dataset::Cifar10.input_size(), 32);
+        assert_eq!(Dataset::ImageNet16.input_size(), 16);
+        assert_eq!(Dataset::Cifar100.classes(), 100);
+        assert_eq!(Dataset::ALL.len(), 3);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(SearchSpaceId::NasBench201.to_string(), "NAS-Bench-201");
+        assert_eq!(Dataset::ImageNet16.to_string(), "ImageNet16-120");
+    }
+}

@@ -1,0 +1,257 @@
+//! Candidate operations of both search spaces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse operation category used by the hardware cost models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Standard (dense) convolution.
+    Conv,
+    /// Depthwise convolution (one filter per channel).
+    DepthwiseConv,
+    /// Grouped convolution with more than one group.
+    GroupedConv,
+    /// Pooling.
+    Pool,
+    /// Identity / skip connection.
+    Skip,
+    /// Zeroize (the NAS-Bench-201 `none` op).
+    Zero,
+    /// Fully-connected layer.
+    Linear,
+}
+
+/// The five NAS-Bench-201 edge operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Nb201Op {
+    /// `none`: the edge outputs zero.
+    None,
+    /// `skip_connect`: identity.
+    SkipConnect,
+    /// `nor_conv_1x1`: ReLU-Conv1x1-BN.
+    NorConv1x1,
+    /// `nor_conv_3x3`: ReLU-Conv3x3-BN.
+    NorConv3x3,
+    /// `avg_pool_3x3`.
+    AvgPool3x3,
+}
+
+impl Nb201Op {
+    /// All operations, in canonical index order.
+    pub const ALL: [Nb201Op; 5] = [
+        Nb201Op::None,
+        Nb201Op::SkipConnect,
+        Nb201Op::NorConv1x1,
+        Nb201Op::NorConv3x3,
+        Nb201Op::AvgPool3x3,
+    ];
+
+    /// Canonical index (0..5).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&o| o == self).expect("op in ALL")
+    }
+
+    /// Operation from its canonical index.
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// The NAS-Bench-201 string name (`nor_conv_3x3`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Nb201Op::None => "none",
+            Nb201Op::SkipConnect => "skip_connect",
+            Nb201Op::NorConv1x1 => "nor_conv_1x1",
+            Nb201Op::NorConv3x3 => "nor_conv_3x3",
+            Nb201Op::AvgPool3x3 => "avg_pool_3x3",
+        }
+    }
+
+    /// Parses a NAS-Bench-201 op name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|o| o.name() == name)
+    }
+
+    /// Convolution kernel size, when applicable.
+    pub fn kernel(self) -> Option<usize> {
+        match self {
+            Nb201Op::NorConv1x1 => Some(1),
+            Nb201Op::NorConv3x3 | Nb201Op::AvgPool3x3 => Some(3),
+            _ => None,
+        }
+    }
+
+    /// Hardware cost category.
+    pub fn kind(self) -> OpKind {
+        match self {
+            Nb201Op::None => OpKind::Zero,
+            Nb201Op::SkipConnect => OpKind::Skip,
+            Nb201Op::NorConv1x1 | Nb201Op::NorConv3x3 => OpKind::Conv,
+            Nb201Op::AvgPool3x3 => OpKind::Pool,
+        }
+    }
+}
+
+impl fmt::Display for Nb201Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The nine FBNet candidate blocks: MBConv `k{kernel}_e{expansion}`
+/// (optionally grouped, `_g2`) plus `skip`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FbnetOp {
+    /// MBConv kernel 3, expansion 1.
+    K3E1,
+    /// MBConv kernel 3, expansion 1, grouped 1x1 convs (2 groups).
+    K3E1G2,
+    /// MBConv kernel 3, expansion 3.
+    K3E3,
+    /// MBConv kernel 3, expansion 6.
+    K3E6,
+    /// MBConv kernel 5, expansion 1.
+    K5E1,
+    /// MBConv kernel 5, expansion 1, grouped 1x1 convs (2 groups).
+    K5E1G2,
+    /// MBConv kernel 5, expansion 3.
+    K5E3,
+    /// MBConv kernel 5, expansion 6.
+    K5E6,
+    /// Identity (skip the layer).
+    Skip,
+}
+
+impl FbnetOp {
+    /// All blocks, in canonical index order.
+    pub const ALL: [FbnetOp; 9] = [
+        FbnetOp::K3E1,
+        FbnetOp::K3E1G2,
+        FbnetOp::K3E3,
+        FbnetOp::K3E6,
+        FbnetOp::K5E1,
+        FbnetOp::K5E1G2,
+        FbnetOp::K5E3,
+        FbnetOp::K5E6,
+        FbnetOp::Skip,
+    ];
+
+    /// Canonical index (0..9).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&o| o == self).expect("op in ALL")
+    }
+
+    /// Operation from its canonical index.
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Block name in FBNet notation (`k3_e6`, `skip`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            FbnetOp::K3E1 => "k3_e1",
+            FbnetOp::K3E1G2 => "k3_e1_g2",
+            FbnetOp::K3E3 => "k3_e3",
+            FbnetOp::K3E6 => "k3_e6",
+            FbnetOp::K5E1 => "k5_e1",
+            FbnetOp::K5E1G2 => "k5_e1_g2",
+            FbnetOp::K5E3 => "k5_e3",
+            FbnetOp::K5E6 => "k5_e6",
+            FbnetOp::Skip => "skip",
+        }
+    }
+
+    /// Parses an FBNet block name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|o| o.name() == name)
+    }
+
+    /// Depthwise kernel size (None for `skip`).
+    pub fn kernel(self) -> Option<usize> {
+        match self {
+            FbnetOp::K3E1 | FbnetOp::K3E1G2 | FbnetOp::K3E3 | FbnetOp::K3E6 => Some(3),
+            FbnetOp::K5E1 | FbnetOp::K5E1G2 | FbnetOp::K5E3 | FbnetOp::K5E6 => Some(5),
+            FbnetOp::Skip => None,
+        }
+    }
+
+    /// Channel expansion ratio (None for `skip`).
+    pub fn expansion(self) -> Option<usize> {
+        match self {
+            FbnetOp::K3E1 | FbnetOp::K3E1G2 | FbnetOp::K5E1 | FbnetOp::K5E1G2 => Some(1),
+            FbnetOp::K3E3 | FbnetOp::K5E3 => Some(3),
+            FbnetOp::K3E6 | FbnetOp::K5E6 => Some(6),
+            FbnetOp::Skip => None,
+        }
+    }
+
+    /// Number of groups in the pointwise convolutions.
+    pub fn groups(self) -> usize {
+        match self {
+            FbnetOp::K3E1G2 | FbnetOp::K5E1G2 => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the block contains a depthwise convolution.
+    pub fn is_depthwise(self) -> bool {
+        self != FbnetOp::Skip
+    }
+}
+
+impl fmt::Display for FbnetOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nb201_index_round_trip() {
+        for (i, op) in Nb201Op::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(Nb201Op::from_index(i), Some(*op));
+            assert_eq!(Nb201Op::from_name(op.name()), Some(*op));
+        }
+        assert_eq!(Nb201Op::from_index(5), None);
+        assert_eq!(Nb201Op::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn fbnet_index_round_trip() {
+        for (i, op) in FbnetOp::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(FbnetOp::from_index(i), Some(*op));
+            assert_eq!(FbnetOp::from_name(op.name()), Some(*op));
+        }
+        assert_eq!(FbnetOp::from_index(9), None);
+    }
+
+    #[test]
+    fn nb201_attributes() {
+        assert_eq!(Nb201Op::NorConv3x3.kernel(), Some(3));
+        assert_eq!(Nb201Op::SkipConnect.kernel(), None);
+        assert_eq!(Nb201Op::None.kind(), OpKind::Zero);
+        assert_eq!(Nb201Op::AvgPool3x3.kind(), OpKind::Pool);
+    }
+
+    #[test]
+    fn fbnet_attributes() {
+        assert_eq!(FbnetOp::K5E6.kernel(), Some(5));
+        assert_eq!(FbnetOp::K5E6.expansion(), Some(6));
+        assert_eq!(FbnetOp::K3E1G2.groups(), 2);
+        assert!(FbnetOp::K3E1.is_depthwise());
+        assert!(!FbnetOp::Skip.is_depthwise());
+        assert_eq!(FbnetOp::Skip.expansion(), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Nb201Op::NorConv3x3.to_string(), "nor_conv_3x3");
+        assert_eq!(FbnetOp::K3E1G2.to_string(), "k3_e1_g2");
+    }
+}

@@ -1,0 +1,463 @@
+//! Layer-by-layer profiler: FLOPs, parameters and tensor shapes for every
+//! operation of an architecture instantiated on a dataset.
+//!
+//! The profiles serve two purposes: they provide the manual Architecture
+//! Features (AF) of §III-C, and they are the input to the analytical
+//! hardware cost models in `hwpr-hwmodel`.
+
+use crate::arch::{Architecture, FBNET_LAYERS, NB201_EDGE_NODES};
+use crate::op::{FbnetOp, Nb201Op, OpKind};
+use crate::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Profile of a single operation instance in the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpProfile {
+    /// Human-readable name, e.g. `cell3.edge(0,1).nor_conv_3x3`.
+    pub name: String,
+    /// Cost-model category.
+    pub kind: OpKind,
+    /// Floating-point operations (multiply-accumulate counted as 2).
+    pub flops: f64,
+    /// Trainable parameters.
+    pub params: f64,
+    /// Input spatial resolution (square).
+    pub input_hw: usize,
+    /// Output spatial resolution (square).
+    pub output_hw: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel size (0 for non-spatial ops).
+    pub kernel: usize,
+    /// Convolution groups (1 for dense ops).
+    pub groups: usize,
+}
+
+impl OpProfile {
+    /// Bytes moved through the op assuming 4-byte activations and weights
+    /// read once — the memory-traffic proxy used by the roofline models.
+    pub fn memory_bytes(&self) -> f64 {
+        let input = (self.input_hw * self.input_hw * self.in_channels) as f64;
+        let output = (self.output_hw * self.output_hw * self.out_channels) as f64;
+        (input + output + self.params) * 4.0
+    }
+}
+
+/// Full network profile of an architecture on a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// Per-op records in execution order.
+    pub ops: Vec<OpProfile>,
+}
+
+impl NetworkProfile {
+    /// Total FLOPs.
+    pub fn total_flops(&self) -> f64 {
+        self.ops.iter().map(|o| o.flops).sum()
+    }
+
+    /// Total parameters.
+    pub fn total_params(&self) -> f64 {
+        self.ops.iter().map(|o| o.params).sum()
+    }
+
+    /// Number of convolution ops (dense, grouped or depthwise).
+    pub fn conv_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.kind,
+                    OpKind::Conv | OpKind::DepthwiseConv | OpKind::GroupedConv
+                )
+            })
+            .count()
+    }
+
+    /// Number of resolution-reducing ops.
+    pub fn downsample_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.output_hw < o.input_hw).count()
+    }
+
+    /// Depth: number of ops that actually transform data (skips, zeroes
+    /// excluded).
+    pub fn effective_depth(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| !matches!(o.kind, OpKind::Skip | OpKind::Zero))
+            .count()
+    }
+}
+
+/// Profiles `arch` on `dataset`, returning per-op records in execution
+/// order.
+pub fn profile(arch: &Architecture, dataset: Dataset) -> NetworkProfile {
+    match arch {
+        Architecture::Nb201(ops) => profile_nb201(ops, dataset),
+        Architecture::Fbnet(ops) => profile_fbnet(ops, dataset),
+    }
+}
+
+fn conv2d(
+    name: String,
+    hw: usize,
+    stride: usize,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    groups: usize,
+) -> OpProfile {
+    let out_hw = hw.div_ceil(stride);
+    let kind = if groups == in_ch && groups == out_ch && groups > 1 {
+        OpKind::DepthwiseConv
+    } else if groups > 1 {
+        OpKind::GroupedConv
+    } else {
+        OpKind::Conv
+    };
+    let macs = (out_hw * out_hw * out_ch) as f64 * (in_ch / groups) as f64 * (kernel * kernel) as f64;
+    let params = out_ch as f64 * (in_ch / groups) as f64 * (kernel * kernel) as f64;
+    OpProfile {
+        name,
+        kind,
+        flops: 2.0 * macs,
+        params,
+        input_hw: hw,
+        output_hw: out_hw,
+        in_channels: in_ch,
+        out_channels: out_ch,
+        kernel,
+        groups,
+    }
+}
+
+fn pool(name: String, hw: usize, stride: usize, ch: usize, kernel: usize) -> OpProfile {
+    let out_hw = hw.div_ceil(stride);
+    OpProfile {
+        name,
+        kind: OpKind::Pool,
+        flops: (out_hw * out_hw * ch * kernel * kernel) as f64,
+        params: 0.0,
+        input_hw: hw,
+        output_hw: out_hw,
+        in_channels: ch,
+        out_channels: ch,
+        kernel,
+        groups: 1,
+    }
+}
+
+fn passthrough(name: String, kind: OpKind, hw: usize, ch: usize) -> OpProfile {
+    OpProfile {
+        name,
+        kind,
+        flops: 0.0,
+        params: 0.0,
+        input_hw: hw,
+        output_hw: hw,
+        in_channels: ch,
+        out_channels: ch,
+        kernel: 0,
+        groups: 1,
+    }
+}
+
+fn linear(name: String, in_features: usize, out_features: usize) -> OpProfile {
+    OpProfile {
+        name,
+        kind: OpKind::Linear,
+        flops: 2.0 * (in_features * out_features) as f64,
+        params: (in_features * out_features + out_features) as f64,
+        input_hw: 1,
+        output_hw: 1,
+        in_channels: in_features,
+        out_channels: out_features,
+        kernel: 0,
+        groups: 1,
+    }
+}
+
+/// NAS-Bench-201 macro-skeleton: stem(16) → 5 cells → reduce(32) → 5 cells
+/// → reduce(64) → 5 cells → pool+fc, as in the benchmark definition.
+fn profile_nb201(ops: &[Nb201Op; 6], dataset: Dataset) -> NetworkProfile {
+    const CELLS_PER_STAGE: usize = 5;
+    let mut records = Vec::new();
+    let mut hw = dataset.input_size();
+    records.push(conv2d("stem.conv3x3".into(), hw, 1, 3, 16, 3, 1));
+    let mut channels = 16usize;
+    for stage in 0..3 {
+        if stage > 0 {
+            // residual downsample block: conv3x3 s2 + conv3x3 s1 (+1x1 shortcut)
+            let out = channels * 2;
+            records.push(conv2d(
+                format!("reduce{stage}.conv_a"),
+                hw,
+                2,
+                channels,
+                out,
+                3,
+                1,
+            ));
+            hw = hw.div_ceil(2);
+            records.push(conv2d(
+                format!("reduce{stage}.conv_b"),
+                hw,
+                1,
+                out,
+                out,
+                3,
+                1,
+            ));
+            records.push(conv2d(
+                format!("reduce{stage}.shortcut"),
+                hw * 2,
+                2,
+                channels,
+                out,
+                1,
+                1,
+            ));
+            channels = out;
+        }
+        for cell in 0..CELLS_PER_STAGE {
+            for (e, op) in ops.iter().enumerate() {
+                let (src, dst) = NB201_EDGE_NODES[e];
+                let name = format!("s{stage}.c{cell}.edge({src},{dst}).{}", op.name());
+                let record = match op {
+                    Nb201Op::None => passthrough(name, OpKind::Zero, hw, channels),
+                    Nb201Op::SkipConnect => passthrough(name, OpKind::Skip, hw, channels),
+                    Nb201Op::NorConv1x1 => conv2d(name, hw, 1, channels, channels, 1, 1),
+                    Nb201Op::NorConv3x3 => conv2d(name, hw, 1, channels, channels, 3, 1),
+                    Nb201Op::AvgPool3x3 => pool(name, hw, 1, channels, 3),
+                };
+                records.push(record);
+            }
+        }
+    }
+    records.push(pool("head.global_avg_pool".into(), hw, hw.max(1), channels, hw.max(1)));
+    records.push(linear(
+        "head.classifier".into(),
+        channels,
+        dataset.classes(),
+    ));
+    NetworkProfile { ops: records }
+}
+
+/// FBNet stage table: `(out_channels, blocks, stride_of_first_block)`,
+/// CIFAR-adapted (stride-1 stem) as in HW-NAS-Bench; 22 searchable blocks.
+const FBNET_STAGES: [(usize, usize, usize); 7] = [
+    (16, 1, 1),
+    (24, 4, 2),
+    (32, 4, 2),
+    (64, 4, 2),
+    (112, 4, 1),
+    (184, 4, 2),
+    (352, 1, 1),
+];
+
+/// FBNet macro-skeleton: stem(16) → 22 searchable MBConv/skip blocks in 7
+/// stages → 1x1 head conv → pool+fc.
+fn profile_fbnet(ops: &[FbnetOp; FBNET_LAYERS], dataset: Dataset) -> NetworkProfile {
+    let mut records = Vec::new();
+    let mut hw = dataset.input_size();
+    records.push(conv2d("stem.conv3x3".into(), hw, 1, 3, 16, 3, 1));
+    let mut channels = 16usize;
+    let mut layer = 0usize;
+    for (stage, &(out_ch, blocks, first_stride)) in FBNET_STAGES.iter().enumerate() {
+        for block in 0..blocks {
+            let stride = if block == 0 { first_stride } else { 1 };
+            let op = ops[layer];
+            let name_prefix = format!("s{stage}.b{block}.{}", op.name());
+            match op {
+                FbnetOp::Skip => {
+                    if stride == 1 && channels == out_ch {
+                        records.push(passthrough(name_prefix, OpKind::Skip, hw, channels));
+                    } else {
+                        // shape must change: fall back to a minimal 1x1 conv
+                        records.push(conv2d(
+                            format!("{name_prefix}.proj"),
+                            hw,
+                            stride,
+                            channels,
+                            out_ch,
+                            1,
+                            1,
+                        ));
+                        hw = hw.div_ceil(stride);
+                    }
+                }
+                mb => {
+                    let e = mb.expansion().expect("MBConv has expansion");
+                    let k = mb.kernel().expect("MBConv has kernel");
+                    let g = mb.groups();
+                    let mid = channels * e;
+                    if e > 1 || g > 1 {
+                        records.push(conv2d(
+                            format!("{name_prefix}.expand1x1"),
+                            hw,
+                            1,
+                            channels,
+                            mid,
+                            1,
+                            g,
+                        ));
+                    }
+                    records.push(conv2d(
+                        format!("{name_prefix}.dw{k}x{k}"),
+                        hw,
+                        stride,
+                        mid,
+                        mid,
+                        k,
+                        mid,
+                    ));
+                    let new_hw = hw.div_ceil(stride);
+                    records.push(conv2d(
+                        format!("{name_prefix}.project1x1"),
+                        new_hw,
+                        1,
+                        mid,
+                        out_ch,
+                        1,
+                        g,
+                    ));
+                    hw = new_hw;
+                }
+            }
+            channels = if matches!(op, FbnetOp::Skip) && records.last().map(|r| r.kind) == Some(OpKind::Skip)
+            {
+                channels
+            } else {
+                out_ch
+            };
+            layer += 1;
+        }
+    }
+    records.push(conv2d("head.conv1x1".into(), hw, 1, channels, 1504, 1, 1));
+    records.push(pool("head.global_avg_pool".into(), hw, hw.max(1), 1504, hw.max(1)));
+    records.push(linear("head.classifier".into(), 1504, dataset.classes()));
+    NetworkProfile { ops: records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchSpaceId;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn all_convs() -> Architecture {
+        Architecture::nb201([Nb201Op::NorConv3x3; 6])
+    }
+
+    fn all_skip() -> Architecture {
+        Architecture::nb201([Nb201Op::SkipConnect; 6])
+    }
+
+    #[test]
+    fn conv_flops_formula() {
+        let c = conv2d("t".into(), 32, 1, 16, 16, 3, 1);
+        assert_eq!(c.flops, 2.0 * (32.0 * 32.0) * 16.0 * 16.0 * 9.0);
+        assert_eq!(c.params, 16.0 * 16.0 * 9.0);
+        assert_eq!(c.kind, OpKind::Conv);
+    }
+
+    #[test]
+    fn depthwise_detected_and_cheaper() {
+        let dense = conv2d("d".into(), 16, 1, 32, 32, 3, 1);
+        let dw = conv2d("w".into(), 16, 1, 32, 32, 3, 32);
+        assert_eq!(dw.kind, OpKind::DepthwiseConv);
+        assert!(dw.flops < dense.flops / 16.0);
+    }
+
+    #[test]
+    fn grouped_conv_detected() {
+        let g = conv2d("g".into(), 16, 1, 32, 64, 1, 2);
+        assert_eq!(g.kind, OpKind::GroupedConv);
+    }
+
+    #[test]
+    fn stride_halves_resolution() {
+        let c = conv2d("s".into(), 33, 2, 8, 8, 3, 1);
+        assert_eq!(c.output_hw, 17);
+    }
+
+    #[test]
+    fn nb201_conv_arch_heavier_than_skip_arch() {
+        let conv = profile(&all_convs(), Dataset::Cifar10);
+        let skip = profile(&all_skip(), Dataset::Cifar10);
+        assert!(conv.total_flops() > 10.0 * skip.total_flops());
+        assert!(conv.total_params() > skip.total_params());
+        assert_eq!(conv.ops.len(), skip.ops.len());
+    }
+
+    #[test]
+    fn nb201_profile_structure() {
+        let p = profile(&all_convs(), Dataset::Cifar10);
+        // stem + 15 cells x 6 edges + 2 reduce blocks x 3 convs + pool + fc
+        assert_eq!(p.ops.len(), 1 + 90 + 6 + 2);
+        // 2 downsampling stages: conv_a + shortcut are downsampling + final global pool
+        assert_eq!(p.downsample_count(), 5);
+        assert!(p.conv_count() >= 90);
+    }
+
+    #[test]
+    fn imagenet16_smaller_than_cifar() {
+        let c = profile(&all_convs(), Dataset::Cifar10);
+        let i = profile(&all_convs(), Dataset::ImageNet16);
+        assert!(i.total_flops() < c.total_flops());
+        // params barely change (classifier only)
+        assert!((i.total_params() - c.total_params()).abs() / c.total_params() < 0.2);
+    }
+
+    #[test]
+    fn fbnet_profile_runs_and_counts_layers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let a = Architecture::random(SearchSpaceId::FBNet, &mut rng);
+        let p = profile(&a, Dataset::Cifar10);
+        assert!(p.total_flops() > 0.0);
+        assert!(p.total_params() > 0.0);
+        // stages downsample 4 times + global pool
+        assert!(p.downsample_count() >= 5);
+    }
+
+    #[test]
+    fn fbnet_bigger_expansion_costs_more() {
+        let small = Architecture::fbnet([FbnetOp::K3E1; FBNET_LAYERS]);
+        let big = Architecture::fbnet([FbnetOp::K3E6; FBNET_LAYERS]);
+        assert!(
+            profile(&big, Dataset::Cifar10).total_flops()
+                > 2.0 * profile(&small, Dataset::Cifar10).total_flops()
+        );
+    }
+
+    #[test]
+    fn fbnet_all_skip_is_light_but_valid() {
+        let a = Architecture::fbnet([FbnetOp::Skip; FBNET_LAYERS]);
+        let p = profile(&a, Dataset::Cifar10);
+        // skips at stage boundaries become 1x1 projections, so flops > 0
+        assert!(p.total_flops() > 0.0);
+        assert!(p.effective_depth() < 40);
+    }
+
+    #[test]
+    fn fbnet_depthwise_ops_present() {
+        let a = Architecture::fbnet([FbnetOp::K5E6; FBNET_LAYERS]);
+        let p = profile(&a, Dataset::Cifar10);
+        let dw = p
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::DepthwiseConv)
+            .count();
+        assert_eq!(dw, FBNET_LAYERS);
+    }
+
+    #[test]
+    fn memory_bytes_positive_and_scales_with_channels() {
+        let small = conv2d("a".into(), 8, 1, 4, 4, 3, 1);
+        let big = conv2d("b".into(), 8, 1, 64, 64, 3, 1);
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic mini-batch index generation.
+
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Produces shuffled mini-batches of indices `0..n`.
+///
+/// The final batch may be smaller than `batch_size`. Batches are
+/// deterministic for a given `(n, batch_size, seed)`.
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let batches = hwpr_nn::batch::shuffled_batches(10, 4, 7);
+/// assert_eq!(batches.len(), 3);
+/// let total: usize = batches.iter().map(Vec::len).sum();
+/// assert_eq!(total, 10);
+/// ```
+pub fn shuffled_batches(n: usize, batch_size: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order.chunks(batch_size).map(<[usize]>::to_vec).collect()
+}
+
+/// Splits `0..n` into train/validation index sets with a deterministic
+/// shuffle; `val_fraction` of samples (rounded down, at least one when
+/// `n > 1`) go to validation.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= val_fraction < 1.0`.
+pub fn train_val_split(n: usize, val_fraction: f32, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..1.0).contains(&val_fraction),
+        "validation fraction must be in [0, 1)"
+    );
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut val_len = (n as f32 * val_fraction) as usize;
+    if val_len == 0 && val_fraction > 0.0 && n > 1 {
+        val_len = 1;
+    }
+    let val = order.split_off(n - val_len);
+    (order, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn batches_cover_all_indices_once() {
+        let batches = shuffled_batches(23, 5, 1);
+        let all: Vec<usize> = batches.concat();
+        assert_eq!(all.len(), 23);
+        let set: HashSet<usize> = all.into_iter().collect();
+        assert_eq!(set.len(), 23);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(shuffled_batches(10, 3, 9), shuffled_batches(10, 3, 9));
+        assert_ne!(shuffled_batches(100, 10, 1), shuffled_batches(100, 10, 2));
+    }
+
+    #[test]
+    fn empty_input_gives_no_batches() {
+        assert!(shuffled_batches(0, 4, 0).is_empty());
+    }
+
+    #[test]
+    fn split_sizes() {
+        let (train, val) = train_val_split(100, 0.2, 3);
+        assert_eq!(train.len(), 80);
+        assert_eq!(val.len(), 20);
+        let joined: HashSet<usize> = train.iter().chain(&val).copied().collect();
+        assert_eq!(joined.len(), 100);
+    }
+
+    #[test]
+    fn tiny_split_gets_at_least_one_validation_sample() {
+        let (train, val) = train_val_split(3, 0.1, 0);
+        assert_eq!(val.len(), 1);
+        assert_eq!(train.len(), 2);
+    }
+
+    #[test]
+    fn zero_fraction_keeps_everything_in_train() {
+        let (train, val) = train_val_split(5, 0.0, 0);
+        assert_eq!(train.len(), 5);
+        assert!(val.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Inverted dropout.
+
+use crate::layers::LayerRng;
+use crate::params::Binder;
+use crate::Result;
+use hwpr_autograd::Var;
+use hwpr_tensor::Matrix;
+use rand::Rng;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; at inference the
+/// layer is the identity.
+///
+/// The paper trains HW-PR-NAS with a dropout ratio of 0.02 (Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Self { p }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Applies dropout to `x`. Active only when the binder is in training
+    /// mode and `p > 0`; otherwise returns `x` unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the mask product (cannot happen for a
+    /// well-formed tape).
+    pub fn forward(&self, binder: &mut Binder<'_, '_>, x: Var, rng: &mut LayerRng) -> Result<Var> {
+        if !binder.train || self.p == 0.0 {
+            return Ok(x);
+        }
+        let (rows, cols) = binder.tape().value(x).shape();
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let data = (0..rows * cols)
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Matrix::from_vec(rows, cols, data).expect("mask shape");
+        Ok(binder.tape().dropout(x, mask)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use hwpr_autograd::Tape;
+    use rand_chacha::rand_core::SeedableRng;
+
+    #[test]
+    fn identity_at_inference() {
+        let params = Params::new();
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        let x = binder.input(Matrix::ones(2, 2));
+        let mut rng = LayerRng::seed_from_u64(0);
+        let y = Dropout::new(0.5).forward(&mut binder, x, &mut rng).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn training_mask_zeroes_and_rescales() {
+        let params = Params::new();
+        let mut tape = Tape::new();
+        let mut binder = Binder::for_training(&mut tape, &params);
+        let x = binder.input(Matrix::ones(20, 20));
+        let mut rng = LayerRng::seed_from_u64(42);
+        let y = Dropout::new(0.5).forward(&mut binder, x, &mut rng).unwrap();
+        let v = tape.value(y);
+        let zeros = v.as_slice().iter().filter(|&&e| e == 0.0).count();
+        let twos = v.as_slice().iter().filter(|&&e| (e - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + twos, 400);
+        assert!(zeros > 100 && zeros < 300, "zeros {zeros}");
+        // expectation preserved approximately
+        assert!((v.mean() - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_training() {
+        let params = Params::new();
+        let mut tape = Tape::new();
+        let mut binder = Binder::for_training(&mut tape, &params);
+        let x = binder.input(Matrix::ones(2, 2));
+        let mut rng = LayerRng::seed_from_u64(0);
+        let y = Dropout::new(0.0).forward(&mut binder, x, &mut rng).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn invalid_probability_panics() {
+        let _ = Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Token embedding table.
+
+use crate::params::{Binder, ParamId, Params};
+use crate::Result;
+use hwpr_autograd::Var;
+use hwpr_tensor::Init;
+
+/// Lookup table mapping token ids to dense vectors.
+///
+/// Used by the LSTM encoder: the string form of an architecture (e.g.
+/// `|nor_conv_3x3~0|...`) is tokenised into operation ids and each id is
+/// embedded before entering the recurrence.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers a `vocab x dim` embedding table initialised N(0, 0.1).
+    pub fn new(params: &mut Params, name: &str, vocab: usize, dim: usize, seed: u64) -> Self {
+        let table = params.add(&format!("{name}.table"), vocab, dim, Init::Normal(0.1), seed);
+        Self { table, vocab, dim }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds a batch of token ids, returning a `[ids.len(), dim]` node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error if any id is `>= vocab`.
+    pub fn forward(&self, binder: &mut Binder<'_, '_>, ids: &[usize]) -> Result<Var> {
+        let table = binder.param(self.table);
+        Ok(binder.tape().gather_rows(table, ids)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwpr_autograd::Tape;
+
+    #[test]
+    fn embeds_ids_to_rows() {
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "emb", 5, 3, 9);
+        assert_eq!(emb.vocab(), 5);
+        assert_eq!(emb.dim(), 3);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        let out = emb.forward(&mut binder, &[0, 4, 4]).unwrap();
+        let v = tape.value(out);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v.row(1), v.row(2));
+    }
+
+    #[test]
+    fn rejects_out_of_vocab() {
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "emb", 2, 2, 0);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        assert!(emb.forward(&mut binder, &[2]).is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_accumulate_gradient() {
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "emb", 3, 1, 1);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        let out = emb.forward(&mut binder, &[1, 1]).unwrap();
+        let loss = binder.tape().sum_all(out);
+        let grads = binder.finish(loss).unwrap();
+        let g = grads[0].as_ref().unwrap();
+        assert_eq!(g[(1, 0)], 2.0);
+        assert_eq!(g[(0, 0)], 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Multi-layer LSTM encoder.
+
+use crate::params::{Binder, ParamId, Params};
+use crate::{NnError, Result};
+use hwpr_autograd::Var;
+use hwpr_tensor::{Init, Matrix};
+
+/// One LSTM layer's parameters: input, recurrent and bias weights packed
+/// as `[i f g o]` gate blocks.
+#[derive(Debug, Clone)]
+struct LstmCell {
+    w_ih: ParamId,
+    w_hh: ParamId,
+    bias: ParamId,
+}
+
+/// Stacked LSTM used as the paper's latency encoder (2 layers, 225 hidden
+/// units over embedded architecture tokens).
+///
+/// # Examples
+///
+/// ```
+/// use hwpr_autograd::Tape;
+/// use hwpr_nn::layers::Lstm;
+/// use hwpr_nn::{Binder, Params};
+/// use hwpr_tensor::Matrix;
+///
+/// let mut params = Params::new();
+/// let lstm = Lstm::new(&mut params, "enc", 4, 8, 2, 11);
+/// let mut tape = Tape::new();
+/// let mut binder = Binder::new(&mut tape, &params);
+/// let steps: Vec<_> = (0..3).map(|_| binder.input(Matrix::ones(2, 4))).collect();
+/// let h = lstm.forward(&mut binder, &steps)?;
+/// assert_eq!(tape.value(h).shape(), (2, 8));
+/// # Ok::<(), hwpr_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    cells: Vec<LstmCell>,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl Lstm {
+    /// Registers an LSTM with `layers` stacked cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0`.
+    pub fn new(
+        params: &mut Params,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        layers: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(layers > 0, "LSTM needs at least one layer");
+        let mut cells = Vec::with_capacity(layers);
+        for l in 0..layers {
+            let in_dim = if l == 0 { input_dim } else { hidden_dim };
+            let w_ih = params.add(
+                &format!("{name}.l{l}.w_ih"),
+                in_dim,
+                4 * hidden_dim,
+                Init::Xavier,
+                seed.wrapping_add(3 * l as u64),
+            );
+            let w_hh = params.add(
+                &format!("{name}.l{l}.w_hh"),
+                hidden_dim,
+                4 * hidden_dim,
+                Init::Xavier,
+                seed.wrapping_add(3 * l as u64 + 1),
+            );
+            // forget-gate bias starts at 1 to ease gradient flow early on
+            let mut b = Matrix::zeros(1, 4 * hidden_dim);
+            for c in hidden_dim..2 * hidden_dim {
+                b.set(0, c, 1.0);
+            }
+            let bias = params.add_matrix(&format!("{name}.l{l}.bias"), b);
+            cells.push(LstmCell { w_ih, w_hh, bias });
+        }
+        Self {
+            cells,
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input feature dimension of the first layer.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden state dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Number of stacked layers.
+    pub fn layers(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Runs the recurrence over `steps` (each `[batch, input_dim]`) and
+    /// returns the final hidden state of the top layer (`[batch, hidden]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a config error when `steps` is empty, or a shape error when
+    /// step shapes are inconsistent.
+    pub fn forward(&self, binder: &mut Binder<'_, '_>, steps: &[Var]) -> Result<Var> {
+        Ok(*self
+            .forward_sequence(binder, steps)?
+            .last()
+            .expect("forward_sequence returns one output per step"))
+    }
+
+    /// Runs the recurrence and returns the top-layer hidden state after
+    /// every step (useful for attention-style pooling).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lstm::forward`].
+    pub fn forward_sequence(&self, binder: &mut Binder<'_, '_>, steps: &[Var]) -> Result<Vec<Var>> {
+        if steps.is_empty() {
+            return Err(NnError::Config("LSTM received an empty sequence".into()));
+        }
+        let batch = binder.tape().value(steps[0]).rows();
+        let h = self.hidden_dim;
+        let mut layer_inputs: Vec<Var> = steps.to_vec();
+        let mut outputs = Vec::with_capacity(steps.len());
+        for (li, cell) in self.cells.iter().enumerate() {
+            let w_ih = binder.param(cell.w_ih);
+            let w_hh = binder.param(cell.w_hh);
+            let bias = binder.param(cell.bias);
+            let mut hidden = binder.input(Matrix::zeros(batch, h));
+            let mut carry = binder.input(Matrix::zeros(batch, h));
+            let mut next_inputs = Vec::with_capacity(layer_inputs.len());
+            for &x in &layer_inputs {
+                let tape = binder.tape();
+                let xi = tape.matmul(x, w_ih)?;
+                let hh = tape.matmul(hidden, w_hh)?;
+                let pre = tape.add(xi, hh)?;
+                let gates = tape.add_bias(pre, bias)?;
+                let i_gate = tape.slice_cols(gates, 0, h)?;
+                let f_gate = tape.slice_cols(gates, h, 2 * h)?;
+                let g_gate = tape.slice_cols(gates, 2 * h, 3 * h)?;
+                let o_gate = tape.slice_cols(gates, 3 * h, 4 * h)?;
+                let i_act = tape.sigmoid(i_gate);
+                let f_act = tape.sigmoid(f_gate);
+                let g_act = tape.tanh(g_gate);
+                let o_act = tape.sigmoid(o_gate);
+                let keep = tape.mul(f_act, carry)?;
+                let write = tape.mul(i_act, g_act)?;
+                carry = tape.add(keep, write)?;
+                let c_act = tape.tanh(carry);
+                hidden = tape.mul(o_act, c_act)?;
+                next_inputs.push(hidden);
+            }
+            if li == self.cells.len() - 1 {
+                outputs = next_inputs.clone();
+            }
+            layer_inputs = next_inputs;
+        }
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwpr_autograd::Tape;
+
+    fn run(steps_data: &[Matrix], layers: usize) -> (Tape, Var, Params, Lstm) {
+        let mut params = Params::new();
+        let lstm = Lstm::new(&mut params, "lstm", steps_data[0].cols(), 5, layers, 3);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        let steps: Vec<Var> = steps_data.iter().map(|m| binder.input(m.clone())).collect();
+        let h = lstm.forward(&mut binder, &steps).unwrap();
+        (tape, h, params, lstm)
+    }
+
+    #[test]
+    fn output_shape() {
+        let steps = vec![Matrix::ones(3, 2); 4];
+        let (tape, h, _, lstm) = run(&steps, 2);
+        assert_eq!(tape.value(h).shape(), (3, 5));
+        assert_eq!(lstm.layers(), 2);
+        assert_eq!(lstm.input_dim(), 2);
+        assert_eq!(lstm.hidden_dim(), 5);
+    }
+
+    #[test]
+    fn hidden_stays_bounded() {
+        // tanh/sigmoid gating keeps |h| < 1
+        let steps = vec![Matrix::filled(2, 3, 10.0); 6];
+        let (tape, h, _, _) = run(&steps, 1);
+        assert!(tape.value(h).as_slice().iter().all(|x| x.abs() < 1.0));
+    }
+
+    #[test]
+    fn empty_sequence_is_config_error() {
+        let mut params = Params::new();
+        let lstm = Lstm::new(&mut params, "lstm", 2, 3, 1, 0);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        assert!(matches!(
+            lstm.forward(&mut binder, &[]),
+            Err(NnError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn sequence_order_matters() {
+        let a = Matrix::filled(1, 2, 1.0);
+        let b = Matrix::filled(1, 2, -1.0);
+        let (tape1, h1, _, _) = run(&[a.clone(), b.clone()], 1);
+        let (tape2, h2, _, _) = run(&[b, a], 1);
+        assert_ne!(tape1.value(h1), tape2.value(h2));
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let mut params = Params::new();
+        let lstm = Lstm::new(&mut params, "lstm", 2, 4, 2, 3);
+        let mut tape = Tape::new();
+        let mut binder = Binder::for_training(&mut tape, &params);
+        let steps: Vec<Var> = (0..3)
+            .map(|i| binder.input(Matrix::filled(2, 2, i as f32 * 0.3 - 0.2)))
+            .collect();
+        let h = lstm.forward(&mut binder, &steps).unwrap();
+        let loss = binder.tape().mean_all(h);
+        let grads = binder.finish(loss).unwrap();
+        // 2 layers x 3 params each
+        assert_eq!(grads.iter().filter(|g| g.is_some()).count(), 6);
+        for g in grads.into_iter().flatten() {
+            assert!(g.norm() > 0.0, "a parameter received a zero gradient");
+        }
+    }
+
+    #[test]
+    fn forward_sequence_len_matches_steps() {
+        let mut params = Params::new();
+        let lstm = Lstm::new(&mut params, "lstm", 2, 3, 1, 0);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        let steps: Vec<Var> = (0..5).map(|_| binder.input(Matrix::ones(1, 2))).collect();
+        let outs = lstm.forward_sequence(&mut binder, &steps).unwrap();
+        assert_eq!(outs.len(), 5);
+    }
+}

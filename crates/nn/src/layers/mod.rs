@@ -1,0 +1,18 @@
+//! Layer implementations used by the HW-PR-NAS predictors.
+
+mod dropout;
+mod embedding;
+mod gcn;
+mod linear;
+mod lstm;
+mod mlp;
+
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use gcn::{normalize_adjacency, GcnLayer};
+pub use linear::Linear;
+pub use lstm::Lstm;
+pub use mlp::{Activation, Mlp, MlpConfig};
+
+/// The deterministic RNG threaded through stochastic layers (dropout).
+pub type LayerRng = rand_chacha::ChaCha8Rng;

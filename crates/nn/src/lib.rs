@@ -1,0 +1,114 @@
+//! Neural-network building blocks for the HW-PR-NAS surrogate models.
+//!
+//! The crate layers a small but complete training stack on top of
+//! [`hwpr_autograd`]:
+//!
+//! - [`Params`] — a central parameter store; layers hold [`ParamId`]s and a
+//!   per-forward-pass [`Binder`] lazily inserts parameters onto the tape so
+//!   gradients can be routed back to the store after `backward`.
+//! - [`layers`] — `Linear`, `Embedding`, `Lstm` (the paper's 2-layer,
+//!   225-unit latency encoder), `GcnLayer` (the 2-layer, 600-unit accuracy
+//!   encoder with a global aggregation node), `Mlp` and `Dropout`.
+//! - [`optim`] — `AdamW` (the paper's optimizer), plain `Sgd`, the cosine
+//!   annealing schedule of Table II and patience-based `EarlyStopping`.
+//! - [`batch`] — deterministic shuffled mini-batch index generation.
+//!
+//! # Examples
+//!
+//! Train a one-layer regressor on a toy linear target:
+//!
+//! ```
+//! use hwpr_autograd::Tape;
+//! use hwpr_nn::layers::Linear;
+//! use hwpr_nn::optim::{AdamW, Optimizer};
+//! use hwpr_nn::{Binder, Params};
+//! use hwpr_tensor::{Init, Matrix};
+//!
+//! let mut params = Params::new();
+//! let layer = Linear::new(&mut params, "fc", 2, 1, Init::Xavier, 7, true);
+//! let mut opt = AdamW::new(0.05);
+//! let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+//! let t = Matrix::col_vector(&[1.0, 2.0, 3.0]);
+//! let mut last = f32::INFINITY;
+//! for _ in 0..200 {
+//!     let mut tape = Tape::new();
+//!     let mut binder = Binder::new(&mut tape, &params);
+//!     let xv = binder.input(x.clone());
+//!     let y = layer.forward(&mut binder, xv)?;
+//!     let loss = binder.tape().mse_loss(y, &t)?;
+//!     let grads = binder.finish(loss)?;
+//!     last = tape.value(loss)[(0, 0)];
+//!     opt.step(&mut params, &grads);
+//! }
+//! assert!(last < 1e-2, "did not converge: {last}");
+//! # Ok::<(), hwpr_nn::NnError>(())
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod batch;
+pub mod layers;
+pub mod optim;
+mod params;
+
+pub use params::{Binder, ParamId, Params};
+
+use hwpr_autograd::AutogradError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by layer and training operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An autograd/shape failure in a forward or backward pass.
+    Autograd(AutogradError),
+    /// A layer was configured inconsistently (empty hidden sizes, etc.).
+    Config(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Autograd(e) => write!(f, "{e}"),
+            NnError::Config(msg) => write!(f, "invalid layer configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Autograd(e) => Some(e),
+            NnError::Config(_) => None,
+        }
+    }
+}
+
+impl From<AutogradError> for NnError {
+    fn from(e: AutogradError) -> Self {
+        NnError::Autograd(e)
+    }
+}
+
+impl From<hwpr_tensor::ShapeError> for NnError {
+    fn from(e: hwpr_tensor::ShapeError) -> Self {
+        NnError::Autograd(AutogradError::Shape(e))
+    }
+}
+
+/// Convenience alias for fallible nn operations.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = NnError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(Error::source(&e).is_none());
+        let e: NnError = AutogradError::NonScalarLoss { shape: (2, 2) }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,347 @@
+//! Optimizers, learning-rate schedules and early stopping.
+//!
+//! Table II of the paper trains HW-PR-NAS with AdamW (lr 3e-4, weight decay
+//! 3e-4), cosine annealing over 80 epochs, and early stopping at 30 epochs.
+
+use crate::params::Params;
+use hwpr_tensor::Matrix;
+
+/// Per-parameter gradient list as produced by
+/// [`crate::Binder::finish`]: `None` entries are skipped.
+pub type GradientList = [Option<Matrix>];
+
+/// A first-order optimizer over a [`Params`] store.
+pub trait Optimizer {
+    /// Applies one update step using `grads` (aligned with the store).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if a gradient's shape disagrees with its
+    /// parameter.
+    fn step(&mut self, params: &mut Params, grads: &GradientList);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// AdamW: Adam with decoupled weight decay.
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step_count: u64,
+    first_moment: Vec<Option<Matrix>>,
+    second_moment: Vec<Option<Matrix>>,
+}
+
+impl AdamW {
+    /// Creates AdamW with default betas `(0.9, 0.999)`, `eps = 1e-8` and no
+    /// weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step_count: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        }
+    }
+
+    /// Sets the decoupled weight decay coefficient (paper: 3e-4).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Sets the Adam betas.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Number of update steps performed.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+
+    fn ensure_state(&mut self, params: &Params) {
+        while self.first_moment.len() < params.len() {
+            self.first_moment.push(None);
+            self.second_moment.push(None);
+        }
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, params: &mut Params, grads: &GradientList) {
+        self.ensure_state(params);
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (idx, id) in params.ids().into_iter().enumerate() {
+            let Some(grad) = grads.get(idx).and_then(|g| g.as_ref()) else {
+                continue;
+            };
+            let value = params.get(id).clone();
+            assert_eq!(grad.shape(), value.shape(), "gradient shape mismatch");
+            let m = self.first_moment[idx].get_or_insert_with(|| Matrix::zeros(value.rows(), value.cols()));
+            for (mv, &g) in m.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
+            }
+            let v = self.second_moment[idx].get_or_insert_with(|| Matrix::zeros(value.rows(), value.cols()));
+            for (vv, &g) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+            }
+            let m = self.first_moment[idx].as_ref().expect("just inserted");
+            let v = self.second_moment[idx].as_ref().expect("just inserted");
+            let lr = self.lr;
+            let wd = self.weight_decay;
+            let eps = self.eps;
+            let target = params.get_mut(id);
+            for ((p, &mv), &vv) in target
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_slice())
+                .zip(v.as_slice())
+            {
+                let m_hat = mv / bias1;
+                let v_hat = vv / bias2;
+                // decoupled decay: shrink the weight directly, not the gradient
+                *p -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * *p);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Plain SGD with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// Creates SGD without momentum.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Sets the momentum coefficient.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Params, grads: &GradientList) {
+        while self.velocity.len() < params.len() {
+            self.velocity.push(None);
+        }
+        for (idx, id) in params.ids().into_iter().enumerate() {
+            let Some(grad) = grads.get(idx).and_then(|g| g.as_ref()) else {
+                continue;
+            };
+            let shape = params.get(id).shape();
+            assert_eq!(grad.shape(), shape, "gradient shape mismatch");
+            let vel = self.velocity[idx].get_or_insert_with(|| Matrix::zeros(shape.0, shape.1));
+            for (v, &g) in vel.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *v = self.momentum * *v + g;
+            }
+            let lr = self.lr;
+            let vel = self.velocity[idx].as_ref().expect("just inserted");
+            let target = params.get_mut(id);
+            for (p, &v) in target.as_mut_slice().iter_mut().zip(vel.as_slice()) {
+                *p -= lr * v;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Cosine-annealing schedule: decays from the base learning rate to
+/// `min_lr` over `total_epochs` (Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineAnnealing {
+    base_lr: f32,
+    min_lr: f32,
+    total_epochs: usize,
+}
+
+impl CosineAnnealing {
+    /// Creates a schedule decaying `base_lr → min_lr` over `total_epochs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epochs == 0`.
+    pub fn new(base_lr: f32, min_lr: f32, total_epochs: usize) -> Self {
+        assert!(total_epochs > 0, "schedule needs at least one epoch");
+        Self {
+            base_lr,
+            min_lr,
+            total_epochs,
+        }
+    }
+
+    /// Learning rate for `epoch` (clamped to the final value afterwards).
+    pub fn learning_rate_at(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total_epochs) as f32) / self.total_epochs as f32;
+        self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+/// Patience-based early stopping on a validation metric (lower is better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStopping {
+    patience: usize,
+    best: f32,
+    since_best: usize,
+}
+
+impl EarlyStopping {
+    /// Stops after `patience` consecutive epochs without improvement.
+    pub fn new(patience: usize) -> Self {
+        Self {
+            patience,
+            best: f32::INFINITY,
+            since_best: 0,
+        }
+    }
+
+    /// Records a validation value; returns `true` when training should stop.
+    pub fn update(&mut self, value: f32) -> bool {
+        if value < self.best {
+            self.best = value;
+            self.since_best = 0;
+        } else {
+            self.since_best += 1;
+        }
+        self.since_best >= self.patience
+    }
+
+    /// Best value observed so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwpr_tensor::Init;
+
+    fn quadratic_grads(params: &Params) -> Vec<Option<Matrix>> {
+        // gradient of f(w) = ||w||^2 / 2 is w
+        params.iter().map(|(_, _, v)| Some(v.clone())).collect()
+    }
+
+    #[test]
+    fn adamw_minimises_quadratic() {
+        let mut params = Params::new();
+        params.add("w", 2, 2, Init::Normal(1.0), 5);
+        let mut opt = AdamW::new(0.1);
+        for _ in 0..200 {
+            let grads = quadratic_grads(&params);
+            opt.step(&mut params, &grads);
+        }
+        let (id, _, _) = params.iter().next().unwrap();
+        assert!(params.get(id).norm() < 1e-2);
+        assert_eq!(opt.steps(), 200);
+    }
+
+    #[test]
+    fn sgd_with_momentum_minimises_quadratic() {
+        let mut params = Params::new();
+        params.add("w", 3, 1, Init::Normal(1.0), 2);
+        let mut opt = Sgd::new(0.1).with_momentum(0.5);
+        for _ in 0..100 {
+            let grads = quadratic_grads(&params);
+            opt.step(&mut params, &grads);
+        }
+        let (id, _, _) = params.iter().next().unwrap();
+        assert!(params.get(id).norm() < 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_gradient_free_params() {
+        let mut params = Params::new();
+        let id = params.add_matrix("w", Matrix::filled(1, 1, 1.0));
+        let mut opt = AdamW::new(0.0).with_weight_decay(0.1);
+        // zero gradient, but decay still applies through lr... lr is 0 so nothing moves
+        opt.step(&mut params, &[Some(Matrix::zeros(1, 1))]);
+        assert_eq!(params.get(id)[(0, 0)], 1.0);
+        opt.set_learning_rate(1.0);
+        opt.step(&mut params, &[Some(Matrix::zeros(1, 1))]);
+        assert!(params.get(id)[(0, 0)] < 1.0);
+    }
+
+    #[test]
+    fn none_gradients_are_skipped() {
+        let mut params = Params::new();
+        let id = params.add_matrix("w", Matrix::filled(1, 1, 3.0));
+        let mut opt = AdamW::new(0.5);
+        opt.step(&mut params, &[None]);
+        assert_eq!(params.get(id)[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints_and_monotonicity() {
+        let sched = CosineAnnealing::new(0.0003, 0.0, 80);
+        assert!((sched.learning_rate_at(0) - 0.0003).abs() < 1e-9);
+        assert!(sched.learning_rate_at(80) < 1e-9);
+        assert!(sched.learning_rate_at(100) < 1e-9); // clamped
+        for e in 0..80 {
+            assert!(sched.learning_rate_at(e) >= sched.learning_rate_at(e + 1) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn early_stopping_patience() {
+        let mut es = EarlyStopping::new(3);
+        assert!(!es.update(1.0));
+        assert!(!es.update(0.5));
+        assert!(!es.update(0.6));
+        assert!(!es.update(0.7));
+        assert!(es.update(0.8));
+        assert_eq!(es.best(), 0.5);
+    }
+
+    #[test]
+    fn optimizer_lr_accessors() {
+        let mut opt = AdamW::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.2);
+        assert_eq!(opt.learning_rate(), 0.2);
+    }
+}

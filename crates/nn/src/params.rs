@@ -1,0 +1,234 @@
+//! Central parameter store and per-pass tape binding.
+
+use crate::Result;
+use hwpr_autograd::{Tape, Var};
+use hwpr_tensor::{Init, Matrix};
+
+/// Identifier of a parameter inside a [`Params`] store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+/// Owns every trainable matrix of a model.
+///
+/// Layers are constructed against a `&mut Params` and keep only
+/// [`ParamId`]s; optimizers mutate the store in place between passes.
+#[derive(Debug, Default, Clone)]
+pub struct Params {
+    values: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl Params {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter initialised by `init` with the given `seed`.
+    pub fn add(&mut self, name: &str, rows: usize, cols: usize, init: Init, seed: u64) -> ParamId {
+        self.add_matrix(name, init.matrix(rows, cols, seed))
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    pub fn add_matrix(&mut self, name: &str, value: Matrix) -> ParamId {
+        self.values.push(value);
+        self.names.push(name.to_string());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of registered parameters (matrices, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// The current value of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this store.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to a parameter (used by optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this store.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// The registered name of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this store.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// The ids of all registered parameters, in registration order.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.values.len()).map(ParamId).collect()
+    }
+
+    /// Iterator over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (v, n))| (ParamId(i), n.as_str(), v))
+    }
+
+    pub(crate) fn index(id: ParamId) -> usize {
+        id.0
+    }
+}
+
+/// Binds parameters from a [`Params`] store onto a [`Tape`] for one
+/// forward/backward pass, then routes gradients back.
+///
+/// Layers call [`Binder::param`] during `forward`; the binder inserts each
+/// parameter as a tape leaf at most once per pass. [`Binder::finish`] runs
+/// the backward pass and returns gradients aligned with the store.
+#[derive(Debug)]
+pub struct Binder<'t, 'p> {
+    tape: &'t mut Tape,
+    params: &'p Params,
+    bound: Vec<Option<Var>>,
+    /// Whether stochastic layers (dropout) should be active.
+    pub train: bool,
+}
+
+impl<'t, 'p> Binder<'t, 'p> {
+    /// Creates a binder in inference mode (dropout disabled).
+    pub fn new(tape: &'t mut Tape, params: &'p Params) -> Self {
+        Self {
+            tape,
+            params,
+            bound: vec![None; params.len()],
+            train: false,
+        }
+    }
+
+    /// Creates a binder in training mode (dropout enabled).
+    pub fn for_training(tape: &'t mut Tape, params: &'p Params) -> Self {
+        let mut b = Self::new(tape, params);
+        b.train = true;
+        b
+    }
+
+    /// The tape being recorded onto.
+    pub fn tape(&mut self) -> &mut Tape {
+        self.tape
+    }
+
+    /// Inserts an input (non-parameter) leaf.
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.tape.leaf(value)
+    }
+
+    /// The tape variable for parameter `id`, binding it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the bound store.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        let idx = Params::index(id);
+        if let Some(v) = self.bound[idx] {
+            return v;
+        }
+        let v = self.tape.leaf(self.params.get(id).clone());
+        self.bound[idx] = Some(v);
+        v
+    }
+
+    /// Runs the backward pass from `loss` and returns per-parameter
+    /// gradients aligned with the store (`None` for parameters that did not
+    /// participate in this pass).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`hwpr_autograd::AutogradError`] from the backward pass.
+    pub fn finish(self, loss: Var) -> Result<Vec<Option<Matrix>>> {
+        self.tape.backward(loss)?;
+        let grads = self
+            .bound
+            .iter()
+            .map(|slot| slot.and_then(|v| self.tape.grad(v).cloned()))
+            .collect();
+        Ok(grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_registration_and_access() {
+        let mut p = Params::new();
+        assert!(p.is_empty());
+        let w = p.add("w", 2, 3, Init::Zeros, 0);
+        let b = p.add_matrix("b", Matrix::ones(1, 3));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.scalar_count(), 9);
+        assert_eq!(p.name(w), "w");
+        assert_eq!(p.get(b), &Matrix::ones(1, 3));
+        p.get_mut(w).set(0, 0, 5.0);
+        assert_eq!(p.get(w)[(0, 0)], 5.0);
+        let collected: Vec<_> = p.iter().map(|(_, n, _)| n.to_string()).collect();
+        assert_eq!(collected, vec!["w", "b"]);
+    }
+
+    #[test]
+    fn binder_binds_each_param_once() {
+        let mut p = Params::new();
+        let w = p.add_matrix("w", Matrix::filled(1, 1, 2.0));
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &p);
+        let v1 = binder.param(w);
+        let v2 = binder.param(w);
+        assert_eq!(v1, v2);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn finish_routes_gradients_to_store_order() {
+        let mut p = Params::new();
+        let w = p.add_matrix("w", Matrix::filled(1, 1, 2.0));
+        let unused = p.add_matrix("unused", Matrix::filled(1, 1, 1.0));
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &p);
+        let x = binder.input(Matrix::filled(1, 1, 3.0));
+        let wv = binder.param(w);
+        let y = binder.tape().mul(x, wv).unwrap();
+        let grads = binder.finish(y).unwrap();
+        assert_eq!(grads.len(), 2);
+        assert_eq!(grads[Params::index(w)].as_ref().unwrap()[(0, 0)], 3.0);
+        assert!(grads[Params::index(unused)].is_none());
+    }
+
+    #[test]
+    fn training_mode_flag() {
+        let p = Params::new();
+        let mut tape = Tape::new();
+        let b = Binder::for_training(&mut tape, &p);
+        assert!(b.train);
+        let mut tape = Tape::new();
+        let b = Binder::new(&mut tape, &p);
+        assert!(!b.train);
+    }
+}

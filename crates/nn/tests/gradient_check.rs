@@ -1,0 +1,107 @@
+//! End-to-end finite-difference gradient checks through whole layers
+//! (LSTM, GCN, MLP): perturb each parameter scalar and compare the loss
+//! slope against the analytic gradient from the tape.
+
+use hwpr_autograd::Tape;
+use hwpr_nn::layers::{GcnLayer, LayerRng, Lstm, Mlp, MlpConfig};
+use hwpr_nn::{Binder, Params};
+use hwpr_tensor::Matrix;
+use rand_chacha::rand_core::SeedableRng;
+
+/// Computes the loss for the current parameter values.
+fn loss_of<F>(params: &Params, forward: &F) -> f32
+where
+    F: Fn(&mut Binder<'_, '_>) -> hwpr_nn::Result<hwpr_autograd::Var>,
+{
+    let mut tape = Tape::new();
+    let mut binder = Binder::new(&mut tape, params);
+    let loss = forward(&mut binder).expect("forward failed");
+    tape.value(loss)[(0, 0)]
+}
+
+/// Checks every parameter's analytic gradient against central differences.
+fn check_gradients<F>(mut params: Params, forward: F)
+where
+    F: Fn(&mut Binder<'_, '_>) -> hwpr_nn::Result<hwpr_autograd::Var>,
+{
+    // analytic
+    let mut tape = Tape::new();
+    let mut binder = Binder::for_training(&mut tape, &params);
+    binder.train = false; // keep dropout off for determinism
+    let loss = forward(&mut binder).expect("forward failed");
+    let grads = binder.finish(loss).expect("backward failed");
+
+    let h = 5e-3f32;
+    let ids = params.ids();
+    for (idx, id) in ids.into_iter().enumerate() {
+        let Some(grad) = &grads[idx] else { continue };
+        let len = params.get(id).len();
+        // sample a few scalars per parameter to keep runtime bounded
+        for k in (0..len).step_by((len / 5).max(1)) {
+            let original = params.get(id).as_slice()[k];
+            params.get_mut(id).as_mut_slice()[k] = original + h;
+            let plus = loss_of(&params, &forward);
+            params.get_mut(id).as_mut_slice()[k] = original - h;
+            let minus = loss_of(&params, &forward);
+            params.get_mut(id).as_mut_slice()[k] = original;
+            let numeric = (plus - minus) / (2.0 * h);
+            let analytic = grad.as_slice()[k];
+            let denom = analytic.abs().max(numeric.abs()).max(1.0);
+            assert!(
+                (analytic - numeric).abs() / denom < 7e-2,
+                "param {idx} elem {k}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lstm_end_to_end_gradients() {
+    let mut params = Params::new();
+    let lstm = Lstm::new(&mut params, "lstm", 3, 4, 2, 5);
+    let steps_data: Vec<Matrix> = (0..3)
+        .map(|t| Matrix::filled(2, 3, 0.3 * (t as f32 + 1.0) - 0.4))
+        .collect();
+    let target = Matrix::filled(2, 4, 0.2);
+    check_gradients(params, move |binder| {
+        let steps: Vec<_> = steps_data.iter().map(|m| binder.input(m.clone())).collect();
+        let h = lstm.forward(binder, &steps)?;
+        Ok(binder.tape().mse_loss(h, &target)?)
+    });
+}
+
+#[test]
+fn gcn_end_to_end_gradients() {
+    let mut params = Params::new();
+    let layer1 = GcnLayer::new(&mut params, "g1", 5, 6, 1);
+    let layer2 = GcnLayer::new(&mut params, "g2", 6, 3, 2);
+    let adj = {
+        let mut raw = Matrix::zeros(4, 4);
+        raw.set(0, 1, 1.0);
+        raw.set(1, 2, 1.0);
+        raw.set(2, 3, 1.0);
+        hwpr_nn::layers::normalize_adjacency(&raw)
+    };
+    let features = Matrix::from_vec(8, 5, (0..40).map(|i| (i as f32 * 0.13).sin()).collect()).unwrap();
+    let target = Matrix::filled(8, 3, 0.1);
+    check_gradients(params, move |binder| {
+        let x = binder.input(features.clone());
+        let h = layer1.forward(binder, x, &[adj.clone(), adj.clone()], 4)?;
+        let h = layer2.forward(binder, h, &[adj.clone(), adj.clone()], 4)?;
+        Ok(binder.tape().mse_loss(h, &target)?)
+    });
+}
+
+#[test]
+fn mlp_end_to_end_gradients() {
+    let mut params = Params::new();
+    let mlp = Mlp::new(&mut params, "m", &MlpConfig::new(4, vec![6, 5], 2, 3)).unwrap();
+    let input = Matrix::from_vec(3, 4, (0..12).map(|i| (i as f32 * 0.37).cos()).collect()).unwrap();
+    let target = Matrix::filled(3, 2, -0.3);
+    check_gradients(params, move |binder| {
+        let mut rng = LayerRng::seed_from_u64(0);
+        let x = binder.input(input.clone());
+        let y = mlp.forward(binder, x, &mut rng)?;
+        Ok(binder.tape().mse_loss(y, &target)?)
+    });
+}

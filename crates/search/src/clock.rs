@@ -1,0 +1,115 @@
+//! Wall-clock plus simulated-time accounting for search budgets.
+
+use std::time::{Duration, Instant};
+
+/// Tracks how much (real + simulated) time a search has consumed.
+///
+/// The paper caps searches at 24 hours. Surrogate evaluations cost real
+/// wall-clock time; "measured values" evaluations additionally charge a
+/// simulated per-measurement cost (training/benchmarking the architecture
+/// on the device), which is what makes the measured MOEA so much slower
+/// in Fig. 7.
+#[derive(Debug, Clone)]
+pub struct SearchClock {
+    started: Instant,
+    simulated: Duration,
+    budget: Option<Duration>,
+}
+
+impl SearchClock {
+    /// Starts a clock with no budget.
+    pub fn unbounded() -> Self {
+        Self {
+            started: Instant::now(),
+            simulated: Duration::ZERO,
+            budget: None,
+        }
+    }
+
+    /// Starts a clock with a total (wall + simulated) budget.
+    pub fn with_budget(budget: Duration) -> Self {
+        Self {
+            started: Instant::now(),
+            simulated: Duration::ZERO,
+            budget: Some(budget),
+        }
+    }
+
+    /// The paper's 24-hour budget.
+    pub fn paper_budget() -> Self {
+        Self::with_budget(Duration::from_secs(24 * 3600))
+    }
+
+    /// Adds simulated seconds (e.g. device-measurement time).
+    pub fn charge_simulated(&mut self, seconds: f64) {
+        self.simulated += Duration::from_secs_f64(seconds.max(0.0));
+    }
+
+    /// Wall-clock time elapsed since the clock started.
+    pub fn wall_elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Simulated time charged so far.
+    pub fn simulated_elapsed(&self) -> Duration {
+        self.simulated
+    }
+
+    /// Total accounted time (wall + simulated).
+    pub fn total_elapsed(&self) -> Duration {
+        self.wall_elapsed() + self.simulated
+    }
+
+    /// Whether the budget (if any) is spent.
+    pub fn exhausted(&self) -> bool {
+        self.budget.is_some_and(|b| self.total_elapsed() >= b)
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<Duration> {
+        self.budget
+    }
+}
+
+impl Default for SearchClock {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_exhausts() {
+        let mut c = SearchClock::unbounded();
+        c.charge_simulated(1e9);
+        assert!(!c.exhausted());
+        assert!(c.budget().is_none());
+    }
+
+    #[test]
+    fn simulated_time_counts_against_budget() {
+        let mut c = SearchClock::with_budget(Duration::from_secs(10));
+        assert!(!c.exhausted());
+        c.charge_simulated(11.0);
+        assert!(c.exhausted());
+        assert!(c.simulated_elapsed() >= Duration::from_secs(11));
+    }
+
+    #[test]
+    fn negative_charges_are_ignored() {
+        let mut c = SearchClock::unbounded();
+        c.charge_simulated(-5.0);
+        assert_eq!(c.simulated_elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn paper_budget_is_24h() {
+        let mut c = SearchClock::paper_budget();
+        assert_eq!(c.budget(), Some(Duration::from_secs(86_400)));
+        c.charge_simulated(1.0);
+        assert!(c.total_elapsed() >= Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,372 @@
+//! Fitness evaluation backends for the search algorithms.
+
+use crate::clock::SearchClock;
+use crate::{Result, SearchError};
+use hwpr_core::baselines::SurrogatePair;
+use hwpr_core::HwPrNas;
+use hwpr_hwmodel::{AccuracyModel, Platform, SimBench};
+use hwpr_nasbench::{Architecture, Dataset};
+use std::collections::HashMap;
+
+/// What an evaluator returns for a batch of architectures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fitness {
+    /// One Pareto score per architecture (higher is better) — produced by
+    /// the single fused HW-PR-NAS call.
+    Scores(Vec<f64>),
+    /// One minimisation objective vector per architecture — produced by
+    /// per-objective surrogates or true measurements; selection must run
+    /// non-dominated sorting on these.
+    Objectives(Vec<Vec<f64>>),
+    /// Scores plus predicted objectives from one fused call (the complete
+    /// Fig. 3 output): the score drives selection, the predicted
+    /// objectives only break ties for diversity.
+    Ranked {
+        /// Pareto scores (higher is better).
+        scores: Vec<f64>,
+        /// Predicted minimisation objectives.
+        objectives: Vec<Vec<f64>>,
+    },
+}
+
+impl Fitness {
+    /// Number of evaluated architectures.
+    pub fn len(&self) -> usize {
+        match self {
+            Fitness::Scores(s) => s.len(),
+            Fitness::Objectives(o) => o.len(),
+            Fitness::Ranked { scores, .. } => scores.len(),
+        }
+    }
+
+    /// Whether the fitness is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A fitness evaluation backend.
+pub trait Evaluator {
+    /// Display name used in experiment tables ("MOAE (HW-PR-NAS)", ...).
+    fn name(&self) -> String;
+
+    /// Evaluates a batch, charging any simulated cost to `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Surrogate`] when the backing model fails.
+    fn evaluate(&mut self, archs: &[Architecture], clock: &mut SearchClock) -> Result<Fitness>;
+
+    /// How many underlying model calls one architecture costs (1 for the
+    /// fused surrogate, 2 for per-objective pairs, 0 for measurements).
+    fn calls_per_arch(&self) -> usize;
+}
+
+/// Ground-truth evaluation against the synthetic benchmark: returns true
+/// objectives and charges a simulated per-architecture measurement cost.
+#[derive(Debug)]
+pub struct MeasuredEvaluator {
+    model: AccuracyModel,
+    dataset: Dataset,
+    platform: Platform,
+    /// Simulated seconds charged per *new* architecture measured.
+    pub seconds_per_eval: f64,
+    three_objectives: bool,
+    cache: HashMap<(hwpr_nasbench::SearchSpaceId, u128), Vec<f64>>,
+}
+
+impl MeasuredEvaluator {
+    /// Default simulated measurement cost (seconds): flashing + running
+    /// the benchmark harness on the device per architecture.
+    pub const DEFAULT_SECONDS_PER_EVAL: f64 = 2.3;
+
+    /// Creates a measured evaluator matching `bench`'s generating models.
+    pub fn for_bench(bench: &SimBench, dataset: Dataset, platform: Platform) -> Self {
+        Self::new(bench.oracle_model(), dataset, platform)
+    }
+
+    /// Creates a measured evaluator from an explicit accuracy model.
+    pub fn new(model: AccuracyModel, dataset: Dataset, platform: Platform) -> Self {
+        Self {
+            model,
+            dataset,
+            platform,
+            seconds_per_eval: Self::DEFAULT_SECONDS_PER_EVAL,
+            three_objectives: false,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Switches the evaluator to the three-objective mode of Fig. 9
+    /// (error, latency, energy).
+    pub fn with_three_objectives(mut self) -> Self {
+        self.three_objectives = true;
+        self.cache.clear();
+        self
+    }
+
+    /// True objectives of one architecture (no time charged) — used to
+    /// score final populations.
+    pub fn true_objectives(&self, arch: &Architecture) -> Vec<f64> {
+        let entry = SimBench::measure(arch, &self.model);
+        entry.objectives(self.dataset, self.platform)
+    }
+
+    /// True 3-objective vector (error, latency, energy).
+    pub fn true_objectives3(&self, arch: &Architecture) -> Vec<f64> {
+        let entry = SimBench::measure(arch, &self.model);
+        entry.objectives3(self.dataset, self.platform)
+    }
+}
+
+impl Evaluator for MeasuredEvaluator {
+    fn name(&self) -> String {
+        "Measured Values".to_string()
+    }
+
+    fn evaluate(&mut self, archs: &[Architecture], clock: &mut SearchClock) -> Result<Fitness> {
+        let mut objectives = Vec::with_capacity(archs.len());
+        for arch in archs {
+            let key = (arch.space(), arch.index());
+            if let Some(hit) = self.cache.get(&key) {
+                objectives.push(hit.clone());
+                continue;
+            }
+            clock.charge_simulated(self.seconds_per_eval);
+            let obj = if self.three_objectives {
+                self.true_objectives3(arch)
+            } else {
+                self.true_objectives(arch)
+            };
+            self.cache.insert(key, obj.clone());
+            objectives.push(obj);
+        }
+        Ok(Fitness::Objectives(objectives))
+    }
+
+    fn calls_per_arch(&self) -> usize {
+        0
+    }
+}
+
+/// Scoring closure type for [`ScoreEvaluator::from_fn`].
+pub type ScoreFn = Box<dyn FnMut(&[Architecture]) -> Result<Vec<f64>>>;
+
+/// Evaluates with the full HW-PR-NAS model: one call yields the Pareto
+/// score and the branch objective predictions (Fig. 3).
+#[derive(Debug)]
+pub struct HwPrNasEvaluator {
+    model: HwPrNas,
+    platform: Platform,
+    call_cost_s: f64,
+}
+
+impl HwPrNasEvaluator {
+    /// Wraps a trained model targeting `platform`.
+    pub fn new(model: HwPrNas, platform: Platform) -> Self {
+        Self {
+            model,
+            platform,
+            call_cost_s: 0.0,
+        }
+    }
+
+    /// Charges `seconds` of simulated serving overhead per surrogate call
+    /// (the paper's searches run each evaluation through a Python/GPU
+    /// serving stack where dispatch dominates; Fig. 7 models that cost).
+    pub fn with_simulated_call_cost(mut self, seconds: f64) -> Self {
+        self.call_cost_s = seconds;
+        self
+    }
+}
+
+impl Evaluator for HwPrNasEvaluator {
+    fn name(&self) -> String {
+        "HW-PR-NAS".to_string()
+    }
+
+    fn evaluate(&mut self, archs: &[Architecture], clock: &mut SearchClock) -> Result<Fitness> {
+        clock.charge_simulated(self.call_cost_s * archs.len() as f64);
+        let (scores, objectives) = self
+            .model
+            .predict_full(archs, self.platform)
+            .map_err(|e| SearchError::Surrogate(e.to_string()))?;
+        Ok(Fitness::Ranked { scores, objectives })
+    }
+
+    fn calls_per_arch(&self) -> usize {
+        1
+    }
+}
+
+/// Evaluates with a bare scoring function (scores only, no objective
+/// predictions). Prefer [`HwPrNasEvaluator`] for the full model: with
+/// score-only fitness the elitist selection has no diversity signal, so
+/// front coverage depends entirely on how flat the scores are within a
+/// front.
+pub struct ScoreEvaluator {
+    name: String,
+    score_fn: ScoreFn,
+}
+
+impl std::fmt::Debug for ScoreEvaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ScoreEvaluator({})", self.name)
+    }
+}
+
+impl ScoreEvaluator {
+    /// Wraps a trained HW-PR-NAS model for `platform`.
+    pub fn hw_pr_nas(model: HwPrNas, platform: Platform) -> Self {
+        Self {
+            name: "HW-PR-NAS".to_string(),
+            score_fn: Box::new(move |archs| {
+                model
+                    .predict_scores(archs, platform)
+                    .map_err(|e| SearchError::Surrogate(e.to_string()))
+            }),
+        }
+    }
+
+    /// Wraps an arbitrary scoring function (used by the scalable variant
+    /// and by tests).
+    pub fn from_fn(name: impl Into<String>, score_fn: ScoreFn) -> Self {
+        Self {
+            name: name.into(),
+            score_fn,
+        }
+    }
+}
+
+impl Evaluator for ScoreEvaluator {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn evaluate(&mut self, archs: &[Architecture], _clock: &mut SearchClock) -> Result<Fitness> {
+        Ok(Fitness::Scores((self.score_fn)(archs)?))
+    }
+
+    fn calls_per_arch(&self) -> usize {
+        1
+    }
+}
+
+/// Evaluates with two per-objective surrogates (BRP-NAS / GATES style).
+#[derive(Debug)]
+pub struct PairEvaluator {
+    pair: SurrogatePair,
+    call_cost_s: f64,
+}
+
+impl PairEvaluator {
+    /// Wraps a trained surrogate pair.
+    pub fn new(pair: SurrogatePair) -> Self {
+        Self {
+            pair,
+            call_cost_s: 0.0,
+        }
+    }
+
+    /// Charges `seconds` of simulated serving overhead per surrogate call
+    /// (two calls per architecture for a pair — see
+    /// [`HwPrNasEvaluator::with_simulated_call_cost`]).
+    pub fn with_simulated_call_cost(mut self, seconds: f64) -> Self {
+        self.call_cost_s = seconds;
+        self
+    }
+}
+
+impl Evaluator for PairEvaluator {
+    fn name(&self) -> String {
+        self.pair.name().to_string()
+    }
+
+    fn evaluate(&mut self, archs: &[Architecture], clock: &mut SearchClock) -> Result<Fitness> {
+        clock.charge_simulated(self.call_cost_s * 2.0 * archs.len() as f64);
+        Ok(Fitness::Objectives(self.pair.predict_objectives(archs)?))
+    }
+
+    fn calls_per_arch(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwpr_hwmodel::SimBenchConfig;
+    use hwpr_nasbench::SearchSpaceId;
+
+    fn bench() -> SimBench {
+        SimBench::generate(SimBenchConfig {
+            space: SearchSpaceId::NasBench201,
+            sample_size: Some(8),
+            seed: 2,
+        })
+    }
+
+    #[test]
+    fn measured_matches_bench_table() {
+        let b = bench();
+        let mut eval = MeasuredEvaluator::for_bench(&b, Dataset::Cifar10, Platform::EdgeGpu);
+        let archs: Vec<Architecture> = b.entries().iter().map(|e| e.arch().clone()).collect();
+        let mut clock = SearchClock::unbounded();
+        let Fitness::Objectives(objs) = eval.evaluate(&archs, &mut clock).unwrap() else {
+            panic!("measured evaluator must return objectives");
+        };
+        for (o, e) in objs.iter().zip(b.entries()) {
+            let expected = e.objectives(Dataset::Cifar10, Platform::EdgeGpu);
+            assert!((o[0] - expected[0]).abs() < 1e-9);
+            assert!((o[1] - expected[1]).abs() < 1e-9);
+        }
+        assert_eq!(eval.calls_per_arch(), 0);
+        assert_eq!(eval.name(), "Measured Values");
+    }
+
+    #[test]
+    fn measured_charges_only_new_architectures() {
+        let b = bench();
+        let mut eval = MeasuredEvaluator::for_bench(&b, Dataset::Cifar10, Platform::EdgeGpu);
+        let archs = vec![b.entries()[0].arch().clone(); 5];
+        let mut clock = SearchClock::unbounded();
+        eval.evaluate(&archs, &mut clock).unwrap();
+        let charged = clock.simulated_elapsed().as_secs_f64();
+        assert!((charged - MeasuredEvaluator::DEFAULT_SECONDS_PER_EVAL).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_evaluator_from_fn() {
+        let mut eval = ScoreEvaluator::from_fn(
+            "stub",
+            Box::new(|archs| Ok(archs.iter().map(|a| a.index() as f64).collect())),
+        );
+        assert_eq!(eval.name(), "stub");
+        assert_eq!(eval.calls_per_arch(), 1);
+        let archs = vec![
+            Architecture::nb201_from_index(3).unwrap(),
+            Architecture::nb201_from_index(7).unwrap(),
+        ];
+        let mut clock = SearchClock::unbounded();
+        let Fitness::Scores(s) = eval.evaluate(&archs, &mut clock).unwrap() else {
+            panic!("score evaluator must return scores");
+        };
+        assert_eq!(s, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn fitness_len() {
+        assert_eq!(Fitness::Scores(vec![1.0, 2.0]).len(), 2);
+        assert_eq!(Fitness::Objectives(vec![vec![1.0, 2.0]]).len(), 1);
+        assert!(Fitness::Scores(vec![]).is_empty());
+    }
+
+    #[test]
+    fn true_objectives3_has_energy() {
+        let b = bench();
+        let eval = MeasuredEvaluator::for_bench(&b, Dataset::Cifar10, Platform::EdgeGpu);
+        let o = eval.true_objectives3(b.entries()[0].arch());
+        assert_eq!(o.len(), 3);
+        assert!(o[2] > 0.0);
+    }
+}

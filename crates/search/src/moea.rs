@@ -1,0 +1,601 @@
+//! Algorithm 1: the multi-objective evolutionary algorithm.
+
+use crate::clock::SearchClock;
+use crate::evaluator::{Evaluator, Fitness};
+use crate::{Result, SearchError};
+use hwpr_moo::{crowding_distance, fast_non_dominated_sort};
+use hwpr_nasbench::{Architecture, SearchSpaceId};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+/// Configuration of the MOEA (§IV-C1: population 150, 250 generations,
+/// mutation rate 0.9, tournament parent selection, 24 h budget).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoeaConfig {
+    /// Population size (also the size of the final Pareto set, `k`).
+    pub population: usize,
+    /// Maximum number of generations.
+    pub generations: usize,
+    /// Probability of mutating each offspring.
+    pub mutation_rate: f64,
+    /// Probability of producing an offspring by crossover (otherwise the
+    /// tournament winner is cloned before mutation).
+    pub crossover_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Search spaces to sample from (one or both benchmarks).
+    pub spaces: Vec<SearchSpaceId>,
+    /// Total time budget (wall + simulated).
+    pub budget: Option<Duration>,
+    /// Record a population snapshot per generation (hypervolume
+    /// convergence studies; costs memory).
+    pub record_populations: bool,
+    /// Architectures injected into the initial population (Algorithm 1:
+    /// "an initial population is randomly generated **or using a sampling
+    /// strategy**"); typically the best-scored training architectures.
+    /// Truncated to the population size; the remainder is random.
+    pub seed_population: Vec<Architecture>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MoeaConfig {
+    /// The paper's settings on a single space.
+    pub fn paper(space: SearchSpaceId) -> Self {
+        Self {
+            population: 150,
+            generations: 250,
+            mutation_rate: 0.9,
+            crossover_rate: 0.5,
+            tournament: 2,
+            spaces: vec![space],
+            budget: Some(Duration::from_secs(24 * 3600)),
+            record_populations: false,
+            seed_population: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// A small configuration for tests and smoke runs.
+    pub fn small(space: SearchSpaceId) -> Self {
+        Self {
+            population: 16,
+            generations: 8,
+            mutation_rate: 0.9,
+            crossover_rate: 0.5,
+            tournament: 2,
+            spaces: vec![space],
+            budget: None,
+            record_populations: false,
+            seed_population: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.population < 2 {
+            return Err(SearchError::Config("population must be at least 2".into()));
+        }
+        if self.spaces.is_empty() {
+            return Err(SearchError::Config("at least one search space required".into()));
+        }
+        if self.tournament == 0 {
+            return Err(SearchError::Config("tournament size must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.mutation_rate) || !(0.0..=1.0).contains(&self.crossover_rate)
+        {
+            return Err(SearchError::Config("rates must be in [0, 1]".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Statistics recorded after each generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationStats {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Total evaluator calls so far (architectures × calls per arch).
+    pub evaluations: usize,
+    /// Wall + simulated time consumed so far.
+    pub elapsed: Duration,
+    /// Population snapshot (only when
+    /// [`MoeaConfig::record_populations`] is set).
+    pub population: Option<Vec<Architecture>>,
+}
+
+/// Outcome of a search run.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The final population (size `k` — the paper's Pareto set source).
+    pub population: Vec<Architecture>,
+    /// Evaluator name used.
+    pub evaluator: String,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+    /// Simulated (charged) time of the run.
+    pub simulated_time: Duration,
+    /// Number of architecture evaluations performed.
+    pub evaluations: usize,
+    /// Number of underlying surrogate calls performed.
+    pub surrogate_calls: usize,
+    /// Per-generation progress.
+    pub history: Vec<GenerationStats>,
+}
+
+impl SearchResult {
+    /// Total accounted search time (wall + simulated), the Fig. 7 metric.
+    pub fn total_time(&self) -> Duration {
+        self.wall_time + self.simulated_time
+    }
+}
+
+/// The MOEA of Algorithm 1, generic over the evaluation backend.
+#[derive(Debug)]
+pub struct Moea {
+    config: MoeaConfig,
+}
+
+impl Moea {
+    /// Creates a search with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Config`] for degenerate settings.
+    pub fn new(config: MoeaConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MoeaConfig {
+        &self.config
+    }
+
+    /// Runs the search with `evaluator` and returns the final population.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator failures.
+    pub fn run(&self, evaluator: &mut dyn Evaluator) -> Result<SearchResult> {
+        let cfg = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut clock = match cfg.budget {
+            Some(b) => SearchClock::with_budget(b),
+            None => SearchClock::unbounded(),
+        };
+        let mut evaluations = 0usize;
+        let mut surrogate_calls = 0usize;
+        let mut history = Vec::new();
+
+        // initial population: configured seeds first (sampling strategy),
+        // the remainder uniform across the configured spaces
+        let mut population: Vec<Architecture> = cfg
+            .seed_population
+            .iter()
+            .take(cfg.population)
+            .cloned()
+            .collect();
+        for i in population.len()..cfg.population {
+            let space = cfg.spaces[i % cfg.spaces.len()];
+            population.push(Architecture::random(space, &mut rng));
+        }
+        let mut fitness = evaluator.evaluate(&population, &mut clock)?;
+        evaluations += population.len();
+        surrogate_calls += population.len() * evaluator.calls_per_arch();
+
+        for generation in 0..cfg.generations {
+            if clock.exhausted() {
+                break;
+            }
+            // offspring via tournament selection + crossover + mutation
+            let keys = selection_keys(&fitness)?;
+            let mut offspring = Vec::with_capacity(cfg.population);
+            for _ in 0..cfg.population {
+                let a = tournament(&keys, cfg.tournament, &mut rng);
+                let child = if rng.gen_bool(cfg.crossover_rate) {
+                    let b = tournament(&keys, cfg.tournament, &mut rng);
+                    population[a]
+                        .crossover(&population[b], &mut rng)
+                        .unwrap_or_else(|| population[a].clone())
+                } else {
+                    population[a].clone()
+                };
+                let child = if rng.gen_bool(cfg.mutation_rate) {
+                    child.mutate(&mut rng)
+                } else {
+                    child
+                };
+                offspring.push(child);
+            }
+            let offspring_fitness = evaluator.evaluate(&offspring, &mut clock)?;
+            evaluations += offspring.len();
+            surrogate_calls += offspring.len() * evaluator.calls_per_arch();
+
+            // elitist survivor selection over P ∪ Q
+            let (merged, merged_fitness) =
+                merge(population, fitness, offspring, offspring_fitness);
+            let keep = survivor_selection(&merged, &merged_fitness, cfg.population)?;
+            population = keep.iter().map(|&i| merged[i].clone()).collect();
+            fitness = filter_fitness(&merged_fitness, &keep);
+
+            history.push(GenerationStats {
+                generation,
+                evaluations,
+                elapsed: clock.total_elapsed(),
+                population: cfg.record_populations.then(|| population.clone()),
+            });
+        }
+        Ok(SearchResult {
+            population,
+            evaluator: evaluator.name(),
+            wall_time: clock.wall_elapsed(),
+            simulated_time: clock.simulated_elapsed(),
+            evaluations,
+            surrogate_calls,
+            history,
+        })
+    }
+}
+
+/// Scalar sort keys (higher = fitter) for tournament selection.
+///
+/// For scores the key is the score itself; for objective vectors the key
+/// is `-(rank + crowding tie-break)` from non-dominated sorting — the
+/// comparisons the paper counts as two-surrogate overhead.
+fn selection_keys(fitness: &Fitness) -> Result<Vec<f64>> {
+    match fitness {
+        Fitness::Scores(s) | Fitness::Ranked { scores: s, .. } => Ok(s.clone()),
+        Fitness::Objectives(objs) => {
+            let fronts = fast_non_dominated_sort(objs)?;
+            let mut key = vec![0.0f64; objs.len()];
+            for (rank, front) in fronts.iter().enumerate() {
+                let pts: Vec<Vec<f64>> = front.iter().map(|&i| objs[i].clone()).collect();
+                let crowd = crowding_distance(&pts)?;
+                for (slot, &i) in front.iter().enumerate() {
+                    let tie = 1.0 - 1.0 / (1.0 + crowd[slot].min(1e12));
+                    key[i] = -(rank as f64) + tie * 0.5;
+                }
+            }
+            Ok(key)
+        }
+    }
+}
+
+fn tournament<R: Rng>(keys: &[f64], size: usize, rng: &mut R) -> usize {
+    let mut best = rng.gen_range(0..keys.len());
+    for _ in 1..size {
+        let challenger = rng.gen_range(0..keys.len());
+        if keys[challenger] > keys[best] {
+            best = challenger;
+        }
+    }
+    best
+}
+
+fn merge(
+    mut population: Vec<Architecture>,
+    fitness: Fitness,
+    mut offspring: Vec<Architecture>,
+    offspring_fitness: Fitness,
+) -> (Vec<Architecture>, Fitness) {
+    population.append(&mut offspring);
+    let merged_fitness = match (fitness, offspring_fitness) {
+        (Fitness::Scores(mut a), Fitness::Scores(b)) => {
+            a.extend(b);
+            Fitness::Scores(a)
+        }
+        (Fitness::Objectives(mut a), Fitness::Objectives(b)) => {
+            a.extend(b);
+            Fitness::Objectives(a)
+        }
+        (
+            Fitness::Ranked {
+                scores: mut sa,
+                objectives: mut oa,
+            },
+            Fitness::Ranked {
+                scores: sb,
+                objectives: ob,
+            },
+        ) => {
+            sa.extend(sb);
+            oa.extend(ob);
+            Fitness::Ranked {
+                scores: sa,
+                objectives: oa,
+            }
+        }
+        _ => unreachable!("evaluator changed fitness kind mid-search"),
+    };
+    (population, merged_fitness)
+}
+
+/// Elitist survivor selection: top-k by score, or NSGA-II
+/// (rank, crowding) for objective vectors. Duplicate architectures are
+/// removed first so the population cannot collapse onto copies of the
+/// score maximiser (`merged` aligns with the fitness entries).
+fn survivor_selection(
+    merged: &[Architecture],
+    fitness: &Fitness,
+    k: usize,
+) -> Result<Vec<usize>> {
+    // keep one entry per distinct architecture
+    let mut seen = std::collections::HashSet::new();
+    let unique: Vec<usize> = (0..merged.len())
+        .filter(|&i| seen.insert((merged[i].space(), merged[i].index())))
+        .collect();
+    match fitness {
+        Fitness::Scores(s) => {
+            let mut idx = unique;
+            idx.sort_by(|&a, &b| s[b].total_cmp(&s[a]));
+            idx.truncate(k);
+            Ok(idx)
+        }
+        Fitness::Ranked { scores, objectives } => {
+            // the score decides front membership (top 2k pool); the same
+            // call's predicted objectives then keep the pool diverse —
+            // boundary (corner) candidates always survive
+            // the score gates front membership: only the best-scored
+            // candidates (k plus a 25 % margin) enter the pool; crowding
+            // on the same call's predicted objectives then trims the
+            // margin so coverage, not score noise, decides the last slots
+            let mut pool = unique;
+            pool.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+            pool.truncate(k + k / 4 + 1);
+            if pool.len() <= k {
+                return Ok(pool);
+            }
+            let pts: Vec<Vec<f64>> = pool.iter().map(|&i| objectives[i].clone()).collect();
+            let crowd = crowding_distance(&pts)?;
+            let mut order: Vec<usize> = (0..pool.len()).collect();
+            order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
+            Ok(order.into_iter().take(k).map(|slot| pool[slot]).collect())
+        }
+        Fitness::Objectives(all_objs) => {
+            let objs: Vec<Vec<f64>> = unique.iter().map(|&i| all_objs[i].clone()).collect();
+            let fronts = fast_non_dominated_sort(&objs)?;
+            let mut keep = Vec::with_capacity(k);
+            for front in fronts {
+                if keep.len() + front.len() <= k {
+                    keep.extend(front.into_iter().map(|i| unique[i]));
+                } else {
+                    // fill the remainder with the most spread-out members
+                    let pts: Vec<Vec<f64>> = front.iter().map(|&i| objs[i].clone()).collect();
+                    let crowd = crowding_distance(&pts)?;
+                    let mut order: Vec<usize> = (0..front.len()).collect();
+                    order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
+                    for &slot in order.iter().take(k - keep.len()) {
+                        keep.push(unique[front[slot]]);
+                    }
+                    break;
+                }
+            }
+            Ok(keep)
+        }
+    }
+}
+
+fn filter_fitness(fitness: &Fitness, keep: &[usize]) -> Fitness {
+    match fitness {
+        Fitness::Scores(s) => Fitness::Scores(keep.iter().map(|&i| s[i]).collect()),
+        Fitness::Objectives(o) => {
+            Fitness::Objectives(keep.iter().map(|&i| o[i].clone()).collect())
+        }
+        Fitness::Ranked { scores, objectives } => Fitness::Ranked {
+            scores: keep.iter().map(|&i| scores[i]).collect(),
+            objectives: keep.iter().map(|&i| objectives[i].clone()).collect(),
+        },
+    }
+}
+
+/// Shuffle-free helper used by tests: picks `k` best indices by score.
+#[cfg(test)]
+pub(crate) fn top_k_by_score(scores: &[f64], k: usize) -> Vec<usize> {
+    let archs: Vec<Architecture> = (0..scores.len())
+        .map(|i| Architecture::nb201_from_index(i as u64).expect("small index"))
+        .collect();
+    survivor_selection(&archs, &Fitness::Scores(scores.to_vec()), k).expect("scores never fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::ScoreEvaluator;
+    use rand::seq::SliceRandom as _;
+
+    /// Score = -(distance to a known optimum): MOEA should find it.
+    fn stub_evaluator() -> ScoreEvaluator {
+        ScoreEvaluator::from_fn(
+            "stub",
+            Box::new(|archs| {
+                Ok(archs
+                    .iter()
+                    .map(|a| {
+                        // favour architectures with many conv3x3 (op index 3)
+                        a.op_indices().iter().filter(|&&o| o == 3).count() as f64
+                    })
+                    .collect())
+            }),
+        )
+    }
+
+    #[test]
+    fn moea_improves_stub_objective() {
+        let moea = Moea::new(MoeaConfig::small(SearchSpaceId::NasBench201)).unwrap();
+        let mut eval = stub_evaluator();
+        let result = moea.run(&mut eval).unwrap();
+        assert_eq!(result.population.len(), 16);
+        assert_eq!(result.evaluator, "stub");
+        assert!(result.evaluations > 16);
+        assert_eq!(result.history.len(), 8);
+        // the best member should be close to all-conv3x3
+        let best = result
+            .population
+            .iter()
+            .map(|a| a.op_indices().iter().filter(|&&o| o == 3).count())
+            .max()
+            .unwrap();
+        assert!(best >= 5, "best only has {best}/6 conv3x3 edges");
+    }
+
+    #[test]
+    fn moea_with_objectives_keeps_nondominated() {
+        let mut eval = ScoreEvaluator::from_fn(
+            "objective-stub",
+            Box::new(|archs| Ok(archs.iter().map(|a| a.index() as f64).collect())),
+        );
+        // trivially runs with scores; objectives path tested via survivor fn
+        let moea = Moea::new(MoeaConfig::small(SearchSpaceId::NasBench201)).unwrap();
+        assert!(moea.run(&mut eval).is_ok());
+        // survivor selection on objectives prefers the first front
+        let objs = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 2.0],
+            vec![4.0, 1.0],
+            vec![5.0, 5.0],
+        ];
+        let archs: Vec<Architecture> = (0..4)
+            .map(|i| Architecture::nb201_from_index(i).unwrap())
+            .collect();
+        let keep = survivor_selection(&archs, &Fitness::Objectives(objs), 3).unwrap();
+        assert_eq!(keep.len(), 3);
+        assert!(!keep.contains(&3), "dominated point survived");
+    }
+
+    #[test]
+    fn config_validation() {
+        let base = MoeaConfig::small(SearchSpaceId::NasBench201);
+        assert!(Moea::new(base.clone()).is_ok());
+        let mut bad = base.clone();
+        bad.population = 1;
+        assert!(Moea::new(bad).is_err());
+        let mut bad = base.clone();
+        bad.spaces.clear();
+        assert!(Moea::new(bad).is_err());
+        let mut bad = base.clone();
+        bad.tournament = 0;
+        assert!(Moea::new(bad).is_err());
+        let mut bad = base;
+        bad.mutation_rate = 1.5;
+        assert!(Moea::new(bad).is_err());
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let cfg = MoeaConfig::paper(SearchSpaceId::FBNet);
+        assert_eq!(cfg.population, 150);
+        assert_eq!(cfg.generations, 250);
+        assert!((cfg.mutation_rate - 0.9).abs() < 1e-12);
+        assert_eq!(cfg.budget, Some(Duration::from_secs(86_400)));
+    }
+
+    #[test]
+    fn mixed_space_search_produces_both_spaces() {
+        let mut cfg = MoeaConfig::small(SearchSpaceId::NasBench201);
+        cfg.spaces = vec![SearchSpaceId::NasBench201, SearchSpaceId::FBNet];
+        cfg.generations = 2;
+        let moea = Moea::new(cfg).unwrap();
+        let mut eval = ScoreEvaluator::from_fn("flat", Box::new(|archs| Ok(vec![0.0; archs.len()])));
+        let result = moea.run(&mut eval).unwrap();
+        let nb = result
+            .population
+            .iter()
+            .filter(|a| a.space() == SearchSpaceId::NasBench201)
+            .count();
+        assert!(nb > 0 && nb < result.population.len());
+    }
+
+    #[test]
+    fn top_k_sorts_descending() {
+        let mut scores: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        scores.shuffle(&mut rng);
+        let top = top_k_by_score(&scores, 3);
+        let mut vals: Vec<f64> = top.iter().map(|&i| scores[i]).collect();
+        vals.sort_by(f64::total_cmp);
+        assert_eq!(vals, vec![7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = MoeaConfig::small(SearchSpaceId::NasBench201).with_seed(42);
+        let moea = Moea::new(cfg).unwrap();
+        let a = moea.run(&mut stub_evaluator()).unwrap();
+        let b = moea.run(&mut stub_evaluator()).unwrap();
+        assert_eq!(a.population, b.population);
+    }
+
+    #[test]
+    fn ranked_selection_keeps_objective_corners() {
+        // 6 candidates, k = 4: the score pool (k + 25 %) admits all six,
+        // and the crowding pass must keep the two corner trade-offs
+        let archs: Vec<Architecture> = (0..6)
+            .map(|i| Architecture::nb201_from_index(i).unwrap())
+            .collect();
+        let scores = vec![1.0, 0.99, 0.98, 0.97, 0.96, 0.95];
+        let objectives: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![i as f64, 5.0 - i as f64])
+            .collect();
+        let fitness = Fitness::Ranked { scores, objectives };
+        let keep = survivor_selection(&archs, &fitness, 4).unwrap();
+        assert_eq!(keep.len(), 4);
+        assert!(keep.contains(&0), "low-error corner evicted");
+        assert!(keep.contains(&5), "low-latency corner evicted");
+    }
+
+    #[test]
+    fn ranked_selection_pool_is_score_gated() {
+        // 12 candidates, k = 4: pool = top 6 scores; anything below the
+        // score cut can never be selected, however spread out it is
+        let archs: Vec<Architecture> = (0..12)
+            .map(|i| Architecture::nb201_from_index(i).unwrap())
+            .collect();
+        let mut scores = vec![0.0; 12];
+        for (i, s) in scores.iter_mut().enumerate().take(6) {
+            *s = 10.0 - i as f64;
+        }
+        // extreme objectives on a low-scored candidate
+        let mut objectives: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, i as f64]).collect();
+        objectives[11] = vec![-1000.0, 1000.0];
+        let fitness = Fitness::Ranked { scores, objectives };
+        let keep = survivor_selection(&archs, &fitness, 4).unwrap();
+        assert!(!keep.contains(&11), "score-gated pool admitted a low-score candidate");
+    }
+
+    #[test]
+    fn ranked_selection_prefers_high_scores_first() {
+        // with more candidates than 2k, only the top-2k scores enter the
+        // diversity pool at all
+        let archs: Vec<Architecture> = (0..10)
+            .map(|i| Architecture::nb201_from_index(i).unwrap())
+            .collect();
+        let mut scores = vec![0.0; 10];
+        scores[3] = 5.0;
+        scores[6] = 4.0;
+        let objectives: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let fitness = Fitness::Ranked { scores, objectives };
+        let keep = survivor_selection(&archs, &fitness, 1).unwrap();
+        // pool = top-2 scores {3, 6}; crowding over 2 points keeps both at
+        // infinity, truncation keeps the first by crowding order
+        assert_eq!(keep.len(), 1);
+        assert!(keep[0] == 3 || keep[0] == 6);
+    }
+
+    #[test]
+    fn duplicate_architectures_are_evicted() {
+        let arch = Architecture::nb201_from_index(5).unwrap();
+        let archs = vec![arch.clone(), arch.clone(), arch];
+        let fitness = Fitness::Scores(vec![3.0, 2.0, 1.0]);
+        let keep = survivor_selection(&archs, &fitness, 3).unwrap();
+        assert_eq!(keep, vec![0], "duplicates must collapse to one entry");
+    }
+}

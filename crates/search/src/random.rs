@@ -1,0 +1,256 @@
+//! Random search (the paper's simplest baseline).
+
+use crate::clock::SearchClock;
+use crate::evaluator::{Evaluator, Fitness};
+use crate::moea::SearchResult;
+use crate::{Result, SearchError};
+use hwpr_moo::{crowding_distance, fast_non_dominated_sort};
+use hwpr_nasbench::{Architecture, SearchSpaceId};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+/// Configuration of random search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomSearchConfig {
+    /// Number of architectures to sample.
+    pub samples: usize,
+    /// Size of the returned population (best-ranked subset).
+    pub keep: usize,
+    /// Search spaces to sample from.
+    pub spaces: Vec<SearchSpaceId>,
+    /// Total time budget (wall + simulated).
+    pub budget: Option<Duration>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomSearchConfig {
+    /// Matches the MOEA's evaluation volume: population × generations.
+    pub fn paper(space: SearchSpaceId) -> Self {
+        Self {
+            samples: 150 * 250,
+            keep: 150,
+            spaces: vec![space],
+            budget: Some(Duration::from_secs(24 * 3600)),
+            seed: 0,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn small(space: SearchSpaceId) -> Self {
+        Self {
+            samples: 64,
+            keep: 16,
+            spaces: vec![space],
+            budget: None,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Runs random search: samples architectures uniformly, evaluates them
+/// with `evaluator`, and keeps the best `keep` (top scores, or the best
+/// non-dominated layers for objective evaluators).
+///
+/// # Errors
+///
+/// Returns [`SearchError::Config`] for degenerate settings and propagates
+/// evaluator failures.
+pub fn random_search(
+    config: &RandomSearchConfig,
+    evaluator: &mut dyn Evaluator,
+) -> Result<SearchResult> {
+    if config.samples == 0 || config.keep == 0 || config.keep > config.samples {
+        return Err(SearchError::Config(format!(
+            "need 0 < keep <= samples, got keep {} samples {}",
+            config.keep, config.samples
+        )));
+    }
+    if config.spaces.is_empty() {
+        return Err(SearchError::Config("at least one search space required".into()));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut clock = match config.budget {
+        Some(b) => SearchClock::with_budget(b),
+        None => SearchClock::unbounded(),
+    };
+    let mut archs = Vec::with_capacity(config.samples);
+    let mut fitness: Option<Fitness> = None;
+    // sample and evaluate in chunks so the budget can cut the run short
+    const CHUNK: usize = 512;
+    while archs.len() < config.samples && !clock.exhausted() {
+        let n = CHUNK.min(config.samples - archs.len());
+        let chunk: Vec<Architecture> = (0..n)
+            .map(|i| {
+                let space = config.spaces[(archs.len() + i) % config.spaces.len()];
+                Architecture::random(space, &mut rng)
+            })
+            .collect();
+        let chunk_fitness = evaluator.evaluate(&chunk, &mut clock)?;
+        archs.extend(chunk);
+        fitness = Some(match (fitness.take(), chunk_fitness) {
+            (None, f) => f,
+            (Some(Fitness::Scores(mut a)), Fitness::Scores(b)) => {
+                a.extend(b);
+                Fitness::Scores(a)
+            }
+            (Some(Fitness::Objectives(mut a)), Fitness::Objectives(b)) => {
+                a.extend(b);
+                Fitness::Objectives(a)
+            }
+            (
+                Some(Fitness::Ranked {
+                    scores: mut sa,
+                    objectives: mut oa,
+                }),
+                Fitness::Ranked {
+                    scores: sb,
+                    objectives: ob,
+                },
+            ) => {
+                sa.extend(sb);
+                oa.extend(ob);
+                Fitness::Ranked {
+                    scores: sa,
+                    objectives: oa,
+                }
+            }
+            _ => return Err(SearchError::Surrogate("fitness kind changed".into())),
+        });
+    }
+    let fitness = fitness.ok_or_else(|| SearchError::Config("no samples evaluated".into()))?;
+    let keep = best_indices(&archs, &fitness, config.keep.min(archs.len()))?;
+    let surrogate_calls = archs.len() * evaluator.calls_per_arch();
+    Ok(SearchResult {
+        population: keep.iter().map(|&i| archs[i].clone()).collect(),
+        evaluator: format!("Random Search ({})", evaluator.name()),
+        wall_time: clock.wall_elapsed(),
+        simulated_time: clock.simulated_elapsed(),
+        evaluations: archs.len(),
+        surrogate_calls,
+        history: Vec::new(),
+    })
+}
+
+fn best_indices(archs: &[Architecture], fitness: &Fitness, k: usize) -> Result<Vec<usize>> {
+    // unique architectures only (uniform sampling can repeat)
+    let mut seen = std::collections::HashSet::new();
+    let unique: Vec<usize> = (0..archs.len())
+        .filter(|&i| seen.insert((archs[i].space(), archs[i].index())))
+        .collect();
+    match fitness {
+        Fitness::Scores(s) => {
+            let mut idx = unique;
+            idx.sort_by(|&a, &b| s[b].total_cmp(&s[a]));
+            idx.truncate(k);
+            Ok(idx)
+        }
+        Fitness::Ranked { scores, objectives } => {
+            // the score gates front membership: only the best-scored
+            // candidates (k plus a 25 % margin) enter the pool; crowding
+            // on the same call's predicted objectives then trims the
+            // margin so coverage, not score noise, decides the last slots
+            let mut pool = unique;
+            pool.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+            pool.truncate(k + k / 4 + 1);
+            if pool.len() <= k {
+                return Ok(pool);
+            }
+            let pts: Vec<Vec<f64>> = pool.iter().map(|&i| objectives[i].clone()).collect();
+            let crowd = crowding_distance(&pts)?;
+            let mut order: Vec<usize> = (0..pool.len()).collect();
+            order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
+            Ok(order.into_iter().take(k).map(|slot| pool[slot]).collect())
+        }
+        Fitness::Objectives(all_objs) => {
+            let objs: Vec<Vec<f64>> = unique.iter().map(|&i| all_objs[i].clone()).collect();
+            let fronts = fast_non_dominated_sort(&objs)?;
+            let mut keep = Vec::with_capacity(k);
+            for front in fronts {
+                if keep.len() + front.len() <= k {
+                    keep.extend(front.into_iter().map(|i| unique[i]));
+                } else {
+                    let pts: Vec<Vec<f64>> = front.iter().map(|&i| objs[i].clone()).collect();
+                    let crowd = crowding_distance(&pts)?;
+                    let mut order: Vec<usize> = (0..front.len()).collect();
+                    order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
+                    for &slot in order.iter().take(k - keep.len()) {
+                        keep.push(unique[front[slot]]);
+                    }
+                    break;
+                }
+            }
+            Ok(keep)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::ScoreEvaluator;
+
+    fn conv_counter() -> ScoreEvaluator {
+        ScoreEvaluator::from_fn(
+            "stub",
+            Box::new(|archs| {
+                Ok(archs
+                    .iter()
+                    .map(|a| a.op_indices().iter().filter(|&&o| o == 3).count() as f64)
+                    .collect())
+            }),
+        )
+    }
+
+    #[test]
+    fn keeps_the_best_scored_samples() {
+        let cfg = RandomSearchConfig::small(SearchSpaceId::NasBench201);
+        let result = random_search(&cfg, &mut conv_counter()).unwrap();
+        assert_eq!(result.population.len(), 16);
+        assert_eq!(result.evaluations, 64);
+        // every kept arch should have at least one conv3x3 (highly likely
+        // among top 16 of 64 uniform samples)
+        let min_convs = result
+            .population
+            .iter()
+            .map(|a| a.op_indices().iter().filter(|&&o| o == 3).count())
+            .min()
+            .unwrap();
+        assert!(min_convs >= 1);
+    }
+
+    #[test]
+    fn validates_config() {
+        let mut cfg = RandomSearchConfig::small(SearchSpaceId::NasBench201);
+        cfg.keep = 0;
+        assert!(random_search(&cfg, &mut conv_counter()).is_err());
+        let mut cfg = RandomSearchConfig::small(SearchSpaceId::NasBench201);
+        cfg.keep = 1000;
+        assert!(random_search(&cfg, &mut conv_counter()).is_err());
+        let mut cfg = RandomSearchConfig::small(SearchSpaceId::NasBench201);
+        cfg.spaces.clear();
+        assert!(random_search(&cfg, &mut conv_counter()).is_err());
+    }
+
+    #[test]
+    fn paper_config_matches_moea_volume() {
+        let cfg = RandomSearchConfig::paper(SearchSpaceId::NasBench201);
+        assert_eq!(cfg.samples, 37_500);
+        assert_eq!(cfg.keep, 150);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RandomSearchConfig::small(SearchSpaceId::FBNet).with_seed(5);
+        let a = random_search(&cfg, &mut conv_counter()).unwrap();
+        let b = random_search(&cfg, &mut conv_counter()).unwrap();
+        assert_eq!(a.population, b.population);
+    }
+}

@@ -1,0 +1,122 @@
+//! Seeded random initialisation schemes for parameters.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Weight-initialisation scheme.
+///
+/// # Examples
+///
+/// ```
+/// use hwpr_tensor::{Init, Matrix};
+///
+/// let w = Init::Xavier.matrix(4, 8, 42);
+/// assert_eq!(w.shape(), (4, 8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Uniform in `[-limit, limit]`.
+    Uniform(f32),
+    /// Gaussian with the given standard deviation.
+    Normal(f32),
+    /// Xavier/Glorot normal: `std = sqrt(2 / (fan_in + fan_out))`.
+    Xavier,
+    /// He/Kaiming normal: `std = sqrt(2 / fan_in)`; suited to ReLU layers.
+    He,
+}
+
+impl Default for Init {
+    fn default() -> Self {
+        Init::Xavier
+    }
+}
+
+impl Init {
+    /// Materialises a `rows x cols` matrix using this scheme and a seed.
+    ///
+    /// The generator is a counter-based ChaCha8 stream, so results are
+    /// reproducible across platforms and `rand` versions.
+    pub fn matrix(self, rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let gen: Box<dyn FnMut(&mut ChaCha8Rng) -> f32> = match self {
+            Init::Zeros => Box::new(|_| 0.0),
+            Init::Uniform(limit) => Box::new(move |r| r.gen_range(-limit..=limit)),
+            Init::Normal(std) => Box::new(move |r| gaussian(r) * std),
+            Init::Xavier => {
+                let std = xavier_std(rows, cols);
+                Box::new(move |r| gaussian(r) * std)
+            }
+            Init::He => {
+                let std = he_std(rows);
+                Box::new(move |r| gaussian(r) * std)
+            }
+        };
+        let mut g = gen;
+        let data = (0..rows * cols).map(|_| g(&mut rng)).collect();
+        Matrix::from_vec(rows, cols, data).expect("init preserves shape")
+    }
+}
+
+/// Xavier/Glorot standard deviation for a `fan_in x fan_out` weight.
+pub fn xavier_std(fan_in: usize, fan_out: usize) -> f32 {
+    (2.0 / (fan_in + fan_out).max(1) as f32).sqrt()
+}
+
+/// He/Kaiming standard deviation for a layer with `fan_in` inputs.
+pub fn he_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in.max(1) as f32).sqrt()
+}
+
+/// Standard normal sample via Box-Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Init::Xavier.matrix(3, 3, 7);
+        let b = Init::Xavier.matrix(3, 3, 7);
+        assert_eq!(a, b);
+        let c = Init::Xavier.matrix(3, 3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        assert_eq!(Init::Zeros.matrix(2, 2, 0), Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let m = Init::Uniform(0.1).matrix(10, 10, 1);
+        assert!(m.as_slice().iter().all(|x| x.abs() <= 0.1));
+    }
+
+    #[test]
+    fn normal_std_plausible() {
+        let m = Init::Normal(1.0).matrix(50, 50, 3);
+        let mean = m.mean();
+        let var = m.map(|x| (x - mean) * (x - mean)).mean();
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn he_and_xavier_scale_with_fans() {
+        assert!(he_std(100) < he_std(10));
+        assert!(xavier_std(100, 100) < xavier_std(10, 10));
+        // degenerate fans do not divide by zero
+        assert!(he_std(0).is_finite());
+        assert!(xavier_std(0, 0).is_finite());
+    }
+}

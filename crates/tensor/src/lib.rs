@@ -1,0 +1,87 @@
+//! Dense, row-major `f32` matrix substrate for the HW-PR-NAS reproduction.
+//!
+//! The surrogate models in the paper (MLPs, a 2-layer LSTM with 225 hidden
+//! units, a 2-layer GCN with 600 hidden units) are small enough that a
+//! cache-friendly, dependency-free matrix library is sufficient to train
+//! them on a CPU. This crate provides the storage type ([`Matrix`]), shape
+//! checking ([`ShapeError`]), seeded random initialisation and the handful
+//! of kernels the autograd tape needs (GEMM, element-wise maps, reductions,
+//! row gathers, block-diagonal graph products).
+//!
+//! # Examples
+//!
+//! ```
+//! use hwpr_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c, a);
+//! # Ok::<(), hwpr_tensor::ShapeError>(())
+//! ```
+
+
+#![warn(missing_docs)]
+mod init;
+mod matrix;
+mod ops;
+mod shape;
+
+pub use init::{he_std, xavier_std, Init};
+pub use matrix::Matrix;
+pub use shape::ShapeError;
+
+/// Convenience alias for fallible matrix operations.
+pub type Result<T> = std::result::Result<T, ShapeError>;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_matrix() -> impl Strategy<Value = Matrix> {
+        (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-10.0f32..10.0, r * c)
+                .prop_map(move |v| Matrix::from_vec(r, c, v).unwrap())
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_involution(m in small_matrix()) {
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn add_commutes(m in small_matrix()) {
+            let n = m.map(|x| x * 0.5 + 1.0);
+            prop_assert_eq!(m.add(&n).unwrap(), n.add(&m).unwrap());
+        }
+
+        #[test]
+        fn matmul_identity(m in small_matrix()) {
+            let id = Matrix::identity(m.cols());
+            let out = m.matmul(&id).unwrap();
+            for (a, b) in out.as_slice().iter().zip(m.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-5);
+            }
+        }
+
+        #[test]
+        fn sum_matches_mean(m in small_matrix()) {
+            let n = (m.rows() * m.cols()) as f32;
+            prop_assert!((m.sum() - m.mean() * n).abs() < 1e-3);
+        }
+
+        #[test]
+        fn matmul_distributes_over_add(a in small_matrix()) {
+            let b = a.map(|x| x + 1.0);
+            let c = Matrix::filled(a.cols(), 3, 0.5);
+            let lhs = a.add(&b).unwrap().matmul(&c).unwrap();
+            let rhs = a.matmul(&c).unwrap().add(&b.matmul(&c).unwrap()).unwrap();
+            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The dense row-major matrix type.
+
+use crate::shape::ShapeError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// `Matrix` is the single storage type used throughout the reproduction:
+/// batches of architecture encodings are `[batch, features]` matrices,
+/// parameters are `[in, out]` matrices, and vectors are `[n, 1]` or
+/// `[1, n]` matrices.
+///
+/// # Examples
+///
+/// ```
+/// use hwpr_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m[(1, 2)], 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hwpr_tensor::Matrix;
+    /// let z = Matrix::zeros(2, 2);
+    /// assert_eq!(z.sum(), 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Creates a `rows x cols` matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    /// Creates a `rows x cols` matrix with every element set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates an `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hwpr_tensor::Matrix;
+    /// let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+    /// assert_eq!(m[(1, 0)], 3.0);
+    /// # Ok::<(), hwpr_tensor::ShapeError>(())
+    /// ```
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", (rows, cols), (data.len(), 1)));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a single-row matrix (`1 x n`) from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a single-column matrix (`n x 1`) from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as a `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the elements.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the elements.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the flat row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the element at `(row, col)`, or `None` when out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<f32> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(row, col)` is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        let c = self.cols;
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// Column `c` copied into a `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn column(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "column index out of bounds");
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns a new matrix containing the rows selected by `indices`
+    /// (duplicates allowed), in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Self {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Returns the submatrix of rows `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > rows`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.rows, "row range out of bounds");
+        Self {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self[(r, c)])?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+        assert_eq!(m.column(2), vec![3., 6.]);
+        assert_eq!(m.get(0, 1), Some(2.0));
+        assert_eq!(m.get(2, 0), None);
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let id = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(id[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn index_mut_writes_through() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 1)] = 7.0;
+        assert_eq!(m[(0, 1)], 7.0);
+        m.set(1, 0, 3.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn select_rows_duplicates() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let s = m.select_rows(&[1, 1, 0]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(0), &[3.0, 4.0]);
+        assert_eq!(s.row(2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn slice_rows_bounds() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let s = m.slice_rows(1, 3);
+        assert_eq!(s.column(0), vec![2.0, 3.0]);
+        assert_eq!(m.slice_rows(1, 1).rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row index out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let m = Matrix::zeros(1, 1);
+        let _ = m.row(1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Matrix::zeros(1, 1);
+        assert!(!format!("{m}").is_empty());
+        assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Matrix::from_rows(&[&[1.5, -2.0], &[0.0, 4.25]]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn iter_rows_matches_row() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows, vec![m.row(0), m.row(1)]);
+    }
+}

@@ -1,0 +1,459 @@
+//! Numerical kernels on [`Matrix`]: GEMM, element-wise maps, reductions and
+//! the special block products used by the batched graph convolution.
+
+use crate::matrix::Matrix;
+use crate::shape::ShapeError;
+use crate::Result;
+
+impl Matrix {
+    /// Matrix product `self @ rhs`.
+    ///
+    /// Uses a cache-friendly i-k-j loop ordering; adequate for the model
+    /// sizes in the paper (hidden dims ≤ 600, batch 128).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.rows() {
+            return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
+        }
+        let (m, k) = self.shape();
+        let n = rhs.cols();
+        let mut out = Matrix::zeros(m, n);
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let c = out.as_mut_slice();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self^T @ rhs` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows() != rhs.rows() {
+            return Err(ShapeError::new("matmul_tn", self.shape(), rhs.shape()));
+        }
+        let (k, m) = self.shape();
+        let n = rhs.cols();
+        let mut out = Matrix::zeros(m, n);
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let c = out.as_mut_slice();
+        for kk in 0..k {
+            let arow = &a[kk * m..(kk + 1) * m];
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self @ rhs^T` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.cols() {
+            return Err(ShapeError::new("matmul_nt", self.shape(), rhs.shape()));
+        }
+        let (m, k) = self.shape();
+        let n = rhs.rows();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            for j in 0..n {
+                let brow = rhs.row(j);
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += arow[kk] * brow[kk];
+                }
+                out.set(i, j, acc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let (r, c) = self.shape();
+        let mut out = Matrix::zeros(c, r);
+        for i in 0..r {
+            for j in 0..c {
+                out.set(j, i, self[(i, j)]);
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with("add", rhs, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with("sub", rhs, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with("hadamard", rhs, |a, b| a * b)
+    }
+
+    /// Applies `f` to every pair of elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn zip_with<F>(&self, op: &'static str, rhs: &Matrix, f: F) -> Result<Matrix>
+    where
+        F: Fn(f32, f32) -> f32,
+    {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError::new(op, self.shape(), rhs.shape()));
+        }
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(rhs.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+
+    /// Adds `rhs` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a += b;
+        }
+    }
+
+    /// Adds `scale * rhs` into `self` in place (AXPY).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, scale: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
+        let data = self.as_slice().iter().map(|&x| f(x)).collect();
+        Matrix::from_vec(self.rows(), self.cols(), data).expect("map preserves shape")
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for x in self.as_mut_slice() {
+            *x = f(*x);
+        }
+    }
+
+    /// Returns `self * scalar`.
+    pub fn scale(&self, scalar: f32) -> Matrix {
+        self.map(|x| x * scalar)
+    }
+
+    /// Adds the `1 x cols` row vector `bias` to every row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `bias` is not `1 x self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Result<Matrix> {
+        if bias.rows() != 1 || bias.cols() != self.cols() {
+            return Err(ShapeError::new("add_row_broadcast", self.shape(), bias.shape()));
+        }
+        let mut out = self.clone();
+        let b = bias.as_slice();
+        let c = self.cols();
+        for r in 0..out.rows() {
+            for (v, &bv) in out.row_mut(r).iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+        debug_assert_eq!(out.cols(), c);
+        Ok(out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Sums each column, producing a `1 x cols` row vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols());
+        for r in 0..self.rows() {
+            for (o, &v) in out.as_mut_slice().iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Sums each row, producing an `rows x 1` column vector.
+    pub fn sum_cols(&self) -> Matrix {
+        let data = (0..self.rows()).map(|r| self.row(r).iter().sum()).collect();
+        Matrix::from_vec(self.rows(), 1, data).expect("shape preserved")
+    }
+
+    /// Mean of each row, producing an `rows x 1` column vector.
+    pub fn mean_cols(&self) -> Matrix {
+        let n = self.cols().max(1) as f32;
+        self.sum_cols().scale(1.0 / n)
+    }
+
+    /// Largest element (or `f32::NEG_INFINITY` when empty).
+    pub fn max(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element (or `f32::INFINITY` when empty).
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Concatenates matrices horizontally (same row count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the row counts differ or `parts` is empty.
+    pub fn concat_cols(parts: &[&Matrix]) -> Result<Matrix> {
+        let first = parts
+            .first()
+            .ok_or_else(|| ShapeError::new("concat_cols", (0, 0), (0, 0)))?;
+        let rows = first.rows();
+        let total: usize = parts.iter().map(|p| p.cols()).sum();
+        for p in parts {
+            if p.rows() != rows {
+                return Err(ShapeError::new("concat_cols", first.shape(), p.shape()));
+            }
+        }
+        let mut out = Matrix::zeros(rows, total);
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                out.row_mut(r)[offset..offset + p.cols()].copy_from_slice(p.row(r));
+                offset += p.cols();
+            }
+        }
+        Ok(out)
+    }
+
+    /// Concatenates matrices vertically (same column count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the column counts differ or `parts` is empty.
+    pub fn concat_rows(parts: &[&Matrix]) -> Result<Matrix> {
+        let first = parts
+            .first()
+            .ok_or_else(|| ShapeError::new("concat_rows", (0, 0), (0, 0)))?;
+        let cols = first.cols();
+        let total: usize = parts.iter().map(|p| p.rows()).sum();
+        let mut data = Vec::with_capacity(total * cols);
+        for p in parts {
+            if p.cols() != cols {
+                return Err(ShapeError::new("concat_rows", first.shape(), p.shape()));
+            }
+            data.extend_from_slice(p.as_slice());
+        }
+        Matrix::from_vec(total, cols, data)
+    }
+
+    /// Block-diagonal product used by the batched graph convolution.
+    ///
+    /// `self` is interpreted as a stack of `batch = rows / n` blocks of shape
+    /// `n x cols`; block `b` is left-multiplied by `adjacency[b]` (each
+    /// `n x n`). Equivalent to `blockdiag(adjacency) @ self` without forming
+    /// the block-diagonal matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `rows` is not `adjacency.len() * n` or any
+    /// adjacency block is not `n x n`.
+    pub fn block_left_matmul(&self, adjacency: &[Matrix], n: usize) -> Result<Matrix> {
+        if n == 0 || self.rows() != adjacency.len() * n {
+            return Err(ShapeError::new(
+                "block_left_matmul",
+                self.shape(),
+                (adjacency.len() * n, n),
+            ));
+        }
+        for a in adjacency {
+            if a.shape() != (n, n) {
+                return Err(ShapeError::new("block_left_matmul", a.shape(), (n, n)));
+            }
+        }
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        for (b, adj) in adjacency.iter().enumerate() {
+            let block = self.slice_rows(b * n, (b + 1) * n);
+            let prod = adj.matmul(&block)?;
+            for i in 0..n {
+                out.row_mut(b * n + i).copy_from_slice(prod.row(i));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = a.matmul(&b).unwrap_err();
+        assert_eq!(err.op(), "matmul");
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let expected = a.transpose().matmul(&b).unwrap();
+        assert_eq!(a.matmul_tn(&b).unwrap(), expected);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0], &[9.0, 10.0]]);
+        let expected = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(a.matmul_nt(&b).unwrap(), expected);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.add(&b).unwrap(), Matrix::from_rows(&[&[4.0, 6.0]]));
+        assert_eq!(b.sub(&a).unwrap(), Matrix::from_rows(&[&[2.0, 2.0]]));
+        assert_eq!(a.hadamard(&b).unwrap(), Matrix::from_rows(&[&[3.0, 8.0]]));
+        assert!(a.add(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let bias = Matrix::row_vector(&[10.0, 20.0]);
+        let out = m.add_row_broadcast(&bias).unwrap();
+        assert_eq!(out, Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]]));
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.mean(), 2.5);
+        assert_eq!(m.sum_rows(), Matrix::row_vector(&[4.0, 6.0]));
+        assert_eq!(m.sum_cols(), Matrix::col_vector(&[3.0, 7.0]));
+        assert_eq!(m.mean_cols(), Matrix::col_vector(&[1.5, 3.5]));
+        assert_eq!(m.max(), 4.0);
+        assert_eq!(m.min(), 1.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::ones(1, 2);
+        let b = Matrix::from_rows(&[&[2.0, 4.0]]);
+        a.axpy(0.5, &b);
+        assert_eq!(a, Matrix::from_rows(&[&[2.0, 3.0]]));
+    }
+
+    #[test]
+    fn concat_cols_and_rows() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let h = Matrix::concat_cols(&[&a, &b]).unwrap();
+        assert_eq!(h, Matrix::from_rows(&[&[1.0, 3.0, 4.0], &[2.0, 5.0, 6.0]]));
+        let v = Matrix::concat_rows(&[&a, &a]).unwrap();
+        assert_eq!(v.rows(), 4);
+        assert!(Matrix::concat_cols(&[]).is_err());
+        assert!(Matrix::concat_rows(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn block_left_matmul_matches_per_block() {
+        let adj0 = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let adj1 = Matrix::identity(2);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]);
+        let out = x.block_left_matmul(&[adj0.clone(), adj1], 2).unwrap();
+        // first block swapped, second unchanged
+        assert_eq!(out.row(0), &[3.0, 4.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0]);
+        assert_eq!(out.row(2), &[5.0, 6.0]);
+        assert_eq!(out.row(3), &[7.0, 8.0]);
+        assert!(x.block_left_matmul(&[adj0], 2).is_err());
+    }
+
+    #[test]
+    fn norm_known_value() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((m.norm() - 5.0).abs() < 1e-6);
+    }
+}

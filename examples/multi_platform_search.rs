@@ -1,0 +1,75 @@
+//! Multi-platform latency prediction (§III-E): train one HW-PR-NAS with a
+//! bank of per-platform latency heads, then search for each target
+//! platform by switching the head — no retraining.
+//!
+//! ```text
+//! cargo run --release --example multi_platform_search
+//! ```
+
+use hw_pr_nas::core::{HwPrNas, ModelConfig, TrainConfig};
+use hw_pr_nas::hwmodel::{Platform, SimBench, SimBenchConfig};
+use hw_pr_nas::moo::pareto_front;
+use hw_pr_nas::nasbench::{Dataset, SearchSpaceId};
+use hw_pr_nas::search::{MeasuredEvaluator, Moea, MoeaConfig, ScoreEvaluator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = SimBench::generate(SimBenchConfig {
+        space: SearchSpaceId::NasBench201,
+        sample_size: Some(300),
+        seed: 21,
+    });
+    let dataset = Dataset::Cifar10;
+    // the paper's correlated family (§III-E) plus the odd FPGA out
+    let platforms = [Platform::RaspberryPi4, Platform::Pixel3, Platform::FpgaZcu102];
+
+    println!("training one model with {} latency heads ...", platforms.len());
+    let (model, report) = HwPrNas::fit_multi(
+        bench.entries(),
+        dataset,
+        &platforms,
+        &ModelConfig::fast(),
+        &TrainConfig::fast(),
+    )?;
+    println!(
+        "trained {} parameters in {} epochs",
+        model.parameter_count(),
+        report.epochs_run
+    );
+
+    // HwPrNas is not Clone (it owns caches); share it across the three
+    // platform-specific evaluators instead
+    let model = std::sync::Arc::new(model);
+    for platform in platforms {
+        let scores_model = std::sync::Arc::clone(&model);
+        let mut evaluator = ScoreEvaluator::from_fn(
+            format!("HW-PR-NAS @ {platform}"),
+            Box::new(move |archs| {
+                scores_model
+                    .predict_scores(archs, platform)
+                    .map_err(|e| hw_pr_nas::search::SearchError::Surrogate(e.to_string()))
+            }),
+        );
+        let moea = Moea::new(MoeaConfig {
+            population: 24,
+            generations: 12,
+            ..MoeaConfig::small(SearchSpaceId::NasBench201)
+        })?;
+        let result = moea.run(&mut evaluator)?;
+        let oracle = MeasuredEvaluator::for_bench(&bench, dataset, platform);
+        let objectives: Vec<Vec<f64>> = result
+            .population
+            .iter()
+            .map(|a| oracle.true_objectives(a))
+            .collect();
+        let front = pareto_front(&objectives)?;
+        let best_latency = front
+            .iter()
+            .map(|&i| objectives[i][1])
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{platform:>14}: front of {} archs, fastest {best_latency:.3} ms",
+            front.len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Mini version of the Fig. 4 / Table I studies: compare encoder
+//! combinations and regressor heads on a small benchmark slice.
+//!
+//! ```text
+//! cargo run --release --example predictor_ablation
+//! ```
+
+use hw_pr_nas::core::encoders::EncoderChoice;
+use hw_pr_nas::core::predictor::{Predictor, PredictorConfig, RegressorKind, TargetMetric};
+use hw_pr_nas::core::{ModelConfig, SurrogateDataset, TrainConfig};
+use hw_pr_nas::hwmodel::{Platform, SimBench, SimBenchConfig};
+use hw_pr_nas::nasbench::{Dataset, SearchSpaceId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = SimBench::generate(SimBenchConfig {
+        space: SearchSpaceId::NasBench201,
+        sample_size: Some(400),
+        seed: 11,
+    });
+    let data = SurrogateDataset::from_simbench(&bench, Dataset::Cifar10, Platform::EdgeGpu)?;
+
+    println!("== encoder ablation (MLP head, Kendall tau) ==");
+    println!("{:<10} {:>11} {:>11}", "encoding", "accuracy", "latency");
+    for choice in EncoderChoice::FIG4_VARIANTS {
+        let mut taus = Vec::new();
+        for target in [TargetMetric::Accuracy, TargetMetric::Latency] {
+            let config = PredictorConfig {
+                model: ModelConfig::fast(),
+                train: TrainConfig::fast(),
+                ..PredictorConfig::mlp(choice, target)
+            };
+            let (_, report) = Predictor::fit(&data, &config)?;
+            taus.push(report.kendall_tau);
+        }
+        println!("{:<10} {:>11.4} {:>11.4}", choice.to_string(), taus[0], taus[1]);
+    }
+
+    println!("\n== regressor heads (accuracy target) ==");
+    println!("{:<10} {:>9} {:>11}", "regressor", "RMSE", "Kendall tau");
+    for kind in [RegressorKind::Mlp, RegressorKind::XgBoost, RegressorKind::LgBoost] {
+        let config = match kind {
+            RegressorKind::Mlp => PredictorConfig {
+                model: ModelConfig::fast(),
+                train: TrainConfig::fast(),
+                ..PredictorConfig::mlp(EncoderChoice::GCN_AF, TargetMetric::Accuracy)
+            },
+            kind => PredictorConfig::boosted(kind, TargetMetric::Accuracy),
+        };
+        let (_, report) = Predictor::fit(&data, &config)?;
+        println!(
+            "{:<10} {:>9.3} {:>11.4}",
+            kind.to_string(),
+            report.rmse,
+            report.kendall_tau
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,239 @@
+//! `hwpr` — command-line interface to the HW-PR-NAS reproduction.
+//!
+//! ```text
+//! hwpr train   --samples 600 --dataset cifar10 --platform edge-gpu --out model.json
+//! hwpr search  --model model.json --platform edge-gpu --pop 40 --gens 30
+//! hwpr predict --model model.json --platform edge-gpu --arch "|nor_conv_3x3~0|+|...|"
+//! hwpr bench   --space nb201 --samples 200 --out bench.json
+//! ```
+
+use hw_pr_nas::core::{HwPrNas, ModelConfig, SurrogateDataset, TrainConfig};
+use hw_pr_nas::hwmodel::{Platform, SimBench, SimBenchConfig};
+use hw_pr_nas::nasbench::{Architecture, Dataset, SearchSpaceId};
+use hw_pr_nas::search::{HwPrNasEvaluator, Moea, MoeaConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hwpr — Pareto Rank surrogate NAS (HW-PR-NAS reproduction)
+
+USAGE:
+  hwpr bench   --space <nb201|fbnet> --samples <N> [--seed <S>] --out <file.json>
+  hwpr train   [--space <nb201|fbnet>] [--dataset <cifar10|cifar100|imagenet16>]
+               [--platform <name>] [--samples <N>] [--seed <S>] [--paper] --out <file.json>
+  hwpr search  --model <file.json> [--platform <name>] [--pop <N>] [--gens <N>] [--seed <S>]
+  hwpr predict --model <file.json> [--platform <name>] --arch <arch-string>
+
+PLATFORMS:
+  edge-gpu edge-tpu raspberry-pi4 fpga-zc706 fpga-zcu102 pixel3 eyeriss
+";
+
+fn parse_platform(s: &str) -> Result<Platform, String> {
+    match s {
+        "edge-gpu" => Ok(Platform::EdgeGpu),
+        "edge-tpu" => Ok(Platform::EdgeTpu),
+        "raspberry-pi4" | "pi4" => Ok(Platform::RaspberryPi4),
+        "fpga-zc706" | "zc706" => Ok(Platform::FpgaZc706),
+        "fpga-zcu102" | "zcu102" => Ok(Platform::FpgaZcu102),
+        "pixel3" => Ok(Platform::Pixel3),
+        "eyeriss" => Ok(Platform::Eyeriss),
+        other => Err(format!("unknown platform `{other}`")),
+    }
+}
+
+fn parse_dataset(s: &str) -> Result<Dataset, String> {
+    match s {
+        "cifar10" => Ok(Dataset::Cifar10),
+        "cifar100" => Ok(Dataset::Cifar100),
+        "imagenet16" | "imagenet16-120" => Ok(Dataset::ImageNet16),
+        other => Err(format!("unknown dataset `{other}`")),
+    }
+}
+
+fn parse_space(s: &str) -> Result<SearchSpaceId, String> {
+    match s {
+        "nb201" | "nasbench201" => Ok(SearchSpaceId::NasBench201),
+        "fbnet" => Ok(SearchSpaceId::FBNet),
+        other => Err(format!("unknown space `{other}`")),
+    }
+}
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, found `{}`", args[i]))?;
+        if key == "paper" {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    flags
+        .get(key)
+        .map_or(Ok(default), |v| v.parse().map_err(|e| format!("--{key}: {e}")))
+}
+
+fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    flags
+        .get(key)
+        .map_or(Ok(default), |v| v.parse().map_err(|e| format!("--{key}: {e}")))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "bench" => cmd_bench(&flags),
+        "train" => cmd_train(&flags),
+        "search" => cmd_search(&flags),
+        "predict" => cmd_predict(&flags),
+        "help" | "--help" | "-h" => Err(USAGE.to_string()),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let space = parse_space(flags.get("space").map_or("nb201", String::as_str))?;
+    let samples = get_usize(flags, "samples", 200)?;
+    let seed = get_u64(flags, "seed", 0)?;
+    let out = flags.get("out").ok_or("--out <file.json> is required")?;
+    let bench = SimBench::generate(SimBenchConfig {
+        space,
+        sample_size: Some(samples),
+        seed,
+    });
+    let json = serde_json_string(&bench)?;
+    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {} benchmark rows to {out}", bench.len());
+    Ok(())
+}
+
+// the facade crate re-exports no serde_json; serialise via the bench's own
+// serde support through a tiny helper
+fn serde_json_string<T: serde::Serialize>(value: &T) -> Result<String, String> {
+    serde_json::to_string(value).map_err(|e| format!("serialise: {e}"))
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let space = parse_space(flags.get("space").map_or("nb201", String::as_str))?;
+    let dataset = parse_dataset(flags.get("dataset").map_or("cifar10", String::as_str))?;
+    let platform = parse_platform(flags.get("platform").map_or("edge-gpu", String::as_str))?;
+    let samples = get_usize(flags, "samples", 600)?;
+    let seed = get_u64(flags, "seed", 0)?;
+    let out = flags.get("out").ok_or("--out <file.json> is required")?;
+    let paper = flags.contains_key("paper");
+
+    eprintln!("generating {samples} benchmark rows ({space}) ...");
+    let bench = SimBench::generate(SimBenchConfig {
+        space,
+        sample_size: Some(samples),
+        seed,
+    });
+    let data = SurrogateDataset::from_simbench(&bench, dataset, platform)
+        .map_err(|e| e.to_string())?;
+    let (model_cfg, train_cfg) = if paper {
+        (ModelConfig::paper(), TrainConfig::paper())
+    } else {
+        (ModelConfig::fast(), TrainConfig::fast())
+    };
+    eprintln!("training HW-PR-NAS ({}) ...", if paper { "paper config" } else { "fast config" });
+    let (model, report) = HwPrNas::fit(
+        &data,
+        &model_cfg.with_seed(seed),
+        &train_cfg.with_seed(seed),
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "trained {} parameters in {} epochs; validation rank tau {:.3}",
+        model.parameter_count(),
+        report.epochs_run,
+        report.val_rank_tau
+    );
+    model.save(out).map_err(|e| e.to_string())?;
+    eprintln!("model saved to {out}");
+    Ok(())
+}
+
+fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("model").ok_or("--model <file.json> is required")?;
+    let model = HwPrNas::load(path).map_err(|e| e.to_string())?;
+    let platform = match flags.get("platform") {
+        Some(p) => parse_platform(p)?,
+        None => *model
+            .platforms()
+            .first()
+            .ok_or("model carries no platform heads")?,
+    };
+    let space = SearchSpaceId::NasBench201;
+    let config = MoeaConfig {
+        population: get_usize(flags, "pop", 40)?,
+        generations: get_usize(flags, "gens", 30)?,
+        seed: get_u64(flags, "seed", 0)?,
+        ..MoeaConfig::small(space)
+    };
+    let moea = Moea::new(config).map_err(|e| e.to_string())?;
+    let mut evaluator = HwPrNasEvaluator::new(model, platform);
+    eprintln!("searching on {platform} ...");
+    let result = moea.run(&mut evaluator).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} evaluations, {} surrogate calls, {:.1} ms",
+        result.evaluations,
+        result.surrogate_calls,
+        result.wall_time.as_secs_f64() * 1e3
+    );
+    println!("final population ({} architectures):", result.population.len());
+    for arch in &result.population {
+        println!("{}", arch.to_arch_string());
+    }
+    Ok(())
+}
+
+fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("model").ok_or("--model <file.json> is required")?;
+    let arch_str = flags.get("arch").ok_or("--arch <arch-string> is required")?;
+    let model = HwPrNas::load(path).map_err(|e| e.to_string())?;
+    let platform = match flags.get("platform") {
+        Some(p) => parse_platform(p)?,
+        None => *model
+            .platforms()
+            .first()
+            .ok_or("model carries no platform heads")?,
+    };
+    let arch: Architecture = arch_str.parse().map_err(|e| format!("{e}"))?;
+    let (scores, objectives) = model
+        .predict_full(&[arch], platform)
+        .map_err(|e| e.to_string())?;
+    println!("score: {:.4}", scores[0]);
+    println!(
+        "predicted accuracy: {:.2} %, predicted latency: {:.3} ms",
+        100.0 - objectives[0][0],
+        objectives[0][1]
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # HW-PR-NAS — Pareto Rank Surrogate Model for Hardware-aware NAS
+//!
+//! A from-scratch Rust reproduction of *"Pareto Rank Surrogate Model for
+//! Hardware-aware Neural Architecture Search"* (Benmeziane et al., ISPASS
+//! 2022). This facade crate re-exports every subsystem so downstream users
+//! can depend on a single crate:
+//!
+//! - [`tensor`] / [`autograd`] / [`nn`] — a small deep-learning stack
+//!   (tape-based reverse-mode autodiff, Linear/Embedding/LSTM/GCN layers,
+//!   AdamW, cosine annealing, ListMLE & hinge ranking losses).
+//! - [`gbdt`] — gradient-boosted regression trees (XGBoost- and
+//!   LightGBM-style growth) used as regressor baselines in Table I.
+//! - [`nasbench`] — NAS-Bench-201 and FBNet search spaces with string,
+//!   graph and feature encodings plus a FLOPs/params profiler.
+//! - [`hwmodel`] — analytical latency/energy models for the paper's seven
+//!   hardware platforms and the deterministic synthetic benchmark tables.
+//! - [`moo`] — Pareto dominance, non-dominated sorting, hypervolume.
+//! - [`metrics`] — Kendall τ, Spearman ρ, RMSE and summary statistics.
+//! - [`core`] — the paper's contribution: the HW-PR-NAS surrogate with its
+//!   Pareto ranking loss, plus BRP-NAS- and GATES-style baselines.
+//! - [`search`] — random search and the MOEA of Algorithm 1.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hw_pr_nas::hwmodel::{Platform, SimBench, SimBenchConfig};
+//! use hw_pr_nas::nasbench::SearchSpaceId;
+//!
+//! // Materialise a small slice of the synthetic NAS-Bench-201 table.
+//! let bench = SimBench::generate(SimBenchConfig {
+//!     space: SearchSpaceId::NasBench201,
+//!     sample_size: Some(32),
+//!     seed: 7,
+//!     ..SimBenchConfig::default()
+//! });
+//! let entry = &bench.entries()[0];
+//! let latency = entry.latency(Platform::EdgeGpu);
+//! assert!(latency > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hwpr_autograd as autograd;
+pub use hwpr_core as core;
+pub use hwpr_gbdt as gbdt;
+pub use hwpr_hwmodel as hwmodel;
+pub use hwpr_metrics as metrics;
+pub use hwpr_moo as moo;
+pub use hwpr_nasbench as nasbench;
+pub use hwpr_nn as nn;
+pub use hwpr_search as search;
+pub use hwpr_tensor as tensor;

@@ -1,0 +1,96 @@
+//! Cross-crate consistency of the three architecture encodings and the
+//! profiler-derived quantities they feed.
+
+use hw_pr_nas::hwmodel::{energy_mj, latency_ms, Platform};
+use hw_pr_nas::nasbench::features::{ArchFeatures, ARCH_FEATURE_DIM};
+use hw_pr_nas::nasbench::profile::profile;
+use hw_pr_nas::nasbench::{graph, tokens, Architecture, Dataset, SearchSpaceId};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn random_archs(space: SearchSpaceId, n: usize) -> Vec<Architecture> {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    (0..n).map(|_| Architecture::random(space, &mut rng)).collect()
+}
+
+#[test]
+fn af_flops_match_profiler_totals() {
+    for arch in random_archs(SearchSpaceId::NasBench201, 10) {
+        let af = ArchFeatures::extract(&arch, Dataset::Cifar10);
+        let net = profile(&arch, Dataset::Cifar10);
+        assert_eq!(af.flops, net.total_flops());
+        assert_eq!(af.params, net.total_params());
+        assert_eq!(af.conv_count as usize, net.conv_count());
+        assert_eq!(af.to_vec().len(), ARCH_FEATURE_DIM);
+    }
+}
+
+#[test]
+fn token_and_graph_encodings_agree_on_ops() {
+    for arch in random_archs(SearchSpaceId::FBNet, 8) {
+        let toks = tokens::tokens(&arch);
+        let g = graph::encode(&arch);
+        // each op token corresponds to a one-hot column in the node features
+        for (layer, &tok) in toks.iter().enumerate() {
+            let node = 1 + layer; // input node is 0
+            let feature_col = 3 + tok; // [input, output, global] prefix
+            assert_eq!(
+                g.features[(node, feature_col)],
+                1.0,
+                "token {tok} at layer {layer} not reflected in the graph"
+            );
+        }
+    }
+}
+
+#[test]
+fn string_codec_round_trips_through_all_encodings() {
+    for space in [SearchSpaceId::NasBench201, SearchSpaceId::FBNet] {
+        for arch in random_archs(space, 6) {
+            let parsed: Architecture = arch.to_arch_string().parse().unwrap();
+            assert_eq!(tokens::tokens(&arch), tokens::tokens(&parsed));
+            assert_eq!(graph::encode(&arch), graph::encode(&parsed));
+            assert_eq!(
+                ArchFeatures::extract(&arch, Dataset::Cifar100).to_vec(),
+                ArchFeatures::extract(&parsed, Dataset::Cifar100).to_vec()
+            );
+        }
+    }
+}
+
+#[test]
+fn hardware_costs_scale_with_capacity() {
+    // an architecture with strictly more compute is slower and hungrier on
+    // every platform
+    use hw_pr_nas::nasbench::Nb201Op;
+    let small = Architecture::nb201([Nb201Op::NorConv1x1; 6]);
+    let large = Architecture::nb201([Nb201Op::NorConv3x3; 6]);
+    for platform in Platform::ALL {
+        assert!(
+            latency_ms(&large, Dataset::Cifar10, platform)
+                > latency_ms(&small, Dataset::Cifar10, platform),
+            "latency ordering violated on {platform}"
+        );
+        assert!(
+            energy_mj(&large, Dataset::Cifar10, platform)
+                > energy_mj(&small, Dataset::Cifar10, platform),
+            "energy ordering violated on {platform}"
+        );
+    }
+}
+
+#[test]
+fn padded_and_natural_graphs_share_structure() {
+    for arch in random_archs(SearchSpaceId::NasBench201, 5) {
+        let natural = graph::encode(&arch);
+        let padded = graph::encode_padded(&arch, graph::FBNET_NODES);
+        let n = natural.node_count();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(natural.adjacency[(i, j)], padded.adjacency[(i, j)]);
+            }
+            assert_eq!(natural.features.row(i), padded.features.row(i));
+        }
+        assert_eq!(natural.global_node(), padded.global_node());
+    }
+}

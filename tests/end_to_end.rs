@@ -1,0 +1,151 @@
+//! Cross-crate integration: benchmark table → surrogate training → MOEA →
+//! hypervolume, exercised through the facade crate's public API.
+
+use hw_pr_nas::core::baselines::SurrogatePair;
+use hw_pr_nas::core::{HwPrNas, ModelConfig, SurrogateDataset, TrainConfig};
+use hw_pr_nas::hwmodel::{Platform, SimBench, SimBenchConfig};
+use hw_pr_nas::moo::{hypervolume, nadir_reference_point, pareto_front};
+use hw_pr_nas::nasbench::{Architecture, Dataset, SearchSpaceId};
+use hw_pr_nas::search::{
+    random_search, HwPrNasEvaluator, MeasuredEvaluator, Moea, MoeaConfig, PairEvaluator,
+    RandomSearchConfig, ScoreEvaluator,
+};
+
+fn bench(n: usize, seed: u64) -> SimBench {
+    SimBench::generate(SimBenchConfig {
+        space: SearchSpaceId::NasBench201,
+        sample_size: Some(n),
+        seed,
+    })
+}
+
+fn small_moea() -> Moea {
+    Moea::new(MoeaConfig {
+        population: 16,
+        generations: 10,
+        ..MoeaConfig::small(SearchSpaceId::NasBench201)
+    })
+    .expect("valid config")
+}
+
+fn population_hv(
+    pop: &[Architecture],
+    oracle: &MeasuredEvaluator,
+    reference: &[f64],
+) -> f64 {
+    let objs: Vec<Vec<f64>> = pop.iter().map(|a| oracle.true_objectives(a)).collect();
+    let front: Vec<Vec<f64>> = pareto_front(&objs)
+        .unwrap()
+        .into_iter()
+        .map(|i| objs[i].clone())
+        .collect();
+    hypervolume(&front, reference).unwrap()
+}
+
+#[test]
+fn surrogate_guided_search_beats_unguided_sampling() {
+    let b = bench(420, 42);
+    let dataset = Dataset::Cifar10;
+    let platform = Platform::EdgeGpu;
+    let data = SurrogateDataset::from_simbench(&b, dataset, platform).unwrap();
+    let mut cfg = TrainConfig::tiny();
+    cfg.epochs = 16;
+    cfg.fusion_finetune_epochs = 8;
+    let (model, report) = HwPrNas::fit(&data, &ModelConfig::tiny(), &cfg).unwrap();
+    assert!(report.val_rank_tau > 0.25, "tau {}", report.val_rank_tau);
+
+    let mut hwpr_eval = HwPrNasEvaluator::new(model, platform);
+    let moea_result = small_moea().run(&mut hwpr_eval).unwrap();
+
+    // unguided baseline: keep an arbitrary subset of the same number of
+    // uniform samples (scores constant => arbitrary selection)
+    let mut flat = ScoreEvaluator::from_fn("flat", Box::new(|archs| Ok(vec![0.0; archs.len()])));
+    let random_result = random_search(
+        &RandomSearchConfig {
+            samples: moea_result.evaluations,
+            keep: 16,
+            spaces: vec![SearchSpaceId::NasBench201],
+            budget: None,
+            seed: 3,
+        },
+        &mut flat,
+    )
+    .unwrap();
+
+    let oracle = MeasuredEvaluator::for_bench(&b, dataset, platform);
+    let mut all: Vec<Vec<f64>> = Vec::new();
+    for pop in [&moea_result.population, &random_result.population] {
+        all.extend(pop.iter().map(|a| oracle.true_objectives(a)));
+    }
+    let reference = nadir_reference_point(&all, 1.0).unwrap();
+    let hv_moea = population_hv(&moea_result.population, &oracle, &reference);
+    let hv_random = population_hv(&random_result.population, &oracle, &reference);
+    assert!(
+        hv_moea > hv_random * 0.95,
+        "surrogate-guided search should not lose badly: {hv_moea} vs {hv_random}"
+    );
+}
+
+#[test]
+fn pair_surrogates_drive_the_same_search_loop() {
+    let b = bench(160, 7);
+    let data = SurrogateDataset::from_simbench(&b, Dataset::Cifar100, Platform::Pixel3).unwrap();
+    let (pair, _) = SurrogatePair::brp_nas(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+    let mut eval = PairEvaluator::new(pair);
+    let result = small_moea().run(&mut eval).unwrap();
+    assert_eq!(result.population.len(), 16);
+    assert_eq!(result.surrogate_calls, result.evaluations * 2);
+}
+
+#[test]
+fn measured_search_charges_simulated_time() {
+    let b = bench(60, 1);
+    let mut eval = MeasuredEvaluator::for_bench(&b, Dataset::Cifar10, Platform::Eyeriss);
+    let result = small_moea().run(&mut eval).unwrap();
+    assert!(result.simulated_time.as_secs_f64() > 0.0);
+    // caching: repeat architectures are not re-measured, so the charged
+    // time is at most evaluations * cost
+    assert!(
+        result.simulated_time.as_secs_f64()
+            <= result.evaluations as f64 * MeasuredEvaluator::DEFAULT_SECONDS_PER_EVAL + 1e-6
+    );
+}
+
+#[test]
+fn search_results_are_reproducible_across_processes_logic() {
+    // the same seeds must give identical populations (pure functions of
+    // the seed + data)
+    let b = bench(140, 9);
+    let data = SurrogateDataset::from_simbench(&b, Dataset::Cifar10, Platform::EdgeGpu).unwrap();
+    let run = || {
+        let (model, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+        let mut eval = HwPrNasEvaluator::new(model, Platform::EdgeGpu);
+        small_moea().run(&mut eval).unwrap().population
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn mixed_space_end_to_end() {
+    let nb = bench(90, 5);
+    let fb = SimBench::generate(SimBenchConfig {
+        space: SearchSpaceId::FBNet,
+        sample_size: Some(60),
+        seed: 5,
+    });
+    let mut entries = nb.entries().to_vec();
+    entries.extend_from_slice(fb.entries());
+    let data =
+        SurrogateDataset::from_entries(&entries, Dataset::Cifar10, Platform::Pixel3).unwrap();
+    let (model, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+    let moea = Moea::new(MoeaConfig {
+        population: 12,
+        generations: 5,
+        spaces: vec![SearchSpaceId::NasBench201, SearchSpaceId::FBNet],
+        ..MoeaConfig::small(SearchSpaceId::NasBench201)
+    })
+    .unwrap();
+    let mut eval = HwPrNasEvaluator::new(model, Platform::Pixel3);
+    let result = moea.run(&mut eval).unwrap();
+    assert_eq!(result.population.len(), 12);
+}

@@ -1,0 +1,95 @@
+//! Property-style integration tests for the paper's key equations and
+//! training-objective behaviour, spanning crates.
+
+use hw_pr_nas::autograd::Tape;
+use hw_pr_nas::hwmodel::{SimBench, SimBenchConfig};
+use hw_pr_nas::moo::{dominates, fast_non_dominated_sort, pareto_ranks};
+use hw_pr_nas::nasbench::{Dataset, SearchSpaceId};
+use hw_pr_nas::tensor::Matrix;
+use hwpr_hwmodel::Platform;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eqs. (1)-(3) of the paper hold for fronts built from *benchmark*
+    /// objective vectors (not just synthetic points).
+    #[test]
+    fn paper_equations_hold_on_benchmark_objectives(seed in 0u64..500, n in 4usize..32) {
+        let bench = SimBench::generate(SimBenchConfig {
+            space: SearchSpaceId::NasBench201,
+            sample_size: Some(n),
+            seed,
+        });
+        let objs: Vec<Vec<f64>> = bench
+            .entries()
+            .iter()
+            .map(|e| e.objectives(Dataset::Cifar10, Platform::EdgeGpu))
+            .collect();
+        let fronts = fast_non_dominated_sort(&objs).unwrap();
+        for (k, front) in fronts.iter().enumerate() {
+            for &i in front {
+                for &j in front {
+                    prop_assert!(!dominates(&objs[i], &objs[j])); // Eq. 1
+                }
+            }
+            if k + 1 < fronts.len() {
+                for &i in &fronts[k + 1] {
+                    for &j in front {
+                        prop_assert!(!dominates(&objs[i], &objs[j])); // Eq. 2
+                    }
+                    prop_assert!(front.iter().any(|&j| dominates(&objs[j], &objs[i]))); // Eq. 3
+                }
+            }
+        }
+    }
+
+    /// The ListMLE loss (Eq. 4) is minimised by scores that respect the
+    /// Pareto ranking: scoring by negated rank never loses to scoring by
+    /// a random permutation's values.
+    #[test]
+    fn listmle_prefers_rank_consistent_scores(seed in 0u64..200) {
+        let bench = SimBench::generate(SimBenchConfig {
+            space: SearchSpaceId::NasBench201,
+            sample_size: Some(12),
+            seed,
+        });
+        let objs: Vec<Vec<f64>> = bench
+            .entries()
+            .iter()
+            .map(|e| e.objectives(Dataset::Cifar100, Platform::Pixel3))
+            .collect();
+        let ranks = pareto_ranks(&objs).unwrap();
+        let mut order: Vec<usize> = (0..ranks.len()).collect();
+        order.sort_by_key(|&i| ranks[i]);
+
+        let good: Vec<f32> = ranks.iter().map(|&r| -(r as f32)).collect();
+        let bad: Vec<f32> = ranks.iter().map(|&r| r as f32).collect(); // inverted
+
+        let loss = |scores: &[f32]| {
+            let mut tape = Tape::new();
+            let s = tape.leaf(Matrix::col_vector(scores));
+            let l = tape.list_mle(s, &order).unwrap();
+            tape.value(l)[(0, 0)]
+        };
+        prop_assert!(loss(&good) <= loss(&bad) + 1e-5);
+    }
+}
+
+#[test]
+fn benchmark_tables_are_identical_across_generations() {
+    let config = SimBenchConfig {
+        space: SearchSpaceId::FBNet,
+        sample_size: Some(20),
+        seed: 77,
+    };
+    let a = SimBench::generate(config.clone());
+    let b = SimBench::generate(config);
+    assert_eq!(a, b);
+    // and the oracle regenerates the exact table rows
+    let model = a.oracle_model();
+    for entry in a.entries() {
+        let remeasured = SimBench::measure(entry.arch(), &model);
+        assert_eq!(&remeasured, entry);
+    }
+}
