@@ -30,7 +30,11 @@ impl fmt::Display for AutogradError {
         match self {
             AutogradError::Shape(e) => write!(f, "{e}"),
             AutogradError::NonScalarLoss { shape } => {
-                write!(f, "backward requires a 1x1 loss, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "backward requires a 1x1 loss, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             AutogradError::IndexOutOfRange { index, rows } => {
                 write!(f, "row index {index} out of range for {rows} rows")

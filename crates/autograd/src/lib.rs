@@ -30,7 +30,6 @@
 //! # Ok::<(), hwpr_autograd::AutogradError>(())
 //! ```
 
-
 #![warn(missing_docs)]
 mod error;
 mod ops;

@@ -219,7 +219,10 @@ impl Tape {
         }
         validate_permutation(order, s.rows())?;
         let loss = list_mle_forward(s.as_slice(), order);
-        Ok(self.push(Matrix::filled(1, 1, loss), Op::ListMle(scores, order.to_vec())))
+        Ok(self.push(
+            Matrix::filled(1, 1, loss),
+            Op::ListMle(scores, order.to_vec()),
+        ))
     }
 
     /// Pairwise hinge ranking loss with a margin (GATES-style).
@@ -233,7 +236,12 @@ impl Tape {
     /// Returns [`AutogradError::InvalidRanking`] when `pairs` is empty or
     /// holds out-of-range indices, or a shape error if `scores` is not a
     /// column vector.
-    pub fn pairwise_hinge(&mut self, scores: Var, pairs: &[(usize, usize)], margin: f32) -> Result<Var> {
+    pub fn pairwise_hinge(
+        &mut self,
+        scores: Var,
+        pairs: &[(usize, usize)],
+        margin: f32,
+    ) -> Result<Var> {
         let s = self.value(scores);
         if s.cols() != 1 {
             return Err(AutogradError::Shape(hwpr_tensor::ShapeError::new(
@@ -305,7 +313,11 @@ impl Tape {
                 self.accumulate(a, &grad);
             }
             Op::Relu(a) => {
-                let da = grad.zip_with("relu_bwd", self.value(a), |g, x| if x > 0.0 { g } else { 0.0 })?;
+                let da = grad.zip_with(
+                    "relu_bwd",
+                    self.value(a),
+                    |g, x| if x > 0.0 { g } else { 0.0 },
+                )?;
                 self.accumulate(a, &da);
             }
             Op::Tanh(a) => {
@@ -335,7 +347,8 @@ impl Tape {
                     let rows = grad.rows();
                     let mut dp = Matrix::zeros(rows, w);
                     for r in 0..rows {
-                        dp.row_mut(r).copy_from_slice(&grad.row(r)[offset..offset + w]);
+                        dp.row_mut(r)
+                            .copy_from_slice(&grad.row(r)[offset..offset + w]);
                     }
                     self.accumulate(p, &dp);
                     offset += w;

@@ -9,8 +9,8 @@ use hwpr_core::{HwPrNas, ModelConfig, TrainConfig};
 use hwpr_hwmodel::Platform;
 use hwpr_nasbench::{Architecture, SearchSpaceId};
 use hwpr_search::{
-    Evaluator, Fitness, Moea, MoeaConfig, Result as SearchResult2, ScoreEvaluator, SearchClock,
-    SearchError,
+    share_objectives, Evaluator, Fitness, Moea, MoeaConfig, Result as SearchResult2,
+    ScoreEvaluator, SearchClock, SearchError,
 };
 use std::sync::Arc;
 
@@ -28,11 +28,11 @@ impl Evaluator for SharedPairEvaluator {
         archs: &[Architecture],
         _clock: &mut SearchClock,
     ) -> SearchResult2<Fitness> {
-        Ok(Fitness::Objectives(
+        Ok(Fitness::Objectives(share_objectives(
             self.0
                 .predict_objectives(archs)
                 .map_err(|e| SearchError::Surrogate(e.to_string()))?,
-        ))
+        )))
     }
 
     fn calls_per_arch(&self) -> usize {
@@ -51,8 +51,8 @@ fn moea() -> Moea {
 
 fn bench_search(c: &mut Criterion) {
     let data = fixture_dataset(96);
-    let (hwpr, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny())
-        .expect("training failed");
+    let (hwpr, _) =
+        HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).expect("training failed");
     let hwpr = Arc::new(hwpr);
     let (pair, _) = SurrogatePair::brp_nas(&data, &ModelConfig::tiny(), &TrainConfig::tiny())
         .expect("training failed");

@@ -1,7 +1,6 @@
 //! Shared fixtures for the criterion benchmarks (one bench target per
 //! experiment kernel; see `benches/`).
 
-
 #![warn(missing_docs)]
 use hwpr_core::{HwPrNas, ModelConfig, SurrogateDataset, TrainConfig};
 use hwpr_hwmodel::{Platform, SimBench, SimBenchConfig};
@@ -35,14 +34,18 @@ pub fn fixture_model(n: usize) -> HwPrNas {
 /// Deterministic random architectures.
 pub fn fixture_archs(space: SearchSpaceId, n: usize) -> Vec<Architecture> {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    (0..n).map(|_| Architecture::random(space, &mut rng)).collect()
+    (0..n)
+        .map(|_| Architecture::random(space, &mut rng))
+        .collect()
 }
 
 /// Deterministic random objective vectors for MOO kernels.
 pub fn fixture_objectives(n: usize, dim: usize) -> Vec<Vec<f64>> {
     let mut state = 0x1234_5678u64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64) / (1u64 << 31) as f64
     };
     (0..n)

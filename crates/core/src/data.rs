@@ -286,7 +286,9 @@ mod tests {
     #[test]
     fn empty_sources_rejected() {
         assert!(SurrogateDataset::from_entries(&[], Dataset::Cifar10, Platform::EdgeGpu).is_err());
-        assert!(SurrogateDataset::from_samples(vec![], Dataset::Cifar10, Platform::EdgeGpu).is_err());
+        assert!(
+            SurrogateDataset::from_samples(vec![], Dataset::Cifar10, Platform::EdgeGpu).is_err()
+        );
     }
 
     #[test]

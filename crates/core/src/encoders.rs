@@ -62,13 +62,8 @@ impl EncoderChoice {
     };
 
     /// The five combinations studied in Fig. 4, in display order.
-    pub const FIG4_VARIANTS: [EncoderChoice; 5] = [
-        Self::AF,
-        Self::LSTM,
-        Self::GCN,
-        Self::LSTM_AF,
-        Self::GCN_AF,
-    ];
+    pub const FIG4_VARIANTS: [EncoderChoice; 5] =
+        [Self::AF, Self::LSTM, Self::GCN, Self::LSTM_AF, Self::GCN_AF];
 }
 
 impl fmt::Display for EncoderChoice {
@@ -221,10 +216,13 @@ impl EncoderSet {
         if !self.gcn.is_empty() {
             let nodes = cache.nodes();
             let feature_rows: Vec<&Matrix> = encodings.iter().map(|e| &e.graph.features).collect();
-            let stacked = Matrix::concat_rows(&feature_rows).map_err(hwpr_autograd::AutogradError::from)
+            let stacked = Matrix::concat_rows(&feature_rows)
+                .map_err(hwpr_autograd::AutogradError::from)
                 .map_err(hwpr_nn::NnError::from)?;
-            let adjacency: Vec<Matrix> =
-                encodings.iter().map(|e| e.graph.adjacency.clone()).collect();
+            let adjacency: Vec<Matrix> = encodings
+                .iter()
+                .map(|e| e.graph.adjacency.clone())
+                .collect();
             let mut h = binder.input(stacked);
             for layer in &self.gcn {
                 h = layer.forward(binder, h, &adjacency, nodes)?;
@@ -235,7 +233,10 @@ impl EncoderSet {
                 .enumerate()
                 .map(|(b, e)| b * nodes + e.graph.global_node())
                 .collect();
-            let pooled = binder.tape().gather_rows(h, &rows).map_err(hwpr_nn::NnError::from)?;
+            let pooled = binder
+                .tape()
+                .gather_rows(h, &rows)
+                .map_err(hwpr_nn::NnError::from)?;
             parts.push(pooled);
         }
         if let (Some(embedding), Some(lstm)) = (&self.embedding, &self.lstm) {
@@ -358,9 +359,7 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new(&mut tape, &params);
         let mut rng = LayerRng::seed_from_u64(0);
-        let out = enc
-            .forward(&mut binder, &cache, &[a, b], &mut rng)
-            .unwrap();
+        let out = enc.forward(&mut binder, &cache, &[a, b], &mut rng).unwrap();
         let v = tape.value(out);
         assert_ne!(v.row(0), v.row(1));
     }

@@ -30,7 +30,6 @@
 //! - [`scalable`] — the ≥3-objective variant of §III-F (frozen encoders,
 //!   one MLP fine-tuned for 5 epochs).
 
-
 #![warn(missing_docs)]
 pub mod baselines;
 pub mod config;

@@ -210,7 +210,12 @@ impl HwPrNas {
             let mut tape = Tape::new();
             let mut binder = Binder::new(&mut tape, &self.params);
             let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
-            out.extend(tape.value(outputs.score).as_slice().iter().map(|&v| v as f64));
+            out.extend(
+                tape.value(outputs.score)
+                    .as_slice()
+                    .iter()
+                    .map(|&v| v as f64),
+            );
         }
         Ok(out)
     }
@@ -235,15 +240,68 @@ impl HwPrNas {
             let mut tape = Tape::new();
             let mut binder = Binder::new(&mut tape, &self.params);
             let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
-            scores.extend(tape.value(outputs.score).as_slice().iter().map(|&v| v as f64));
-            let acc = tape.value(outputs.accuracy).as_slice().to_vec();
-            let lat = tape.value(outputs.latency).as_slice().to_vec();
-            for (a, l) in acc.into_iter().zip(lat) {
+            scores.extend(
+                tape.value(outputs.score)
+                    .as_slice()
+                    .iter()
+                    .map(|&v| v as f64),
+            );
+            let acc = tape.value(outputs.accuracy);
+            let lat = tape.value(outputs.latency);
+            for (&a, &l) in acc.as_slice().iter().zip(lat.as_slice()) {
                 objectives.push(vec![
                     (100.0 - a as f64 * 100.0).clamp(0.0, 100.0),
                     (l as f64 * self.max_latency[slot]).max(0.0),
                 ]);
             }
+        }
+        Ok((scores, objectives))
+    }
+
+    /// [`Self::predict_full`] with the batch split across scoped worker
+    /// threads (the MOEA's per-generation hot path).
+    ///
+    /// The input is cut into `threads` contiguous chunks, each worker runs
+    /// the serial predictor on its chunk, and the results are spliced back
+    /// in input order. Every row of a forward pass is independent and
+    /// dropout is inert at inference, so the result is bit-identical to
+    /// the serial path for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model has no head for `platform` or any
+    /// worker's prediction fails.
+    pub fn predict_full_parallel(
+        &self,
+        archs: &[Architecture],
+        platform: Platform,
+        threads: usize,
+    ) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
+        // fail fast on unknown platforms before spawning anything
+        self.platform_slot(platform)?;
+        let threads = threads.max(1).min(archs.len().max(1));
+        if threads == 1 {
+            return self.predict_full(archs, platform);
+        }
+        let chunk = archs.len().div_ceil(threads);
+        type ChunkResult = Result<(Vec<f64>, Vec<Vec<f64>>)>;
+        let results: Vec<ChunkResult> = crossbeam::scope(|s| {
+            let handles: Vec<_> = archs
+                .chunks(chunk)
+                .map(|c| s.spawn(move |_| self.predict_full(c, platform)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("prediction worker panicked"))
+                .collect()
+        })
+        .expect("prediction scope panicked");
+        let mut scores = Vec::with_capacity(archs.len());
+        let mut objectives = Vec::with_capacity(archs.len());
+        for r in results {
+            let (s, o) = r?;
+            scores.extend(s);
+            objectives.extend(o);
         }
         Ok((scores, objectives))
     }
@@ -266,9 +324,9 @@ impl HwPrNas {
             let mut tape = Tape::new();
             let mut binder = Binder::new(&mut tape, &self.params);
             let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
-            let acc = tape.value(outputs.accuracy).as_slice().to_vec();
-            let lat = tape.value(outputs.latency).as_slice().to_vec();
-            for (a, l) in acc.into_iter().zip(lat) {
+            let acc = tape.value(outputs.accuracy);
+            let lat = tape.value(outputs.latency);
+            for (&a, &l) in acc.as_slice().iter().zip(lat.as_slice()) {
                 out.push((
                     (a as f64 * 100.0).clamp(0.0, 100.0),
                     (l as f64 * self.max_latency[slot]).max(0.0),

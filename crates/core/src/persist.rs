@@ -205,7 +205,9 @@ mod tests {
         let restored = HwPrNas::load(&path).unwrap();
         let arch = data.samples()[0].arch.clone();
         assert_eq!(
-            model.predict_scores(&[arch.clone()], Platform::EdgeGpu).unwrap(),
+            model
+                .predict_scores(std::slice::from_ref(&arch), Platform::EdgeGpu)
+                .unwrap(),
             restored.predict_scores(&[arch], Platform::EdgeGpu).unwrap()
         );
         std::fs::remove_file(&path).ok();

@@ -142,7 +142,10 @@ impl Predictor {
     /// # Errors
     ///
     /// Returns [`crate::CoreError`] on empty data or model failures.
-    pub fn fit(data: &SurrogateDataset, config: &PredictorConfig) -> Result<(Self, PredictorReport)> {
+    pub fn fit(
+        data: &SurrogateDataset,
+        config: &PredictorConfig,
+    ) -> Result<(Self, PredictorReport)> {
         let space = data.samples()[0].arch.space();
         let mixed = data.samples().iter().any(|s| s.arch.space() != space);
         let cache = if mixed {
@@ -160,9 +163,7 @@ impl Predictor {
             TargetMetric::Latency => s.latency_ms,
         };
         let mut predictor = match config.regressor {
-            RegressorKind::Mlp => {
-                Self::fit_neural(&cache, &train, config, scale, &target_of)?
-            }
+            RegressorKind::Mlp => Self::fit_neural(&cache, &train, config, scale, &target_of)?,
             kind => Self::fit_boosted(&cache, &train, config, kind, scale, &target_of)?,
         };
         predictor.target = config.target;

@@ -120,7 +120,9 @@ impl ScalableHwPrNas {
         for chunk in archs.chunks(crate::model::INFER_BATCH) {
             let mut tape = Tape::new();
             let mut binder = Binder::new(&mut tape, &self.params);
-            let repr = self.encoder.forward(&mut binder, &self.cache, chunk, &mut rng)?;
+            let repr = self
+                .encoder
+                .forward(&mut binder, &self.cache, chunk, &mut rng)?;
             let score = self.head.forward(&mut binder, repr, &mut rng)?;
             out.extend(tape.value(score).as_slice().iter().map(|&v| v as f64));
         }
@@ -138,8 +140,7 @@ impl ScalableHwPrNas {
         freeze_encoders: bool,
     ) -> Result<()> {
         let samples = data.samples();
-        let mut optimizer =
-            AdamW::new(config.learning_rate).with_weight_decay(config.weight_decay);
+        let mut optimizer = AdamW::new(config.learning_rate).with_weight_decay(config.weight_decay);
         let schedule = CosineAnnealing::new(
             config.learning_rate,
             config.learning_rate * 0.01,

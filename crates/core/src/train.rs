@@ -43,12 +43,16 @@ fn tie_variance_loss(
         if group.len() < 2 {
             continue;
         }
-        let s = tape_ref.gather_rows(score, &group).map_err(hwpr_nn::NnError::from)?;
+        let s = tape_ref
+            .gather_rows(score, &group)
+            .map_err(hwpr_nn::NnError::from)?;
         let sq = tape_ref.mul(s, s).map_err(hwpr_nn::NnError::from)?;
         let mean_sq = tape_ref.mean_all(sq);
         let mean = tape_ref.mean_all(s);
         let mean2 = tape_ref.mul(mean, mean).map_err(hwpr_nn::NnError::from)?;
-        let var = tape_ref.sub(mean_sq, mean2).map_err(hwpr_nn::NnError::from)?;
+        let var = tape_ref
+            .sub(mean_sq, mean2)
+            .map_err(hwpr_nn::NnError::from)?;
         terms = Some(match terms {
             None => var,
             Some(acc) => tape_ref.add(acc, var).map_err(hwpr_nn::NnError::from)?,
@@ -132,8 +136,7 @@ impl HwPrNas {
             .iter()
             .map(|&p| SurrogateDataset::from_entries(entries, dataset, p))
             .collect::<Result<_>>()?;
-        let train_archs: Vec<Architecture> =
-            entries.iter().map(|e| e.arch().clone()).collect();
+        let train_archs: Vec<Architecture> = entries.iter().map(|e| e.arch().clone()).collect();
         let max_latency: Vec<f64> = per_platform
             .iter()
             .map(|d| d.max_latency().max(1e-9))
@@ -153,7 +156,12 @@ impl HwPrNas {
             val_rank_tau: 0.0,
             final_loss: f64::INFINITY,
         };
-        for (round, ds) in per_platform.iter().cycle().take(platforms.len()).enumerate() {
+        for (round, ds) in per_platform
+            .iter()
+            .cycle()
+            .take(platforms.len())
+            .enumerate()
+        {
             let mut cfg = train_config.clone();
             cfg.epochs = (train_config.epochs / platforms.len()).max(1);
             cfg.seed = train_config.seed.wrapping_add(round as u64);
@@ -177,7 +185,11 @@ fn train_loop(
     let slot = model.platform_slot(train.platform())?;
     let max_lat = model.max_latency[slot];
     let mut optimizer = AdamW::new(config.learning_rate).with_weight_decay(config.weight_decay);
-    let schedule = CosineAnnealing::new(config.learning_rate, config.learning_rate * 0.01, config.epochs);
+    let schedule = CosineAnnealing::new(
+        config.learning_rate,
+        config.learning_rate * 0.01,
+        config.epochs,
+    );
     let mut stopper = EarlyStopping::new(config.early_stop_patience);
     let mut rng = LayerRng::seed_from_u64(config.seed);
     let samples = train.samples();
@@ -188,6 +200,11 @@ fn train_loop(
     let mut final_loss = f64::INFINITY;
     let mut epochs_run = 0;
     let mut best_tau = -1.0f64;
+    // mini-batch staging buffers, allocated once and reused every batch
+    let mut batch_archs: Vec<Architecture> = Vec::with_capacity(config.batch_size);
+    let mut batch_ranks: Vec<usize> = Vec::with_capacity(config.batch_size);
+    let mut acc_staging: Vec<f32> = Vec::with_capacity(config.batch_size);
+    let mut lat_staging: Vec<f32> = Vec::with_capacity(config.batch_size);
     for epoch in 0..config.epochs {
         optimizer.set_learning_rate(schedule.learning_rate_at(epoch));
         let batches = shuffled_batches(
@@ -200,32 +217,32 @@ fn train_loop(
             if batch.len() < 2 {
                 continue;
             }
-            let archs: Vec<Architecture> =
-                batch.iter().map(|&i| samples[i].arch.clone()).collect();
-            let ranks: Vec<usize> = batch.iter().map(|&i| global_ranks[i]).collect();
-            let order = rank_order(&ranks, &mut rng);
-            let acc_targets = Matrix::col_vector(
-                &batch
+            batch_archs.clear();
+            batch_archs.extend(batch.iter().map(|&i| samples[i].arch.clone()));
+            batch_ranks.clear();
+            batch_ranks.extend(batch.iter().map(|&i| global_ranks[i]));
+            let order = rank_order(&batch_ranks, &mut rng);
+            acc_staging.clear();
+            acc_staging.extend(batch.iter().map(|&i| (samples[i].accuracy / 100.0) as f32));
+            let acc_targets = Matrix::col_vector(&acc_staging);
+            lat_staging.clear();
+            lat_staging.extend(
+                batch
                     .iter()
-                    .map(|&i| (samples[i].accuracy / 100.0) as f32)
-                    .collect::<Vec<_>>(),
+                    .map(|&i| (samples[i].latency_ms / max_lat) as f32),
             );
-            let lat_targets = Matrix::col_vector(
-                &batch
-                    .iter()
-                    .map(|&i| (samples[i].latency_ms / max_lat) as f32)
-                    .collect::<Vec<_>>(),
-            );
+            let lat_targets = Matrix::col_vector(&lat_staging);
             let mut tape = Tape::new();
             let mut binder = Binder::for_training(&mut tape, &model.params);
-            let out = model.forward(&mut binder, &archs, slot, &mut rng)?;
+            let out = model.forward(&mut binder, &batch_archs, slot, &mut rng)?;
             let tape_ref = binder.tape();
             let rank_loss = tape_ref.list_mle(out.score, &order)?;
             // normalise the listwise loss by the batch size so batches of
             // different sizes weigh equally
-            let mut rank_loss = tape_ref.scale(rank_loss, config.rank_loss_weight / batch.len() as f32);
+            let mut rank_loss =
+                tape_ref.scale(rank_loss, config.rank_loss_weight / batch.len() as f32);
             if config.tie_regularizer_weight > 0.0 {
-                if let Some(var) = tie_variance_loss(tape_ref, out.score, &ranks)? {
+                if let Some(var) = tie_variance_loss(tape_ref, out.score, &batch_ranks)? {
                     let var = tape_ref.scale(var, config.tie_regularizer_weight);
                     rank_loss = tape_ref.add(rank_loss, var)?;
                 }
@@ -265,18 +282,19 @@ fn train_loop(
                 if batch.len() < 2 {
                     continue;
                 }
-                let archs: Vec<Architecture> =
-                    batch.iter().map(|&i| samples[i].arch.clone()).collect();
-                let ranks: Vec<usize> = batch.iter().map(|&i| global_ranks[i]).collect();
-                let order = rank_order(&ranks, &mut rng);
+                batch_archs.clear();
+                batch_archs.extend(batch.iter().map(|&i| samples[i].arch.clone()));
+                batch_ranks.clear();
+                batch_ranks.extend(batch.iter().map(|&i| global_ranks[i]));
+                let order = rank_order(&batch_ranks, &mut rng);
                 let mut tape = Tape::new();
                 let mut binder = Binder::for_training(&mut tape, &model.params);
-                let out = model.forward(&mut binder, &archs, slot, &mut rng)?;
+                let out = model.forward(&mut binder, &batch_archs, slot, &mut rng)?;
                 let tape_ref = binder.tape();
                 let mut loss = tape_ref.list_mle(out.score, &order)?;
                 loss = tape_ref.scale(loss, 1.0 / batch.len() as f32);
                 if config.tie_regularizer_weight > 0.0 {
-                    if let Some(var) = tie_variance_loss(tape_ref, out.score, &ranks)? {
+                    if let Some(var) = tie_variance_loss(tape_ref, out.score, &batch_ranks)? {
                         let var = tape_ref.scale(var, config.tie_regularizer_weight);
                         loss = tape_ref.add(loss, var)?;
                     }
@@ -352,7 +370,7 @@ mod tests {
         let data =
             SurrogateDataset::from_simbench(&b, Dataset::Cifar10, Platform::EdgeGpu).unwrap();
         let mut cfg = TrainConfig::tiny();
-        cfg.epochs = 12;
+        cfg.epochs = 16;
         let (_, report) = HwPrNas::fit(&data, &ModelConfig::tiny(), &cfg).unwrap();
         assert!(
             report.val_rank_tau > 0.2,

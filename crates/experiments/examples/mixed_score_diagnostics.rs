@@ -15,19 +15,43 @@ fn main() {
     let scores = model.predict_scores(&archs, Platform::EdgeTpu).unwrap();
     let pred: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
     let truth: Vec<f32> = ranks.iter().map(|&r| -(r as f32)).collect();
-    println!("global rank tau: {:.3}", hwpr_metrics::kendall_tau(&pred, &truth).unwrap());
-    for (label, space) in [("NB201", SearchSpaceId::NasBench201), ("FBNet", SearchSpaceId::FBNet)] {
-        let subset: Vec<(usize, f64)> = archs.iter().zip(&scores).enumerate()
-            .filter(|(_, (a, _))| a.space() == space).map(|(i, (_, &s))| (i, s)).collect();
+    println!(
+        "global rank tau: {:.3}",
+        hwpr_metrics::kendall_tau(&pred, &truth).unwrap()
+    );
+    for (label, space) in [
+        ("NB201", SearchSpaceId::NasBench201),
+        ("FBNet", SearchSpaceId::FBNet),
+    ] {
+        let subset: Vec<(usize, f64)> = archs
+            .iter()
+            .zip(&scores)
+            .enumerate()
+            .filter(|(_, (a, _))| a.space() == space)
+            .map(|(i, (_, &s))| (i, s))
+            .collect();
         let mean_score = subset.iter().map(|(_, s)| s).sum::<f64>() / subset.len() as f64;
-        let front0: Vec<f64> = subset.iter().filter(|(i, _)| ranks[*i] == 0).map(|(_, s)| *s).collect();
+        let front0: Vec<f64> = subset
+            .iter()
+            .filter(|(i, _)| ranks[*i] == 0)
+            .map(|(_, s)| *s)
+            .collect();
         let mean_front0 = front0.iter().sum::<f64>() / front0.len().max(1) as f64;
-        println!("{label}: n={} mean score {mean_score:.3}, front-0 n={} mean {mean_front0:.3}", subset.len(), front0.len());
+        println!(
+            "{label}: n={} mean score {mean_score:.3}, front-0 n={} mean {mean_front0:.3}",
+            subset.len(),
+            front0.len()
+        );
     }
     // predicted objectives sanity: mean predicted latency per space vs true
     let (_, pred_objs) = model.predict_full(&archs, Platform::EdgeTpu).unwrap();
-    for (label, space) in [("NB201", SearchSpaceId::NasBench201), ("FBNet", SearchSpaceId::FBNet)] {
-        let idx: Vec<usize> = (0..archs.len()).filter(|&i| archs[i].space() == space).collect();
+    for (label, space) in [
+        ("NB201", SearchSpaceId::NasBench201),
+        ("FBNet", SearchSpaceId::FBNet),
+    ] {
+        let idx: Vec<usize> = (0..archs.len())
+            .filter(|&i| archs[i].space() == space)
+            .collect();
         let t: f64 = idx.iter().map(|&i| objs[i][1]).sum::<f64>() / idx.len() as f64;
         let p: f64 = idx.iter().map(|&i| pred_objs[i][1]).sum::<f64>() / idx.len() as f64;
         let te: f64 = idx.iter().map(|&i| objs[i][0]).sum::<f64>() / idx.len() as f64;

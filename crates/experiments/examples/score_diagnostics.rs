@@ -17,18 +17,34 @@ fn main() {
     let scores = model.predict_scores(&archs, platform).unwrap();
     // per-rank score stats for the first 6 fronts
     for r in 0..6 {
-        let vals: Vec<f64> = ranks.iter().zip(&scores).filter(|(&rk, _)| rk == r).map(|(_, &s)| s).collect();
-        if vals.is_empty() { continue; }
+        let vals: Vec<f64> = ranks
+            .iter()
+            .zip(&scores)
+            .filter(|(&rk, _)| rk == r)
+            .map(|(_, &s)| s)
+            .collect();
+        if vals.is_empty() {
+            continue;
+        }
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        println!("rank {r}: n={:<4} score mean {mean:7.3} min {min:7.3} max {max:7.3}", vals.len());
+        println!(
+            "rank {r}: n={:<4} score mean {mean:7.3} min {min:7.3} max {max:7.3}",
+            vals.len()
+        );
     }
     // front-0 members: score vs position on the front
     println!("\nfront-0 members (err, lat, score):");
-    let mut f0: Vec<(f64, f64, f64)> = ranks.iter().zip(&objs).zip(&scores)
+    let mut f0: Vec<(f64, f64, f64)> = ranks
+        .iter()
+        .zip(&objs)
+        .zip(&scores)
         .filter(|((&rk, _), _)| rk == 0)
-        .map(|((_, o), &s)| (o[0], o[1], s)).collect();
+        .map(|((_, o), &s)| (o[0], o[1], s))
+        .collect();
     f0.sort_by(|a, b| a.1.total_cmp(&b.1));
-    for (e, l, s) in f0 { println!("  err {e:6.2}  lat {l:7.3}  score {s:7.3}"); }
+    for (e, l, s) in f0 {
+        println!("  err {e:6.2}  lat {l:7.3}  score {s:7.3}");
+    }
 }

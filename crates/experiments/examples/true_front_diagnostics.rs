@@ -8,7 +8,12 @@ use hwpr_nasbench::Dataset;
 
 fn main() {
     let h = Harness::with_scale(Scale::Fast);
-    for platform in [Platform::EdgeGpu, Platform::EdgeTpu, Platform::FpgaZc706, Platform::Pixel3] {
+    for platform in [
+        Platform::EdgeGpu,
+        Platform::EdgeTpu,
+        Platform::FpgaZc706,
+        Platform::Pixel3,
+    ] {
         let mut entries = h.nb201().entries().to_vec();
         entries.extend_from_slice(h.fbnet().entries());
         let objs: Vec<Vec<f64>> = entries
@@ -25,11 +30,20 @@ fn main() {
         // print the front to inspect the accuracy/latency ranges per space
         let mut pts: Vec<(f64, f64, bool)> = front
             .iter()
-            .map(|&i| (objs[i][0], objs[i][1], entries[i].arch().space() == hwpr_nasbench::SearchSpaceId::NasBench201))
+            .map(|&i| {
+                (
+                    objs[i][0],
+                    objs[i][1],
+                    entries[i].arch().space() == hwpr_nasbench::SearchSpaceId::NasBench201,
+                )
+            })
             .collect();
         pts.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (err, lat, nb) in pts.iter().take(12) {
-            println!("    err {err:6.2}%  lat {lat:8.3}ms  {}", if *nb { "NB201" } else { "FBNet" });
+            println!(
+                "    err {err:6.2}%  lat {lat:8.3}ms  {}",
+                if *nb { "NB201" } else { "FBNet" }
+            );
         }
     }
 }

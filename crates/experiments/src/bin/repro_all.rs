@@ -1,11 +1,16 @@
 //! Runs every experiment in sequence, regenerating all tables and figures.
+type Experiment = (&'static str, fn(&hwpr_experiments::Harness) -> String);
+
 fn main() {
     let harness = hwpr_experiments::Harness::new();
-    let experiments: [(&str, fn(&hwpr_experiments::Harness) -> String); 13] = [
+    let experiments: [Experiment; 13] = [
         ("fig1_motivation", hwpr_experiments::exps::fig1::run),
         ("table1_regressors", hwpr_experiments::exps::table1::run),
         ("fig4_encodings", hwpr_experiments::exps::fig4::run),
-        ("latency_correlation", hwpr_experiments::exps::latency_corr::run),
+        (
+            "latency_correlation",
+            hwpr_experiments::exps::latency_corr::run,
+        ),
         ("fig6_pareto_fronts", hwpr_experiments::exps::fig6::run),
         ("table3_hypervolume", hwpr_experiments::exps::table3::run),
         ("fig7_search_time", hwpr_experiments::exps::fig7::run),
@@ -13,14 +18,23 @@ fn main() {
         ("fig8_architectures", hwpr_experiments::exps::fig8::run),
         ("fig9_three_objectives", hwpr_experiments::exps::fig9::run),
         ("ablation_loss", hwpr_experiments::exps::ablation_loss::run),
-        ("proxy_transfer", hwpr_experiments::exps::proxy_transfer::run),
-        ("hv_convergence", hwpr_experiments::exps::hv_convergence::run),
+        (
+            "proxy_transfer",
+            hwpr_experiments::exps::proxy_transfer::run,
+        ),
+        (
+            "hv_convergence",
+            hwpr_experiments::exps::hv_convergence::run,
+        ),
     ];
     for (name, exp) in experiments {
         eprintln!("=== running {name} ===");
         let started = std::time::Instant::now();
         let report = exp(&harness);
         hwpr_experiments::write_report(name, &report);
-        eprintln!("=== {name} finished in {:.1} s ===", started.elapsed().as_secs_f64());
+        eprintln!(
+            "=== {name} finished in {:.1} s ===",
+            started.elapsed().as_secs_f64()
+        );
     }
 }

@@ -40,12 +40,11 @@ pub fn run(h: &Harness) -> String {
     }
     let reference = shared_reference(&populations);
     let mut out = String::new();
-    let _ = writeln!(out, "# Ablation — training-loss composition (§III-A, footnote 2)\n");
-    let mut t = MarkdownTable::new(vec![
-        "Loss",
-        "Validation rank τ ↑",
-        "Search hypervolume ↑",
-    ]);
+    let _ = writeln!(
+        out,
+        "# Ablation — training-loss composition (§III-A, footnote 2)\n"
+    );
+    let mut t = MarkdownTable::new(vec!["Loss", "Validation rank τ ↑", "Search hypervolume ↑"]);
     for ((name, tau, pop), objs) in rows.iter().zip(&populations) {
         let front: Vec<Vec<f64>> = pareto_front(objs)
             .expect("non-empty population")

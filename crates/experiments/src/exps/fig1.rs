@@ -25,12 +25,11 @@ pub fn run(h: &Harness) -> String {
     // model-serving stack, so two calls per architecture cost double
     let moea = Moea::new(h.scale.moea_config(vec![space]).with_seed(1)).expect("valid config");
     let model = h.train_hw_pr_nas(&data, 1);
-    let mut hwpr_eval = HwPrNasEvaluator::new(model, platform)
-        .with_simulated_call_cost(super::fig7::CALL_COST_S);
+    let mut hwpr_eval =
+        HwPrNasEvaluator::new(model, platform).with_simulated_call_cost(super::fig7::CALL_COST_S);
     let hwpr = moea.run(&mut hwpr_eval).expect("search failed");
     let pair = h.train_brp_nas(&data, 1);
-    let mut pair_eval =
-        PairEvaluator::new(pair).with_simulated_call_cost(super::fig7::CALL_COST_S);
+    let mut pair_eval = PairEvaluator::new(pair).with_simulated_call_cost(super::fig7::CALL_COST_S);
     let brp = moea.run(&mut pair_eval).expect("search failed");
 
     let mut truth = nb201_reference_objectives(h, dataset, platform);
@@ -94,8 +93,14 @@ pub fn run(h: &Harness) -> String {
         hwpr.wall_time.as_secs_f64() * 1e3,
         brp.wall_time.as_secs_f64() * 1e3,
     );
-    let _ = writeln!(out, "## Pareto front approximations (error %, latency ms)\n");
-    for (name, pop) in [("HW-PR-NAS", &hwpr.population), ("BRP-NAS", &brp.population)] {
+    let _ = writeln!(
+        out,
+        "## Pareto front approximations (error %, latency ms)\n"
+    );
+    for (name, pop) in [
+        ("HW-PR-NAS", &hwpr.population),
+        ("BRP-NAS", &brp.population),
+    ] {
         let mut front = true_front(pop, &oracle);
         front.sort_by(|a, b| a[1].total_cmp(&b[1]));
         let _ = writeln!(out, "### {name} front ({} points)\n", front.len());

@@ -48,7 +48,10 @@ pub fn run(h: &Harness) -> String {
         for run in 0..h.scale.runs() {
             let seed = 100 + run as u64;
             let model = h.train_hw_pr_nas(&data, seed);
-            hwpr_pop.extend(h.run_moea_hwpr(model, platform, vec![space], seed).population);
+            hwpr_pop.extend(
+                h.run_moea_hwpr(model, platform, vec![space], seed)
+                    .population,
+            );
             let pair = h.train_brp_nas(&data, seed);
             brp_pop.extend(h.run_moea_pair(pair, vec![space], seed).population);
         }

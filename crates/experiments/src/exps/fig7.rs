@@ -71,7 +71,11 @@ pub fn run(h: &Harness) -> String {
          in the paper.\n",
         hwpr_search::MeasuredEvaluator::DEFAULT_SECONDS_PER_EVAL
     );
-    let mut t = MarkdownTable::new(vec!["Evaluation method", "Mean search time", "Speedup vs HW-PR-NAS"]);
+    let mut t = MarkdownTable::new(vec![
+        "Evaluation method",
+        "Mean search time",
+        "Speedup vs HW-PR-NAS",
+    ]);
     for (name, v) in [
         ("Measured Values", m),
         ("BRP-NAS (2 surrogates)", b),

@@ -6,7 +6,7 @@ use hwpr_core::scalable::ScalableHwPrNas;
 use hwpr_hwmodel::Platform;
 use hwpr_moo::{hypervolume, pareto_front};
 use hwpr_nasbench::{Dataset, SearchSpaceId};
-use hwpr_search::{Moea, ScoreEvaluator, SearchError, ScoreFn};
+use hwpr_search::{Moea, ScoreEvaluator, ScoreFn, SearchError};
 use std::fmt::Write as _;
 
 /// Runs the experiment and returns the markdown report.

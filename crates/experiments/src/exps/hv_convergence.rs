@@ -52,7 +52,10 @@ pub fn run(h: &Harness) -> String {
     };
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Extension — hypervolume convergence over generations\n");
+    let _ = writeln!(
+        out,
+        "# Extension — hypervolume convergence over generations\n"
+    );
     let _ = writeln!(
         out,
         "True-objective hypervolume of each generation's population \

@@ -17,7 +17,10 @@ pub fn run(h: &Harness) -> String {
     let space = SearchSpaceId::NasBench201;
     let sources = [Platform::RaspberryPi4, Platform::FpgaZcu102];
     let mut out = String::new();
-    let _ = writeln!(out, "# Extension — proxy-device latency transfer (§III-E)\n");
+    let _ = writeln!(
+        out,
+        "# Extension — proxy-device latency transfer (§III-E)\n"
+    );
     let _ = writeln!(
         out,
         "A latency predictor trained on the *source* platform ranks \
@@ -26,11 +29,13 @@ pub fn run(h: &Harness) -> String {
          family {{Pi 4, Pixel 3, ZC706}}; poor transfer to/from the odd \
          systolic platforms — matching the correlation matrix.\n"
     );
-    let mut t = MarkdownTable::new(vec!["Source \\ Target"]
-        .into_iter()
-        .map(String::from)
-        .chain(Platform::ALL.iter().map(|p| p.name().to_string()))
-        .collect::<Vec<String>>());
+    let mut t = MarkdownTable::new(
+        vec!["Source \\ Target"]
+            .into_iter()
+            .map(String::from)
+            .chain(Platform::ALL.iter().map(|p| p.name().to_string()))
+            .collect::<Vec<String>>(),
+    );
     for source in sources {
         let data = h.dataset(space, dataset, source);
         let config = PredictorConfig {

@@ -30,7 +30,11 @@ pub fn run(h: &Harness) -> String {
         "Latency RMSE",
         "Latency Kendall τ",
     ]);
-    for kind in [RegressorKind::Mlp, RegressorKind::XgBoost, RegressorKind::LgBoost] {
+    for kind in [
+        RegressorKind::Mlp,
+        RegressorKind::XgBoost,
+        RegressorKind::LgBoost,
+    ] {
         let mut cells = vec![kind.to_string()];
         for target in [TargetMetric::Accuracy, TargetMetric::Latency] {
             let config = match kind {

@@ -42,9 +42,15 @@ pub fn collect_populations(
         let mut brp_eval = PairEvaluator::new(brp);
         per_method[1].push(h.run_random(&mut brp_eval, spaces.clone(), seed).population);
         let mut gates_eval = PairEvaluator::new(gates);
-        per_method[2].push(h.run_random(&mut gates_eval, spaces.clone(), seed).population);
+        per_method[2].push(
+            h.run_random(&mut gates_eval, spaces.clone(), seed)
+                .population,
+        );
         let mut hwpr_eval = HwPrNasEvaluator::new(hwpr, platform);
-        per_method[3].push(h.run_random(&mut hwpr_eval, spaces.clone(), seed).population);
+        per_method[3].push(
+            h.run_random(&mut hwpr_eval, spaces.clone(), seed)
+                .population,
+        );
         // MOEA variants (fresh surrogates per run, as the paper trains 5x)
         per_method[4].push(
             h.run_moea_measured(dataset, platform, spaces.clone(), seed)

@@ -12,7 +12,6 @@
 //!
 //! Reports are printed to stdout and written to `results/<name>.md`.
 
-
 #![warn(missing_docs)]
 pub mod exps;
 
@@ -519,7 +518,11 @@ impl MarkdownTable {
         let _ = writeln!(
             out,
             "|{}|",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -562,10 +565,7 @@ mod tests {
 
     #[test]
     fn shared_reference_bounds_inputs() {
-        let sets = vec![
-            vec![vec![1.0, 10.0], vec![2.0, 5.0]],
-            vec![vec![3.0, 1.0]],
-        ];
+        let sets = vec![vec![vec![1.0, 10.0], vec![2.0, 5.0]], vec![vec![3.0, 1.0]]];
         let r = shared_reference(&sets);
         for set in &sets {
             for p in set {
@@ -581,7 +581,11 @@ mod tests {
         let h = Harness::with_scale(Scale::Smoke);
         assert_eq!(h.nb201().len(), 140);
         assert_eq!(h.fbnet().len(), 80);
-        let data = h.dataset(SearchSpaceId::NasBench201, Dataset::Cifar10, Platform::EdgeGpu);
+        let data = h.dataset(
+            SearchSpaceId::NasBench201,
+            Dataset::Cifar10,
+            Platform::EdgeGpu,
+        );
         let model = h.train_hw_pr_nas(&data, 1);
         let result = h.run_moea_hwpr(
             model,

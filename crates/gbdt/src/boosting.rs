@@ -4,9 +4,9 @@ use crate::binning::FeatureBins;
 use crate::tree::{RegressionTree, TreeConfig};
 use crate::{GbdtError, Result};
 use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// Tree-growth strategy, the key structural difference between the two
 /// boosted baselines in Table I.
@@ -91,7 +91,9 @@ impl GbdtConfig {
             return Err(GbdtError::InvalidConfig("max_bins must be >= 2".into()));
         }
         if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
-            return Err(GbdtError::InvalidConfig("learning_rate must be positive".into()));
+            return Err(GbdtError::InvalidConfig(
+                "learning_rate must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -174,12 +176,7 @@ impl Gbdt {
     /// Panics if `row` has fewer features than the training data.
     pub fn predict(&self, row: &[f32]) -> f32 {
         self.base_score
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(row))
-                    .sum::<f32>()
+            + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f32>()
     }
 
     /// Predicts targets for a batch of rows.

@@ -32,7 +32,6 @@
 //! # Ok::<(), hwpr_gbdt::GbdtError>(())
 //! ```
 
-
 #![warn(missing_docs)]
 mod binning;
 mod boosting;
@@ -74,7 +73,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(GbdtError::InvalidDataset("x".into()).to_string().contains('x'));
-        assert!(GbdtError::InvalidConfig("y".into()).to_string().contains('y'));
+        assert!(GbdtError::InvalidDataset("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(GbdtError::InvalidConfig("y".into())
+            .to_string()
+            .contains('y'));
     }
 }

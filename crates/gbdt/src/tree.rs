@@ -88,7 +88,9 @@ impl RegressionTree {
             total_gain: vec![0.0; bins.features()],
         };
         let root_weight = leaf_weight(grad, hess, rows, config.lambda);
-        tree.nodes.push(Node::Leaf { weight: root_weight });
+        tree.nodes.push(Node::Leaf {
+            weight: root_weight,
+        });
         let root = OpenLeaf {
             node: 0,
             rows: rows.to_vec(),
@@ -105,6 +107,7 @@ impl RegressionTree {
         tree
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn grow_level_wise(
         &mut self,
         data: &[Vec<f32>],
@@ -127,6 +130,7 @@ impl RegressionTree {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn grow_leaf_wise(
         &mut self,
         data: &[Vec<f32>],
@@ -186,9 +190,13 @@ impl RegressionTree {
         let left_weight = leaf_weight(grad, hess, &cand.left_rows, config.lambda);
         let right_weight = leaf_weight(grad, hess, &cand.right_rows, config.lambda);
         let left_id = self.nodes.len();
-        self.nodes.push(Node::Leaf { weight: left_weight });
+        self.nodes.push(Node::Leaf {
+            weight: left_weight,
+        });
         let right_id = self.nodes.len();
-        self.nodes.push(Node::Leaf { weight: right_weight });
+        self.nodes.push(Node::Leaf {
+            weight: right_weight,
+        });
         self.nodes[leaf.node] = Node::Split {
             feature: cand.feature,
             threshold: cand.threshold,
@@ -225,7 +233,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -270,6 +282,7 @@ fn best_split(
     let parent_score = total_g * total_g / (total_h + lambda);
 
     let mut best: Option<(f64, usize, f32)> = None;
+    #[allow(clippy::needless_range_loop)] // `f` also indexes the data rows
     for f in 0..bins.features() {
         let edges = bins.thresholds(f);
         if edges.is_empty() {
@@ -392,7 +405,14 @@ mod tests {
         let grad = vec![0.5f32; 10];
         let hess = vec![1.0f32; 10];
         let bins = FeatureBins::from_rows(&data, 8);
-        let tree = RegressionTree::fit(&data, &grad, &hess, &(0..10).collect::<Vec<_>>(), &bins, &TreeConfig::default());
+        let tree = RegressionTree::fit(
+            &data,
+            &grad,
+            &hess,
+            &(0..10).collect::<Vec<_>>(),
+            &bins,
+            &TreeConfig::default(),
+        );
         assert_eq!(tree.leaf_count(), 1);
     }
 }

@@ -138,8 +138,7 @@ fn connectivity_factor(arch: &Architecture) -> f64 {
 fn op_quality(arch: &Architecture) -> f64 {
     match arch {
         Architecture::Nb201(ops) => {
-            let count =
-                |target: Nb201Op| ops.iter().filter(|&&o| o == target).count() as f64 / 6.0;
+            let count = |target: Nb201Op| ops.iter().filter(|&&o| o == target).count() as f64 / 6.0;
             let conv = count(Nb201Op::NorConv3x3) + count(Nb201Op::NorConv1x1);
             let skip = count(Nb201Op::SkipConnect);
             let pool = count(Nb201Op::AvgPool3x3);
@@ -155,11 +154,8 @@ fn op_quality(arch: &Architecture) -> f64 {
                 .filter(|&&o| o == hwpr_nasbench::FbnetOp::Skip)
                 .count() as f64
                 / ops.len() as f64;
-            let wide = ops
-                .iter()
-                .filter(|o| o.expansion() == Some(6))
-                .count() as f64
-                / ops.len() as f64;
+            let wide =
+                ops.iter().filter(|o| o.expansion() == Some(6)).count() as f64 / ops.len() as f64;
             let k5 = ops.iter().filter(|o| o.kernel() == Some(5)).count() as f64 / ops.len() as f64;
             // depth (fewer skips) and width help; 5x5 receptive fields help
             // slightly on 32x32 inputs
@@ -251,8 +247,14 @@ mod tests {
         let a = Architecture::nb201([Nb201Op::NorConv1x1; 6]);
         let m1 = AccuracyModel::new(1);
         let m2 = AccuracyModel::new(2);
-        assert_eq!(m1.accuracy(&a, Dataset::Cifar10), m1.accuracy(&a, Dataset::Cifar10));
-        assert_ne!(m1.accuracy(&a, Dataset::Cifar10), m2.accuracy(&a, Dataset::Cifar10));
+        assert_eq!(
+            m1.accuracy(&a, Dataset::Cifar10),
+            m1.accuracy(&a, Dataset::Cifar10)
+        );
+        assert_ne!(
+            m1.accuracy(&a, Dataset::Cifar10),
+            m2.accuracy(&a, Dataset::Cifar10)
+        );
     }
 
     #[test]

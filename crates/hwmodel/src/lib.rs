@@ -27,7 +27,6 @@
 //! assert!(pi > gpu); // the Pi is slower on dense convolutions
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod accuracy;
 pub mod correlation;

@@ -11,7 +11,6 @@
 //! assert_eq!(hwpr_metrics::kendall_tau(&pred, &truth).unwrap(), 1.0);
 //! ```
 
-
 #![warn(missing_docs)]
 mod correlation;
 mod regression;
@@ -84,7 +83,9 @@ mod tests {
         assert!(MetricError::LengthMismatch { left: 1, right: 2 }
             .to_string()
             .contains("1 vs 2"));
-        assert!(MetricError::TooFewSamples { len: 0 }.to_string().contains('0'));
+        assert!(MetricError::TooFewSamples { len: 0 }
+            .to_string()
+            .contains('0'));
         assert!(!MetricError::ZeroVariance.to_string().is_empty());
     }
 
@@ -114,7 +115,7 @@ mod proptests {
         #[test]
         fn kendall_tau_in_range((a, b) in vec_pair()) {
             if let Ok(t) = kendall_tau(&a, &b) {
-                prop_assert!((-1.0..=1.0).contains(&(t as f64 as f32)), "tau {t}");
+                prop_assert!((-1.0..=1.0).contains(&(t as f32)), "tau {t}");
             }
         }
 

@@ -241,7 +241,10 @@ mod tests {
             }
         }
         let estimate = hits as f64 / (n * n * n) as f64;
-        assert!((exact - estimate).abs() < 0.02, "exact {exact} vs grid {estimate}");
+        assert!(
+            (exact - estimate).abs() < 0.02,
+            "exact {exact} vs grid {estimate}"
+        );
     }
 
     #[test]

@@ -28,7 +28,6 @@
 //! assert_eq!(pareto_ranks(&points).unwrap(), vec![0, 0, 1]);
 //! ```
 
-
 #![warn(missing_docs)]
 mod dominance;
 mod hypervolume;
@@ -65,11 +64,17 @@ impl fmt::Display for MooError {
         match self {
             MooError::EmptySet => write!(f, "point set is empty"),
             MooError::DimensionMismatch { expected, found } => {
-                write!(f, "objective dimension mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "objective dimension mismatch: expected {expected}, found {found}"
+                )
             }
             MooError::NonFinite => write!(f, "objective values must be finite"),
             MooError::ReferenceNotDominating => {
-                write!(f, "reference point must be worse than every point in every objective")
+                write!(
+                    f,
+                    "reference point must be worse than every point in every objective"
+                )
             }
         }
     }
@@ -80,9 +85,9 @@ impl Error for MooError {}
 /// Convenience alias for fallible multi-objective computations.
 pub type Result<T> = std::result::Result<T, MooError>;
 
-pub(crate) fn validate_points(points: &[Vec<f64>]) -> Result<usize> {
+pub(crate) fn validate_points<P: std::borrow::Borrow<Vec<f64>>>(points: &[P]) -> Result<usize> {
     let first = points.first().ok_or(MooError::EmptySet)?;
-    let dim = first.len();
+    let dim = first.borrow().len();
     if dim == 0 {
         return Err(MooError::DimensionMismatch {
             expected: 1,
@@ -90,6 +95,7 @@ pub(crate) fn validate_points(points: &[Vec<f64>]) -> Result<usize> {
         });
     }
     for p in points {
+        let p = p.borrow();
         if p.len() != dim {
             return Err(MooError::DimensionMismatch {
                 expected: dim,
@@ -109,7 +115,10 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_inputs() {
-        assert_eq!(validate_points(&[]).unwrap_err(), MooError::EmptySet);
+        assert_eq!(
+            validate_points::<Vec<f64>>(&[]).unwrap_err(),
+            MooError::EmptySet
+        );
         assert!(matches!(
             validate_points(&[vec![]]).unwrap_err(),
             MooError::DimensionMismatch { .. }
@@ -129,7 +138,10 @@ mod tests {
     fn errors_display() {
         for e in [
             MooError::EmptySet,
-            MooError::DimensionMismatch { expected: 2, found: 3 },
+            MooError::DimensionMismatch {
+                expected: 2,
+                found: 3,
+            },
             MooError::NonFinite,
             MooError::ReferenceNotDominating,
         ] {
@@ -144,10 +156,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn point_set(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-        proptest::collection::vec(
-            proptest::collection::vec(0.0f64..100.0, dim),
-            1..25,
-        )
+        proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, dim), 1..25)
     }
 
     proptest! {

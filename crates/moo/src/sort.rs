@@ -2,6 +2,7 @@
 
 use crate::dominance::dominates;
 use crate::{validate_points, Result};
+use std::borrow::Borrow;
 
 /// Partitions `points` into Pareto fronts (indices), best front first.
 ///
@@ -13,17 +14,21 @@ use crate::{validate_points, Result};
 ///
 /// Returns [`crate::MooError`] when the set is empty, dimensions are
 /// inconsistent, or values are non-finite.
-pub fn fast_non_dominated_sort(points: &[Vec<f64>]) -> Result<Vec<Vec<usize>>> {
+///
+/// Accepts any slice whose elements borrow as objective vectors
+/// (`Vec<f64>`, `Arc<Vec<f64>>`, `&Vec<f64>`), so shared fitness caches
+/// can be sorted without deep-copying their points.
+pub fn fast_non_dominated_sort<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<Vec<usize>>> {
     validate_points(points)?;
     let n = points.len();
     let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
     let mut domination_count = vec![0usize; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            if dominates(&points[i], &points[j]) {
+            if dominates(points[i].borrow(), points[j].borrow()) {
                 dominated_by[i].push(j);
                 domination_count[j] += 1;
-            } else if dominates(&points[j], &points[i]) {
+            } else if dominates(points[j].borrow(), points[i].borrow()) {
                 dominated_by[j].push(i);
                 domination_count[i] += 1;
             }
@@ -51,7 +56,7 @@ pub fn fast_non_dominated_sort(points: &[Vec<f64>]) -> Result<Vec<Vec<usize>>> {
 /// # Errors
 ///
 /// Same conditions as [`fast_non_dominated_sort`].
-pub fn pareto_ranks(points: &[Vec<f64>]) -> Result<Vec<usize>> {
+pub fn pareto_ranks<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<usize>> {
     let fronts = fast_non_dominated_sort(points)?;
     let mut ranks = vec![0usize; points.len()];
     for (k, front) in fronts.iter().enumerate() {
@@ -67,7 +72,7 @@ pub fn pareto_ranks(points: &[Vec<f64>]) -> Result<Vec<usize>> {
 /// # Errors
 ///
 /// Same conditions as [`fast_non_dominated_sort`].
-pub fn pareto_front(points: &[Vec<f64>]) -> Result<Vec<usize>> {
+pub fn pareto_front<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<usize>> {
     Ok(fast_non_dominated_sort(points)?.remove(0))
 }
 
@@ -80,24 +85,25 @@ pub fn pareto_front(points: &[Vec<f64>]) -> Result<Vec<usize>> {
 /// # Errors
 ///
 /// Returns [`crate::MooError`] for empty/inconsistent inputs.
-pub fn crowding_distance(points: &[Vec<f64>]) -> Result<Vec<f64>> {
+pub fn crowding_distance<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<f64>> {
     let dim = validate_points(points)?;
     let n = points.len();
     let mut distance = vec![0.0f64; n];
     if n <= 2 {
         return Ok(vec![f64::INFINITY; n]);
     }
+    let at = |i: usize, d: usize| points[i].borrow()[d];
     for d in 0..dim {
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| points[i][d].total_cmp(&points[j][d]));
-        let span = points[order[n - 1]][d] - points[order[0]][d];
+        order.sort_by(|&i, &j| at(i, d).total_cmp(&at(j, d)));
+        let span = at(order[n - 1], d) - at(order[0], d);
         distance[order[0]] = f64::INFINITY;
         distance[order[n - 1]] = f64::INFINITY;
         if span <= 0.0 {
             continue;
         }
         for w in 1..n - 1 {
-            let gap = (points[order[w + 1]][d] - points[order[w - 1]][d]) / span;
+            let gap = (at(order[w + 1], d) - at(order[w - 1], d)) / span;
             distance[order[w]] += gap;
         }
     }
@@ -161,7 +167,12 @@ mod tests {
 
     #[test]
     fn crowding_boundary_is_infinite() {
-        let front = vec![vec![1.0, 5.0], vec![2.0, 3.0], vec![3.0, 2.0], vec![5.0, 1.0]];
+        let front = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![3.0, 2.0],
+            vec![5.0, 1.0],
+        ];
         let d = crowding_distance(&front).unwrap();
         assert_eq!(d[0], f64::INFINITY);
         assert_eq!(d[3], f64::INFINITY);
@@ -185,7 +196,7 @@ mod tests {
 
     #[test]
     fn errors_propagate() {
-        assert!(fast_non_dominated_sort(&[]).is_err());
+        assert!(fast_non_dominated_sort::<Vec<f64>>(&[]).is_err());
         assert!(pareto_ranks(&[vec![1.0], vec![1.0, 2.0]]).is_err());
         assert!(crowding_distance(&[vec![f64::NAN]]).is_err());
     }

@@ -248,10 +248,7 @@ impl FromStr for Architecture {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         if let Some(body) = s.strip_prefix("fbnet:") {
-            let parts: Vec<&str> = body
-                .split('|')
-                .filter(|p| !p.is_empty())
-                .collect();
+            let parts: Vec<&str> = body.split('|').filter(|p| !p.is_empty()).collect();
             if parts.len() != FBNET_LAYERS {
                 return Err(ArchParseError::new(format!(
                     "expected {FBNET_LAYERS} FBNet blocks, found {}",
@@ -266,10 +263,7 @@ impl FromStr for Architecture {
             return Ok(Architecture::Fbnet(ops));
         }
         // NAS-Bench-201 format
-        let tokens: Vec<&str> = s
-            .split(['|', '+'])
-            .filter(|p| !p.is_empty())
-            .collect();
+        let tokens: Vec<&str> = s.split(['|', '+']).filter(|p| !p.is_empty()).collect();
         if tokens.len() != NB201_EDGES {
             return Err(ArchParseError::new(format!(
                 "expected {NB201_EDGES} edge tokens, found {}",
@@ -278,9 +272,9 @@ impl FromStr for Architecture {
         }
         let mut ops = [Nb201Op::None; NB201_EDGES];
         for (i, (slot, token)) in ops.iter_mut().zip(&tokens).enumerate() {
-            let (name, src) = token
-                .rsplit_once('~')
-                .ok_or_else(|| ArchParseError::new(format!("edge token `{token}` lacks `~source`")))?;
+            let (name, src) = token.rsplit_once('~').ok_or_else(|| {
+                ArchParseError::new(format!("edge token `{token}` lacks `~source`"))
+            })?;
             let expected = NB201_EDGE_NODES[i].0.to_string();
             if src != expected {
                 return Err(ArchParseError::new(format!(

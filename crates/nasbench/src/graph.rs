@@ -256,7 +256,10 @@ mod tests {
         let g = encode(&a);
         let global = g.global_node();
         for n in 0..g.node_count() - 1 {
-            assert!(g.adjacency[(n, global)] > 0.0, "node {n} missing global link");
+            assert!(
+                g.adjacency[(n, global)] > 0.0,
+                "node {n} missing global link"
+            );
         }
     }
 

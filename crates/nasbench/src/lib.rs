@@ -37,7 +37,6 @@
 //! assert_eq!(arch.space(), SearchSpaceId::NasBench201);
 //! ```
 
-
 #![warn(missing_docs)]
 mod arch;
 pub mod features;
@@ -46,7 +45,7 @@ mod op;
 pub mod profile;
 pub mod tokens;
 
-pub use arch::{Architecture, ArchParseError, FBNET_LAYERS, NB201_EDGES};
+pub use arch::{ArchParseError, Architecture, FBNET_LAYERS, NB201_EDGES};
 pub use op::{FbnetOp, Nb201Op, OpKind};
 
 use serde::{Deserialize, Serialize};

@@ -49,7 +49,10 @@ impl Nb201Op {
 
     /// Canonical index (0..5).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&o| o == self).expect("op in ALL")
+        Self::ALL
+            .iter()
+            .position(|&o| o == self)
+            .expect("op in ALL")
     }
 
     /// Operation from its canonical index.
@@ -139,7 +142,10 @@ impl FbnetOp {
 
     /// Canonical index (0..9).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&o| o == self).expect("op in ALL")
+        Self::ALL
+            .iter()
+            .position(|&o| o == self)
+            .expect("op in ALL")
     }
 
     /// Operation from its canonical index.

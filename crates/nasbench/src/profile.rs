@@ -117,7 +117,8 @@ fn conv2d(
     } else {
         OpKind::Conv
     };
-    let macs = (out_hw * out_hw * out_ch) as f64 * (in_ch / groups) as f64 * (kernel * kernel) as f64;
+    let macs =
+        (out_hw * out_hw * out_ch) as f64 * (in_ch / groups) as f64 * (kernel * kernel) as f64;
     let params = out_ch as f64 * (in_ch / groups) as f64 * (kernel * kernel) as f64;
     OpProfile {
         name,
@@ -236,7 +237,13 @@ fn profile_nb201(ops: &[Nb201Op; 6], dataset: Dataset) -> NetworkProfile {
             }
         }
     }
-    records.push(pool("head.global_avg_pool".into(), hw, hw.max(1), channels, hw.max(1)));
+    records.push(pool(
+        "head.global_avg_pool".into(),
+        hw,
+        hw.max(1),
+        channels,
+        hw.max(1),
+    ));
     records.push(linear(
         "head.classifier".into(),
         channels,
@@ -326,7 +333,8 @@ fn profile_fbnet(ops: &[FbnetOp; FBNET_LAYERS], dataset: Dataset) -> NetworkProf
                     hw = new_hw;
                 }
             }
-            channels = if matches!(op, FbnetOp::Skip) && records.last().map(|r| r.kind) == Some(OpKind::Skip)
+            channels = if matches!(op, FbnetOp::Skip)
+                && records.last().map(|r| r.kind) == Some(OpKind::Skip)
             {
                 channels
             } else {
@@ -336,7 +344,13 @@ fn profile_fbnet(ops: &[FbnetOp; FBNET_LAYERS], dataset: Dataset) -> NetworkProf
         }
     }
     records.push(conv2d("head.conv1x1".into(), hw, 1, channels, 1504, 1, 1));
-    records.push(pool("head.global_avg_pool".into(), hw, hw.max(1), 1504, hw.max(1)));
+    records.push(pool(
+        "head.global_avg_pool".into(),
+        hw,
+        hw.max(1),
+        1504,
+        hw.max(1),
+    ));
     records.push(linear("head.classifier".into(), 1504, dataset.classes()));
     NetworkProfile { ops: records }
 }

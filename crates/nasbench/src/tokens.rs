@@ -22,10 +22,7 @@ pub const MAX_SEQUENCE_LEN: usize = crate::arch::FBNET_LAYERS;
 pub fn tokens(arch: &Architecture) -> Vec<usize> {
     match arch {
         Architecture::Nb201(ops) => ops.iter().map(|o| o.index()).collect(),
-        Architecture::Fbnet(ops) => ops
-            .iter()
-            .map(|o| Nb201Op::ALL.len() + o.index())
-            .collect(),
+        Architecture::Fbnet(ops) => ops.iter().map(|o| Nb201Op::ALL.len() + o.index()).collect(),
     }
 }
 

@@ -24,7 +24,10 @@ impl Dropout {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
         Self { p }
     }
 
@@ -83,7 +86,11 @@ mod tests {
         let y = Dropout::new(0.5).forward(&mut binder, x, &mut rng).unwrap();
         let v = tape.value(y);
         let zeros = v.as_slice().iter().filter(|&&e| e == 0.0).count();
-        let twos = v.as_slice().iter().filter(|&&e| (e - 2.0).abs() < 1e-6).count();
+        let twos = v
+            .as_slice()
+            .iter()
+            .filter(|&&e| (e - 2.0).abs() < 1e-6)
+            .count();
         assert_eq!(zeros + twos, 400);
         assert!(zeros > 100 && zeros < 300, "zeros {zeros}");
         // expectation preserved approximately

@@ -20,7 +20,13 @@ pub struct Embedding {
 impl Embedding {
     /// Registers a `vocab x dim` embedding table initialised N(0, 0.1).
     pub fn new(params: &mut Params, name: &str, vocab: usize, dim: usize, seed: u64) -> Self {
-        let table = params.add(&format!("{name}.table"), vocab, dim, Init::Normal(0.1), seed);
+        let table = params.add(
+            &format!("{name}.table"),
+            vocab,
+            dim,
+            Init::Normal(0.1),
+            seed,
+        );
         Self { table, vocab, dim }
     }
 

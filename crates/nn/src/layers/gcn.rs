@@ -24,13 +24,7 @@ pub struct GcnLayer {
 impl GcnLayer {
     /// Registers a graph-convolution layer mapping `in_dim` to `out_dim`
     /// node features.
-    pub fn new(
-        params: &mut Params,
-        name: &str,
-        in_dim: usize,
-        out_dim: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn new(params: &mut Params, name: &str, in_dim: usize, out_dim: usize, seed: u64) -> Self {
         let weight = params.add(&format!("{name}.weight"), in_dim, out_dim, Init::He, seed);
         let bias = params.add(&format!("{name}.bias"), 1, out_dim, Init::Zeros, seed);
         Self {
@@ -97,8 +91,8 @@ pub fn normalize_adjacency(a: &Matrix) -> Matrix {
         }
     }
     let mut deg = vec![0.0f32; n];
-    for i in 0..n {
-        deg[i] = sym.row(i).iter().sum::<f32>().max(1e-12);
+    for (i, d) in deg.iter_mut().enumerate() {
+        *d = sym.row(i).iter().sum::<f32>().max(1e-12);
     }
     let mut out = Matrix::zeros(n, n);
     for i in 0..n {

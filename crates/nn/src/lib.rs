@@ -30,7 +30,7 @@
 //! let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
 //! let t = Matrix::col_vector(&[1.0, 2.0, 3.0]);
 //! let mut last = f32::INFINITY;
-//! for _ in 0..200 {
+//! for _ in 0..400 {
 //!     let mut tape = Tape::new();
 //!     let mut binder = Binder::new(&mut tape, &params);
 //!     let xv = binder.input(x.clone());
@@ -43,7 +43,6 @@
 //! assert!(last < 1e-2, "did not converge: {last}");
 //! # Ok::<(), hwpr_nn::NnError>(())
 //! ```
-
 
 #![warn(missing_docs)]
 pub mod batch;

@@ -95,11 +95,13 @@ impl Optimizer for AdamW {
             };
             let value = params.get(id).clone();
             assert_eq!(grad.shape(), value.shape(), "gradient shape mismatch");
-            let m = self.first_moment[idx].get_or_insert_with(|| Matrix::zeros(value.rows(), value.cols()));
+            let m = self.first_moment[idx]
+                .get_or_insert_with(|| Matrix::zeros(value.rows(), value.cols()));
             for (mv, &g) in m.as_mut_slice().iter_mut().zip(grad.as_slice()) {
                 *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
             }
-            let v = self.second_moment[idx].get_or_insert_with(|| Matrix::zeros(value.rows(), value.cols()));
+            let v = self.second_moment[idx]
+                .get_or_insert_with(|| Matrix::zeros(value.rows(), value.cols()));
             for (vv, &g) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
                 *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
             }

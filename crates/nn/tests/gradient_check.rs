@@ -82,7 +82,8 @@ fn gcn_end_to_end_gradients() {
         raw.set(2, 3, 1.0);
         hwpr_nn::layers::normalize_adjacency(&raw)
     };
-    let features = Matrix::from_vec(8, 5, (0..40).map(|i| (i as f32 * 0.13).sin()).collect()).unwrap();
+    let features =
+        Matrix::from_vec(8, 5, (0..40).map(|i| (i as f32 * 0.13).sin()).collect()).unwrap();
     let target = Matrix::filled(8, 3, 0.1);
     check_gradients(params, move |binder| {
         let x = binder.input(features.clone());

@@ -1,4 +1,9 @@
 //! Fitness evaluation backends for the search algorithms.
+//!
+//! Objective vectors are reference-counted ([`SharedObjectives`]) so the
+//! memo caches and the survivor-selection machinery share points instead
+//! of deep-copying them: a cache hit, a fitness merge or a front filter
+//! only bumps an `Arc` count.
 
 use crate::clock::SearchClock;
 use crate::{Result, SearchError};
@@ -6,7 +11,19 @@ use hwpr_core::baselines::SurrogatePair;
 use hwpr_core::HwPrNas;
 use hwpr_hwmodel::{AccuracyModel, Platform, SimBench};
 use hwpr_nasbench::{Architecture, Dataset};
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A reference-counted minimisation objective vector. Cloning is an `Arc`
+/// bump, so cached points flow into [`Fitness`] without reallocation.
+pub type SharedObjectives = Arc<Vec<f64>>;
+
+/// Wraps freshly computed objective vectors into shared points.
+pub fn share_objectives(objectives: Vec<Vec<f64>>) -> Vec<SharedObjectives> {
+    objectives.into_iter().map(Arc::new).collect()
+}
 
 /// What an evaluator returns for a batch of architectures.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,7 +34,7 @@ pub enum Fitness {
     /// One minimisation objective vector per architecture — produced by
     /// per-objective surrogates or true measurements; selection must run
     /// non-dominated sorting on these.
-    Objectives(Vec<Vec<f64>>),
+    Objectives(Vec<SharedObjectives>),
     /// Scores plus predicted objectives from one fused call (the complete
     /// Fig. 3 output): the score drives selection, the predicted
     /// objectives only break ties for diversity.
@@ -25,7 +42,7 @@ pub enum Fitness {
         /// Pareto scores (higher is better).
         scores: Vec<f64>,
         /// Predicted minimisation objectives.
-        objectives: Vec<Vec<f64>>,
+        objectives: Vec<SharedObjectives>,
     },
 }
 
@@ -60,6 +77,14 @@ pub trait Evaluator {
     /// How many underlying model calls one architecture costs (1 for the
     /// fused surrogate, 2 for per-objective pairs, 0 for measurements).
     fn calls_per_arch(&self) -> usize;
+
+    /// Exact number of underlying model calls performed so far, when the
+    /// evaluator tracks it (cache-backed evaluators answer repeats without
+    /// a call). `None` means callers should assume
+    /// `evaluations * calls_per_arch()`.
+    fn calls_made(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Ground-truth evaluation against the synthetic benchmark: returns true
@@ -72,7 +97,7 @@ pub struct MeasuredEvaluator {
     /// Simulated seconds charged per *new* architecture measured.
     pub seconds_per_eval: f64,
     three_objectives: bool,
-    cache: HashMap<(hwpr_nasbench::SearchSpaceId, u128), Vec<f64>>,
+    cache: HashMap<(hwpr_nasbench::SearchSpaceId, u128), SharedObjectives>,
 }
 
 impl MeasuredEvaluator {
@@ -129,16 +154,16 @@ impl Evaluator for MeasuredEvaluator {
         for arch in archs {
             let key = (arch.space(), arch.index());
             if let Some(hit) = self.cache.get(&key) {
-                objectives.push(hit.clone());
+                objectives.push(Arc::clone(hit));
                 continue;
             }
             clock.charge_simulated(self.seconds_per_eval);
-            let obj = if self.three_objectives {
+            let obj = Arc::new(if self.three_objectives {
                 self.true_objectives3(arch)
             } else {
                 self.true_objectives(arch)
-            };
-            self.cache.insert(key, obj.clone());
+            });
+            self.cache.insert(key, Arc::clone(&obj));
             objectives.push(obj);
         }
         Ok(Fitness::Objectives(objectives))
@@ -152,31 +177,150 @@ impl Evaluator for MeasuredEvaluator {
 /// Scoring closure type for [`ScoreEvaluator::from_fn`].
 pub type ScoreFn = Box<dyn FnMut(&[Architecture]) -> Result<Vec<f64>>>;
 
+/// Cross-generation surrogate score cache, keyed by the architecture
+/// string codec ([`Architecture::to_arch_string`]).
+///
+/// The MOEA's mutation rate of 0.9 re-creates many architectures across
+/// generations (and across restarts sharing the cache); each distinct
+/// architecture pays for exactly one forward pass. The map is behind a
+/// `parking_lot::RwLock` so the lookup pass never serialises readers, and
+/// hit/miss counters expose the effectiveness of the cache.
+#[derive(Debug, Default)]
+pub struct ScoreCache {
+    entries: RwLock<HashMap<String, (f64, SharedObjectives)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScoreCache {
+    /// Creates an empty cache. Wrap it in an [`Arc`] and pass it to
+    /// [`HwPrNasEvaluator::with_shared_cache`] to span evaluators.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up one architecture key, counting the hit or miss.
+    fn lookup(&self, key: &str) -> Option<(f64, SharedObjectives)> {
+        let found = self.entries.read().get(key).cloned();
+        match found {
+            Some(ref hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((hit.0, Arc::clone(&hit.1)))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: String, score: f64, objectives: SharedObjectives) {
+        self.entries.write().insert(key, (score, objectives));
+    }
+
+    /// Counts a lookup answered without a forward pass through a path
+    /// other than [`Self::lookup`] (in-batch deduplication).
+    fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of distinct architectures cached.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required a surrogate call so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all entries and resets the counters.
+    pub fn clear(&self) {
+        self.entries.write().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Worker-thread count for parallel surrogate evaluation: `HWPR_THREADS`
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism.
+pub fn evaluation_threads() -> usize {
+    if let Ok(v) = std::env::var("HWPR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Evaluates with the full HW-PR-NAS model: one call yields the Pareto
 /// score and the branch objective predictions (Fig. 3).
+///
+/// Evaluation is chunked across `crossbeam` scoped worker threads (count
+/// from `HWPR_THREADS`, default available parallelism) and backed by a
+/// cross-generation [`ScoreCache`]. Results are spliced back in input
+/// index order and dropout is inert at inference, so a seeded search is
+/// bit-identical regardless of the thread count.
 #[derive(Debug)]
 pub struct HwPrNasEvaluator {
-    model: HwPrNas,
+    model: Arc<HwPrNas>,
     platform: Platform,
     call_cost_s: f64,
+    threads: usize,
+    cache: Arc<ScoreCache>,
 }
 
 impl HwPrNasEvaluator {
-    /// Wraps a trained model targeting `platform`.
-    pub fn new(model: HwPrNas, platform: Platform) -> Self {
+    /// Wraps a trained model targeting `platform`. Accepts the model by
+    /// value or as an [`Arc`], so several evaluators can share one model.
+    pub fn new(model: impl Into<Arc<HwPrNas>>, platform: Platform) -> Self {
         Self {
-            model,
+            model: model.into(),
             platform,
             call_cost_s: 0.0,
+            threads: evaluation_threads(),
+            cache: Arc::new(ScoreCache::new()),
         }
     }
 
     /// Charges `seconds` of simulated serving overhead per surrogate call
     /// (the paper's searches run each evaluation through a Python/GPU
     /// serving stack where dispatch dominates; Fig. 7 models that cost).
+    /// Cache hits skip the serving stack, so they are not charged.
     pub fn with_simulated_call_cost(mut self, seconds: f64) -> Self {
         self.call_cost_s = seconds;
         self
+    }
+
+    /// Overrides the worker-thread count (`1` forces the serial path).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the score cache with a shared one, so several evaluators
+    /// (or repeated runs) reuse each other's forward passes.
+    pub fn with_shared_cache(mut self, cache: Arc<ScoreCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The evaluator's score cache (shareable via [`Arc::clone`]).
+    pub fn cache(&self) -> &Arc<ScoreCache> {
+        &self.cache
     }
 }
 
@@ -186,16 +330,64 @@ impl Evaluator for HwPrNasEvaluator {
     }
 
     fn evaluate(&mut self, archs: &[Architecture], clock: &mut SearchClock) -> Result<Fitness> {
-        clock.charge_simulated(self.call_cost_s * archs.len() as f64);
-        let (scores, objectives) = self
-            .model
-            .predict_full(archs, self.platform)
-            .map_err(|e| SearchError::Surrogate(e.to_string()))?;
+        let mut scores = vec![0.0f64; archs.len()];
+        let mut objectives: Vec<Option<SharedObjectives>> = vec![None; archs.len()];
+        // batch-local dedup on top of the shared cache: duplicate offspring
+        // within one generation share a single forward slot
+        let mut miss_index: Vec<usize> = Vec::new();
+        let mut miss_keys: Vec<String> = Vec::new();
+        let mut miss_slot: HashMap<String, usize> = HashMap::new();
+        let mut dups: Vec<(usize, usize)> = Vec::new(); // (arch idx, miss slot)
+        for (i, arch) in archs.iter().enumerate() {
+            let key = arch.to_arch_string();
+            if let Some(&slot) = miss_slot.get(&key) {
+                // duplicate within this batch: rides the in-flight slot
+                self.cache.count_hit();
+                dups.push((i, slot));
+            } else if let Some((score, objs)) = self.cache.lookup(&key) {
+                scores[i] = score;
+                objectives[i] = Some(objs);
+            } else {
+                miss_slot.insert(key.clone(), miss_index.len());
+                miss_index.push(i);
+                miss_keys.push(key);
+            }
+        }
+        if !miss_index.is_empty() {
+            clock.charge_simulated(self.call_cost_s * miss_index.len() as f64);
+            let miss_archs: Vec<Architecture> =
+                miss_index.iter().map(|&i| archs[i].clone()).collect();
+            let (miss_scores, miss_objs) = self
+                .model
+                .predict_full_parallel(&miss_archs, self.platform, self.threads)
+                .map_err(|e| SearchError::Surrogate(e.to_string()))?;
+            for (slot, (score, objs)) in miss_scores.into_iter().zip(miss_objs).enumerate() {
+                let objs = Arc::new(objs);
+                self.cache
+                    .store(miss_keys[slot].clone(), score, Arc::clone(&objs));
+                let i = miss_index[slot];
+                scores[i] = score;
+                objectives[i] = Some(objs);
+            }
+            for (i, slot) in dups {
+                let j = miss_index[slot];
+                scores[i] = scores[j];
+                objectives[i] = objectives[j].clone();
+            }
+        }
+        let objectives = objectives
+            .into_iter()
+            .map(|o| o.expect("every architecture resolved via cache or prediction"))
+            .collect();
         Ok(Fitness::Ranked { scores, objectives })
     }
 
     fn calls_per_arch(&self) -> usize {
         1
+    }
+
+    fn calls_made(&self) -> Option<u64> {
+        Some(self.cache.misses())
     }
 }
 
@@ -284,7 +476,9 @@ impl Evaluator for PairEvaluator {
 
     fn evaluate(&mut self, archs: &[Architecture], clock: &mut SearchClock) -> Result<Fitness> {
         clock.charge_simulated(self.call_cost_s * 2.0 * archs.len() as f64);
-        Ok(Fitness::Objectives(self.pair.predict_objectives(archs)?))
+        Ok(Fitness::Objectives(share_objectives(
+            self.pair.predict_objectives(archs)?,
+        )))
     }
 
     fn calls_per_arch(&self) -> usize {
@@ -336,6 +530,20 @@ mod tests {
     }
 
     #[test]
+    fn measured_cache_hit_shares_the_point() {
+        let b = bench();
+        let mut eval = MeasuredEvaluator::for_bench(&b, Dataset::Cifar10, Platform::EdgeGpu);
+        let archs = vec![b.entries()[0].arch().clone(); 3];
+        let mut clock = SearchClock::unbounded();
+        let Fitness::Objectives(objs) = eval.evaluate(&archs, &mut clock).unwrap() else {
+            panic!("measured evaluator must return objectives");
+        };
+        // all three entries point at the same cached allocation
+        assert!(Arc::ptr_eq(&objs[0], &objs[1]));
+        assert!(Arc::ptr_eq(&objs[0], &objs[2]));
+    }
+
+    #[test]
     fn score_evaluator_from_fn() {
         let mut eval = ScoreEvaluator::from_fn(
             "stub",
@@ -357,7 +565,10 @@ mod tests {
     #[test]
     fn fitness_len() {
         assert_eq!(Fitness::Scores(vec![1.0, 2.0]).len(), 2);
-        assert_eq!(Fitness::Objectives(vec![vec![1.0, 2.0]]).len(), 1);
+        assert_eq!(
+            Fitness::Objectives(share_objectives(vec![vec![1.0, 2.0]])).len(),
+            1
+        );
         assert!(Fitness::Scores(vec![]).is_empty());
     }
 
@@ -368,5 +579,32 @@ mod tests {
         let o = eval.true_objectives3(b.entries()[0].arch());
         assert_eq!(o.len(), 3);
         assert!(o[2] > 0.0);
+    }
+
+    #[test]
+    fn score_cache_counts_hits_and_misses() {
+        let cache = ScoreCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.lookup("a").is_none());
+        cache.store("a".into(), 1.5, Arc::new(vec![2.0, 3.0]));
+        let (score, objs) = cache.lookup("a").expect("stored entry");
+        assert!((score - 1.5).abs() < 1e-12);
+        assert_eq!(*objs, vec![2.0, 3.0]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn evaluation_threads_honours_env() {
+        // read-only check of the fallback path: without the env var the
+        // count is the machine parallelism (>= 1)
+        if std::env::var("HWPR_THREADS").is_err() {
+            assert!(evaluation_threads() >= 1);
+        }
     }
 }

@@ -19,7 +19,6 @@
 //!   style; two calls per architecture plus non-dominated sorting in the
 //!   selection step).
 
-
 #![warn(missing_docs)]
 mod clock;
 mod evaluator;
@@ -28,8 +27,8 @@ mod random;
 
 pub use clock::SearchClock;
 pub use evaluator::{
-    Evaluator, Fitness, HwPrNasEvaluator, MeasuredEvaluator, PairEvaluator, ScoreEvaluator,
-    ScoreFn,
+    evaluation_threads, share_objectives, Evaluator, Fitness, HwPrNasEvaluator, MeasuredEvaluator,
+    PairEvaluator, ScoreCache, ScoreEvaluator, ScoreFn, SharedObjectives,
 };
 pub use moea::{GenerationStats, Moea, MoeaConfig, SearchResult};
 pub use random::{random_search, RandomSearchConfig};

@@ -1,13 +1,14 @@
 //! Algorithm 1: the multi-objective evolutionary algorithm.
 
 use crate::clock::SearchClock;
-use crate::evaluator::{Evaluator, Fitness};
+use crate::evaluator::{Evaluator, Fitness, SharedObjectives};
 use crate::{Result, SearchError};
 use hwpr_moo::{crowding_distance, fast_non_dominated_sort};
 use hwpr_nasbench::{Architecture, SearchSpaceId};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::borrow::Cow;
 use std::time::Duration;
 
 /// Configuration of the MOEA (§IV-C1: population 150, 250 generations,
@@ -85,10 +86,14 @@ impl MoeaConfig {
             return Err(SearchError::Config("population must be at least 2".into()));
         }
         if self.spaces.is_empty() {
-            return Err(SearchError::Config("at least one search space required".into()));
+            return Err(SearchError::Config(
+                "at least one search space required".into(),
+            ));
         }
         if self.tournament == 0 {
-            return Err(SearchError::Config("tournament size must be positive".into()));
+            return Err(SearchError::Config(
+                "tournament size must be positive".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.mutation_rate) || !(0.0..=1.0).contains(&self.crossover_rate)
         {
@@ -200,9 +205,9 @@ impl Moea {
             let keys = selection_keys(&fitness)?;
             let mut offspring = Vec::with_capacity(cfg.population);
             for _ in 0..cfg.population {
-                let a = tournament(&keys, cfg.tournament, &mut rng);
+                let a = tournament(keys.as_ref(), cfg.tournament, &mut rng);
                 let child = if rng.gen_bool(cfg.crossover_rate) {
-                    let b = tournament(&keys, cfg.tournament, &mut rng);
+                    let b = tournament(keys.as_ref(), cfg.tournament, &mut rng);
                     population[a]
                         .crossover(&population[b], &mut rng)
                         .unwrap_or_else(|| population[a].clone())
@@ -221,10 +226,15 @@ impl Moea {
             surrogate_calls += offspring.len() * evaluator.calls_per_arch();
 
             // elitist survivor selection over P ∪ Q
-            let (merged, merged_fitness) =
-                merge(population, fitness, offspring, offspring_fitness);
+            let (merged, merged_fitness) = merge(population, fitness, offspring, offspring_fitness);
             let keep = survivor_selection(&merged, &merged_fitness, cfg.population)?;
-            population = keep.iter().map(|&i| merged[i].clone()).collect();
+            // survivor indices are unique, so survivors move out of the
+            // merged pool instead of being cloned each generation
+            let mut merged: Vec<Option<Architecture>> = merged.into_iter().map(Some).collect();
+            population = keep
+                .iter()
+                .map(|&i| merged[i].take().expect("survivor indices are unique"))
+                .collect();
             fitness = filter_fitness(&merged_fitness, &keep);
 
             history.push(GenerationStats {
@@ -234,6 +244,11 @@ impl Moea {
                 population: cfg.record_populations.then(|| population.clone()),
             });
         }
+        // cache-backed evaluators answer repeated architectures without a
+        // model call; report the calls actually made when they track it
+        let surrogate_calls = evaluator
+            .calls_made()
+            .map_or(surrogate_calls, |calls| calls as usize);
         Ok(SearchResult {
             population,
             evaluator: evaluator.name(),
@@ -251,21 +266,23 @@ impl Moea {
 /// For scores the key is the score itself; for objective vectors the key
 /// is `-(rank + crowding tie-break)` from non-dominated sorting — the
 /// comparisons the paper counts as two-surrogate overhead.
-fn selection_keys(fitness: &Fitness) -> Result<Vec<f64>> {
+fn selection_keys(fitness: &Fitness) -> Result<Cow<'_, [f64]>> {
     match fitness {
-        Fitness::Scores(s) | Fitness::Ranked { scores: s, .. } => Ok(s.clone()),
+        // scores are borrowed straight out of the fitness — no per-
+        // generation copy of the whole key vector
+        Fitness::Scores(s) | Fitness::Ranked { scores: s, .. } => Ok(Cow::Borrowed(s.as_slice())),
         Fitness::Objectives(objs) => {
             let fronts = fast_non_dominated_sort(objs)?;
             let mut key = vec![0.0f64; objs.len()];
             for (rank, front) in fronts.iter().enumerate() {
-                let pts: Vec<Vec<f64>> = front.iter().map(|&i| objs[i].clone()).collect();
+                let pts: Vec<SharedObjectives> = front.iter().map(|&i| objs[i].clone()).collect();
                 let crowd = crowding_distance(&pts)?;
                 for (slot, &i) in front.iter().enumerate() {
                     let tie = 1.0 - 1.0 / (1.0 + crowd[slot].min(1e12));
                     key[i] = -(rank as f64) + tie * 0.5;
                 }
             }
-            Ok(key)
+            Ok(Cow::Owned(key))
         }
     }
 }
@@ -323,11 +340,7 @@ fn merge(
 /// (rank, crowding) for objective vectors. Duplicate architectures are
 /// removed first so the population cannot collapse onto copies of the
 /// score maximiser (`merged` aligns with the fitness entries).
-fn survivor_selection(
-    merged: &[Architecture],
-    fitness: &Fitness,
-    k: usize,
-) -> Result<Vec<usize>> {
+fn survivor_selection(merged: &[Architecture], fitness: &Fitness, k: usize) -> Result<Vec<usize>> {
     // keep one entry per distinct architecture
     let mut seen = std::collections::HashSet::new();
     let unique: Vec<usize> = (0..merged.len())
@@ -354,14 +367,14 @@ fn survivor_selection(
             if pool.len() <= k {
                 return Ok(pool);
             }
-            let pts: Vec<Vec<f64>> = pool.iter().map(|&i| objectives[i].clone()).collect();
+            let pts: Vec<SharedObjectives> = pool.iter().map(|&i| objectives[i].clone()).collect();
             let crowd = crowding_distance(&pts)?;
             let mut order: Vec<usize> = (0..pool.len()).collect();
             order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
             Ok(order.into_iter().take(k).map(|slot| pool[slot]).collect())
         }
         Fitness::Objectives(all_objs) => {
-            let objs: Vec<Vec<f64>> = unique.iter().map(|&i| all_objs[i].clone()).collect();
+            let objs: Vec<SharedObjectives> = unique.iter().map(|&i| all_objs[i].clone()).collect();
             let fronts = fast_non_dominated_sort(&objs)?;
             let mut keep = Vec::with_capacity(k);
             for front in fronts {
@@ -369,7 +382,8 @@ fn survivor_selection(
                     keep.extend(front.into_iter().map(|i| unique[i]));
                 } else {
                     // fill the remainder with the most spread-out members
-                    let pts: Vec<Vec<f64>> = front.iter().map(|&i| objs[i].clone()).collect();
+                    let pts: Vec<SharedObjectives> =
+                        front.iter().map(|&i| objs[i].clone()).collect();
                     let crowd = crowding_distance(&pts)?;
                     let mut order: Vec<usize> = (0..front.len()).collect();
                     order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
@@ -387,9 +401,7 @@ fn survivor_selection(
 fn filter_fitness(fitness: &Fitness, keep: &[usize]) -> Fitness {
     match fitness {
         Fitness::Scores(s) => Fitness::Scores(keep.iter().map(|&i| s[i]).collect()),
-        Fitness::Objectives(o) => {
-            Fitness::Objectives(keep.iter().map(|&i| o[i].clone()).collect())
-        }
+        Fitness::Objectives(o) => Fitness::Objectives(keep.iter().map(|&i| o[i].clone()).collect()),
         Fitness::Ranked { scores, objectives } => Fitness::Ranked {
             scores: keep.iter().map(|&i| scores[i]).collect(),
             objectives: keep.iter().map(|&i| objectives[i].clone()).collect(),
@@ -409,7 +421,7 @@ pub(crate) fn top_k_by_score(scores: &[f64], k: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::ScoreEvaluator;
+    use crate::evaluator::{share_objectives, ScoreEvaluator};
     use rand::seq::SliceRandom as _;
 
     /// Score = -(distance to a known optimum): MOEA should find it.
@@ -466,7 +478,8 @@ mod tests {
         let archs: Vec<Architecture> = (0..4)
             .map(|i| Architecture::nb201_from_index(i).unwrap())
             .collect();
-        let keep = survivor_selection(&archs, &Fitness::Objectives(objs), 3).unwrap();
+        let keep =
+            survivor_selection(&archs, &Fitness::Objectives(share_objectives(objs)), 3).unwrap();
         assert_eq!(keep.len(), 3);
         assert!(!keep.contains(&3), "dominated point survived");
     }
@@ -504,7 +517,8 @@ mod tests {
         cfg.spaces = vec![SearchSpaceId::NasBench201, SearchSpaceId::FBNet];
         cfg.generations = 2;
         let moea = Moea::new(cfg).unwrap();
-        let mut eval = ScoreEvaluator::from_fn("flat", Box::new(|archs| Ok(vec![0.0; archs.len()])));
+        let mut eval =
+            ScoreEvaluator::from_fn("flat", Box::new(|archs| Ok(vec![0.0; archs.len()])));
         let result = moea.run(&mut eval).unwrap();
         let nb = result
             .population
@@ -542,10 +556,11 @@ mod tests {
             .map(|i| Architecture::nb201_from_index(i).unwrap())
             .collect();
         let scores = vec![1.0, 0.99, 0.98, 0.97, 0.96, 0.95];
-        let objectives: Vec<Vec<f64>> = (0..6)
-            .map(|i| vec![i as f64, 5.0 - i as f64])
-            .collect();
-        let fitness = Fitness::Ranked { scores, objectives };
+        let objectives: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, 5.0 - i as f64]).collect();
+        let fitness = Fitness::Ranked {
+            scores,
+            objectives: share_objectives(objectives),
+        };
         let keep = survivor_selection(&archs, &fitness, 4).unwrap();
         assert_eq!(keep.len(), 4);
         assert!(keep.contains(&0), "low-error corner evicted");
@@ -566,9 +581,15 @@ mod tests {
         // extreme objectives on a low-scored candidate
         let mut objectives: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, i as f64]).collect();
         objectives[11] = vec![-1000.0, 1000.0];
-        let fitness = Fitness::Ranked { scores, objectives };
+        let fitness = Fitness::Ranked {
+            scores,
+            objectives: share_objectives(objectives),
+        };
         let keep = survivor_selection(&archs, &fitness, 4).unwrap();
-        assert!(!keep.contains(&11), "score-gated pool admitted a low-score candidate");
+        assert!(
+            !keep.contains(&11),
+            "score-gated pool admitted a low-score candidate"
+        );
     }
 
     #[test]
@@ -582,7 +603,10 @@ mod tests {
         scores[3] = 5.0;
         scores[6] = 4.0;
         let objectives: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
-        let fitness = Fitness::Ranked { scores, objectives };
+        let fitness = Fitness::Ranked {
+            scores,
+            objectives: share_objectives(objectives),
+        };
         let keep = survivor_selection(&archs, &fitness, 1).unwrap();
         // pool = top-2 scores {3, 6}; crowding over 2 points keeps both at
         // infinity, truncation keeps the first by crowding order

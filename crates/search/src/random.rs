@@ -1,7 +1,7 @@
 //! Random search (the paper's simplest baseline).
 
 use crate::clock::SearchClock;
-use crate::evaluator::{Evaluator, Fitness};
+use crate::evaluator::{Evaluator, Fitness, SharedObjectives};
 use crate::moea::SearchResult;
 use crate::{Result, SearchError};
 use hwpr_moo::{crowding_distance, fast_non_dominated_sort};
@@ -74,7 +74,9 @@ pub fn random_search(
         )));
     }
     if config.spaces.is_empty() {
-        return Err(SearchError::Config("at least one search space required".into()));
+        return Err(SearchError::Config(
+            "at least one search space required".into(),
+        ));
     }
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut clock = match config.budget {
@@ -127,9 +129,18 @@ pub fn random_search(
     }
     let fitness = fitness.ok_or_else(|| SearchError::Config("no samples evaluated".into()))?;
     let keep = best_indices(&archs, &fitness, config.keep.min(archs.len()))?;
-    let surrogate_calls = archs.len() * evaluator.calls_per_arch();
+    let surrogate_calls = evaluator
+        .calls_made()
+        .map_or(archs.len() * evaluator.calls_per_arch(), |calls| {
+            calls as usize
+        });
+    // kept indices are unique: move the winners out instead of cloning
+    let mut archs: Vec<Option<Architecture>> = archs.into_iter().map(Some).collect();
     Ok(SearchResult {
-        population: keep.iter().map(|&i| archs[i].clone()).collect(),
+        population: keep
+            .iter()
+            .map(|&i| archs[i].take().expect("kept indices are unique"))
+            .collect(),
         evaluator: format!("Random Search ({})", evaluator.name()),
         wall_time: clock.wall_elapsed(),
         simulated_time: clock.simulated_elapsed(),
@@ -163,21 +174,22 @@ fn best_indices(archs: &[Architecture], fitness: &Fitness, k: usize) -> Result<V
             if pool.len() <= k {
                 return Ok(pool);
             }
-            let pts: Vec<Vec<f64>> = pool.iter().map(|&i| objectives[i].clone()).collect();
+            let pts: Vec<SharedObjectives> = pool.iter().map(|&i| objectives[i].clone()).collect();
             let crowd = crowding_distance(&pts)?;
             let mut order: Vec<usize> = (0..pool.len()).collect();
             order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
             Ok(order.into_iter().take(k).map(|slot| pool[slot]).collect())
         }
         Fitness::Objectives(all_objs) => {
-            let objs: Vec<Vec<f64>> = unique.iter().map(|&i| all_objs[i].clone()).collect();
+            let objs: Vec<SharedObjectives> = unique.iter().map(|&i| all_objs[i].clone()).collect();
             let fronts = fast_non_dominated_sort(&objs)?;
             let mut keep = Vec::with_capacity(k);
             for front in fronts {
                 if keep.len() + front.len() <= k {
                     keep.extend(front.into_iter().map(|i| unique[i]));
                 } else {
-                    let pts: Vec<Vec<f64>> = front.iter().map(|&i| objs[i].clone()).collect();
+                    let pts: Vec<SharedObjectives> =
+                        front.iter().map(|&i| objs[i].clone()).collect();
                     let crowd = crowding_distance(&pts)?;
                     let mut order: Vec<usize> = (0..front.len()).collect();
                     order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));

@@ -1,0 +1,216 @@
+//! Cache-tiled, register-blocked GEMM driver behind [`Matrix::matmul`],
+//! [`Matrix::matmul_tn`] and [`Matrix::matmul_nt`].
+//!
+//! The driver follows the classic BLIS/GotoBLAS decomposition: the output
+//! is computed in `MC x NC` tiles, each fed from a packed `KC`-deep panel
+//! of `B` (contiguous `NR`-column strips) and a packed block of `A`
+//! (contiguous `MR`-row strips), with an `MR x NR` register-blocked
+//! micro-kernel at the core. The micro-kernel's inner loop is a pure
+//! multiply-add over fixed-size arrays — branch-free and FMA-friendly, so
+//! the compiler can keep the `MR x NR` accumulator in vector registers.
+//!
+//! Both transposed variants (`A^T B`, `A B^T`) reuse the same driver: the
+//! transpose is absorbed by the packing routines, which read the source
+//! with a stride instead of materialising the transposed matrix. All three
+//! entry points therefore accumulate in the same `k`-order, which keeps
+//! `matmul_tn(a, b)` bit-identical to `a.transpose().matmul(b)`.
+//!
+//! The naive loop-nest kernels these replaced live on in
+//! [`crate::reference`] for differential testing and benchmarking.
+
+/// Micro-kernel rows: C tile height held in registers.
+pub const MR: usize = 8;
+/// Micro-kernel columns: C tile width held in registers.
+pub const NR: usize = 16;
+/// K-blocking: depth of the packed panels (sized for L1-resident strips).
+const KC: usize = 256;
+/// M-blocking: rows of A packed per inner block (L2-resident).
+const MC: usize = 128;
+/// N-blocking: columns of B packed per outer panel (L3-resident).
+const NC: usize = 512;
+
+/// How a logically `rows x cols` operand is laid out in its backing slice.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// `src[r * cols + c]` — the operand is stored as given.
+    RowMajor,
+    /// `src[c * rows + r]` — the operand is the transpose of its storage,
+    /// i.e. the storage holds a `cols x rows` row-major matrix.
+    Transposed,
+}
+
+#[inline(always)]
+fn load(src: &[f32], layout: Layout, rows: usize, cols: usize, r: usize, c: usize) -> f32 {
+    debug_assert!(r < rows && c < cols);
+    match layout {
+        Layout::RowMajor => src[r * cols + c],
+        Layout::Transposed => src[c * rows + r],
+    }
+}
+
+/// Packs the `mc x kc` block of `A` at `(ic, pc)` into `MR`-row strips:
+/// strip `ir/MR` holds `kc` groups of `MR` consecutive logical rows,
+/// zero-padded past `mc` so the micro-kernel never reads out of bounds.
+fn pack_a(
+    a: &[f32],
+    layout: Layout,
+    (m, k): (usize, usize),
+    (ic, pc): (usize, usize),
+    (mc, kc): (usize, usize),
+    dst: &mut Vec<f32>,
+) {
+    dst.clear();
+    dst.reserve(mc.div_ceil(MR) * MR * kc);
+    for ir in (0..mc).step_by(MR) {
+        let live = MR.min(mc - ir);
+        for kk in 0..kc {
+            for ii in 0..live {
+                dst.push(load(a, layout, m, k, ic + ir + ii, pc + kk));
+            }
+            for _ in live..MR {
+                dst.push(0.0);
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` panel of `B` at `(pc, jc)` into `NR`-column strips:
+/// strip `jr/NR` holds `kc` groups of `NR` consecutive logical columns,
+/// zero-padded past `nc`.
+fn pack_b(
+    b: &[f32],
+    layout: Layout,
+    (k, n): (usize, usize),
+    (pc, jc): (usize, usize),
+    (kc, nc): (usize, usize),
+    dst: &mut Vec<f32>,
+) {
+    dst.clear();
+    dst.reserve(nc.div_ceil(NR) * NR * kc);
+    for jr in (0..nc).step_by(NR) {
+        let live = NR.min(nc - jr);
+        for kk in 0..kc {
+            if layout == Layout::RowMajor && live == NR {
+                let row = (pc + kk) * n + jc + jr;
+                dst.extend_from_slice(&b[row..row + NR]);
+            } else {
+                for jj in 0..live {
+                    dst.push(load(b, layout, k, n, pc + kk, jc + jr + jj));
+                }
+                for _ in live..NR {
+                    dst.push(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// `MR x NR` register-blocked core: `acc += Astrip @ Bstrip` over `kc`.
+/// Fixed-size arrays and a branch-free body let the compiler unroll and
+/// vectorise (and fuse into FMAs where the target allows).
+/// AVX-512 micro-kernel: one `zmm` accumulator per tile row (`NR` = 16 =
+/// one 512-bit vector), `vfmaddps` per row per `k` step. The eight
+/// independent accumulator chains cover the FMA latency.
+///
+/// Compiled in only when the build targets a CPU with AVX-512F (e.g. via
+/// `-C target-cpu=native`, see `.cargo/config.toml`); other targets use
+/// the portable kernel below. The FMA rounds once per multiply-add where
+/// the portable kernel rounds twice, so results may differ from the
+/// reference kernels by a few ULPs — the differential proptests allow for
+/// this.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+#[inline]
+fn micro_kernel(kc: usize, a_strip: &[f32], b_strip: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    const { assert!(NR == 16, "one zmm register holds exactly NR lanes") };
+    assert!(a_strip.len() >= kc * MR, "packed A strip too short");
+    assert!(b_strip.len() >= kc * NR, "packed B strip too short");
+    // SAFETY: AVX-512F is statically enabled by the cfg above, and the
+    // asserts guarantee every pointer below stays inside the strips.
+    unsafe {
+        let mut rows = [_mm512_setzero_ps(); MR];
+        for (row, dst) in rows.iter_mut().zip(acc.iter()) {
+            *row = _mm512_loadu_ps(dst.as_ptr());
+        }
+        let mut pa = a_strip.as_ptr();
+        let mut pb = b_strip.as_ptr();
+        for _ in 0..kc {
+            let b = _mm512_loadu_ps(pb);
+            for (i, row) in rows.iter_mut().enumerate() {
+                let a = _mm512_set1_ps(*pa.add(i));
+                *row = _mm512_fmadd_ps(a, b, *row);
+            }
+            pa = pa.add(MR);
+            pb = pb.add(NR);
+        }
+        for (dst, row) in acc.iter_mut().zip(rows.iter()) {
+            _mm512_storeu_ps(dst.as_mut_ptr(), *row);
+        }
+    }
+}
+
+/// Portable micro-kernel for targets without AVX-512F.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+#[inline(always)]
+fn micro_kernel(kc: usize, a_strip: &[f32], b_strip: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(a_strip.len() >= kc * MR);
+    debug_assert!(b_strip.len() >= kc * NR);
+    // `chunks_exact` gives the optimiser compile-time strip widths with no
+    // bounds checks or panic edges inside the loop, which is what lets it
+    // keep the whole accumulator tile in vector registers.
+    let a_chunks = a_strip.chunks_exact(MR).take(kc);
+    let b_chunks = b_strip.chunks_exact(NR).take(kc);
+    for (a_vals, b_vals) in a_chunks.zip(b_chunks) {
+        for (row, &a_val) in acc.iter_mut().zip(a_vals) {
+            for (cell, &b_val) in row.iter_mut().zip(b_vals) {
+                *cell += a_val * b_val;
+            }
+        }
+    }
+}
+
+/// Computes `C += A @ B` where `A` is logically `m x k`, `B` is logically
+/// `k x n` (each with its own storage [`Layout`]) and `C` is `m x n`
+/// row-major. `C` is expected to start zeroed by the callers in `ops.rs`.
+pub fn gemm(
+    (m, n, k): (usize, usize, usize),
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut a_pack = Vec::new();
+    let mut b_pack = Vec::new();
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(b, b_layout, (k, n), (pc, jc), (kc, nc), &mut b_pack);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(a, a_layout, (m, k), (ic, pc), (mc, kc), &mut a_pack);
+                for jr in (0..nc).step_by(NR) {
+                    let b_strip = &b_pack[(jr / NR) * NR * kc..];
+                    for ir in (0..mc).step_by(MR) {
+                        let a_strip = &a_pack[(ir / MR) * MR * kc..];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        micro_kernel(kc, a_strip, b_strip, &mut acc);
+                        let live_rows = MR.min(mc - ir);
+                        let live_cols = NR.min(nc - jr);
+                        for (ii, acc_row) in acc.iter().enumerate().take(live_rows) {
+                            let row = (ic + ir + ii) * n + jc + jr;
+                            for (cell, &v) in c[row..row + live_cols].iter_mut().zip(acc_row) {
+                                *cell += v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

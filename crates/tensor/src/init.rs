@@ -15,7 +15,7 @@ use rand_chacha::ChaCha8Rng;
 /// let w = Init::Xavier.matrix(4, 8, 42);
 /// assert_eq!(w.shape(), (4, 8));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Init {
     /// All zeros (used for biases).
     Zeros,
@@ -24,15 +24,10 @@ pub enum Init {
     /// Gaussian with the given standard deviation.
     Normal(f32),
     /// Xavier/Glorot normal: `std = sqrt(2 / (fan_in + fan_out))`.
+    #[default]
     Xavier,
     /// He/Kaiming normal: `std = sqrt(2 / fan_in)`; suited to ReLU layers.
     He,
-}
-
-impl Default for Init {
-    fn default() -> Self {
-        Init::Xavier
-    }
 }
 
 impl Init {

@@ -213,7 +213,9 @@ impl Matrix {
     /// Panics if `c >= cols`.
     pub fn column(&self, c: usize) -> Vec<f32> {
         assert!(c < self.cols, "column index out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Iterator over rows as slices.

@@ -1,6 +1,7 @@
 //! Numerical kernels on [`Matrix`]: GEMM, element-wise maps, reductions and
 //! the special block products used by the batched graph convolution.
 
+use crate::gemm::{self, Layout};
 use crate::matrix::Matrix;
 use crate::shape::ShapeError;
 use crate::Result;
@@ -8,8 +9,9 @@ use crate::Result;
 impl Matrix {
     /// Matrix product `self @ rhs`.
     ///
-    /// Uses a cache-friendly i-k-j loop ordering; adequate for the model
-    /// sizes in the paper (hidden dims ≤ 600, batch 128).
+    /// Runs on the cache-tiled, register-blocked driver in [`crate::gemm`];
+    /// the naive loop nest survives as [`crate::reference::matmul`] for
+    /// differential testing.
     ///
     /// # Errors
     ///
@@ -21,26 +23,22 @@ impl Matrix {
         let (m, k) = self.shape();
         let n = rhs.cols();
         let mut out = Matrix::zeros(m, n);
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let c = out.as_mut_slice();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (kk, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += aik * bv;
-                }
-            }
-        }
+        gemm::gemm(
+            (m, n, k),
+            self.as_slice(),
+            Layout::RowMajor,
+            rhs.as_slice(),
+            Layout::RowMajor,
+            out.as_mut_slice(),
+        );
         Ok(out)
     }
 
     /// Matrix product `self^T @ rhs` without materialising the transpose.
+    ///
+    /// The transpose is absorbed by the pack stage of the blocked driver,
+    /// so this accumulates in the same order as [`Matrix::matmul`] on an
+    /// explicit transpose and produces bit-identical results.
     ///
     /// # Errors
     ///
@@ -52,22 +50,14 @@ impl Matrix {
         let (k, m) = self.shape();
         let n = rhs.cols();
         let mut out = Matrix::zeros(m, n);
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let c = out.as_mut_slice();
-        for kk in 0..k {
-            let arow = &a[kk * m..(kk + 1) * m];
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let crow = &mut c[i * n..(i + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
-            }
-        }
+        gemm::gemm(
+            (m, n, k),
+            self.as_slice(),
+            Layout::Transposed,
+            rhs.as_slice(),
+            Layout::RowMajor,
+            out.as_mut_slice(),
+        );
         Ok(out)
     }
 
@@ -83,17 +73,14 @@ impl Matrix {
         let (m, k) = self.shape();
         let n = rhs.rows();
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let arow = self.row(i);
-            for j in 0..n {
-                let brow = rhs.row(j);
-                let mut acc = 0.0;
-                for kk in 0..k {
-                    acc += arow[kk] * brow[kk];
-                }
-                out.set(i, j, acc);
-            }
-        }
+        gemm::gemm(
+            (m, n, k),
+            self.as_slice(),
+            Layout::RowMajor,
+            rhs.as_slice(),
+            Layout::Transposed,
+            out.as_mut_slice(),
+        );
         Ok(out)
     }
 
@@ -206,7 +193,11 @@ impl Matrix {
     /// Returns [`ShapeError`] if `bias` is not `1 x self.cols()`.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Result<Matrix> {
         if bias.rows() != 1 || bias.cols() != self.cols() {
-            return Err(ShapeError::new("add_row_broadcast", self.shape(), bias.shape()));
+            return Err(ShapeError::new(
+                "add_row_broadcast",
+                self.shape(),
+                bias.shape(),
+            ));
         }
         let mut out = self.clone();
         let b = bias.as_slice();
@@ -259,12 +250,18 @@ impl Matrix {
 
     /// Largest element (or `f32::NEG_INFINITY` when empty).
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Smallest element (or `f32::INFINITY` when empty).
     pub fn min(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Frobenius norm.

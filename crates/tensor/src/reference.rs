@@ -1,0 +1,97 @@
+//! Naive GEMM loop nests kept as the ground truth for the blocked kernels
+//! in [`crate::gemm`]. Differential proptests assert the blocked paths
+//! match these within float tolerance, and the `matmul_kernels` criterion
+//! bench measures the speedup. These are the original `Matrix::matmul*`
+//! implementations, unchanged.
+
+use crate::matrix::Matrix;
+use crate::shape::ShapeError;
+use crate::Result;
+
+/// Naive `a @ b` (i-k-j loop order with a zero-skip branch).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul", a.shape(), b.shape()));
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = out.as_mut_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let crow = &mut cv[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[kk * n..(kk + 1) * n];
+            for (c, &b) in crow.iter_mut().zip(brow) {
+                *c += aik * b;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Naive `a^T @ b` without materialising the transpose.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `a.rows() != b.rows()`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(ShapeError::new("matmul_tn", a.shape(), b.shape()));
+    }
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = out.as_mut_slice();
+    for kk in 0..k {
+        let arow = &av[kk * m..(kk + 1) * m];
+        let brow = &bv[kk * n..(kk + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for (c, &b) in crow.iter_mut().zip(brow) {
+                *c += aval * b;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Naive `a @ b^T` without materialising the transpose.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `a.cols() != b.cols()`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(ShapeError::new("matmul_nt", a.shape(), b.shape()));
+    }
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = b.row(j);
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += arow[kk] * brow[kk];
+            }
+            out.set(i, j, acc);
+        }
+    }
+    Ok(out)
+}

@@ -20,9 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let dataset = Dataset::Cifar10;
     // the paper's correlated family (§III-E) plus the odd FPGA out
-    let platforms = [Platform::RaspberryPi4, Platform::Pixel3, Platform::FpgaZcu102];
+    let platforms = [
+        Platform::RaspberryPi4,
+        Platform::Pixel3,
+        Platform::FpgaZcu102,
+    ];
 
-    println!("training one model with {} latency heads ...", platforms.len());
+    println!(
+        "training one model with {} latency heads ...",
+        platforms.len()
+    );
     let (model, report) = HwPrNas::fit_multi(
         bench.entries(),
         dataset,

@@ -32,12 +32,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let (_, report) = Predictor::fit(&data, &config)?;
             taus.push(report.kendall_tau);
         }
-        println!("{:<10} {:>11.4} {:>11.4}", choice.to_string(), taus[0], taus[1]);
+        println!(
+            "{:<10} {:>11.4} {:>11.4}",
+            choice.to_string(),
+            taus[0],
+            taus[1]
+        );
     }
 
     println!("\n== regressor heads (accuracy target) ==");
     println!("{:<10} {:>9} {:>11}", "regressor", "RMSE", "Kendall tau");
-    for kind in [RegressorKind::Mlp, RegressorKind::XgBoost, RegressorKind::LgBoost] {
+    for kind in [
+        RegressorKind::Mlp,
+        RegressorKind::XgBoost,
+        RegressorKind::LgBoost,
+    ] {
         let config = match kind {
             RegressorKind::Mlp => PredictorConfig {
                 model: ModelConfig::fast(),

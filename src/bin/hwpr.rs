@@ -81,15 +81,15 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
-    flags
-        .get(key)
-        .map_or(Ok(default), |v| v.parse().map_err(|e| format!("--{key}: {e}")))
+    flags.get(key).map_or(Ok(default), |v| {
+        v.parse().map_err(|e| format!("--{key}: {e}"))
+    })
 }
 
 fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
-    flags
-        .get(key)
-        .map_or(Ok(default), |v| v.parse().map_err(|e| format!("--{key}: {e}")))
+    flags.get(key).map_or(Ok(default), |v| {
+        v.parse().map_err(|e| format!("--{key}: {e}"))
+    })
 }
 
 fn run() -> Result<(), String> {
@@ -145,14 +145,17 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         sample_size: Some(samples),
         seed,
     });
-    let data = SurrogateDataset::from_simbench(&bench, dataset, platform)
-        .map_err(|e| e.to_string())?;
+    let data =
+        SurrogateDataset::from_simbench(&bench, dataset, platform).map_err(|e| e.to_string())?;
     let (model_cfg, train_cfg) = if paper {
         (ModelConfig::paper(), TrainConfig::paper())
     } else {
         (ModelConfig::fast(), TrainConfig::fast())
     };
-    eprintln!("training HW-PR-NAS ({}) ...", if paper { "paper config" } else { "fast config" });
+    eprintln!(
+        "training HW-PR-NAS ({}) ...",
+        if paper { "paper config" } else { "fast config" }
+    );
     let (model, report) = HwPrNas::fit(
         &data,
         &model_cfg.with_seed(seed),
@@ -171,7 +174,9 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
-    let path = flags.get("model").ok_or("--model <file.json> is required")?;
+    let path = flags
+        .get("model")
+        .ok_or("--model <file.json> is required")?;
     let model = HwPrNas::load(path).map_err(|e| e.to_string())?;
     let platform = match flags.get("platform") {
         Some(p) => parse_platform(p)?,
@@ -197,7 +202,10 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
         result.surrogate_calls,
         result.wall_time.as_secs_f64() * 1e3
     );
-    println!("final population ({} architectures):", result.population.len());
+    println!(
+        "final population ({} architectures):",
+        result.population.len()
+    );
     for arch in &result.population {
         println!("{}", arch.to_arch_string());
     }
@@ -205,8 +213,12 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
-    let path = flags.get("model").ok_or("--model <file.json> is required")?;
-    let arch_str = flags.get("arch").ok_or("--arch <arch-string> is required")?;
+    let path = flags
+        .get("model")
+        .ok_or("--model <file.json> is required")?;
+    let arch_str = flags
+        .get("arch")
+        .ok_or("--arch <arch-string> is required")?;
     let model = HwPrNas::load(path).map_err(|e| e.to_string())?;
     let platform = match flags.get("platform") {
         Some(p) => parse_platform(p)?,

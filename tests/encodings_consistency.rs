@@ -10,7 +10,9 @@ use rand_chacha::ChaCha8Rng;
 
 fn random_archs(space: SearchSpaceId, n: usize) -> Vec<Architecture> {
     let mut rng = ChaCha8Rng::seed_from_u64(99);
-    (0..n).map(|_| Architecture::random(space, &mut rng)).collect()
+    (0..n)
+        .map(|_| Architecture::random(space, &mut rng))
+        .collect()
 }
 
 #[test]

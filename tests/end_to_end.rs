@@ -28,11 +28,7 @@ fn small_moea() -> Moea {
     .expect("valid config")
 }
 
-fn population_hv(
-    pop: &[Architecture],
-    oracle: &MeasuredEvaluator,
-    reference: &[f64],
-) -> f64 {
+fn population_hv(pop: &[Architecture], oracle: &MeasuredEvaluator, reference: &[f64]) -> f64 {
     let objs: Vec<Vec<f64>> = pop.iter().map(|a| oracle.true_objectives(a)).collect();
     let front: Vec<Vec<f64>> = pareto_front(&objs)
         .unwrap()
@@ -90,7 +86,8 @@ fn surrogate_guided_search_beats_unguided_sampling() {
 fn pair_surrogates_drive_the_same_search_loop() {
     let b = bench(160, 7);
     let data = SurrogateDataset::from_simbench(&b, Dataset::Cifar100, Platform::Pixel3).unwrap();
-    let (pair, _) = SurrogatePair::brp_nas(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+    let (pair, _) =
+        SurrogatePair::brp_nas(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
     let mut eval = PairEvaluator::new(pair);
     let result = small_moea().run(&mut eval).unwrap();
     assert_eq!(result.population.len(), 16);

@@ -1,0 +1,288 @@
+//! Offline subset of `criterion` (see `vendor/README.md`).
+//!
+//! Implements the group/bencher API surface the workspace's benches use,
+//! measuring wall-clock time: each benchmark is calibrated so a sample
+//! runs for at least ~2 ms, then `sample_size` samples are recorded and
+//! mean/median ns-per-iteration are reported on stdout. When the
+//! `HWPR_BENCH_JSON` environment variable names a file, all results from
+//! the process are additionally written there as a JSON array — the
+//! mechanism behind the repository's `BENCH_pr1.json` perf snapshots.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+struct Entry {
+    name: String,
+    mean_ns: f64,
+    median_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+static RESULTS: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name by `bench_function`.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled by `iter`: (ns per iteration samples, iterations per sample).
+    measurements: Option<(Vec<f64>, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, batching calls so one sample spans >= ~2 ms.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut iters: u64 = 1;
+        // Calibration doubles the batch until it is long enough to time
+        // reliably; it also serves as warm-up.
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 22 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.measurements = Some((samples, iters));
+    }
+}
+
+fn record(name: String, bencher: Bencher) {
+    let Some((mut samples, iters)) = bencher.measurements else {
+        eprintln!("warning: benchmark `{name}` never called Bencher::iter");
+        return;
+    };
+    samples.sort_by(f64::total_cmp);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median = samples[samples.len() / 2];
+    println!(
+        "bench {name:<50} {mean:>14.1} ns/iter (median {median:.1}, {} samples x {iters} iters)",
+        samples.len()
+    );
+    RESULTS.lock().unwrap().push(Entry {
+        name,
+        mean_ns: mean,
+        median_ns: median,
+        samples: samples.len(),
+        iters_per_sample: iters,
+    });
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurements: None,
+        };
+        f(&mut bencher);
+        record(format!("{}/{}", self.name, id.into_id()), bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurements: None,
+        };
+        f(&mut bencher, input);
+        record(format!("{}/{}", self.name, id.id), bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 30,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: 30,
+            measurements: None,
+        };
+        f(&mut bencher);
+        record(id.into_id(), bencher);
+        self
+    }
+}
+
+/// Writes the JSON snapshot if `HWPR_BENCH_JSON` is set. Called by
+/// `criterion_main!` after all groups have run.
+///
+/// If the file already holds a JSON array (a previous bench binary's
+/// results in the same run), the new entries are appended to it, so a
+/// multi-binary `cargo bench` accumulates one combined snapshot.
+pub fn finalize() {
+    let Ok(path) = std::env::var("HWPR_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    // splice into an existing array by dropping its closing bracket
+    let mut out = match std::fs::read_to_string(&path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end().trim_end_matches(']').trim_end();
+            let mut head = trimmed.to_string();
+            if !head.ends_with('[') {
+                head.push(',');
+            }
+            head.push('\n');
+            head
+        }
+        Err(_) => String::from("[\n"),
+    };
+    for (i, entry) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}",
+            entry.name.replace('"', "\\\""),
+            entry.mean_ns,
+            entry.median_ns,
+            entry.samples,
+            entry.iters_per_sample,
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {err}");
+    } else {
+        println!("bench results written to {path}");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_records_results() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim_test");
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 200), &200u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|e| e.name == "shim_test/sum"));
+        assert!(results.iter().any(|e| e.name == "shim_test/sum_n/200"));
+        for entry in results.iter() {
+            assert!(entry.mean_ns > 0.0);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline subset of `crossbeam` (see `vendor/README.md`): `scope` /
+//! `Scope::spawn` / `ScopedJoinHandle::join`, implemented over
+//! `std::thread::scope`. Matches the crossbeam calling convention —
+//! `scope(|s| ...)` returns `thread::Result<R>`, spawn closures take the
+//! scope handle argument, and `join` returns `thread::Result<T>` per thread.
+
+pub mod thread {
+    use std::thread as std_thread;
+
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Transparent wrapper over `std::thread::Scope` so spawn closures can
+    /// receive a `&Scope` argument (crossbeam's signature) that lives as
+    /// long as the underlying std scope — through all implicit joins.
+    #[repr(transparent)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: std_thread::Scope<'scope, 'env>,
+    }
+
+    fn wrap<'a, 'scope, 'env>(s: &'a std_thread::Scope<'scope, 'env>) -> &'a Scope<'scope, 'env> {
+        // Sound: Scope is repr(transparent) over std's Scope.
+        unsafe { &*(s as *const std_thread::Scope<'scope, 'env> as *const Scope<'scope, 'env>) }
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&'scope Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let this: &'scope Scope<'scope, 'env> = self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(this)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads spawned on it are joined
+    /// before `scope` returns. A panic in a spawned thread surfaces as
+    /// `Err(payload)` here (after all threads have been joined by std),
+    /// rather than unwinding through the caller.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(wrap(s)))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panic_in_worker_is_captured() {
+        let result = crate::scope(|s| {
+            s.spawn(|_| panic!("worker boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn borrows_from_enclosing_stack() {
+        let mut out = vec![0u32; 8];
+        crate::scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let result = crate::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+}

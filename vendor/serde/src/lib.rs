@@ -1,0 +1,332 @@
+//! Offline subset of `serde` (see `vendor/README.md`).
+//!
+//! Instead of the upstream `Serializer`/`Deserializer` generics, this shim
+//! round-trips every type through a JSON-shaped [`Value`] tree:
+//! [`Serialize`] renders to a `Value`, [`Deserialize`] rebuilds from one,
+//! and `serde_json` handles only text <-> `Value`. The derive macro (behind
+//! the `derive` feature, matching upstream) supports non-generic structs
+//! with named fields and enums with unit, tuple, and struct variants —
+//! exactly the shapes used in this workspace.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped data model. Integers keep 64-bit precision (a `u64` seed
+/// must not round-trip through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered; duplicate keys are rejected by the JSON parser.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Name of the JSON type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error (shared with `serde_json`).
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a required object field; used by derived `Deserialize` impls.
+pub fn get_field<'a>(
+    pairs: &'a [(String, Value)],
+    key: &str,
+    type_name: &str,
+) -> Result<&'a Value, Error> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}` for {type_name}")))
+}
+
+fn type_error(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_error("bool", other)),
+        }
+    }
+}
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let wide = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    other => return Err(type_error("unsigned integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let wide = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error::custom(format!("integer {u} out of range for {}", stringify!($t))))?,
+                    other => return Err(type_error("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(type_error("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(type_error("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+// ---- container impls -------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(type_error("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let items = value.as_array().ok_or_else(|| type_error("array", value))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let decoded: Vec<T> = items
+            .iter()
+            .map(T::deserialize_value)
+            .collect::<Result<_, _>>()?;
+        decoded
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_keeps_full_precision() {
+        let big = u64::MAX - 3;
+        let v = big.serialize_value();
+        assert_eq!(u64::deserialize_value(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<f32> = None;
+        assert_eq!(none.serialize_value(), Value::Null);
+        assert_eq!(
+            Option::<f32>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn array_length_is_checked() {
+        let v = Value::Array(vec![Value::UInt(1), Value::UInt(2)]);
+        assert!(<[u32; 3]>::deserialize_value(&v).is_err());
+        assert_eq!(<[u32; 2]>::deserialize_value(&v).unwrap(), [1, 2]);
+    }
+
+    #[test]
+    fn missing_field_reports_key() {
+        let pairs = vec![("a".to_string(), Value::UInt(1))];
+        let err = get_field(&pairs, "b", "Demo").unwrap_err();
+        assert!(err.to_string().contains("`b`"));
+    }
+}

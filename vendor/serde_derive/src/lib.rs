@@ -1,0 +1,437 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the serde shim (see
+//! `vendor/README.md`). The macros hand-parse the item's token stream —
+//! no `syn`/`quote` — which is enough because only field and variant
+//! *names* matter: the generated impls defer all typing to trait
+//! resolution against the `serde` shim's `Value` data model.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - non-generic structs with named fields
+//! - non-generic enums with unit, tuple, and struct variants
+//!
+//! The encoding matches serde's external tagging: structs and struct
+//! variants become objects, unit variants become strings, tuple variants
+//! become `{"Variant": value}` (single field) or `{"Variant": [..]}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---- item model ------------------------------------------------------------
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---- token-stream parsing --------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips any number of `#[...]` attributes and a `pub`/`pub(...)`
+    /// visibility prefix.
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            self.pos += 1;
+                        }
+                        _ => panic!("expected [...] after # in attribute"),
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            self.pos += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes tokens up to (and including) the next comma at angle-bracket
+    /// depth zero. Groups hide their commas, so only `<`/`>` need tracking.
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle_depth: i32 = 0;
+        while let Some(token) = self.next() {
+            if let TokenTree::Punct(p) = &token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attrs_and_vis();
+    let keyword = cursor.expect_ident("`struct` or `enum`");
+    let name = cursor.expect_ident("item name");
+    if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+    let body = match cursor.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde shim derive requires a braced {keyword} body for `{name}`, found {other:?}"
+        ),
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut cursor = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        cursor.skip_attrs_and_vis();
+        if cursor.at_end() {
+            break;
+        }
+        let field = cursor.expect_ident("field name");
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        cursor.skip_until_top_level_comma();
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        cursor.skip_attrs_and_vis();
+        if cursor.at_end() {
+            break;
+        }
+        let name = cursor.expect_ident("variant name");
+        let shape = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cursor.pos += 1;
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                cursor.pos += 1;
+                VariantShape::Tuple(count)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            cursor.skip_until_top_level_comma();
+        } else if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            cursor.pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut cursor = Cursor::new(body);
+    if cursor.at_end() {
+        return 0;
+    }
+    let mut count = 1;
+    while !cursor.at_end() {
+        let before = cursor.pos;
+        cursor.skip_until_top_level_comma();
+        if cursor.pos == before {
+            break;
+        }
+        if !cursor.at_end() {
+            count += 1;
+        }
+    }
+    count
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn push_object_fields(out: &mut String, fields: &[String], access_prefix: &str) {
+    out.push_str("{ let mut fields = ::std::vec::Vec::new();");
+    for field in fields {
+        let _ = write!(
+            out,
+            " fields.push((::std::string::String::from(\"{field}\"), \
+             ::serde::Serialize::serialize_value({access_prefix}{field})));"
+        );
+    }
+    out.push_str(" ::serde::Value::Object(fields) }");
+}
+
+fn tuple_bindings(count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("f{i}")).collect()
+}
+
+fn render_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let _ = write!(
+                out,
+                "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+                 fn serialize_value(&self) -> ::serde::Value "
+            );
+            push_object_fields(&mut out, fields, "&self.");
+            out.push_str(" }");
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+                 fn serialize_value(&self) -> ::serde::Value {{ match self {{"
+            );
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => {
+                        let _ = write!(
+                            out,
+                            " {name}::{vname} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    VariantShape::Tuple(count) => {
+                        let binds = tuple_bindings(*count).join(", ");
+                        let inner = if *count == 1 {
+                            "::serde::Serialize::serialize_value(f0)".to_string()
+                        } else {
+                            let parts: Vec<String> = tuple_bindings(*count)
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", parts.join(", "))
+                        };
+                        let _ = write!(
+                            out,
+                            " {name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), {inner})]),"
+                        );
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let _ = write!(out, " {name}::{vname} {{ {binds} }} => {{ let inner = ");
+                        push_object_fields(&mut out, fields, "");
+                        let _ = write!(
+                            out,
+                            "; ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), inner)]) }},"
+                        );
+                    }
+                }
+            }
+            out.push_str(" } } }");
+        }
+    }
+    out
+}
+
+fn render_struct_constructor(out: &mut String, path: &str, fields: &[String], obj_expr: &str) {
+    let _ = write!(
+        out,
+        "{{ let obj = {obj_expr}.as_object().ok_or_else(|| \
+         ::serde::Error::custom(\"expected object for {path}\"))?; \
+         ::std::result::Result::Ok({path} {{"
+    );
+    for field in fields {
+        let _ = write!(
+            out,
+            " {field}: ::serde::Deserialize::deserialize_value(\
+             ::serde::get_field(obj, \"{field}\", \"{path}\")?)?,"
+        );
+    }
+    out.push_str(" }) }");
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let _ = write!(
+                out,
+                "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+                 fn deserialize_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> "
+            );
+            render_struct_constructor(&mut out, name, fields, "value");
+            out.push_str(" }");
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+                 fn deserialize_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ match value {{"
+            );
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .collect();
+            let payload: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .collect();
+            if !unit.is_empty() {
+                out.push_str(" ::serde::Value::String(tag) => match tag.as_str() {");
+                for variant in &unit {
+                    let vname = &variant.name;
+                    let _ = write!(
+                        out,
+                        " \"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    );
+                }
+                let _ = write!(
+                    out,
+                    " other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))), }},"
+                );
+            }
+            if !payload.is_empty() {
+                out.push_str(
+                    " ::serde::Value::Object(pairs) if pairs.len() == 1 => {\
+                     let tag = pairs[0].0.as_str(); let inner = &pairs[0].1; match tag {",
+                );
+                for variant in &payload {
+                    let vname = &variant.name;
+                    match &variant.shape {
+                        VariantShape::Unit => unreachable!(),
+                        VariantShape::Tuple(count) if *count == 1 => {
+                            let _ = write!(
+                                out,
+                                " \"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::deserialize_value(inner)?)),"
+                            );
+                        }
+                        VariantShape::Tuple(count) => {
+                            let parts: Vec<String> = (0..*count)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                                })
+                                .collect();
+                            let _ = write!(
+                                out,
+                                " \"{vname}\" => {{ let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vname}\"))?; \
+                                 if items.len() != {count} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"wrong tuple arity for {name}::{vname}\")); }} \
+                                 ::std::result::Result::Ok({name}::{vname}({parts})) }},",
+                                parts = parts.join(", ")
+                            );
+                        }
+                        VariantShape::Struct(fields) => {
+                            let _ = write!(out, " \"{vname}\" => ");
+                            render_struct_constructor(
+                                &mut out,
+                                &format!("{name}::{vname}"),
+                                fields,
+                                "inner",
+                            );
+                            out.push(',');
+                        }
+                    }
+                }
+                let _ = write!(
+                    out,
+                    " other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))), }} }},"
+                );
+            }
+            let _ = write!(
+                out,
+                " other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unexpected {{}} for enum {name}\", other.kind()))), }} }} }}"
+            );
+        }
+    }
+    out
+}
