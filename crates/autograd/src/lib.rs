@@ -32,11 +32,12 @@
 
 #![warn(missing_docs)]
 mod error;
+mod fused;
 mod ops;
 mod tape;
 
 pub use error::AutogradError;
-pub use tape::{Tape, Var};
+pub use tape::{Act, Tape, Var};
 
 /// Convenience alias for fallible autograd operations.
 pub type Result<T> = std::result::Result<T, AutogradError>;

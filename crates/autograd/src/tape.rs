@@ -1,8 +1,13 @@
 //! The gradient tape: node arena, handles and the backward pass.
+//!
+//! The tape doubles as an arena: [`Tape::reset`] recycles every value and
+//! gradient matrix (and the heap payloads of ops that carry them) into an
+//! internal [`BufferPool`], so a fixed-shape training loop that resets the
+//! tape between steps performs zero heap allocations in steady state.
 
 use crate::error::AutogradError;
 use crate::Result;
-use hwpr_tensor::Matrix;
+use hwpr_tensor::{BufferPool, Matrix, PackedWeight};
 
 /// Handle to a node on a [`Tape`].
 ///
@@ -10,6 +15,49 @@ use hwpr_tensor::Matrix;
 /// the tape that created it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(pub(crate) usize);
+
+/// Activation applied by the fused linear kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Act {
+    /// No activation (plain affine output).
+    Identity,
+    /// `max(x, 0)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Act {
+    /// Applies the activation to a pre-activation value.
+    #[inline]
+    pub(crate) fn apply(self, x: f32) -> f32 {
+        match self {
+            Act::Identity => x,
+            Act::Relu => x.max(0.0),
+            Act::Tanh => x.tanh(),
+            Act::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative expressed through the activation *output* `y`.
+    #[inline]
+    pub(crate) fn dapply(self, y: f32) -> f32 {
+        match self {
+            Act::Identity => 1.0,
+            Act::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Act::Tanh => 1.0 - y * y,
+            Act::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
 
 /// Operation recorded on the tape; parents are stored as [`Var`] handles.
 #[derive(Debug, Clone)]
@@ -42,6 +90,8 @@ pub(crate) enum Op {
     Sqrt(Var, #[allow(dead_code)] f32),
     /// Horizontal concatenation of the parents.
     ConcatCols(Vec<Var>),
+    /// Vertical concatenation of the parents.
+    ConcatRows(Vec<Var>),
     /// Columns `start..end` of the parent.
     SliceCols(Var, usize, usize),
     /// Rows gathered by index (embedding lookup); duplicates allowed.
@@ -55,14 +105,41 @@ pub(crate) enum Op {
     MeanAll(Var),
     /// Sum over all elements, producing `1 x 1`.
     SumAll(Var),
-    /// Mean squared error against a constant target, producing `1 x 1`.
+    /// Fused `act(x @ w [+ bias])`: one GEMM plus one pointwise pass.
+    LinearAct {
+        /// Input activations `[batch, in]`.
+        x: Var,
+        /// Weight `[in, out]`.
+        w: Var,
+        /// Optional bias `[1, out]`.
+        bias: Option<Var>,
+        /// Pointwise activation applied to the affine output.
+        act: Act,
+    },
+    /// Fused LSTM step: value is `[batch, 2*hidden]` holding `[h | c]`.
+    /// Stores the packed input `[x | h_prev]` and post-activation gates
+    /// needed by the backward pass.
+    LstmStep {
+        /// Step input `[batch, in]`.
+        x: Var,
+        /// Previous `[h | c]` state `[batch, 2*hidden]`.
+        hc: Var,
+        /// Concatenated `[W_ih; W_hh]` weight `[in+hidden, 4*hidden]`.
+        w: Var,
+        /// Gate bias `[1, 4*hidden]`.
+        bias: Var,
+        /// Packed `[x | h_prev]` input saved from the forward pass.
+        xh: Matrix,
+        /// Post-activation gates `[i f g o]`, `[batch, 4*hidden]`.
+        gates: Matrix,
+    },
+    /// Mean squared error (fused): payload is `dL/dpred` computed forward.
     MseLoss(Var, Matrix),
-    /// ListMLE listwise ranking loss over an `n x 1` score column given a
-    /// best-first permutation of row indices. Produces `1 x 1`.
-    ListMle(Var, Vec<usize>),
-    /// Pairwise hinge ranking loss: for each `(hi, lo)` pair the score of
-    /// `hi` should exceed the score of `lo` by at least the margin.
-    PairwiseHinge(Var, Vec<(usize, usize)>, f32),
+    /// ListMLE ranking loss (fused): payload is `dL/dscores` computed
+    /// forward in the same stabilised pass as the value.
+    ListMle(Var, Matrix),
+    /// Pairwise hinge ranking loss (fused): payload is `dL/dscores`.
+    PairwiseHinge(Var, Matrix),
 }
 
 #[derive(Debug)]
@@ -75,9 +152,63 @@ pub(crate) struct Node {
 /// Records a computation graph and runs reverse-mode differentiation.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
+///
+/// # Arena reuse
+///
+/// A tape can be reused across training steps: [`Tape::reset`] clears the
+/// recorded graph while keeping every buffer (node storage, matrix values,
+/// gradients, index lists) pooled for the next pass. Steady-state steps of
+/// a fixed-shape model therefore allocate nothing.
 #[derive(Debug, Default)]
 pub struct Tape {
     pub(crate) nodes: Vec<Node>,
+    pub(crate) pool: BufferPool,
+    idx_pool: Vec<Vec<usize>>,
+    var_pool: Vec<Vec<Var>>,
+    mat_vec_pool: Vec<Vec<Matrix>>,
+    pub(crate) mark_scratch: Vec<bool>,
+    pub(crate) packs: PackCache,
+}
+
+/// Per-pass cache of GEMM-packed weight panels, keyed by weight node and
+/// orientation. An LSTM weight feeds one GEMM per sequence step, forward
+/// and backward; packing it once per pass and reusing the panels removes
+/// the driver's per-call pack stage for every step after the first.
+/// Entries are invalidated wholesale by [`Tape::reset`] (node values never
+/// change within a pass, so entries cannot go stale earlier); the packed
+/// buffers are recycled through `spare`, keeping repacking allocation-free
+/// in steady state.
+#[derive(Debug, Default)]
+pub(crate) struct PackCache {
+    entries: Vec<(usize, bool, PackedWeight)>,
+    spare: Vec<PackedWeight>,
+}
+
+impl PackCache {
+    /// Removes and returns the pack for `(var, transposed)` if cached;
+    /// callers put it back after the GEMM.
+    pub(crate) fn take(&mut self, var: usize, transposed: bool) -> Option<PackedWeight> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|&(v, t, _)| v == var && t == transposed)?;
+        Some(self.entries.swap_remove(pos).2)
+    }
+
+    /// A recycled (or fresh) pack buffer to fill on a cache miss.
+    pub(crate) fn spare(&mut self) -> PackedWeight {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn put(&mut self, var: usize, transposed: bool, pack: PackedWeight) {
+        self.entries.push((var, transposed, pack));
+    }
+
+    fn clear(&mut self) {
+        for (_, _, pack) in self.entries.drain(..) {
+            self.spare.push(pack);
+        }
+    }
 }
 
 impl Tape {
@@ -90,6 +221,7 @@ impl Tape {
     pub fn with_capacity(n: usize) -> Self {
         Self {
             nodes: Vec::with_capacity(n),
+            ..Self::default()
         }
     }
 
@@ -103,6 +235,95 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Clears the recorded graph while keeping all storage for reuse.
+    ///
+    /// Every node's value and gradient matrix — and the matrix/index
+    /// payloads carried by ops — are recycled into the tape's buffer pool,
+    /// so the next pass over the same shapes runs without heap traffic.
+    pub fn reset(&mut self) {
+        self.packs.clear();
+        while let Some(node) = self.nodes.pop() {
+            let Node { value, grad, op } = node;
+            self.pool.put(value);
+            if let Some(g) = grad {
+                self.pool.put(g);
+            }
+            match op {
+                Op::ConcatCols(vars) | Op::ConcatRows(vars) => self.put_vars(vars),
+                Op::GatherRows(_, idx) => self.put_idx(idx),
+                Op::BlockGraphMatmul(_, adjacency, _) => {
+                    let mut adjacency = adjacency;
+                    for m in adjacency.drain(..) {
+                        self.pool.put(m);
+                    }
+                    self.mat_vec_pool.push(adjacency);
+                }
+                Op::Dropout(_, mask) => self.pool.put(mask),
+                Op::LstmStep { xh, gates, .. } => {
+                    self.pool.put(xh);
+                    self.pool.put(gates);
+                }
+                Op::MseLoss(_, g) | Op::ListMle(_, g) | Op::PairwiseHinge(_, g) => {
+                    self.pool.put(g);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Takes a zero-filled pooled matrix; pair with [`Tape::recycle`] (or
+    /// hand it to an op builder, which recycles it on [`Tape::reset`]).
+    pub fn alloc(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.pool.take(rows, cols)
+    }
+
+    /// Takes a pooled copy of `src`.
+    pub fn alloc_copy(&mut self, src: &Matrix) -> Matrix {
+        self.pool.take_copy(src)
+    }
+
+    /// Returns a matrix's storage to the tape's pool.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.pool.put(m);
+    }
+
+    /// Takes a cleared pooled `Vec<Var>` scratch buffer (for callers that
+    /// stage per-step handles, e.g. recurrent layers).
+    pub fn scratch_vars(&mut self) -> Vec<Var> {
+        self.var_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a `Vec<Var>` scratch buffer to the pool.
+    pub fn recycle_vars(&mut self, mut vars: Vec<Var>) {
+        vars.clear();
+        self.var_pool.push(vars);
+    }
+
+    pub(crate) fn take_idx(&mut self) -> Vec<usize> {
+        self.idx_pool.pop().unwrap_or_default()
+    }
+
+    fn put_idx(&mut self, mut idx: Vec<usize>) {
+        idx.clear();
+        self.idx_pool.push(idx);
+    }
+
+    pub(crate) fn take_vars(&mut self) -> Vec<Var> {
+        self.var_pool.pop().unwrap_or_default()
+    }
+
+    fn put_vars(&mut self, mut vars: Vec<Var>) {
+        vars.clear();
+        self.var_pool.push(vars);
+    }
+
+    /// Takes a cleared pooled `Vec<Matrix>` scratch buffer (for callers
+    /// that stage per-sample constants, e.g. GCN adjacency stacks; hand the
+    /// vector to [`Tape::block_graph_matmul`] and `reset` recycles it).
+    pub fn scratch_mats(&mut self) -> Vec<Matrix> {
+        self.mat_vec_pool.pop().unwrap_or_default()
+    }
+
     /// Inserts an input node holding `value` and returns its handle.
     ///
     /// Leaves are where gradients are read back after [`Tape::backward`];
@@ -110,6 +331,15 @@ impl Tape {
     /// of constants are simply ignored by the caller).
     pub fn leaf(&mut self, value: Matrix) -> Var {
         self.push(value, Op::Leaf)
+    }
+
+    /// Inserts an input node holding a pooled copy of `value`.
+    ///
+    /// The allocation-free form of [`Tape::leaf`]: the copy's storage comes
+    /// from (and returns to) the tape's buffer pool.
+    pub fn leaf_copy(&mut self, value: &Matrix) -> Var {
+        let copy = self.pool.take_copy(value);
+        self.push(copy, Op::Leaf)
     }
 
     /// The value held by `v`.
@@ -151,7 +381,11 @@ impl Tape {
         if shape != (1, 1) {
             return Err(AutogradError::NonScalarLoss { shape });
         }
-        self.nodes[loss.0].grad = Some(Matrix::ones(1, 1));
+        // The unit seed comes from the pool (it is recycled by `reset`), so
+        // repeated backward passes never allocate it fresh.
+        let mut seed = self.pool.take(1, 1);
+        seed.as_mut_slice()[0] = 1.0;
+        self.nodes[loss.0].grad = Some(seed);
         for i in (0..=loss.0).rev() {
             if self.nodes[i].grad.is_none() {
                 continue;
@@ -161,10 +395,40 @@ impl Tape {
         Ok(())
     }
 
-    pub(crate) fn accumulate(&mut self, v: Var, delta: &Matrix) {
+    /// Adds an owned delta into `v`'s gradient slot: the first contribution
+    /// is moved in (no copy), later ones are added and the delta's storage
+    /// recycled.
+    pub(crate) fn accumulate(&mut self, v: Var, delta: Matrix) {
         match &mut self.nodes[v.0].grad {
-            Some(g) => g.add_assign(delta),
-            slot @ None => *slot = Some(delta.clone()),
+            Some(g) => {
+                g.add_assign(&delta);
+                self.pool.put(delta);
+            }
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Makes sure `v` has a gradient buffer (zeroed, pooled, shaped like
+    /// its value), so fused backward rules can accumulate GEMM results
+    /// straight into the slot via the driver's native `C += A @ B`
+    /// semantics instead of filling a per-contribution temporary.
+    /// Callers `take()` the buffer out of the slot around the GEMM to
+    /// satisfy the borrow checker and put it back — a pointer move.
+    pub(crate) fn ensure_grad(&mut self, v: Var) {
+        if self.nodes[v.0].grad.is_none() {
+            let (r, c) = self.nodes[v.0].value.shape();
+            let buf = self.pool.take(r, c);
+            self.nodes[v.0].grad = Some(buf);
+        }
+    }
+
+    /// Accumulates a borrowed delta by taking a pooled copy first.
+    pub(crate) fn accumulate_copy(&mut self, v: Var, delta: &Matrix) {
+        if let Some(g) = &mut self.nodes[v.0].grad {
+            g.add_assign(delta);
+        } else {
+            let copy = self.pool.take_copy(delta);
+            self.nodes[v.0].grad = Some(copy);
         }
     }
 }
@@ -204,5 +468,60 @@ mod tests {
     fn with_capacity_starts_empty() {
         let t = Tape::with_capacity(64);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_graph_and_pools_buffers() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::filled(2, 2, 1.0));
+        let b = t.leaf(Matrix::filled(2, 2, 2.0));
+        let y = t.add(a, b).unwrap();
+        let loss = t.mean_all(y);
+        t.backward(loss).unwrap();
+        t.reset();
+        assert!(t.is_empty());
+        // a fresh pass over the same shapes reuses the pooled storage
+        let a = t.leaf_copy(&Matrix::filled(2, 2, 3.0));
+        let loss = t.mean_all(a);
+        t.backward(loss).unwrap();
+        assert_eq!(t.grad(a).unwrap(), &Matrix::filled(2, 2, 0.25));
+    }
+
+    #[test]
+    fn leaf_copy_matches_leaf() {
+        let mut t = Tape::new();
+        let m = Matrix::from_rows(&[&[1.5, -2.0]]);
+        let v = t.leaf_copy(&m);
+        assert_eq!(t.value(v), &m);
+    }
+
+    #[test]
+    fn reset_then_repeat_pass_is_deterministic() {
+        let run = |t: &mut Tape| -> (f32, Matrix) {
+            let x = t.leaf_copy(&Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.25]]));
+            let w = t.leaf_copy(&Matrix::from_rows(&[&[1.0, 0.5], &[-0.5, 1.5]]));
+            let y = t.matmul(x, w).unwrap();
+            let z = t.tanh(y);
+            let loss = t.mean_all(z);
+            t.backward(loss).unwrap();
+            (t.value(loss)[(0, 0)], t.grad(w).unwrap().clone())
+        };
+        let mut t = Tape::new();
+        let (l1, g1) = run(&mut t);
+        t.reset();
+        let (l2, g2) = run(&mut t);
+        assert_eq!(l1, l2);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn scratch_vars_round_trip() {
+        let mut t = Tape::new();
+        let mut v = t.scratch_vars();
+        v.push(Var(0));
+        t.recycle_vars(v);
+        let v2 = t.scratch_vars();
+        assert!(v2.is_empty());
+        assert!(v2.capacity() >= 1);
     }
 }

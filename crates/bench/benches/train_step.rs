@@ -1,0 +1,37 @@
+//! Full training-step throughput on the paper-sized LSTM latency
+//! surrogate (Table II: batch 128, 2x225 LSTM, [256, 128] head). Two
+//! implementations of the same step:
+//!
+//! - `baseline_pr1` — the PR-1 shape: a fresh tape every step, per-gate
+//!   LSTM graph, per-op linear layers, cloned gradients.
+//! - `fused_reused` — the PR-2 hot path: fused LSTM-step/linear/loss
+//!   kernels on a persistent, `reset`-recycled tape arena.
+//!
+//! The PR-2 acceptance point: `fused_reused` must be >= 2x the baseline's
+//! per-step throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwpr_bench::train_step::{step_data, BaselineTrainer, FusedTrainer, StepConfig};
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    let config = StepConfig::paper();
+    let data = step_data(&config);
+    let mut fused = FusedTrainer::new(&config);
+    // warm the arena (pools, optimizer state) so the bench measures the
+    // steady state the training loop actually runs in
+    for _ in 0..2 {
+        fused.step(&data);
+    }
+    group.bench_function("fused_reused", |b| b.iter(|| fused.step(&data)));
+    let mut baseline = BaselineTrainer::new(&config);
+    for _ in 0..2 {
+        baseline.step(&data);
+    }
+    group.bench_function("baseline_pr1", |b| b.iter(|| baseline.step(&data)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

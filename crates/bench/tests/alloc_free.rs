@@ -1,0 +1,39 @@
+//! Proves the tentpole property of the training hot path: once the tape
+//! arena, buffer pools, gradient store and optimizer state are warm, a
+//! training step performs zero heap allocations.
+//!
+//! Gated behind the `alloc-count` feature because it installs a global
+//! allocator; run with `cargo test -p hwpr-bench --features alloc-count`.
+
+#![cfg(feature = "alloc-count")]
+
+use hwpr_bench::alloc_count::{allocations, CountingAllocator};
+use hwpr_bench::train_step::{step_data, FusedTrainer, StepConfig};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_train_step_is_allocation_free() {
+    let config = StepConfig::tiny();
+    let data = step_data(&config);
+    let mut trainer = FusedTrainer::new(&config);
+    // warm-up: grows the node arena, buffer pools, gradient buffers and
+    // AdamW moments to their steady-state footprint
+    for _ in 0..5 {
+        trainer.step(&data);
+    }
+    let before = allocations();
+    let mut loss = 0.0;
+    for _ in 0..3 {
+        loss += trainer.step(&data);
+    }
+    let after = allocations();
+    assert!(loss.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state training steps performed {} heap allocations",
+        after - before
+    );
+}

@@ -7,6 +7,7 @@ use hwpr_nasbench::graph::{self, ArchGraph};
 use hwpr_nasbench::{tokens, Architecture, Dataset, SearchSpaceId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One labelled architecture: the supervision HW-PR-NAS trains on.
 #[derive(Debug, Clone, PartialEq)]
@@ -176,7 +177,7 @@ pub struct EncodingCache {
     dataset: Dataset,
     nodes: usize,
     seq_len: usize,
-    entries: Mutex<HashMap<(SearchSpaceId, u128), CachedEncoding>>,
+    entries: Mutex<HashMap<(SearchSpaceId, u128), Arc<CachedEncoding>>>,
 }
 
 impl EncodingCache {
@@ -221,17 +222,21 @@ impl EncodingCache {
     }
 
     /// The encoding of `arch`, computed on first use.
-    pub fn encoding(&self, arch: &Architecture) -> CachedEncoding {
+    ///
+    /// Returned behind an [`Arc`] so repeat lookups (every training batch,
+    /// every MOEA generation) share one materialised encoding instead of
+    /// deep-cloning matrices and token buffers.
+    pub fn encoding(&self, arch: &Architecture) -> Arc<CachedEncoding> {
         let key = (arch.space(), arch.index());
         if let Some(hit) = self.entries.lock().get(&key) {
-            return hit.clone();
+            return Arc::clone(hit);
         }
-        let enc = CachedEncoding {
+        let enc = Arc::new(CachedEncoding {
             graph: graph::encode_padded(arch, self.nodes),
             tokens: tokens::padded_tokens(arch, self.seq_len),
             af: ArchFeatures::extract(arch, self.dataset).to_vec(),
-        };
-        self.entries.lock().insert(key, enc.clone());
+        });
+        self.entries.lock().insert(key, Arc::clone(&enc));
         enc
     }
 

@@ -160,7 +160,10 @@ impl EncoderSet {
                     "AF encoder needs training architectures to fit its normaliser".into(),
                 ));
             }
-            let rows: Vec<Vec<f32>> = train_archs.iter().map(|a| cache.encoding(a).af).collect();
+            let rows: Vec<Vec<f32>> = train_archs
+                .iter()
+                .map(|a| cache.encoding(a).af.clone())
+                .collect();
             output_dim += ARCH_FEATURE_DIM;
             Some(FeatureNormalizer::fit(&rows))
         } else {
@@ -219,10 +222,9 @@ impl EncoderSet {
             let stacked = Matrix::concat_rows(&feature_rows)
                 .map_err(hwpr_autograd::AutogradError::from)
                 .map_err(hwpr_nn::NnError::from)?;
-            let adjacency: Vec<Matrix> = encodings
-                .iter()
-                .map(|e| e.graph.adjacency.clone())
-                .collect();
+            // shared references into the cache: the layer copies them into
+            // pooled tape storage itself, so no deep clones here
+            let adjacency: Vec<&Matrix> = encodings.iter().map(|e| &e.graph.adjacency).collect();
             let mut h = binder.input(stacked);
             for layer in &self.gcn {
                 h = layer.forward(binder, h, &adjacency, nodes)?;
@@ -241,12 +243,16 @@ impl EncoderSet {
         }
         if let (Some(embedding), Some(lstm)) = (&self.embedding, &self.lstm) {
             let seq_len = cache.seq_len();
-            let mut steps = Vec::with_capacity(seq_len);
+            // pooled step list + one id staging buffer reused per timestep
+            let mut steps = binder.tape().scratch_vars();
+            let mut ids: Vec<usize> = Vec::with_capacity(batch);
             for t in 0..seq_len {
-                let ids: Vec<usize> = encodings.iter().map(|e| e.tokens[t]).collect();
+                ids.clear();
+                ids.extend(encodings.iter().map(|e| e.tokens[t]));
                 steps.push(embedding.forward(binder, &ids)?);
             }
             parts.push(lstm.forward(binder, &steps)?);
+            binder.tape().recycle_vars(steps);
         }
         if let Some(norm) = &self.af_normalizer {
             let mut data = Vec::with_capacity(batch * ARCH_FEATURE_DIM);

@@ -206,10 +206,14 @@ impl HwPrNas {
         let slot = self.platform_slot(platform)?;
         let mut rng = LayerRng::seed_from_u64(0);
         let mut out = Vec::with_capacity(archs.len());
+        // one tape for all chunks: reset() recycles buffers between passes
+        let mut tape = Tape::new();
+        let mut bound: Vec<Option<Var>> = Vec::new();
         for chunk in archs.chunks(INFER_BATCH) {
-            let mut tape = Tape::new();
-            let mut binder = Binder::new(&mut tape, &self.params);
+            tape.reset();
+            let mut binder = Binder::rebind(&mut tape, &self.params, bound, false);
             let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
+            bound = binder.into_bound();
             out.extend(
                 tape.value(outputs.score)
                     .as_slice()
@@ -236,10 +240,13 @@ impl HwPrNas {
         let mut rng = LayerRng::seed_from_u64(0);
         let mut scores = Vec::with_capacity(archs.len());
         let mut objectives = Vec::with_capacity(archs.len());
+        let mut tape = Tape::new();
+        let mut bound: Vec<Option<Var>> = Vec::new();
         for chunk in archs.chunks(INFER_BATCH) {
-            let mut tape = Tape::new();
-            let mut binder = Binder::new(&mut tape, &self.params);
+            tape.reset();
+            let mut binder = Binder::rebind(&mut tape, &self.params, bound, false);
             let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
+            bound = binder.into_bound();
             scores.extend(
                 tape.value(outputs.score)
                     .as_slice()
@@ -320,10 +327,13 @@ impl HwPrNas {
         let slot = self.platform_slot(platform)?;
         let mut rng = LayerRng::seed_from_u64(0);
         let mut out = Vec::with_capacity(archs.len());
+        let mut tape = Tape::new();
+        let mut bound: Vec<Option<Var>> = Vec::new();
         for chunk in archs.chunks(INFER_BATCH) {
-            let mut tape = Tape::new();
-            let mut binder = Binder::new(&mut tape, &self.params);
+            tape.reset();
+            let mut binder = Binder::rebind(&mut tape, &self.params, bound, false);
             let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
+            bound = binder.into_bound();
             let acc = tape.value(outputs.accuracy);
             let lat = tape.value(outputs.latency);
             for (&a, &l) in acc.as_slice().iter().zip(lat.as_slice()) {

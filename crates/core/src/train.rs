@@ -35,16 +35,18 @@ fn tie_variance_loss(
     tape_ref: &mut Tape,
     score: hwpr_autograd::Var,
     ranks: &[usize],
+    group: &mut Vec<usize>,
 ) -> Result<Option<hwpr_autograd::Var>> {
     let max_rank = ranks.iter().copied().max().unwrap_or(0);
     let mut terms: Option<hwpr_autograd::Var> = None;
     for rank in 0..=max_rank {
-        let group: Vec<usize> = (0..ranks.len()).filter(|&i| ranks[i] == rank).collect();
+        group.clear();
+        group.extend((0..ranks.len()).filter(|&i| ranks[i] == rank));
         if group.len() < 2 {
             continue;
         }
         let s = tape_ref
-            .gather_rows(score, &group)
+            .gather_rows(score, group)
             .map_err(hwpr_nn::NnError::from)?;
         let sq = tape_ref.mul(s, s).map_err(hwpr_nn::NnError::from)?;
         let mean_sq = tape_ref.mean_all(sq);
@@ -61,12 +63,23 @@ fn tie_variance_loss(
     Ok(terms)
 }
 
-/// Sorts batch-local indices best-rank-first, shuffling ties so the
-/// listwise loss sees a valid (and unbiased) permutation.
-fn rank_order(ranks: &[usize], rng: &mut LayerRng) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..ranks.len()).collect();
+/// Sorts batch-local indices best-rank-first into `order`, shuffling ties
+/// so the listwise loss sees a valid (and unbiased) permutation. Reuses
+/// the caller's buffer so steady-state batches allocate nothing.
+fn rank_order_into(ranks: &[usize], rng: &mut LayerRng, order: &mut Vec<usize>) {
+    order.clear();
+    order.extend(0..ranks.len());
     order.shuffle(rng);
-    order.sort_by_key(|&i| ranks[i]);
+    // ties arrive pre-shuffled, so the (in-place) unstable sort still
+    // yields a random within-rank order
+    order.sort_unstable_by_key(|&i| ranks[i]);
+}
+
+/// Allocating convenience wrapper around [`rank_order_into`].
+#[cfg(test)]
+fn rank_order(ranks: &[usize], rng: &mut LayerRng) -> Vec<usize> {
+    let mut order = Vec::new();
+    rank_order_into(ranks, rng, &mut order);
     order
 }
 
@@ -200,11 +213,16 @@ fn train_loop(
     let mut final_loss = f64::INFINITY;
     let mut epochs_run = 0;
     let mut best_tau = -1.0f64;
-    // mini-batch staging buffers, allocated once and reused every batch
+    // training arena: one tape plus staging buffers, allocated once and
+    // reused every batch — in steady state (fixed batch size) a step
+    // performs no heap allocation
+    let mut tape = Tape::new();
+    let mut bound: Vec<Option<hwpr_autograd::Var>> = Vec::new();
+    let mut grads: Vec<Option<Matrix>> = Vec::new();
     let mut batch_archs: Vec<Architecture> = Vec::with_capacity(config.batch_size);
     let mut batch_ranks: Vec<usize> = Vec::with_capacity(config.batch_size);
-    let mut acc_staging: Vec<f32> = Vec::with_capacity(config.batch_size);
-    let mut lat_staging: Vec<f32> = Vec::with_capacity(config.batch_size);
+    let mut order: Vec<usize> = Vec::with_capacity(config.batch_size);
+    let mut group: Vec<usize> = Vec::with_capacity(config.batch_size);
     for epoch in 0..config.epochs {
         optimizer.set_learning_rate(schedule.learning_rate_at(epoch));
         let batches = shuffled_batches(
@@ -221,19 +239,10 @@ fn train_loop(
             batch_archs.extend(batch.iter().map(|&i| samples[i].arch.clone()));
             batch_ranks.clear();
             batch_ranks.extend(batch.iter().map(|&i| global_ranks[i]));
-            let order = rank_order(&batch_ranks, &mut rng);
-            acc_staging.clear();
-            acc_staging.extend(batch.iter().map(|&i| (samples[i].accuracy / 100.0) as f32));
-            let acc_targets = Matrix::col_vector(&acc_staging);
-            lat_staging.clear();
-            lat_staging.extend(
-                batch
-                    .iter()
-                    .map(|&i| (samples[i].latency_ms / max_lat) as f32),
-            );
-            let lat_targets = Matrix::col_vector(&lat_staging);
-            let mut tape = Tape::new();
-            let mut binder = Binder::for_training(&mut tape, &model.params);
+            rank_order_into(&batch_ranks, &mut rng, &mut order);
+            tape.reset();
+            let mut binder =
+                Binder::rebind(&mut tape, &model.params, std::mem::take(&mut bound), true);
             let out = model.forward(&mut binder, &batch_archs, slot, &mut rng)?;
             let tape_ref = binder.tape();
             let rank_loss = tape_ref.list_mle(out.score, &order)?;
@@ -242,20 +251,32 @@ fn train_loop(
             let mut rank_loss =
                 tape_ref.scale(rank_loss, config.rank_loss_weight / batch.len() as f32);
             if config.tie_regularizer_weight > 0.0 {
-                if let Some(var) = tie_variance_loss(tape_ref, out.score, &batch_ranks)? {
+                if let Some(var) = tie_variance_loss(tape_ref, out.score, &batch_ranks, &mut group)?
+                {
                     let var = tape_ref.scale(var, config.tie_regularizer_weight);
                     rank_loss = tape_ref.add(rank_loss, var)?;
                 }
+            }
+            // regression targets live in pooled tape storage, recycled below
+            let mut acc_targets = tape_ref.alloc(batch.len(), 1);
+            for (dst, &i) in acc_targets.as_mut_slice().iter_mut().zip(batch) {
+                *dst = (samples[i].accuracy / 100.0) as f32;
+            }
+            let mut lat_targets = tape_ref.alloc(batch.len(), 1);
+            for (dst, &i) in lat_targets.as_mut_slice().iter_mut().zip(batch) {
+                *dst = (samples[i].latency_ms / max_lat) as f32;
             }
             let acc_mse = tape_ref.mse_loss(out.accuracy, &acc_targets)?;
             let acc_rmse = tape_ref.sqrt(acc_mse, 1e-9);
             let lat_mse = tape_ref.mse_loss(out.latency, &lat_targets)?;
             let lat_rmse = tape_ref.sqrt(lat_mse, 1e-9);
+            tape_ref.recycle(acc_targets);
+            tape_ref.recycle(lat_targets);
             let rmse_sum = tape_ref.add(acc_rmse, lat_rmse)?;
             let rmse_term = tape_ref.scale(rmse_sum, config.rmse_loss_weight);
             let loss = tape_ref.add(rank_loss, rmse_term)?;
             epoch_loss += tape_ref.value(loss)[(0, 0)] as f64;
-            let grads = binder.finish(loss)?;
+            bound = binder.finish_into(loss, &mut grads)?;
             optimizer.step(&mut model.params, &grads);
         }
         epochs_run = epoch + 1;
@@ -286,20 +307,23 @@ fn train_loop(
                 batch_archs.extend(batch.iter().map(|&i| samples[i].arch.clone()));
                 batch_ranks.clear();
                 batch_ranks.extend(batch.iter().map(|&i| global_ranks[i]));
-                let order = rank_order(&batch_ranks, &mut rng);
-                let mut tape = Tape::new();
-                let mut binder = Binder::for_training(&mut tape, &model.params);
+                rank_order_into(&batch_ranks, &mut rng, &mut order);
+                tape.reset();
+                let mut binder =
+                    Binder::rebind(&mut tape, &model.params, std::mem::take(&mut bound), true);
                 let out = model.forward(&mut binder, &batch_archs, slot, &mut rng)?;
                 let tape_ref = binder.tape();
                 let mut loss = tape_ref.list_mle(out.score, &order)?;
                 loss = tape_ref.scale(loss, 1.0 / batch.len() as f32);
                 if config.tie_regularizer_weight > 0.0 {
-                    if let Some(var) = tie_variance_loss(tape_ref, out.score, &batch_ranks)? {
+                    if let Some(var) =
+                        tie_variance_loss(tape_ref, out.score, &batch_ranks, &mut group)?
+                    {
                         let var = tape_ref.scale(var, config.tie_regularizer_weight);
                         loss = tape_ref.add(loss, var)?;
                     }
                 }
-                let mut grads = binder.finish(loss)?;
+                bound = binder.finish_into(loss, &mut grads)?;
                 for g in grads.iter_mut().take(model.fusion_param_start) {
                     *g = None;
                 }

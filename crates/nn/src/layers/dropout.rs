@@ -4,7 +4,6 @@ use crate::layers::LayerRng;
 use crate::params::Binder;
 use crate::Result;
 use hwpr_autograd::Var;
-use hwpr_tensor::Matrix;
 use rand::Rng;
 
 /// Inverted dropout: during training each element is zeroed with
@@ -50,10 +49,11 @@ impl Dropout {
         let (rows, cols) = binder.tape().value(x).shape();
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let data = (0..rows * cols)
-            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
-        let mask = Matrix::from_vec(rows, cols, data).expect("mask shape");
+        // pooled mask: recycled into the tape pool on `Tape::reset`
+        let mut mask = binder.tape().alloc(rows, cols);
+        for v in mask.as_mut_slice() {
+            *v = if rng.gen::<f32>() < keep { scale } else { 0.0 };
+        }
         Ok(binder.tape().dropout(x, mask)?)
     }
 }
@@ -63,6 +63,7 @@ mod tests {
     use super::*;
     use crate::params::Params;
     use hwpr_autograd::Tape;
+    use hwpr_tensor::Matrix;
     use rand_chacha::rand_core::SeedableRng;
 
     #[test]

@@ -48,6 +48,9 @@ impl GcnLayer {
     /// Applies the layer to `x` (`[batch * nodes, in_dim]`) with one
     /// `nodes x nodes` adjacency per sample, followed by ReLU.
     ///
+    /// Adjacencies are accepted via [`std::borrow::Borrow`] so callers can
+    /// pass owned matrices or shared references without cloning.
+    ///
     /// # Errors
     ///
     /// Returns a shape error when the block structure or feature dimension
@@ -56,16 +59,20 @@ impl GcnLayer {
         &self,
         binder: &mut Binder<'_, '_>,
         x: Var,
-        adjacency: &[Matrix],
+        adjacency: &[impl std::borrow::Borrow<Matrix>],
         nodes: usize,
     ) -> Result<Var> {
         let w = binder.param(self.weight);
         let b = binder.param(self.bias);
         let tape = binder.tape();
-        let agg = tape.block_graph_matmul(x, adjacency.to_vec(), nodes)?;
-        let lin = tape.matmul(agg, w)?;
-        let biased = tape.add_bias(lin, b)?;
-        Ok(tape.relu(biased))
+        // stage the adjacency stack in pooled storage (recycled on reset)
+        let mut adj = tape.scratch_mats();
+        for m in adjacency {
+            adj.push(tape.alloc_copy(m.borrow()));
+        }
+        let agg = tape.block_graph_matmul(x, adj, nodes)?;
+        // fused affine + ReLU over the aggregated node features
+        Ok(tape.linear_act(agg, w, Some(b), hwpr_autograd::Act::Relu)?)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::params::{Binder, ParamId, Params};
 use crate::Result;
-use hwpr_autograd::Var;
+use hwpr_autograd::{Act, Var};
 use hwpr_tensor::Init;
 
 /// Dense affine layer `y = x @ W (+ b)`.
@@ -72,13 +72,19 @@ impl Linear {
     ///
     /// Returns a shape error if `x` does not have `in_dim` columns.
     pub fn forward(&self, binder: &mut Binder<'_, '_>, x: Var) -> Result<Var> {
+        self.forward_act(binder, x, Act::Identity)
+    }
+
+    /// Applies the layer followed by `act` as one fused tape node
+    /// (GEMM + bias + activation in a single pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not have `in_dim` columns.
+    pub fn forward_act(&self, binder: &mut Binder<'_, '_>, x: Var, act: Act) -> Result<Var> {
         let w = binder.param(self.weight);
-        let mut y = binder.tape().matmul(x, w)?;
-        if let Some(bias) = self.bias {
-            let b = binder.param(bias);
-            y = binder.tape().add_bias(y, b)?;
-        }
-        Ok(y)
+        let b = self.bias.map(|id| binder.param(id));
+        Ok(binder.tape().linear_act(x, w, b, act)?)
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::layers::{Dropout, LayerRng, Linear};
 use crate::params::{Binder, Params};
 use crate::{NnError, Result};
-use hwpr_autograd::Var;
+use hwpr_autograd::{Act, Var};
 use hwpr_tensor::Init;
 
 /// Hidden-layer activation function.
@@ -118,16 +118,18 @@ impl Mlp {
     pub fn forward(&self, binder: &mut Binder<'_, '_>, x: Var, rng: &mut LayerRng) -> Result<Var> {
         let mut h = x;
         let last = self.layers.len() - 1;
+        let act = match self.activation {
+            Activation::Relu => Act::Relu,
+            Activation::Tanh => Act::Tanh,
+            Activation::Sigmoid => Act::Sigmoid,
+        };
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(binder, h)?;
             if i < last {
-                let tape = binder.tape();
-                h = match self.activation {
-                    Activation::Relu => tape.relu(h),
-                    Activation::Tanh => tape.tanh(h),
-                    Activation::Sigmoid => tape.sigmoid(h),
-                };
+                // hidden layers fuse GEMM + bias + activation into one node
+                h = layer.forward_act(binder, h, act)?;
                 h = self.dropout.forward(binder, h, rng)?;
+            } else {
+                h = layer.forward(binder, h)?;
             }
         }
         Ok(h)

@@ -89,36 +89,31 @@ impl Optimizer for AdamW {
         let t = self.step_count as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
-        for (idx, id) in params.ids().into_iter().enumerate() {
+        let (beta1, beta2) = (self.beta1, self.beta2);
+        let (lr, wd, eps) = (self.lr, self.weight_decay, self.eps);
+        for idx in 0..params.len() {
             let Some(grad) = grads.get(idx).and_then(|g| g.as_ref()) else {
                 continue;
             };
-            let value = params.get(id).clone();
-            assert_eq!(grad.shape(), value.shape(), "gradient shape mismatch");
-            let m = self.first_moment[idx]
-                .get_or_insert_with(|| Matrix::zeros(value.rows(), value.cols()));
-            for (mv, &g) in m.as_mut_slice().iter_mut().zip(grad.as_slice()) {
-                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
-            }
-            let v = self.second_moment[idx]
-                .get_or_insert_with(|| Matrix::zeros(value.rows(), value.cols()));
-            for (vv, &g) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
-                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
-            }
-            let m = self.first_moment[idx].as_ref().expect("just inserted");
-            let v = self.second_moment[idx].as_ref().expect("just inserted");
-            let lr = self.lr;
-            let wd = self.weight_decay;
-            let eps = self.eps;
+            let id = params.id_at(idx);
+            let shape = params.get(id).shape();
+            assert_eq!(grad.shape(), shape, "gradient shape mismatch");
+            let m = self.first_moment[idx].get_or_insert_with(|| Matrix::zeros(shape.0, shape.1));
+            let v = self.second_moment[idx].get_or_insert_with(|| Matrix::zeros(shape.0, shape.1));
+            // single fused sweep: moment updates and the parameter step in
+            // one pass over persistent state buffers, no temporaries
             let target = params.get_mut(id);
-            for ((p, &mv), &vv) in target
+            for (((p, &g), mv), vv) in target
                 .as_mut_slice()
                 .iter_mut()
-                .zip(m.as_slice())
-                .zip(v.as_slice())
+                .zip(grad.as_slice())
+                .zip(m.as_mut_slice())
+                .zip(v.as_mut_slice())
             {
-                let m_hat = mv / bias1;
-                let v_hat = vv / bias2;
+                *mv = beta1 * *mv + (1.0 - beta1) * g;
+                *vv = beta2 * *vv + (1.0 - beta2) * g * g;
+                let m_hat = *mv / bias1;
+                let v_hat = *vv / bias2;
                 // decoupled decay: shrink the weight directly, not the gradient
                 *p -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * *p);
             }
@@ -164,10 +159,11 @@ impl Optimizer for Sgd {
         while self.velocity.len() < params.len() {
             self.velocity.push(None);
         }
-        for (idx, id) in params.ids().into_iter().enumerate() {
+        for idx in 0..params.len() {
             let Some(grad) = grads.get(idx).and_then(|g| g.as_ref()) else {
                 continue;
             };
+            let id = params.id_at(idx);
             let shape = params.get(id).shape();
             assert_eq!(grad.shape(), shape, "gradient shape mismatch");
             let vel = self.velocity[idx].get_or_insert_with(|| Matrix::zeros(shape.0, shape.1));

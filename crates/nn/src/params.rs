@@ -83,6 +83,17 @@ impl Params {
         (0..self.values.len()).map(ParamId).collect()
     }
 
+    /// The id at position `idx` in registration order (the allocation-free
+    /// alternative to [`Params::ids`] for optimizer loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn id_at(&self, idx: usize) -> ParamId {
+        assert!(idx < self.values.len(), "parameter index out of range");
+        ParamId(idx)
+    }
+
     /// Iterator over `(id, name, value)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
         self.values
@@ -130,6 +141,25 @@ impl<'t, 'p> Binder<'t, 'p> {
         b
     }
 
+    /// Creates a binder that reuses a binding buffer returned by
+    /// [`Binder::finish_into`], avoiding the per-pass `Vec` allocation of
+    /// [`Binder::new`]. The buffer is cleared and resized to the store.
+    pub fn rebind(
+        tape: &'t mut Tape,
+        params: &'p Params,
+        mut bound: Vec<Option<Var>>,
+        train: bool,
+    ) -> Self {
+        bound.clear();
+        bound.resize(params.len(), None);
+        Self {
+            tape,
+            params,
+            bound,
+            train,
+        }
+    }
+
     /// The tape being recorded onto.
     pub fn tape(&mut self) -> &mut Tape {
         self.tape
@@ -138,6 +168,12 @@ impl<'t, 'p> Binder<'t, 'p> {
     /// Inserts an input (non-parameter) leaf.
     pub fn input(&mut self, value: Matrix) -> Var {
         self.tape.leaf(value)
+    }
+
+    /// Inserts an input leaf holding a pooled copy of `value` — the
+    /// allocation-free form of [`Binder::input`] for reused tapes.
+    pub fn input_copy(&mut self, value: &Matrix) -> Var {
+        self.tape.leaf_copy(value)
     }
 
     /// The tape variable for parameter `id`, binding it on first use.
@@ -150,7 +186,7 @@ impl<'t, 'p> Binder<'t, 'p> {
         if let Some(v) = self.bound[idx] {
             return v;
         }
-        let v = self.tape.leaf(self.params.get(id).clone());
+        let v = self.tape.leaf_copy(self.params.get(id));
         self.bound[idx] = Some(v);
         v
     }
@@ -170,6 +206,45 @@ impl<'t, 'p> Binder<'t, 'p> {
             .map(|slot| slot.and_then(|v| self.tape.grad(v).cloned()))
             .collect();
         Ok(grads)
+    }
+
+    /// Runs the backward pass from `loss` and copies per-parameter
+    /// gradients into `grads` (resized to the store), reusing each entry's
+    /// storage when its shape already matches. Returns the binding buffer
+    /// for reuse via [`Binder::rebind`].
+    ///
+    /// Together with [`Tape::reset`] this keeps a fixed-shape training loop
+    /// free of per-step allocations: both the binding `Vec` and every
+    /// gradient matrix persist across steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`hwpr_autograd::AutogradError`] from the backward pass.
+    pub fn finish_into(
+        self,
+        loss: Var,
+        grads: &mut Vec<Option<Matrix>>,
+    ) -> Result<Vec<Option<Var>>> {
+        self.tape.backward(loss)?;
+        grads.resize_with(self.params.len(), || None);
+        for (slot, dst) in self.bound.iter().zip(grads.iter_mut()) {
+            let src = slot.and_then(|v| self.tape.grad(v));
+            match (src, dst) {
+                (Some(g), Some(existing)) if existing.shape() == g.shape() => {
+                    existing.as_mut_slice().copy_from_slice(g.as_slice());
+                }
+                (Some(g), dst) => *dst = Some(g.clone()),
+                (None, dst) => *dst = None,
+            }
+        }
+        Ok(self.bound)
+    }
+
+    /// Releases the tape borrow and returns the binding buffer for reuse
+    /// via [`Binder::rebind`] — the inference-path counterpart of
+    /// [`Binder::finish_into`] (no backward pass, no gradients).
+    pub fn into_bound(self) -> Vec<Option<Var>> {
+        self.bound
     }
 }
 

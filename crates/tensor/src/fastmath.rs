@@ -1,0 +1,92 @@
+//! Branch-free `tanh`/`sigmoid` approximations for fused kernels.
+//!
+//! `f32::tanh` and `f32::exp` lower to scalar libm calls, which the
+//! auto-vectoriser cannot touch; in the fused LSTM gate pass they cost
+//! more than the gate GEMM itself. These replacements are clamped
+//! rational approximations built from plain multiply/add/divide, so a
+//! whole gate row vectorises. Maximum absolute error is below `1e-6`
+//! over the full range (the unit tests sweep it), which is far inside
+//! the tolerance of the gradchecks and the fused-vs-reference
+//! differential tests.
+//!
+//! The reference ops (`Tape::tanh`, `Tape::sigmoid`,
+//! [`crate::reference`]) keep libm on purpose: they are the ground truth
+//! the fused kernels are pinned against.
+
+/// `tanh(x)` as a degree-13/6 rational approximation on the clamped
+/// range `|x| <= 7.90531` (beyond which `tanh` saturates to `±1` in
+/// f32). Coefficients are the widely used minimax set (Eigen/XNNPACK
+/// lineage).
+#[inline(always)]
+pub fn fast_tanh(x: f32) -> f32 {
+    const CLAMP: f32 = 7.905_31;
+    let x = x.clamp(-CLAMP, CLAMP);
+    let x2 = x * x;
+    let mut p = -2.760_768_4e-16;
+    p = p * x2 + 2.000_188e-13;
+    p = p * x2 + -8.604_672e-11;
+    p = p * x2 + 5.122_297e-8;
+    p = p * x2 + 1.485_722_4e-5;
+    p = p * x2 + 6.372_619e-4;
+    p = p * x2 + 4.893_524_6e-3;
+    p *= x;
+    let mut q = 1.198_258_4e-6;
+    q = q * x2 + 1.185_347_1e-4;
+    q = q * x2 + 2.268_434_6e-3;
+    q = q * x2 + 4.893_525e-3;
+    p / q
+}
+
+/// `1 / (1 + exp(-x))` via the tanh identity
+/// `sigmoid(x) = (1 + tanh(x / 2)) / 2` — same vectorisable arithmetic,
+/// same sub-`1e-6` absolute error.
+#[inline(always)]
+pub fn fast_sigmoid(x: f32) -> f32 {
+    0.5 + 0.5 * fast_tanh(0.5 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tanh_matches_libm_within_1e6() {
+        let mut worst = 0.0f32;
+        let mut x = -12.0f32;
+        while x <= 12.0 {
+            worst = worst.max((fast_tanh(x) - x.tanh()).abs());
+            x += 1e-3;
+        }
+        assert!(worst < 1e-6, "max |fast_tanh - tanh| = {worst}");
+    }
+
+    #[test]
+    fn sigmoid_matches_libm_within_1e6() {
+        let mut worst = 0.0f32;
+        let mut x = -12.0f32;
+        while x <= 12.0 {
+            let exact = 1.0 / (1.0 + (-x).exp());
+            worst = worst.max((fast_sigmoid(x) - exact).abs());
+            x += 1e-3;
+        }
+        assert!(worst < 1e-6, "max |fast_sigmoid - sigmoid| = {worst}");
+    }
+
+    #[test]
+    fn saturates_cleanly() {
+        // the clamped rational lands within an ULP of the saturation
+        // values rather than exactly on them
+        assert!((fast_tanh(40.0) - 1.0).abs() < 1e-6);
+        assert!((fast_tanh(-40.0) + 1.0).abs() < 1e-6);
+        assert!((fast_sigmoid(40.0) - 1.0).abs() < 1e-6);
+        assert!(fast_sigmoid(-40.0).abs() < 1e-6);
+        assert_eq!(fast_tanh(0.0), 0.0);
+        assert_eq!(fast_sigmoid(0.0), 0.5);
+    }
+
+    #[test]
+    fn propagates_nan() {
+        assert!(fast_tanh(f32::NAN).is_nan());
+        assert!(fast_sigmoid(f32::NAN).is_nan());
+    }
+}

@@ -86,6 +86,20 @@ fn pack_b(
     dst: &mut Vec<f32>,
 ) {
     dst.clear();
+    pack_b_append(b, layout, (k, n), (pc, jc), (kc, nc), dst);
+}
+
+/// [`pack_b`] without the clear: appends the packed panel to `dst`, so a
+/// whole operand can be packed panel-by-panel into one buffer (see
+/// [`pack_b_full`]).
+fn pack_b_append(
+    b: &[f32],
+    layout: Layout,
+    (k, n): (usize, usize),
+    (pc, jc): (usize, usize),
+    (kc, nc): (usize, usize),
+    dst: &mut Vec<f32>,
+) {
     dst.reserve(nc.div_ceil(NR) * NR * kc);
     for jr in (0..nc).step_by(NR) {
         let live = NR.min(nc - jr);
@@ -169,6 +183,80 @@ fn micro_kernel(kc: usize, a_strip: &[f32], b_strip: &[f32], acc: &mut [[f32; NR
     }
 }
 
+/// Packs every `(jc, pc)` panel of a `k x n` operand `B` into `dst` in
+/// the exact order the driver consumes them (outer `jc`, inner `pc`), so
+/// [`gemm_prepacked`] can run without touching `B` again. Amortises the
+/// pack stage when the same `B` (e.g. an LSTM weight) feeds many GEMMs
+/// within one step.
+pub fn pack_b_full(b: &[f32], layout: Layout, (k, n): (usize, usize), dst: &mut Vec<f32>) {
+    dst.clear();
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b_append(b, layout, (k, n), (pc, jc), (kc, nc), dst);
+        }
+    }
+}
+
+/// [`gemm`] with `B` already packed by [`pack_b_full`]. Accumulates
+/// `C += A @ B` in the same panel and `k` order as the unpacked driver,
+/// so results are bit-identical to [`gemm`].
+pub fn gemm_prepacked(
+    (m, n, k): (usize, usize, usize),
+    a: &[f32],
+    a_layout: Layout,
+    packed_b: &[f32],
+    c: &mut [f32],
+) {
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    PACK_SCRATCH.with(|scratch| {
+        let (a_pack, _) = &mut *scratch.borrow_mut();
+        let mut b_offset = 0;
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                let panel_len = nc.div_ceil(NR) * NR * kc;
+                let b_panel = &packed_b[b_offset..b_offset + panel_len];
+                b_offset += panel_len;
+                for ic in (0..m).step_by(MC) {
+                    let mc = MC.min(m - ic);
+                    pack_a(a, a_layout, (m, k), (ic, pc), (mc, kc), a_pack);
+                    for jr in (0..nc).step_by(NR) {
+                        let b_strip = &b_panel[(jr / NR) * NR * kc..];
+                        for ir in (0..mc).step_by(MR) {
+                            let a_strip = &a_pack[(ir / MR) * MR * kc..];
+                            let mut acc = [[0.0f32; NR]; MR];
+                            micro_kernel(kc, a_strip, b_strip, &mut acc);
+                            let live_rows = MR.min(mc - ir);
+                            let live_cols = NR.min(nc - jr);
+                            for (ii, acc_row) in acc.iter().enumerate().take(live_rows) {
+                                let row = (ic + ir + ii) * n + jc + jr;
+                                for (cell, &v) in c[row..row + live_cols].iter_mut().zip(acc_row) {
+                                    *cell += v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+thread_local! {
+    /// Pack-buffer scratch reused across calls: packing is the only
+    /// allocation the driver would otherwise perform, and the buffers are
+    /// bounded by the block sizes, so keeping them thread-local makes every
+    /// GEMM after the first allocation-free.
+    static PACK_SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
 /// Computes `C += A @ B` where `A` is logically `m x k`, `B` is logically
 /// `k x n` (each with its own storage [`Layout`]) and `C` is `m x n`
 /// row-major. `C` is expected to start zeroed by the callers in `ops.rs`.
@@ -184,16 +272,31 @@ pub fn gemm(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let mut a_pack = Vec::new();
-    let mut b_pack = Vec::new();
+    PACK_SCRATCH.with(|scratch| {
+        let (a_pack, b_pack) = &mut *scratch.borrow_mut();
+        gemm_with_scratch((m, n, k), a, a_layout, b, b_layout, c, a_pack, b_pack);
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_with_scratch(
+    (m, n, k): (usize, usize, usize),
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    c: &mut [f32],
+    a_pack: &mut Vec<f32>,
+    b_pack: &mut Vec<f32>,
+) {
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            pack_b(b, b_layout, (k, n), (pc, jc), (kc, nc), &mut b_pack);
+            pack_b(b, b_layout, (k, n), (pc, jc), (kc, nc), b_pack);
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
-                pack_a(a, a_layout, (m, k), (ic, pc), (mc, kc), &mut a_pack);
+                pack_a(a, a_layout, (m, k), (ic, pc), (mc, kc), a_pack);
                 for jr in (0..nc).step_by(NR) {
                     let b_strip = &b_pack[(jr / NR) * NR * kc..];
                     for ir in (0..mc).step_by(MR) {

@@ -21,15 +21,21 @@
 //! ```
 
 #![warn(missing_docs)]
+mod fastmath;
 mod gemm;
 mod init;
 mod matrix;
 mod ops;
+mod packed;
+mod pool;
 pub mod reference;
 mod shape;
 
+pub use fastmath::{fast_sigmoid, fast_tanh};
 pub use init::{he_std, xavier_std, Init};
 pub use matrix::Matrix;
+pub use packed::PackedWeight;
+pub use pool::BufferPool;
 pub use shape::ShapeError;
 
 /// Convenience alias for fallible matrix operations.

@@ -34,6 +34,121 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix product `self @ rhs` written into a caller-provided matrix.
+    ///
+    /// `out` is overwritten (it does not need to be zeroed). This is the
+    /// allocation-free form of [`Matrix::matmul`] used by the training hot
+    /// path, where `out` comes from a [`crate::BufferPool`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `self.cols() != rhs.rows()` or `out` is
+    /// not `self.rows() x rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols() != rhs.rows() {
+            return Err(ShapeError::new("matmul_into", self.shape(), rhs.shape()));
+        }
+        let (m, k) = self.shape();
+        let n = rhs.cols();
+        if out.shape() != (m, n) {
+            return Err(ShapeError::new("matmul_into", (m, n), out.shape()));
+        }
+        out.as_mut_slice().fill(0.0);
+        gemm::gemm(
+            (m, n, k),
+            self.as_slice(),
+            Layout::RowMajor,
+            rhs.as_slice(),
+            Layout::RowMajor,
+            out.as_mut_slice(),
+        );
+        Ok(())
+    }
+
+    /// Matrix product `self^T @ rhs` written into a caller-provided matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `self.rows() != rhs.rows()` or `out` is
+    /// not `self.cols() x rhs.cols()`.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.rows() != rhs.rows() {
+            return Err(ShapeError::new("matmul_tn_into", self.shape(), rhs.shape()));
+        }
+        let (k, m) = self.shape();
+        let n = rhs.cols();
+        if out.shape() != (m, n) {
+            return Err(ShapeError::new("matmul_tn_into", (m, n), out.shape()));
+        }
+        out.as_mut_slice().fill(0.0);
+        gemm::gemm(
+            (m, n, k),
+            self.as_slice(),
+            Layout::Transposed,
+            rhs.as_slice(),
+            Layout::RowMajor,
+            out.as_mut_slice(),
+        );
+        Ok(())
+    }
+
+    /// Accumulating form of [`Matrix::matmul_tn_into`]: `out += self^T @
+    /// rhs`. The blocked driver natively accumulates into its output, so
+    /// gradient contributions (e.g. a recurrent weight's per-step deltas)
+    /// can be summed straight into the gradient buffer without a zeroed
+    /// per-step temporary and a separate add pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `self.rows() != rhs.rows()` or `out` is
+    /// not `self.cols() x rhs.cols()`.
+    pub fn matmul_tn_acc(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.rows() != rhs.rows() {
+            return Err(ShapeError::new("matmul_tn_acc", self.shape(), rhs.shape()));
+        }
+        let (k, m) = self.shape();
+        let n = rhs.cols();
+        if out.shape() != (m, n) {
+            return Err(ShapeError::new("matmul_tn_acc", (m, n), out.shape()));
+        }
+        gemm::gemm(
+            (m, n, k),
+            self.as_slice(),
+            Layout::Transposed,
+            rhs.as_slice(),
+            Layout::RowMajor,
+            out.as_mut_slice(),
+        );
+        Ok(())
+    }
+
+    /// Matrix product `self @ rhs^T` written into a caller-provided matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `self.cols() != rhs.cols()` or `out` is
+    /// not `self.rows() x rhs.rows()`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols() != rhs.cols() {
+            return Err(ShapeError::new("matmul_nt_into", self.shape(), rhs.shape()));
+        }
+        let (m, k) = self.shape();
+        let n = rhs.rows();
+        if out.shape() != (m, n) {
+            return Err(ShapeError::new("matmul_nt_into", (m, n), out.shape()));
+        }
+        out.as_mut_slice().fill(0.0);
+        gemm::gemm(
+            (m, n, k),
+            self.as_slice(),
+            Layout::RowMajor,
+            rhs.as_slice(),
+            Layout::Transposed,
+            out.as_mut_slice(),
+        );
+        Ok(())
+    }
+
     /// Matrix product `self^T @ rhs` without materialising the transpose.
     ///
     /// The transpose is absorbed by the pack stage of the blocked driver,
@@ -153,6 +268,56 @@ impl Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
         for (a, &b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
             *a += b;
+        }
+    }
+
+    /// Combines `rhs` into `self` in place with `f(self, rhs)`.
+    ///
+    /// The in-place counterpart of [`Matrix::zip_with`] used by the
+    /// allocation-free backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_apply<F: Fn(f32, f32) -> f32>(&mut self, rhs: &Matrix, f: F) {
+        assert_eq!(self.shape(), rhs.shape(), "zip_apply shape mismatch");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a = f(*a, b);
+        }
+    }
+
+    /// Sums each column of `self` into the `1 x cols` matrix `out`,
+    /// overwriting its contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `1 x self.cols()`.
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (1, self.cols()),
+            "sum_rows_into shape mismatch"
+        );
+        out.as_mut_slice().fill(0.0);
+        for r in 0..self.rows() {
+            for (o, &v) in out.as_mut_slice().iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Accumulating form of [`Matrix::sum_rows_into`]: adds each column
+    /// sum of `self` into `out` instead of overwriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `1 x self.cols()`.
+    pub fn sum_rows_acc(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), (1, self.cols()), "sum_rows_acc shape mismatch");
+        for r in 0..self.rows() {
+            for (o, &v) in out.as_mut_slice().iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
         }
     }
 

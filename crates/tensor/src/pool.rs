@@ -1,0 +1,162 @@
+//! Recycled matrix storage for allocation-free hot loops.
+//!
+//! Training builds and tears down the same set of intermediate matrices on
+//! every step. [`BufferPool`] keeps the backing `Vec<f32>` buffers alive
+//! between steps, bucketed by power-of-two capacity class, so that after a
+//! warm-up pass the tape and optimizer stop touching the heap entirely.
+
+use crate::matrix::Matrix;
+
+/// Number of power-of-two capacity classes tracked (up to 2^39 elements,
+/// far beyond any matrix this workload builds).
+const CLASSES: usize = 40;
+
+/// A recycler for the `Vec<f32>` buffers behind [`Matrix`].
+///
+/// Buffers are bucketed by the power-of-two class of their element count:
+/// [`BufferPool::take`] pops a buffer whose class matches the requested
+/// size (resizing within the class as needed) and [`BufferPool::put`]
+/// returns it. After one warm-up iteration of a fixed-shape workload every
+/// `take` is serviced from the pool without heap traffic.
+///
+/// # Examples
+///
+/// ```
+/// use hwpr_tensor::{BufferPool, Matrix};
+///
+/// let mut pool = BufferPool::new();
+/// let m = pool.take(2, 3);
+/// assert_eq!(m.shape(), (2, 3));
+/// assert_eq!(m.sum(), 0.0);
+/// pool.put(m);
+/// let again = pool.take(3, 2); // same class, same backing buffer
+/// assert_eq!(again.len(), 6);
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    buckets: Vec<Vec<Vec<f32>>>,
+}
+
+/// Capacity class of a buffer length: index of the smallest power of two
+/// that holds `len` elements.
+#[inline]
+fn class_of(len: usize) -> usize {
+    len.next_power_of_two().trailing_zeros() as usize
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self {
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Takes a zero-filled `rows x cols` matrix, reusing pooled storage
+    /// when a buffer of the right capacity class is available.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        let mut data = self.take_raw(len);
+        data.clear();
+        data.resize(len, 0.0);
+        Matrix::from_vec(rows, cols, data).expect("pool buffer sized to shape")
+    }
+
+    /// Takes a pooled copy of `src` (same shape, same contents).
+    pub fn take_copy(&mut self, src: &Matrix) -> Matrix {
+        let len = src.len();
+        let mut data = self.take_raw(len);
+        data.clear();
+        data.extend_from_slice(src.as_slice());
+        Matrix::from_vec(src.rows(), src.cols(), data).expect("pool buffer sized to shape")
+    }
+
+    /// Returns a matrix's backing buffer to the pool for reuse.
+    pub fn put(&mut self, m: Matrix) {
+        self.put_raw(m.into_vec());
+    }
+
+    /// Takes a raw buffer with at least class capacity for `len` elements.
+    /// Contents are unspecified; callers clear or overwrite.
+    pub fn take_raw(&mut self, len: usize) -> Vec<f32> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let class = class_of(len);
+        match self.buckets.get_mut(class).and_then(Vec::pop) {
+            Some(buf) => buf,
+            // Round fresh allocations up to the class size so the buffer
+            // re-enters the same bucket whatever shape it is reused for.
+            None => Vec::with_capacity(len.next_power_of_two()),
+        }
+    }
+
+    /// Returns a raw buffer to its capacity-class bucket.
+    pub fn put_raw(&mut self, buf: Vec<f32>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        let class = class_of(cap.min(1 << (CLASSES - 1)));
+        if self.buckets.len() <= class {
+            self.buckets.resize_with(class + 1, Vec::new);
+        }
+        self.buckets[class].push(buf);
+    }
+
+    /// Total number of buffers currently parked in the pool.
+    pub fn parked(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_even_after_dirty_put() {
+        let mut pool = BufferPool::new();
+        let mut m = pool.take(2, 2);
+        m.as_mut_slice().fill(7.0);
+        pool.put(m);
+        let fresh = pool.take(2, 2);
+        assert_eq!(fresh.sum(), 0.0);
+    }
+
+    #[test]
+    fn same_class_reuses_buffer() {
+        let mut pool = BufferPool::new();
+        let m = pool.take(3, 2); // len 6 → class 3 (cap 8)
+        pool.put(m);
+        assert_eq!(pool.parked(), 1);
+        let _again = pool.take(2, 4); // len 8 → same class
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn take_copy_matches_source() {
+        let mut pool = BufferPool::new();
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let copy = pool.take_copy(&src);
+        assert_eq!(copy, src);
+    }
+
+    #[test]
+    fn zero_sized_buffers_are_ignored() {
+        let mut pool = BufferPool::new();
+        let m = pool.take(0, 5);
+        assert!(m.is_empty());
+        pool.put(m);
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn class_of_boundaries() {
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(2), 1);
+        assert_eq!(class_of(3), 2);
+        assert_eq!(class_of(4), 2);
+        assert_eq!(class_of(5), 3);
+    }
+}
