@@ -35,6 +35,7 @@ mod error;
 mod fused;
 mod ops;
 mod tape;
+mod telemetry;
 
 pub use error::AutogradError;
 pub use tape::{Act, Tape, Var};

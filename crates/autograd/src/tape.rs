@@ -381,6 +381,7 @@ impl Tape {
         if shape != (1, 1) {
             return Err(AutogradError::NonScalarLoss { shape });
         }
+        let started = crate::telemetry::backward_start();
         // The unit seed comes from the pool (it is recycled by `reset`), so
         // repeated backward passes never allocate it fresh.
         let mut seed = self.pool.take(1, 1);
@@ -391,6 +392,9 @@ impl Tape {
                 continue;
             }
             self.backprop_node(i)?;
+        }
+        if let Some(start) = started {
+            crate::telemetry::backward_done(start, self.nodes.len(), self.pool.reuse_ratio());
         }
         Ok(())
     }

@@ -1,0 +1,47 @@
+//! Tape instrumentation: backward-pass timing and arena health gauges.
+//!
+//! Hooks are gated on [`hwpr_obs::enabled`] before any clock read or
+//! metric lookup, so a disabled backward pass pays one relaxed atomic load
+//! and allocates nothing.
+
+use hwpr_obs::metrics::{registry, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+struct TapeMetrics {
+    /// "autograd.backward.us": wall time per backward pass.
+    backward_us: Arc<Histogram>,
+    /// "autograd.tape.nodes": node count of the most recent tape.
+    nodes: Arc<Gauge>,
+    /// "autograd.pool.reuse_ratio": fraction of pooled takes serviced
+    /// without heap traffic (1.0 once a fixed-shape loop is warm).
+    reuse_ratio: Arc<Gauge>,
+}
+
+fn metrics() -> &'static TapeMetrics {
+    static METRICS: OnceLock<TapeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| TapeMetrics {
+        backward_us: registry().histogram(
+            "autograd.backward.us",
+            &Histogram::exponential_bounds(10.0, 4.0, 10),
+        ),
+        nodes: registry().gauge("autograd.tape.nodes"),
+        reuse_ratio: registry().gauge("autograd.pool.reuse_ratio"),
+    })
+}
+
+/// Captures the backward-pass start time, or `None` with telemetry off.
+pub(crate) fn backward_start() -> Option<Instant> {
+    hwpr_obs::enabled().then(Instant::now)
+}
+
+/// Records one completed backward pass (timing plus tape/arena gauges).
+#[cold]
+pub(crate) fn backward_done(start: Instant, nodes: usize, pool_reuse_ratio: f64) {
+    let metrics = metrics();
+    metrics
+        .backward_us
+        .observe(start.elapsed().as_secs_f64() * 1e6);
+    metrics.nodes.set(nodes as f64);
+    metrics.reuse_ratio.set(pool_reuse_ratio);
+}

@@ -223,8 +223,11 @@ fn train_loop(
     let mut batch_ranks: Vec<usize> = Vec::with_capacity(config.batch_size);
     let mut order: Vec<usize> = Vec::with_capacity(config.batch_size);
     let mut group: Vec<usize> = Vec::with_capacity(config.batch_size);
+    let _train_span = hwpr_obs::span("train.loop");
     for epoch in 0..config.epochs {
-        optimizer.set_learning_rate(schedule.learning_rate_at(epoch));
+        let epoch_started = hwpr_obs::enabled().then(std::time::Instant::now);
+        let learning_rate = schedule.learning_rate_at(epoch);
+        optimizer.set_learning_rate(learning_rate);
         let batches = shuffled_batches(
             samples.len(),
             config.batch_size,
@@ -282,9 +285,22 @@ fn train_loop(
         epochs_run = epoch + 1;
         final_loss = epoch_loss / batches.len().max(1) as f64;
         // validation: how well do predicted scores rank the true fronts?
-        let tau = validation_tau(model, val, slot)?;
-        best_tau = best_tau.max(tau);
-        if stopper.update(1.0 - tau as f32) {
+        let rank = validation_rank(model, val, slot)?;
+        best_tau = best_tau.max(rank.kendall_tau);
+        if let Some(start) = epoch_started {
+            let epoch_ms = start.elapsed().as_secs_f64() * 1e3;
+            hwpr_obs::record_with("train.epoch", || {
+                vec![
+                    hwpr_obs::field("epoch", epoch as u64),
+                    hwpr_obs::field("loss", final_loss),
+                    hwpr_obs::field("lr", learning_rate as f64),
+                    hwpr_obs::field("kendall_tau", rank.kendall_tau),
+                    hwpr_obs::field("spearman", rank.spearman),
+                    hwpr_obs::field("epoch_ms", epoch_ms),
+                ]
+            });
+        }
+        if stopper.update(1.0 - rank.kendall_tau as f32) {
             break;
         }
     }
@@ -330,7 +346,7 @@ fn train_loop(
                 fusion_opt.step(&mut model.params, &grads);
             }
         }
-        best_tau = best_tau.max(validation_tau(model, val, slot)?);
+        best_tau = best_tau.max(validation_rank(model, val, slot)?.kendall_tau);
     }
     Ok(TrainReport {
         epochs_run,
@@ -339,9 +355,17 @@ fn train_loop(
     })
 }
 
-/// Kendall τ between predicted scores and negated true Pareto ranks on a
-/// validation split.
-fn validation_tau(model: &HwPrNas, val: &SurrogateDataset, slot: usize) -> Result<f64> {
+/// Rank agreement between predicted scores and the true Pareto ordering
+/// on a validation split.
+struct ValidationRank {
+    /// Kendall τ against negated true Pareto ranks (the early-stop signal).
+    kendall_tau: f64,
+    /// Spearman ρ against the same targets (reported in telemetry).
+    spearman: f64,
+}
+
+/// Scores the validation split once and computes both rank correlations.
+fn validation_rank(model: &HwPrNas, val: &SurrogateDataset, slot: usize) -> Result<ValidationRank> {
     let archs: Vec<Architecture> = val.samples().iter().map(|s| s.arch.clone()).collect();
     let objectives: Vec<Vec<f64>> = val.samples().iter().map(|s| s.objectives()).collect();
     let ranks = pareto_ranks(&objectives)?;
@@ -349,7 +373,10 @@ fn validation_tau(model: &HwPrNas, val: &SurrogateDataset, slot: usize) -> Resul
     let scores = model.predict_scores(&archs, platform)?;
     let pred: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
     let truth: Vec<f32> = ranks.iter().map(|&r| -(r as f32)).collect();
-    Ok(hwpr_metrics::kendall_tau(&pred, &truth).unwrap_or(0.0))
+    Ok(ValidationRank {
+        kendall_tau: hwpr_metrics::kendall_tau(&pred, &truth).unwrap_or(0.0),
+        spearman: hwpr_metrics::spearman(&pred, &truth).unwrap_or(0.0),
+    })
 }
 
 /// Fraction of NAS-Bench-201 architectures in a list (used in Table IV).

@@ -1,0 +1,46 @@
+//! Summarizes a telemetry JSONL run record into a human-readable table.
+//!
+//! ```text
+//! hwpr-report telemetry.jsonl        # read a file
+//! some-run | hwpr-report -           # read stdin
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let source = match args.as_slice() {
+        [path] => path.clone(),
+        _ => {
+            eprintln!("usage: hwpr-report <telemetry.jsonl | ->");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = if source == "-" {
+        let mut buf = String::new();
+        if let Err(err) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("hwpr-report: reading stdin: {err}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&source) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("hwpr-report: reading {source}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match hwpr_obs::report::parse_jsonl(&text) {
+        Ok(events) => {
+            print!("{}", hwpr_obs::report::summarize(&events));
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("hwpr-report: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

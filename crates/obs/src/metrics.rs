@@ -1,0 +1,471 @@
+//! Typed process-global metrics: counters, gauges and histograms.
+//!
+//! All metric updates are lock-free relaxed atomics, so instrumented hot
+//! paths never contend and never allocate. Handles are `Arc`s; the global
+//! [`Registry`] tracks every live metric through weak references and can
+//! snapshot them all into the event stream ([`Registry::emit`]).
+//!
+//! Two handle styles cover the workspace's needs:
+//!
+//! - **Named get-or-create** ([`Registry::counter`] & friends) for static
+//!   instrumentation points (GEMM FLOP counts, backward-pass timings);
+//!   the registry keeps these alive for the process lifetime.
+//! - **Instance registration** ([`Registry::register_counter`]) for
+//!   per-object counters (one `ScoreCache` per evaluator); the metric
+//!   dies with its owner and [`Registry::snapshot`] sums live instances
+//!   that share a name.
+
+use crate::event::Event;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// A monotonically increasing counter.
+///
+/// [`Counter::add`] counts unconditionally (a relaxed `fetch_add`), so
+/// counters double as functional statistics — the `ScoreCache` hit/miss
+/// counters feed `SearchResult::surrogate_calls` even with telemetry off.
+/// Hot paths that only want the count under telemetry should gate the
+/// call on [`crate::enabled`].
+#[derive(Debug)]
+pub struct Counter {
+    name: String,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a standalone counter (see [`Registry::register_counter`]).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds `n` to the count.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the count.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets the count to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins floating-point gauge (f64 bits in an atomic).
+#[derive(Debug)]
+pub struct Gauge {
+    name: String,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a standalone gauge reading 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram: `counts[i]` observations fell in
+/// `(bounds[i-1], bounds[i]]`, with one extra overflow bucket past the
+/// last bound. Updates are per-bucket relaxed atomics plus a CAS loop for
+/// the running sum, so concurrent observers never lose counts.
+#[derive(Debug)]
+pub struct Histogram {
+    name: String,
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    pub fn new(name: impl Into<String>, bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self {
+            name: name.into(),
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// `n` exponential bucket bounds starting at `first` and growing by
+    /// `factor` — the workspace default for latency-style metrics.
+    pub fn exponential_bounds(first: f64, factor: f64, n: usize) -> Vec<f64> {
+        let mut bound = first;
+        (0..n)
+            .map(|_| {
+                let b = bound;
+                bound *= factor;
+                b
+            })
+            .collect()
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries; the last is the
+    /// overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Snapshot as an [`Event::Hist`].
+    pub fn to_event(&self, t_us: u64) -> Event {
+        Event::Hist {
+            name: self.name.clone(),
+            count: self.count(),
+            sum: self.sum(),
+            bounds: self.bounds.clone(),
+            counts: self.bucket_counts(),
+            t_us,
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    // named handles are kept alive for the process lifetime
+    named_counters: HashMap<String, Arc<Counter>>,
+    named_gauges: HashMap<String, Arc<Gauge>>,
+    named_histograms: HashMap<String, Arc<Histogram>>,
+    // instance metrics live only as long as their owners
+    counters: Vec<Weak<Counter>>,
+    gauges: Vec<Weak<Gauge>>,
+    histograms: Vec<Weak<Histogram>>,
+}
+
+/// The process-global metric registry (see [`registry`]).
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+/// An aggregated point-in-time view of every live metric.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter totals by name (instances sharing a name are summed).
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name (last registered instance wins).
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots (one per live instance).
+    pub histograms: Vec<Event>,
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// Returns the counter named `name`, creating (and keeping alive) a
+    /// fresh one on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        if let Some(existing) = inner.named_counters.get(name) {
+            return Arc::clone(existing);
+        }
+        let counter = Arc::new(Counter::new(name));
+        inner.counters.push(Arc::downgrade(&counter));
+        inner
+            .named_counters
+            .insert(name.to_string(), Arc::clone(&counter));
+        counter
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        if let Some(existing) = inner.named_gauges.get(name) {
+            return Arc::clone(existing);
+        }
+        let gauge = Arc::new(Gauge::new(name));
+        inner.gauges.push(Arc::downgrade(&gauge));
+        inner
+            .named_gauges
+            .insert(name.to_string(), Arc::clone(&gauge));
+        gauge
+    }
+
+    /// Returns the histogram named `name`, creating it with `bounds` on
+    /// first use (later callers inherit the first bounds).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        if let Some(existing) = inner.named_histograms.get(name) {
+            return Arc::clone(existing);
+        }
+        let histogram = Arc::new(Histogram::new(name, bounds));
+        inner.histograms.push(Arc::downgrade(&histogram));
+        inner
+            .named_histograms
+            .insert(name.to_string(), Arc::clone(&histogram));
+        histogram
+    }
+
+    /// Registers a per-instance counter. The registry holds only a weak
+    /// reference: the counter disappears from snapshots when its owner
+    /// drops it, and live instances sharing a name are summed.
+    pub fn register_counter(&self, counter: Counter) -> Arc<Counter> {
+        let counter = Arc::new(counter);
+        self.inner
+            .lock()
+            .expect("registry lock poisoned")
+            .counters
+            .push(Arc::downgrade(&counter));
+        counter
+    }
+
+    /// Registers a per-instance gauge (weakly held, like counters).
+    pub fn register_gauge(&self, gauge: Gauge) -> Arc<Gauge> {
+        let gauge = Arc::new(gauge);
+        self.inner
+            .lock()
+            .expect("registry lock poisoned")
+            .gauges
+            .push(Arc::downgrade(&gauge));
+        gauge
+    }
+
+    /// Registers a per-instance histogram (weakly held).
+    pub fn register_histogram(&self, histogram: Histogram) -> Arc<Histogram> {
+        let histogram = Arc::new(histogram);
+        self.inner
+            .lock()
+            .expect("registry lock poisoned")
+            .histograms
+            .push(Arc::downgrade(&histogram));
+        histogram
+    }
+
+    /// Aggregates every live metric, pruning dropped instances.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        inner.counters.retain(|weak| {
+            let Some(counter) = weak.upgrade() else {
+                return false;
+            };
+            match counters.iter_mut().find(|(n, _)| n == counter.name()) {
+                Some((_, total)) => *total += counter.get(),
+                None => counters.push((counter.name().to_string(), counter.get())),
+            }
+            true
+        });
+        let mut gauges: Vec<(String, f64)> = Vec::new();
+        inner.gauges.retain(|weak| {
+            let Some(gauge) = weak.upgrade() else {
+                return false;
+            };
+            match gauges.iter_mut().find(|(n, _)| n == gauge.name()) {
+                Some((_, value)) => *value = gauge.get(),
+                None => gauges.push((gauge.name().to_string(), gauge.get())),
+            }
+            true
+        });
+        let t_us = crate::now_us();
+        let mut histograms = Vec::new();
+        inner.histograms.retain(|weak| {
+            let Some(histogram) = weak.upgrade() else {
+                return false;
+            };
+            histograms.push(histogram.to_event(t_us));
+            true
+        });
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Emits the full snapshot through the installed recorder (a no-op
+    /// with telemetry off).
+    pub fn emit(&self) {
+        if !crate::enabled() {
+            return;
+        }
+        let snapshot = self.snapshot();
+        let t_us = crate::now_us();
+        for (name, value) in snapshot.counters {
+            crate::emit(Event::Counter { name, value, t_us });
+        }
+        for (name, value) in snapshot.gauges {
+            crate::emit(Event::Gauge { name, value, t_us });
+        }
+        for hist in snapshot.histograms {
+            crate::emit(hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let c = Counter::new("t.counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = Gauge::new("t.gauge");
+        g.set(2.5);
+        g.set(-7.0);
+        assert_eq!(g.get(), -7.0);
+    }
+
+    #[test]
+    fn histogram_places_boundary_values_in_lower_bucket() {
+        let h = Histogram::new("t.hist", &[1.0, 10.0, 100.0]);
+        h.observe(0.5); // bucket 0
+        h.observe(1.0); // boundary: still bucket 0 (<= bound)
+        h.observe(1.0000001); // bucket 1
+        h.observe(10.0); // bucket 1
+        h.observe(99.9); // bucket 2
+        h.observe(1e6); // overflow
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - (0.5 + 1.0 + 1.0000001 + 10.0 + 99.9 + 1e6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exponential_bounds_grow_by_factor() {
+        let b = Histogram::exponential_bounds(1.0, 4.0, 4);
+        assert_eq!(b, vec![1.0, 4.0, 16.0, 64.0]);
+    }
+
+    #[test]
+    fn registry_sums_instances_and_prunes_dead_ones() {
+        let registry = Registry::default();
+        let a = registry.register_counter(Counter::new("t.instances"));
+        let b = registry.register_counter(Counter::new("t.instances"));
+        a.add(3);
+        b.add(4);
+        let snap = registry.snapshot();
+        let total = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "t.instances")
+            .map(|(_, v)| *v);
+        assert_eq!(total, Some(7));
+        drop(b);
+        let snap = registry.snapshot();
+        let total = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "t.instances")
+            .map(|(_, v)| *v);
+        assert_eq!(total, Some(3));
+    }
+
+    #[test]
+    fn named_handles_are_shared() {
+        let registry = Registry::default();
+        let a = registry.counter("t.named");
+        let b = registry.counter("t.named");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let g = registry.gauge("t.g");
+        registry.gauge("t.g").set(9.0);
+        assert_eq!(g.get(), 9.0);
+        let h = registry.histogram("t.h", &[1.0]);
+        registry.histogram("t.h", &[5.0, 6.0]).observe(0.5);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.bounds(), &[1.0]);
+    }
+}

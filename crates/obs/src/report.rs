@@ -1,0 +1,371 @@
+//! Turns a JSONL run record into a human-readable summary.
+//!
+//! Used by the `hwpr-report` binary:
+//!
+//! ```text
+//! cargo run -p hwpr-obs --bin hwpr-report -- telemetry.jsonl
+//! ```
+
+use crate::event::Event;
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Parses a JSONL run record (one event per line; blank lines skipped).
+///
+/// # Errors
+///
+/// Returns the first malformed line's error, with its line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| Event::from_json(line).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// Renders the run summary: header, warnings, span aggregates, final
+/// metric values and one table per record stream.
+pub fn summarize(events: &[Event]) -> String {
+    let mut out = String::new();
+    let t_min = events.iter().map(Event::t_us).min().unwrap_or(0);
+    let t_max = events.iter().map(Event::t_us).max().unwrap_or(0);
+    out.push_str(&format!(
+        "run record: {} events over {}\n",
+        events.len(),
+        fmt_us(t_max.saturating_sub(t_min))
+    ));
+
+    let warnings: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Warn { message, .. } => Some(message.as_str()),
+            _ => None,
+        })
+        .collect();
+    if !warnings.is_empty() {
+        out.push_str(&format!("\nwarnings ({}):\n", warnings.len()));
+        for w in &warnings {
+            out.push_str(&format!("  ! {w}\n"));
+        }
+    }
+
+    // span aggregates: count, total, mean, max per name
+    let mut spans: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for event in events {
+        if let Event::SpanEnd { name, dur_us, .. } = event {
+            let entry = spans.entry(name).or_insert((0, 0, 0));
+            entry.0 += 1;
+            entry.1 += dur_us;
+            entry.2 = entry.2.max(*dur_us);
+        }
+    }
+    if !spans.is_empty() {
+        let rows: Vec<Vec<String>> = spans
+            .iter()
+            .map(|(name, (count, total, max))| {
+                vec![
+                    name.to_string(),
+                    count.to_string(),
+                    fmt_us(*total),
+                    fmt_us(total / count.max(&1)),
+                    fmt_us(*max),
+                ]
+            })
+            .collect();
+        out.push_str("\nspans:\n");
+        out.push_str(&table(&["span", "count", "total", "mean", "max"], &rows));
+    }
+
+    // final counter / gauge values (last event per name wins)
+    let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<&str, f64> = BTreeMap::new();
+    for event in events {
+        match event {
+            Event::Counter { name, value, .. } => {
+                counters.insert(name, *value);
+            }
+            Event::Gauge { name, value, .. } => {
+                gauges.insert(name, *value);
+            }
+            _ => {}
+        }
+    }
+    if !counters.is_empty() || !gauges.is_empty() {
+        let mut rows: Vec<Vec<String>> = counters
+            .iter()
+            .map(|(name, value)| vec![name.to_string(), "counter".into(), fmt_u64(*value)])
+            .collect();
+        rows.extend(
+            gauges
+                .iter()
+                .map(|(name, value)| vec![name.to_string(), "gauge".into(), fmt_f64(*value)]),
+        );
+        out.push_str("\nmetrics:\n");
+        out.push_str(&table(&["metric", "kind", "value"], &rows));
+    }
+
+    // histograms: last snapshot per name
+    let mut hists: BTreeMap<&str, &Event> = BTreeMap::new();
+    for event in events {
+        if let Event::Hist { name, .. } = event {
+            hists.insert(name, event);
+        }
+    }
+    if !hists.is_empty() {
+        let rows: Vec<Vec<String>> = hists
+            .values()
+            .filter_map(|event| {
+                let Event::Hist {
+                    name,
+                    count,
+                    sum,
+                    bounds,
+                    counts,
+                    ..
+                } = event
+                else {
+                    return None;
+                };
+                let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                Some(vec![
+                    name.clone(),
+                    count.to_string(),
+                    fmt_f64(mean),
+                    fmt_f64(quantile(bounds, counts, 0.5)),
+                    fmt_f64(quantile(bounds, counts, 0.95)),
+                ])
+            })
+            .collect();
+        out.push_str("\nhistograms:\n");
+        out.push_str(&table(
+            &["histogram", "count", "mean", "~p50", "~p95"],
+            &rows,
+        ));
+    }
+
+    // record streams: one table per name, columns in first-seen order
+    let mut streams: Vec<(&str, Vec<&Event>)> = Vec::new();
+    for event in events {
+        if let Event::Record { name, .. } = event {
+            match streams.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, rows)) => rows.push(event),
+                None => streams.push((name, vec![event])),
+            }
+        }
+    }
+    for (name, records) in &streams {
+        let mut columns: Vec<&str> = Vec::new();
+        for record in records {
+            if let Event::Record { fields, .. } = record {
+                for (key, _) in fields {
+                    if !columns.contains(&key.as_str()) {
+                        columns.push(key);
+                    }
+                }
+            }
+        }
+        const MAX_ROWS: usize = 48;
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for record in records.iter().take(MAX_ROWS) {
+            if let Event::Record { fields, .. } = record {
+                rows.push(
+                    columns
+                        .iter()
+                        .map(|col| {
+                            fields
+                                .iter()
+                                .find(|(k, _)| k == col)
+                                .map_or(String::new(), |(_, v)| fmt_value(v))
+                        })
+                        .collect(),
+                );
+            }
+        }
+        out.push_str(&format!("\n{name} ({} rows):\n", records.len()));
+        let headers: Vec<&str> = columns.clone();
+        out.push_str(&table(&headers, &rows));
+        if records.len() > MAX_ROWS {
+            out.push_str(&format!("  ... {} more rows\n", records.len() - MAX_ROWS));
+        }
+    }
+    out
+}
+
+/// Approximate quantile from cumulative bucket counts (upper bound of the
+/// bucket holding the q-th observation; the overflow bucket reports the
+/// last finite bound).
+fn quantile(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return bounds
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| bounds.last().copied().unwrap_or(f64::INFINITY));
+        }
+    }
+    bounds.last().copied().unwrap_or(f64::INFINITY)
+}
+
+fn fmt_value(value: &Value) -> String {
+    match value {
+        Value::Null => "-".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => fmt_u64(*u),
+        Value::Float(f) => fmt_f64(*f),
+        Value::String(s) => s.clone(),
+        Value::Array(items) => format!("[{} items]", items.len()),
+        Value::Object(pairs) => format!("{{{} fields}}", pairs.len()),
+    }
+}
+
+fn fmt_u64(v: u64) -> String {
+    v.to_string()
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.fract() == 0.0 && v.abs() < 1e6 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 10_000_000 {
+        format!("{:.1}s", us as f64 / 1e6)
+    } else if us >= 10_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// Renders an aligned plain-text table.
+fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render = |cells: &[String], widths: &[usize], out: &mut String| {
+        out.push_str("  ");
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        // no trailing padding spaces
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    render(&header_cells, &widths, &mut out);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    render(&rule, &widths, &mut out);
+    for row in rows {
+        render(row, &widths, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_jsonl_reports_bad_lines() {
+        let good = "{\"type\":\"warn\",\"message\":\"m\",\"t_us\":1}\n";
+        assert_eq!(parse_jsonl(good).unwrap().len(), 1);
+        let bad = format!("{good}not json\n");
+        let err = parse_jsonl(&bad).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn summarize_renders_all_sections() {
+        let events = vec![
+            Event::SpanStart {
+                id: 1,
+                parent: 0,
+                name: "search.moea".into(),
+                t_us: 0,
+            },
+            Event::SpanEnd {
+                id: 1,
+                parent: 0,
+                name: "search.moea".into(),
+                t_us: 900,
+                dur_us: 900,
+            },
+            Event::Counter {
+                name: "tensor.gemm.calls".into(),
+                value: 42,
+                t_us: 950,
+            },
+            Event::Gauge {
+                name: "autograd.tape.nodes".into(),
+                value: 123.0,
+                t_us: 950,
+            },
+            Event::Hist {
+                name: "search.eval_ms".into(),
+                count: 3,
+                sum: 6.0,
+                bounds: vec![1.0, 10.0],
+                counts: vec![1, 2, 0],
+                t_us: 950,
+            },
+            Event::Warn {
+                message: "invalid HWPR_THREADS".into(),
+                t_us: 10,
+            },
+            Event::Record {
+                name: "search.generation".into(),
+                t_us: 500,
+                fields: vec![
+                    ("gen".into(), Value::UInt(0)),
+                    ("hv".into(), Value::Float(0.75)),
+                ],
+            },
+        ];
+        let text = summarize(&events);
+        assert!(text.contains("7 events"));
+        assert!(text.contains("search.moea"));
+        assert!(text.contains("tensor.gemm.calls"));
+        assert!(text.contains("autograd.tape.nodes"));
+        assert!(text.contains("search.eval_ms"));
+        assert!(text.contains("invalid HWPR_THREADS"));
+        assert!(text.contains("search.generation (1 rows):"));
+        assert!(text.contains("0.75"));
+    }
+
+    #[test]
+    fn quantile_walks_buckets() {
+        let bounds = [1.0, 2.0, 4.0];
+        let counts = [5, 4, 1, 0];
+        assert_eq!(quantile(&bounds, &counts, 0.5), 1.0);
+        assert_eq!(quantile(&bounds, &counts, 0.9), 2.0);
+        assert_eq!(quantile(&bounds, &counts, 0.95), 4.0);
+        assert_eq!(quantile(&bounds, &counts, 1.0), 4.0);
+        assert_eq!(quantile(&bounds, &[0, 0, 0, 0], 0.5), 0.0);
+    }
+}

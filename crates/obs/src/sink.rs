@@ -1,0 +1,164 @@
+//! Event sinks: the [`Recorder`] trait and its built-in implementations.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Receives every telemetry event. Implementations must be thread-safe:
+/// instrumented code records from worker threads concurrently.
+pub trait Recorder: Send + Sync {
+    /// Handles one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output (called by [`crate::shutdown`] and
+    /// [`crate::flush`]).
+    fn flush(&self) {}
+}
+
+/// Writes one JSON object per line. Every record is flushed through to
+/// the underlying writer so a crashed or killed run keeps its telemetry.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl JsonlSink {
+    /// Streams JSONL to (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::to_writer(Box::new(File::create(path)?)))
+    }
+
+    /// Streams JSONL to stderr.
+    pub fn to_stderr() -> Self {
+        Self::to_writer(Box::new(io::stderr()))
+    }
+
+    /// Streams JSONL to an arbitrary writer.
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = event.to_json();
+        let mut out = self.out.lock().expect("sink lock poisoned");
+        // IO failures must not crash the instrumented run; telemetry is
+        // best-effort by design
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("sink lock poisoned").flush();
+    }
+}
+
+/// Buffers events in memory; the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every event recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("sink lock poisoned").clone()
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().expect("sink lock poisoned").clear();
+    }
+}
+
+impl Recorder for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("sink lock poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Accepts and discards every event while keeping telemetry *enabled* —
+/// the `telemetry_overhead` bench uses it to measure pure instrumentation
+/// cost without sink IO.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl Recorder for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_stores_events() {
+        let sink = MemorySink::new();
+        sink.record(&Event::Warn {
+            message: "x".into(),
+            t_us: 1,
+        });
+        assert_eq!(sink.events().len(), 1);
+        sink.clear();
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        use std::sync::{Arc, Mutex};
+
+        /// Shared in-memory writer so the test can inspect sink output.
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let sink = JsonlSink::to_writer(Box::new(buf.clone()));
+        sink.record(&Event::Counter {
+            name: "a".into(),
+            value: 1,
+            t_us: 2,
+        });
+        sink.record(&Event::Counter {
+            name: "b".into(),
+            value: 3,
+            t_us: 4,
+        });
+        sink.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"a\""));
+        assert!(lines[1].contains("\"name\":\"b\""));
+    }
+}

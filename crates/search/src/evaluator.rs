@@ -11,9 +11,9 @@ use hwpr_core::baselines::SurrogatePair;
 use hwpr_core::HwPrNas;
 use hwpr_hwmodel::{AccuracyModel, Platform, SimBench};
 use hwpr_nasbench::{Architecture, Dataset};
+use hwpr_obs::metrics::Counter;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A reference-counted minimisation objective vector. Cloning is an `Arc`
@@ -83,6 +83,13 @@ pub trait Evaluator {
     /// a call). `None` means callers should assume
     /// `evaluations * calls_per_arch()`.
     fn calls_made(&self) -> Option<u64> {
+        None
+    }
+
+    /// `(hits, misses)` totals for cache-backed evaluators; `None` when
+    /// the evaluator has no cache. Feeds the per-generation search
+    /// telemetry record.
+    fn cache_stats(&self) -> Option<(u64, u64)> {
         None
     }
 }
@@ -183,20 +190,37 @@ pub type ScoreFn = Box<dyn FnMut(&[Architecture]) -> Result<Vec<f64>>>;
 /// The MOEA's mutation rate of 0.9 re-creates many architectures across
 /// generations (and across restarts sharing the cache); each distinct
 /// architecture pays for exactly one forward pass. The map is behind a
-/// `parking_lot::RwLock` so the lookup pass never serialises readers, and
-/// hit/miss counters expose the effectiveness of the cache.
-#[derive(Debug, Default)]
+/// `parking_lot::RwLock` so the lookup pass never serialises readers.
+///
+/// Hit/miss counts live in the `hwpr-obs` metric registry (per-instance
+/// counters named `search.cache.hits` / `search.cache.misses`): every
+/// cache feeds the same telemetry snapshot that the search run exports,
+/// and [`ScoreCache::hits`]/[`ScoreCache::misses`] keep serving the
+/// functional consumers (`SearchResult::surrogate_calls`) with telemetry
+/// off.
+#[derive(Debug)]
 pub struct ScoreCache {
     entries: RwLock<HashMap<String, (f64, SharedObjectives)>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl Default for ScoreCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ScoreCache {
     /// Creates an empty cache. Wrap it in an [`Arc`] and pass it to
     /// [`HwPrNasEvaluator::with_shared_cache`] to span evaluators.
     pub fn new() -> Self {
-        Self::default()
+        let registry = hwpr_obs::metrics::registry();
+        Self {
+            entries: RwLock::default(),
+            hits: registry.register_counter(Counter::new("search.cache.hits")),
+            misses: registry.register_counter(Counter::new("search.cache.misses")),
+        }
     }
 
     /// Looks up one architecture key, counting the hit or miss.
@@ -204,11 +228,11 @@ impl ScoreCache {
         let found = self.entries.read().get(key).cloned();
         match found {
             Some(ref hit) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some((hit.0, Arc::clone(&hit.1)))
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -221,7 +245,7 @@ impl ScoreCache {
     /// Counts a lookup answered without a forward pass through a path
     /// other than [`Self::lookup`] (in-batch deduplication).
     fn count_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
     }
 
     /// Number of distinct architectures cached.
@@ -236,34 +260,47 @@ impl ScoreCache {
 
     /// Lookups answered from the cache so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookups that required a surrogate call so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Drops all entries and resets the counters.
     pub fn clear(&self) {
         self.entries.write().clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
     }
 }
 
 /// Worker-thread count for parallel surrogate evaluation: `HWPR_THREADS`
 /// when set to a positive integer, otherwise the machine's available
-/// parallelism.
+/// parallelism. An invalid or zero `HWPR_THREADS` warns through the
+/// telemetry event sink and falls back to the serial path (1 thread) —
+/// a typo must not silently grab every core.
 pub fn evaluation_threads() -> usize {
-    if let Ok(v) = std::env::var("HWPR_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+    match std::env::var("HWPR_THREADS") {
+        Ok(spec) => threads_from_spec(&spec),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Parses an explicit `HWPR_THREADS` value (factored out of
+/// [`evaluation_threads`] so tests need not mutate the environment).
+fn threads_from_spec(spec: &str) -> usize {
+    match spec.trim().parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            hwpr_obs::warn(format!(
+                "invalid HWPR_THREADS value {spec:?} (expected a positive integer); \
+                 falling back to 1 worker thread"
+            ));
+            1
         }
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Evaluates with the full HW-PR-NAS model: one call yields the Pareto
@@ -388,6 +425,10 @@ impl Evaluator for HwPrNasEvaluator {
 
     fn calls_made(&self) -> Option<u64> {
         Some(self.cache.misses())
+    }
+
+    fn cache_stats(&self) -> Option<(u64, u64)> {
+        Some((self.cache.hits(), self.cache.misses()))
     }
 }
 
@@ -597,6 +638,17 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn threads_spec_falls_back_to_serial_on_garbage() {
+        assert_eq!(threads_from_spec("4"), 4);
+        assert_eq!(threads_from_spec(" 2 "), 2);
+        // zero, negative and non-numeric specs warn and run serially
+        assert_eq!(threads_from_spec("0"), 1);
+        assert_eq!(threads_from_spec("-3"), 1);
+        assert_eq!(threads_from_spec("lots"), 1);
+        assert_eq!(threads_from_spec(""), 1);
     }
 
     #[test]

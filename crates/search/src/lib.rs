@@ -24,6 +24,7 @@ mod clock;
 mod evaluator;
 mod moea;
 mod random;
+mod telemetry;
 
 pub use clock::SearchClock;
 pub use evaluator::{

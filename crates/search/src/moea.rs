@@ -172,6 +172,8 @@ impl Moea {
     /// Propagates evaluator failures.
     pub fn run(&self, evaluator: &mut dyn Evaluator) -> Result<SearchResult> {
         let cfg = &self.config;
+        let _search_span = hwpr_obs::span("search.moea");
+        let mut generation_telemetry = crate::telemetry::GenerationTelemetry::default();
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let mut clock = match cfg.budget {
             Some(b) => SearchClock::with_budget(b),
@@ -193,7 +195,9 @@ impl Moea {
             let space = cfg.spaces[i % cfg.spaces.len()];
             population.push(Architecture::random(space, &mut rng));
         }
+        let timer = crate::telemetry::eval_timer();
         let mut fitness = evaluator.evaluate(&population, &mut clock)?;
+        timer.finish();
         evaluations += population.len();
         surrogate_calls += population.len() * evaluator.calls_per_arch();
 
@@ -221,7 +225,9 @@ impl Moea {
                 };
                 offspring.push(child);
             }
+            let timer = crate::telemetry::eval_timer();
             let offspring_fitness = evaluator.evaluate(&offspring, &mut clock)?;
+            let eval_ms = timer.finish();
             evaluations += offspring.len();
             surrogate_calls += offspring.len() * evaluator.calls_per_arch();
 
@@ -242,6 +248,15 @@ impl Moea {
                 evaluations,
                 elapsed: clock.total_elapsed(),
                 population: cfg.record_populations.then(|| population.clone()),
+            });
+            generation_telemetry.record(crate::telemetry::GenerationRecord {
+                generation,
+                evaluations,
+                elapsed_ms: clock.total_elapsed().as_secs_f64() * 1e3,
+                eval_ms,
+                fitness: &fitness,
+                cache: evaluator.cache_stats(),
+                snapshot_front: cfg.record_populations,
             });
         }
         // cache-backed evaluators answer repeated architectures without a

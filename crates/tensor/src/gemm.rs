@@ -189,6 +189,7 @@ fn micro_kernel(kc: usize, a_strip: &[f32], b_strip: &[f32], acc: &mut [[f32; NR
 /// pack stage when the same `B` (e.g. an LSTM weight) feeds many GEMMs
 /// within one step.
 pub fn pack_b_full(b: &[f32], layout: Layout, (k, n): (usize, usize), dst: &mut Vec<f32>) {
+    crate::telemetry::note_pack();
     dst.clear();
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
@@ -213,6 +214,7 @@ pub fn gemm_prepacked(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let _timer = crate::telemetry::KernelTimer::gemm((m, n, k));
     PACK_SCRATCH.with(|scratch| {
         let (a_pack, _) = &mut *scratch.borrow_mut();
         let mut b_offset = 0;
@@ -272,6 +274,7 @@ pub fn gemm(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let _timer = crate::telemetry::KernelTimer::gemm((m, n, k));
     PACK_SCRATCH.with(|scratch| {
         let (a_pack, b_pack) = &mut *scratch.borrow_mut();
         gemm_with_scratch((m, n, k), a, a_layout, b, b_layout, c, a_pack, b_pack);

@@ -30,6 +30,7 @@ mod packed;
 mod pool;
 pub mod reference;
 mod shape;
+mod telemetry;
 
 pub use fastmath::{fast_sigmoid, fast_tanh};
 pub use init::{he_std, xavier_std, Init};

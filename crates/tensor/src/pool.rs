@@ -35,6 +35,10 @@ const CLASSES: usize = 40;
 #[derive(Debug, Default)]
 pub struct BufferPool {
     buckets: Vec<Vec<Vec<f32>>>,
+    /// Takes serviced from a pooled buffer (no heap traffic).
+    hits: u64,
+    /// Takes that had to allocate fresh storage.
+    misses: u64,
 }
 
 /// Capacity class of a buffer length: index of the smallest power of two
@@ -47,9 +51,7 @@ fn class_of(len: usize) -> usize {
 impl BufferPool {
     /// Creates an empty pool.
     pub fn new() -> Self {
-        Self {
-            buckets: Vec::new(),
-        }
+        Self::default()
     }
 
     /// Takes a zero-filled `rows x cols` matrix, reusing pooled storage
@@ -84,10 +86,16 @@ impl BufferPool {
         }
         let class = class_of(len);
         match self.buckets.get_mut(class).and_then(Vec::pop) {
-            Some(buf) => buf,
+            Some(buf) => {
+                self.hits += 1;
+                buf
+            }
             // Round fresh allocations up to the class size so the buffer
             // re-enters the same bucket whatever shape it is reused for.
-            None => Vec::with_capacity(len.next_power_of_two()),
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(len.next_power_of_two())
+            }
         }
     }
 
@@ -107,6 +115,27 @@ impl BufferPool {
     /// Total number of buffers currently parked in the pool.
     pub fn parked(&self) -> usize {
         self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Non-empty takes serviced from pooled storage since creation.
+    pub fn reuse_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Non-empty takes that allocated fresh storage since creation.
+    pub fn reuse_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of non-empty takes serviced without allocating; 0 before
+    /// the first take. Approaches 1 once a fixed-shape workload warms up.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 }
 
@@ -149,6 +178,21 @@ mod tests {
         assert!(m.is_empty());
         pool.put(m);
         assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn reuse_stats_track_hits_and_misses() {
+        let mut pool = BufferPool::new();
+        assert_eq!(pool.reuse_ratio(), 0.0);
+        let m = pool.take(2, 2); // miss
+        pool.put(m);
+        let _again = pool.take(2, 2); // hit
+        assert_eq!(pool.reuse_hits(), 1);
+        assert_eq!(pool.reuse_misses(), 1);
+        assert_eq!(pool.reuse_ratio(), 0.5);
+        let empty = pool.take(0, 3); // zero-sized: not counted
+        pool.put(empty);
+        assert_eq!(pool.reuse_hits() + pool.reuse_misses(), 2);
     }
 
     #[test]

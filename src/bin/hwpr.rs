@@ -241,7 +241,16 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    // HWPR_TELEMETRY=jsonl:PATH|stderr turns on the structured run record
+    let telemetry = hw_pr_nas::obs::init_from_env();
+    let outcome = run();
+    if telemetry {
+        // final metric totals (GEMM counters, cache hit/miss, ...) close
+        // out the run record
+        hw_pr_nas::obs::metrics::registry().emit();
+        hw_pr_nas::obs::shutdown();
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("{message}");

@@ -16,6 +16,8 @@
 //!   hardware platforms and the deterministic synthetic benchmark tables.
 //! - [`moo`] — Pareto dominance, non-dominated sorting, hypervolume.
 //! - [`metrics`] — Kendall τ, Spearman ρ, RMSE and summary statistics.
+//! - [`obs`] — zero-overhead structured telemetry: spans, counters /
+//!   gauges / histograms and JSONL run records (`HWPR_TELEMETRY`).
 //! - [`core`] — the paper's contribution: the HW-PR-NAS surrogate with its
 //!   Pareto ranking loss, plus BRP-NAS- and GATES-style baselines.
 //! - [`search`] — random search and the MOEA of Algorithm 1.
@@ -48,5 +50,6 @@ pub use hwpr_metrics as metrics;
 pub use hwpr_moo as moo;
 pub use hwpr_nasbench as nasbench;
 pub use hwpr_nn as nn;
+pub use hwpr_obs as obs;
 pub use hwpr_search as search;
 pub use hwpr_tensor as tensor;
