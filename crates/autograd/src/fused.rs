@@ -18,7 +18,122 @@
 use crate::error::AutogradError;
 use crate::tape::{Act, Op, Tape, Var};
 use crate::Result;
-use hwpr_tensor::{fast_sigmoid, fast_tanh, Matrix, ShapeError};
+use hwpr_tensor::{fast_sigmoid, fast_tanh, Matrix, PackedWeight, ShapeError};
+
+/// Applies an optional row-broadcast `bias` and activation `act` in place:
+/// the exact pointwise tail of [`Tape::linear_act`], factored out so the
+/// tape-free frozen inference path runs the same loop and cannot drift.
+///
+/// # Errors
+///
+/// Returns a shape error when `bias` is not `[1, value.cols()]`.
+pub fn apply_bias_act(value: &mut Matrix, bias: Option<&Matrix>, act: Act) -> Result<()> {
+    let (m, n) = value.shape();
+    if let Some(bv) = bias {
+        if bv.shape() != (1, n) {
+            return Err(AutogradError::Shape(ShapeError::new(
+                "apply_bias_act",
+                (1, n),
+                bv.shape(),
+            )));
+        }
+        for r in 0..m {
+            for (v, &bias_v) in value.row_mut(r).iter_mut().zip(bv.as_slice()) {
+                *v = act.apply(*v + bias_v);
+            }
+        }
+    } else if act != Act::Identity {
+        value.map_inplace(|v| act.apply(v));
+    }
+    Ok(())
+}
+
+/// Packs `[x | h_prev]` rows into `xh`: the forward staging step shared by
+/// [`Tape::lstm_step`] and the frozen path. Only the first `input` columns
+/// of each `x` row are read, so a packed `[h | c]` layer state can feed the
+/// next layer without a column slice.
+pub fn lstm_pack_xh(x: &Matrix, input: usize, hc: &Matrix, hidden: usize, xh: &mut Matrix) {
+    for r in 0..x.rows() {
+        let row = xh.row_mut(r);
+        row[..input].copy_from_slice(&x.row(r)[..input]);
+        row[input..].copy_from_slice(&hc.row(r)[..hidden]);
+    }
+}
+
+/// Fused bias + gate activations in place: i, f, o sigmoid and g tanh on
+/// the `[batch, 4·hidden]` pre-activation `gates` (gate order `[i f g o]`).
+/// Each gate block is a contiguous slice processed by a branch-free
+/// `fast_sigmoid`/`fast_tanh` loop the auto-vectoriser handles.
+pub fn lstm_bias_gates(gates: &mut Matrix, bias: &Matrix, hidden: usize) {
+    let bv = bias.as_slice();
+    for r in 0..gates.rows() {
+        let row = gates.row_mut(r);
+        let (sig_if, rest) = row.split_at_mut(2 * hidden);
+        let (tanh_g, sig_o) = rest.split_at_mut(hidden);
+        for (g, &b) in sig_if.iter_mut().zip(&bv[..2 * hidden]) {
+            *g = fast_sigmoid(*g + b);
+        }
+        for (g, &b) in tanh_g.iter_mut().zip(&bv[2 * hidden..3 * hidden]) {
+            *g = fast_tanh(*g + b);
+        }
+        for (g, &b) in sig_o.iter_mut().zip(&bv[3 * hidden..]) {
+            *g = fast_sigmoid(*g + b);
+        }
+    }
+}
+
+/// LSTM state update from post-activation gates: `c_new = f·c_prev + i·g`,
+/// `h_new = o·tanh(c_new)`, written into the packed `[h_new | c_new]`
+/// output. Gate blocks are pre-split into equal-length slices so the `j`
+/// loop has provable bounds and vectorises.
+pub fn lstm_state_update(gates: &Matrix, hc_prev: &Matrix, hidden: usize, out: &mut Matrix) {
+    for r in 0..gates.rows() {
+        let gr = gates.row(r);
+        let (i_g, rest) = gr.split_at(hidden);
+        let (f_g, rest) = rest.split_at(hidden);
+        let (g_g, o_g) = rest.split_at(hidden);
+        let c_prev = &hc_prev.row(r)[hidden..];
+        let (h_out, c_out) = out.row_mut(r).split_at_mut(hidden);
+        for j in 0..hidden {
+            let c_new = f_g[j] * c_prev[j] + i_g[j] * g_g[j];
+            c_out[j] = c_new;
+            h_out[j] = o_g[j] * fast_tanh(c_new);
+        }
+    }
+}
+
+/// Tape-free fused LSTM cell step against a prepacked gate weight: the
+/// frozen-inference form of [`Tape::lstm_step`], built from the same three
+/// stages (pack, bias+gates, state update) so the two are bit-identical.
+///
+/// `x` may be wider than `input` (only its first `input` columns are read),
+/// letting a previous layer's packed `[h | c]` state feed the next layer
+/// directly. `xh` (`[batch, input + hidden]`) and `gates`
+/// (`[batch, 4·hidden]`) are caller-provided scratch; `out` receives the
+/// packed `[h_new | c_new]` next state.
+///
+/// # Errors
+///
+/// Returns a shape error when the prepacked weight does not match the
+/// staged `xh`/`gates` shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn lstm_step_frozen(
+    x: &Matrix,
+    input: usize,
+    hc: &Matrix,
+    w: &PackedWeight,
+    bias: &Matrix,
+    xh: &mut Matrix,
+    gates: &mut Matrix,
+    out: &mut Matrix,
+) -> Result<()> {
+    let hidden = hc.cols() / 2;
+    lstm_pack_xh(x, input, hc, hidden, xh);
+    xh.matmul_prepacked_into(w, gates)?;
+    lstm_bias_gates(gates, bias, hidden);
+    lstm_state_update(gates, hc, hidden, out);
+    Ok(())
+}
 
 impl Tape {
     /// Fused affine + activation: `act(x @ w + bias)` in one node.
@@ -37,24 +152,9 @@ impl Tape {
         self.nodes[x.0]
             .value
             .matmul_into(&self.nodes[w.0].value, &mut value)?;
-        if let Some(b) = bias {
-            let bshape = self.nodes[b.0].value.shape();
-            if bshape != (1, n) {
-                self.pool.put(value);
-                return Err(AutogradError::Shape(ShapeError::new(
-                    "linear_act",
-                    (1, n),
-                    bshape,
-                )));
-            }
-            let bv = &self.nodes[b.0].value;
-            for r in 0..m {
-                for (v, &bias_v) in value.row_mut(r).iter_mut().zip(bv.as_slice()) {
-                    *v = act.apply(*v + bias_v);
-                }
-            }
-        } else if act != Act::Identity {
-            value.map_inplace(|v| act.apply(v));
+        if let Err(e) = apply_bias_act(&mut value, bias.map(|b| &self.nodes[b.0].value), act) {
+            self.pool.put(value);
+            return Err(e);
         }
         Ok(self.push(value, Op::LinearAct { x, w, bias, act }))
     }
@@ -103,15 +203,13 @@ impl Tape {
         // pack [x | h_prev] once; it feeds the gate GEMM forward and the
         // weight-gradient GEMM backward
         let mut xh = self.pool.take(batch, input + hidden);
-        {
-            let xv = &self.nodes[x.0].value;
-            let hcv = &self.nodes[hc.0].value;
-            for r in 0..batch {
-                let row = xh.row_mut(r);
-                row[..input].copy_from_slice(xv.row(r));
-                row[input..].copy_from_slice(&hcv.row(r)[..hidden]);
-            }
-        }
+        lstm_pack_xh(
+            &self.nodes[x.0].value,
+            input,
+            &self.nodes[hc.0].value,
+            hidden,
+            &mut xh,
+        );
 
         // one [batch, 4·hidden] GEMM for all four gates, against weight
         // panels packed once per pass and shared by every sequence step
@@ -127,48 +225,13 @@ impl Tape {
         xh.matmul_prepacked_into(&pack, &mut gates)?;
         self.packs.put(w.0, false, pack);
 
-        // fused bias + gate activations: i, f, o sigmoid; g tanh. Each
-        // gate block is a contiguous slice processed by a branch-free
-        // `fast_sigmoid`/`fast_tanh` loop the auto-vectoriser handles;
-        // libm `exp`/`tanh` here used to cost more than the gate GEMM.
-        {
-            let bv = self.nodes[bias.0].value.as_slice();
-            for r in 0..batch {
-                let row = gates.row_mut(r);
-                let (sig_if, rest) = row.split_at_mut(2 * hidden);
-                let (tanh_g, sig_o) = rest.split_at_mut(hidden);
-                for (g, &b) in sig_if.iter_mut().zip(&bv[..2 * hidden]) {
-                    *g = fast_sigmoid(*g + b);
-                }
-                for (g, &b) in tanh_g.iter_mut().zip(&bv[2 * hidden..3 * hidden]) {
-                    *g = fast_tanh(*g + b);
-                }
-                for (g, &b) in sig_o.iter_mut().zip(&bv[3 * hidden..]) {
-                    *g = fast_sigmoid(*g + b);
-                }
-            }
-        }
-
-        // state update: c_new = f·c_prev + i·g, h_new = o·tanh(c_new).
-        // Gate blocks are pre-split into equal-length slices so the `j`
-        // loop has provable bounds and vectorises.
+        // fused bias + gate activations (i, f, o sigmoid; g tanh) followed
+        // by the state update — the same shared stages the frozen path
+        // runs, so taped and tape-free inference stay bit-identical. libm
+        // `exp`/`tanh` here used to cost more than the gate GEMM.
+        lstm_bias_gates(&mut gates, &self.nodes[bias.0].value, hidden);
         let mut value = self.pool.take(batch, 2 * hidden);
-        {
-            let hcv = &self.nodes[hc.0].value;
-            for r in 0..batch {
-                let gr = gates.row(r);
-                let (i_g, rest) = gr.split_at(hidden);
-                let (f_g, rest) = rest.split_at(hidden);
-                let (g_g, o_g) = rest.split_at(hidden);
-                let c_prev = &hcv.row(r)[hidden..];
-                let (h_out, c_out) = value.row_mut(r).split_at_mut(hidden);
-                for j in 0..hidden {
-                    let c_new = f_g[j] * c_prev[j] + i_g[j] * g_g[j];
-                    c_out[j] = c_new;
-                    h_out[j] = o_g[j] * fast_tanh(c_new);
-                }
-            }
-        }
+        lstm_state_update(&gates, &self.nodes[hc.0].value, hidden, &mut value);
 
         Ok(self.push(
             value,

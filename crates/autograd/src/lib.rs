@@ -38,6 +38,9 @@ mod tape;
 mod telemetry;
 
 pub use error::AutogradError;
+pub use fused::{
+    apply_bias_act, lstm_bias_gates, lstm_pack_xh, lstm_state_update, lstm_step_frozen,
+};
 pub use tape::{Act, Tape, Var};
 
 /// Convenience alias for fallible autograd operations.

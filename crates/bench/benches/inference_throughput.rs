@@ -1,0 +1,49 @@
+//! Frozen tape-free inference vs the recording-tape reference path — the
+//! MOEA hot-path numbers behind `BENCH_pr4.json`.
+//!
+//! - `tape_serial` — the reference path (`predict_full_tape`): tape reset
+//!   + parameter rebinding + op recording every chunk.
+//! - `frozen_serial` — the frozen engine (`predict_full`): persistent
+//!   prepacked weights, pooled activation arena, no tape.
+//! - `frozen_parallel` — `predict_full_parallel` over two scoped workers,
+//!   each with its own checked-out arena (pack-free). Only expected to
+//!   beat `frozen_serial` on multi-core hosts; on a single-CPU runner the
+//!   scoped-thread spawn is pure overhead.
+//!
+//! Acceptance: `frozen_serial` at least 1.5x faster per batch than
+//! `tape_serial`; all three paths are bit-identical (differential tests
+//! in `hwpr-core`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwpr_bench::{fixture_archs, fixture_model};
+use hwpr_hwmodel::Platform;
+use hwpr_nasbench::SearchSpaceId;
+
+fn bench_inference_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_throughput");
+    group.sample_size(10);
+    let model = fixture_model(64);
+    let archs = fixture_archs(SearchSpaceId::NasBench201, 256);
+    // warm the encoding cache and compile the frozen engine up front so
+    // every measured iteration is pure forward cost on both paths
+    model.predict_full(&archs, Platform::EdgeGpu).unwrap();
+    model.predict_full_tape(&archs, Platform::EdgeGpu).unwrap();
+
+    group.bench_function("tape_serial", |b| {
+        b.iter(|| model.predict_full_tape(&archs, Platform::EdgeGpu).unwrap())
+    });
+    group.bench_function("frozen_serial", |b| {
+        b.iter(|| model.predict_full(&archs, Platform::EdgeGpu).unwrap())
+    });
+    group.bench_function("frozen_parallel", |b| {
+        b.iter(|| {
+            model
+                .predict_full_parallel(&archs, Platform::EdgeGpu, 2)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference_throughput);
+criterion_main!(benches);

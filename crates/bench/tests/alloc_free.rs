@@ -1,6 +1,6 @@
-//! Proves the tentpole property of the training hot path: once the tape
-//! arena, buffer pools, gradient store and optimizer state are warm, a
-//! training step performs zero heap allocations.
+//! Proves the zero-allocation properties of the two hot paths: once its
+//! arenas, buffer pools and caches are warm, (a) a training step and
+//! (b) a frozen-engine inference pass each perform zero heap allocations.
 //!
 //! Gated behind the `alloc-count` feature because it installs a global
 //! allocator; run with `cargo test -p hwpr-bench --features alloc-count`.
@@ -9,6 +9,9 @@
 
 use hwpr_bench::alloc_count::{allocations, CountingAllocator};
 use hwpr_bench::train_step::{step_data, FusedTrainer, StepConfig};
+use hwpr_bench::{fixture_archs, fixture_model};
+use hwpr_hwmodel::Platform;
+use hwpr_nasbench::SearchSpaceId;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -34,6 +37,42 @@ fn steady_state_train_step_is_allocation_free() {
         after - before,
         0,
         "steady-state training steps performed {} heap allocations",
+        after - before
+    );
+}
+
+#[test]
+fn steady_state_frozen_inference_is_allocation_free() {
+    let model = fixture_model(32);
+    let archs = fixture_archs(SearchSpaceId::NasBench201, 40);
+    // chunk size 16 leaves an uneven final chunk of 8, so both chunk
+    // shapes get warmed into the arena's buffer pool
+    model.freeze_with_batch(16);
+    let mut scores = Vec::new();
+    // warm-up: encodes the architectures into the cache, grows the
+    // arena's pool/scratch and the output buffer to steady state
+    for _ in 0..3 {
+        scores.clear();
+        model
+            .predict_scores_into(&archs, Platform::EdgeGpu, &mut scores)
+            .unwrap();
+    }
+    let before = allocations();
+    let mut sum = 0.0;
+    for _ in 0..3 {
+        scores.clear();
+        model
+            .predict_scores_into(&archs, Platform::EdgeGpu, &mut scores)
+            .unwrap();
+        sum += scores.iter().sum::<f64>();
+    }
+    let after = allocations();
+    assert!(sum.is_finite());
+    assert_eq!(scores.len(), archs.len());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state frozen inference performed {} heap allocations",
         after - before
     );
 }

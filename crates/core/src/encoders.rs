@@ -199,6 +199,23 @@ impl EncoderSet {
         self.output_dim
     }
 
+    /// The token embedding, when the LSTM encoder is active (used by the
+    /// frozen compile pass).
+    pub(crate) fn embedding(&self) -> Option<&Embedding> {
+        self.embedding.as_ref()
+    }
+
+    /// The LSTM, when active (used by the frozen compile pass).
+    pub(crate) fn lstm(&self) -> Option<&Lstm> {
+        self.lstm.as_ref()
+    }
+
+    /// The GCN stack (empty when the GCN encoder is inactive; used by the
+    /// frozen compile pass).
+    pub(crate) fn gcn_layers(&self) -> &[GcnLayer] {
+        &self.gcn
+    }
+
     /// Encodes a batch of architectures into a `[batch, output_dim]` node.
     ///
     /// # Errors

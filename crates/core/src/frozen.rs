@@ -1,0 +1,615 @@
+//! The tape-free frozen inference engine behind the MOEA hot path.
+//!
+//! [`FrozenModel::compile`] is a one-shot freeze pass over a trained
+//! [`HwPrNas`]: it copies every trained weight out of the parameter store,
+//! packs each GEMM weight into a persistent [`hwpr_tensor::PackedWeight`]
+//! panel, and lowers the encoder → branch-head → fusion forward into
+//! direct fused-kernel calls. Inference then runs against a reusable
+//! activation arena ([`InferArena`]) with **no tape, no op recording, no
+//! gradient buffers**, and dropout statically elided.
+//!
+//! # Bit-identity
+//!
+//! The frozen path is bit-identical to the recording-tape reference
+//! implementation (`predict_*_tape` on [`HwPrNas`]): every kernel it calls
+//! is either the exact routine the corresponding tape op runs
+//! ([`hwpr_autograd::apply_bias_act`], [`hwpr_autograd::lstm_step_frozen`])
+//! or a documented bit-identical variant of one
+//! (`matmul_prepacked_into` ≡ `matmul`, `block_left_matmul_into` ≡
+//! `block_left_matmul`), and concatenations/gathers become plain copies.
+//! Differential tests in this module and in `tests/frozen_differential.rs`
+//! pin the equivalence for every encoder type and platform.
+//!
+//! # Arena memory model
+//!
+//! All activations come from a per-arena [`BufferPool`]; scratch vectors
+//! (adjacency copies, LSTM steps and states, token-id staging) live in the
+//! arena and keep their capacity across calls, so a warmed
+//! [`FrozenModel::predict_scores_into`] loop performs **zero heap
+//! allocations** (asserted by the `alloc-count` harness in `hwpr-bench`).
+//! Arenas are checked out of a shared pool per call, so concurrent workers
+//! in [`FrozenModel::predict_full_parallel`] each get their own arena
+//! while sharing the packed weights — the parallel path is pack-free.
+
+use crate::data::{CachedEncoding, EncodingCache};
+use crate::encoders::EncoderSet;
+use crate::model::{denorm_accuracy, denorm_error, denorm_latency, HwPrNas};
+use crate::Result;
+use hwpr_hwmodel::Platform;
+use hwpr_nasbench::features::{FeatureNormalizer, ARCH_FEATURE_DIM};
+use hwpr_nasbench::Architecture;
+use hwpr_nn::infer::{FrozenEmbedding, FrozenGcnLayer, FrozenLstm, FrozenMlp};
+use hwpr_nn::Params;
+use hwpr_obs::metrics::{registry, Counter, Histogram};
+use hwpr_tensor::{BufferPool, Matrix};
+use parking_lot::Mutex;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+struct InferMetrics {
+    /// "infer.prepack.reuse": GEMMs served from persistent weight panels
+    /// (packed once at freeze time, reused every batch).
+    prepack_reuse: Arc<Counter>,
+    /// "infer.batch.us": per-batch frozen forward wall time.
+    batch_us: Arc<Histogram>,
+}
+
+fn metrics() -> &'static InferMetrics {
+    static METRICS: OnceLock<InferMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| InferMetrics {
+        prepack_reuse: registry().counter("infer.prepack.reuse"),
+        batch_us: registry().histogram(
+            "infer.batch.us",
+            &Histogram::exponential_bounds(1.0, 4.0, 10),
+        ),
+    })
+}
+
+/// Times one frozen batch. Inert (no clock read, no allocation) when
+/// telemetry is off — the property the `alloc-count` harness relies on.
+struct ChunkTimer {
+    start: Option<Instant>,
+}
+
+impl ChunkTimer {
+    fn start() -> Self {
+        if !hwpr_obs::enabled() {
+            return Self { start: None };
+        }
+        Self {
+            start: Some(Instant::now()),
+        }
+    }
+
+    fn finish(self, prepacked_gemms: u64) {
+        if let Some(start) = self.start {
+            let m = metrics();
+            m.prepack_reuse.add(prepacked_gemms);
+            m.batch_us.observe(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}
+
+/// Reusable scratch for one encoder forward: everything keeps its
+/// capacity between calls so the warmed path never allocates.
+#[derive(Debug, Default)]
+struct EncoderScratch {
+    /// Pooled per-sample adjacency copies for the GCN part.
+    adj: Vec<Matrix>,
+    /// Pooled `[batch, embed_dim]` timestep inputs for the LSTM part.
+    steps: Vec<Matrix>,
+    /// Pooled `[h | c]` layer states threaded through the recurrence.
+    states: Vec<Matrix>,
+    /// Token-id staging buffer, one id per sample per timestep.
+    ids: Vec<usize>,
+}
+
+/// One worker's reusable activation storage: a buffer pool plus the
+/// encoder scratch vectors and the per-chunk encoding list.
+#[derive(Debug, Default)]
+pub struct InferArena {
+    pool: BufferPool,
+    encodings: Vec<Arc<CachedEncoding>>,
+    scratch: EncoderScratch,
+}
+
+/// An [`EncoderSet`] compiled for tape-free inference: frozen layers plus
+/// the fitted AF normaliser. Part order (GCN, LSTM, AF) matches the taped
+/// forward exactly.
+#[derive(Debug)]
+struct FrozenEncoderSet {
+    gcn: Vec<FrozenGcnLayer>,
+    embedding: Option<FrozenEmbedding>,
+    lstm: Option<FrozenLstm>,
+    normalizer: Option<FeatureNormalizer>,
+    output_dim: usize,
+}
+
+impl FrozenEncoderSet {
+    fn compile(enc: &EncoderSet, params: &Params) -> Self {
+        Self {
+            gcn: enc.gcn_layers().iter().map(|l| l.freeze(params)).collect(),
+            embedding: enc.embedding().map(|e| e.freeze(params)),
+            lstm: enc.lstm().map(|l| l.freeze(params)),
+            normalizer: enc.normalizer().cloned(),
+            output_dim: enc.output_dim(),
+        }
+    }
+
+    /// Prepacked GEMMs one forward pass issues (for the reuse counter).
+    fn prepacked_gemms(&self, seq_len: usize) -> u64 {
+        self.gcn.len() as u64
+            + self
+                .lstm
+                .as_ref()
+                .map_or(0, |l| (l.layers() * seq_len) as u64)
+    }
+
+    /// Encodes a batch into a pooled `[batch, output_dim]` representation.
+    ///
+    /// Mirrors [`EncoderSet::forward`] part by part; concatenation becomes
+    /// direct writes into column ranges of `repr` (copies are exact, so
+    /// the result is bit-identical to the taped `concat_cols`).
+    fn forward(
+        &self,
+        pool: &mut BufferPool,
+        scratch: &mut EncoderScratch,
+        encodings: &[Arc<CachedEncoding>],
+        nodes: usize,
+        seq_len: usize,
+    ) -> Result<Matrix> {
+        let batch = encodings.len();
+        // recycle anything a previous erroring call left behind
+        for m in scratch.adj.drain(..) {
+            pool.put(m);
+        }
+        for m in scratch.steps.drain(..) {
+            pool.put(m);
+        }
+        let mut repr = pool.take(batch, self.output_dim);
+        let mut col = 0;
+        if !self.gcn.is_empty() {
+            let feat_cols = encodings[0].graph.features.cols();
+            let mut h = pool.take(batch * nodes, feat_cols);
+            for (b, e) in encodings.iter().enumerate() {
+                // row-stack the node features (≡ concat_rows) and stage a
+                // pooled copy of each sample's constant adjacency
+                for r in 0..nodes {
+                    h.row_mut(b * nodes + r)
+                        .copy_from_slice(e.graph.features.row(r));
+                }
+                scratch.adj.push(pool.take_copy(&e.graph.adjacency));
+            }
+            for layer in &self.gcn {
+                h = layer.forward(pool, h, &scratch.adj, nodes)?;
+            }
+            // read out each sample's global node (≡ gather_rows)
+            let width = self.gcn.last().expect("non-empty stack").out_dim();
+            for (b, e) in encodings.iter().enumerate() {
+                repr.row_mut(b)[col..col + width]
+                    .copy_from_slice(h.row(b * nodes + e.graph.global_node()));
+            }
+            pool.put(h);
+            for m in scratch.adj.drain(..) {
+                pool.put(m);
+            }
+            col += width;
+        }
+        if let (Some(embedding), Some(lstm)) = (&self.embedding, &self.lstm) {
+            for t in 0..seq_len {
+                scratch.ids.clear();
+                scratch.ids.extend(encodings.iter().map(|e| e.tokens[t]));
+                let mut step = pool.take(batch, embedding.dim());
+                embedding.forward_into(&scratch.ids, &mut step)?;
+                scratch.steps.push(step);
+            }
+            let h = lstm.forward(pool, &scratch.steps, &mut scratch.states)?;
+            let width = lstm.hidden_dim();
+            for b in 0..batch {
+                repr.row_mut(b)[col..col + width].copy_from_slice(h.row(b));
+            }
+            pool.put(h);
+            for m in scratch.steps.drain(..) {
+                pool.put(m);
+            }
+            col += width;
+        }
+        if let Some(norm) = &self.normalizer {
+            for (b, e) in encodings.iter().enumerate() {
+                norm.transform_into(&e.af, &mut repr.row_mut(b)[col..col + ARCH_FEATURE_DIM]);
+            }
+            col += ARCH_FEATURE_DIM;
+        }
+        debug_assert_eq!(col, self.output_dim, "encoder parts must fill repr");
+        Ok(repr)
+    }
+}
+
+/// A trained [`HwPrNas`] compiled for tape-free inference.
+///
+/// Compiled once by [`HwPrNas::frozen`]; shared across the search stack
+/// through an [`Arc`]. See the [module docs](self) for the memory model
+/// and the bit-identity argument.
+#[derive(Debug)]
+pub struct FrozenModel {
+    accuracy_encoder: FrozenEncoderSet,
+    latency_encoder: FrozenEncoderSet,
+    accuracy_head: FrozenMlp,
+    latency_heads: Vec<FrozenMlp>,
+    fusion: FrozenMlp,
+    platforms: Vec<Platform>,
+    max_latency: Vec<f64>,
+    nodes: usize,
+    seq_len: usize,
+    batch: usize,
+    /// Prepacked GEMMs per full-batch forward (drives the reuse counter).
+    prepacked_gemms: u64,
+    /// Reusable worker arenas; one is checked out per predict call and
+    /// returned afterwards, so repeat calls (and parallel workers) reuse
+    /// warmed buffer pools instead of reallocating.
+    arenas: Mutex<Vec<InferArena>>,
+}
+
+impl FrozenModel {
+    /// Freezes `model`: packs every GEMM weight once and fixes the
+    /// inference chunk size to `batch` rows.
+    pub(crate) fn compile(model: &HwPrNas, batch: usize) -> Self {
+        let accuracy_encoder = FrozenEncoderSet::compile(&model.accuracy_encoder, &model.params);
+        let latency_encoder = FrozenEncoderSet::compile(&model.latency_encoder, &model.params);
+        let accuracy_head = model.accuracy_head.freeze(&model.params);
+        let latency_heads: Vec<FrozenMlp> = model
+            .latency_heads
+            .iter()
+            .map(|h| h.freeze(&model.params))
+            .collect();
+        let fusion = model.fusion.freeze(&model.params);
+        let seq_len = model.cache.seq_len();
+        let prepacked_gemms = accuracy_encoder.prepacked_gemms(seq_len)
+            + latency_encoder.prepacked_gemms(seq_len)
+            + (accuracy_head.depth()
+                + latency_heads.first().map_or(0, FrozenMlp::depth)
+                + fusion.depth()) as u64;
+        Self {
+            accuracy_encoder,
+            latency_encoder,
+            accuracy_head,
+            latency_heads,
+            fusion,
+            platforms: model.platforms.clone(),
+            max_latency: model.max_latency.clone(),
+            nodes: model.cache.nodes(),
+            seq_len,
+            batch: batch.max(1),
+            prepacked_gemms,
+            arenas: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The platforms this engine carries latency heads for.
+    pub fn platforms(&self) -> &[Platform] {
+        &self.platforms
+    }
+
+    /// The inference chunk size the engine was compiled with.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    fn check_slot(&self, slot: usize) -> Result<()> {
+        if slot >= self.latency_heads.len() {
+            return Err(crate::CoreError::Data(format!(
+                "latency head slot {slot} out of range ({} heads)",
+                self.latency_heads.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn checkout(&self) -> InferArena {
+        self.arenas.lock().pop().unwrap_or_default()
+    }
+
+    /// One frozen forward over `chunk`, returning pooled
+    /// `(score, accuracy, latency)` columns (each `[chunk.len(), 1]`);
+    /// the caller returns them to the arena's pool.
+    fn forward_chunk(
+        &self,
+        cache: &EncodingCache,
+        arena: &mut InferArena,
+        chunk: &[Architecture],
+        slot: usize,
+    ) -> Result<(Matrix, Matrix, Matrix)> {
+        let InferArena {
+            pool,
+            encodings,
+            scratch,
+        } = arena;
+        encodings.clear();
+        encodings.extend(chunk.iter().map(|a| cache.encoding(a)));
+        let batch = chunk.len();
+        let acc_repr =
+            self.accuracy_encoder
+                .forward(pool, scratch, encodings, self.nodes, self.seq_len)?;
+        let accuracy = self.accuracy_head.forward(pool, acc_repr)?;
+        let lat_repr =
+            self.latency_encoder
+                .forward(pool, scratch, encodings, self.nodes, self.seq_len)?;
+        let latency = self.latency_heads[slot].forward(pool, lat_repr)?;
+        // fuse the two branch columns (≡ concat_cols) into the score head
+        let mut both = pool.take(batch, 2);
+        for r in 0..batch {
+            let row = both.row_mut(r);
+            row[0] = accuracy[(r, 0)];
+            row[1] = latency[(r, 0)];
+        }
+        let score = self.fusion.forward(pool, both)?;
+        Ok((score, accuracy, latency))
+    }
+
+    /// Pareto scores for `archs` using latency head `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `slot` is out of range or a forward fails.
+    pub fn predict_scores(
+        &self,
+        cache: &EncodingCache,
+        archs: &[Architecture],
+        slot: usize,
+    ) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(archs.len());
+        self.predict_scores_into(cache, archs, slot, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::predict_scores`] into a caller-held buffer — the
+    /// allocation-free steady-state form the `alloc-count` harness pins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `slot` is out of range or a forward fails.
+    pub fn predict_scores_into(
+        &self,
+        cache: &EncodingCache,
+        archs: &[Architecture],
+        slot: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.check_slot(slot)?;
+        let _span = hwpr_obs::span("infer.frozen");
+        let mut arena = self.checkout();
+        out.reserve(archs.len());
+        for chunk in archs.chunks(self.batch) {
+            let timer = ChunkTimer::start();
+            let (score, accuracy, latency) = self.forward_chunk(cache, &mut arena, chunk, slot)?;
+            out.extend(score.as_slice().iter().map(|&v| v as f64));
+            arena.pool.put(score);
+            arena.pool.put(accuracy);
+            arena.pool.put(latency);
+            timer.finish(self.prepacked_gemms);
+        }
+        self.arenas.lock().push(arena);
+        Ok(())
+    }
+
+    /// Scores plus predicted minimisation objectives `[error %, latency
+    /// ms]` in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `slot` is out of range or a forward fails.
+    pub fn predict_full(
+        &self,
+        cache: &EncodingCache,
+        archs: &[Architecture],
+        slot: usize,
+    ) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
+        self.check_slot(slot)?;
+        let _span = hwpr_obs::span("infer.frozen");
+        let mut arena = self.checkout();
+        let mut scores = Vec::with_capacity(archs.len());
+        let mut objectives = Vec::with_capacity(archs.len());
+        for chunk in archs.chunks(self.batch) {
+            let timer = ChunkTimer::start();
+            let (score, accuracy, latency) = self.forward_chunk(cache, &mut arena, chunk, slot)?;
+            scores.extend(score.as_slice().iter().map(|&v| v as f64));
+            for (&a, &l) in accuracy.as_slice().iter().zip(latency.as_slice()) {
+                objectives.push(vec![
+                    denorm_error(a),
+                    denorm_latency(l, self.max_latency[slot]),
+                ]);
+            }
+            arena.pool.put(score);
+            arena.pool.put(accuracy);
+            arena.pool.put(latency);
+            timer.finish(self.prepacked_gemms);
+        }
+        self.arenas.lock().push(arena);
+        Ok((scores, objectives))
+    }
+
+    /// Predicted `(accuracy %, latency ms)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `slot` is out of range or a forward fails.
+    pub fn predict_objectives(
+        &self,
+        cache: &EncodingCache,
+        archs: &[Architecture],
+        slot: usize,
+    ) -> Result<Vec<(f64, f64)>> {
+        self.check_slot(slot)?;
+        let _span = hwpr_obs::span("infer.frozen");
+        let mut arena = self.checkout();
+        let mut out = Vec::with_capacity(archs.len());
+        for chunk in archs.chunks(self.batch) {
+            let timer = ChunkTimer::start();
+            let (score, accuracy, latency) = self.forward_chunk(cache, &mut arena, chunk, slot)?;
+            for (&a, &l) in accuracy.as_slice().iter().zip(latency.as_slice()) {
+                out.push((
+                    denorm_accuracy(a),
+                    denorm_latency(l, self.max_latency[slot]),
+                ));
+            }
+            arena.pool.put(score);
+            arena.pool.put(accuracy);
+            arena.pool.put(latency);
+            timer.finish(self.prepacked_gemms);
+        }
+        self.arenas.lock().push(arena);
+        Ok(out)
+    }
+
+    /// [`Self::predict_full`] split across scoped worker threads. Each
+    /// worker checks out its own arena while sharing the packed weights,
+    /// so the parallel path never re-packs; results are spliced back in
+    /// input order and are bit-identical to the serial path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `slot` is out of range or any worker fails.
+    pub fn predict_full_parallel(
+        &self,
+        cache: &EncodingCache,
+        archs: &[Architecture],
+        slot: usize,
+        threads: usize,
+    ) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
+        self.check_slot(slot)?;
+        let threads = threads.max(1).min(archs.len().max(1));
+        if threads == 1 {
+            return self.predict_full(cache, archs, slot);
+        }
+        let chunk = archs.len().div_ceil(threads);
+        type ChunkResult = Result<(Vec<f64>, Vec<Vec<f64>>)>;
+        let results: Vec<ChunkResult> = crossbeam::scope(|s| {
+            let handles: Vec<_> = archs
+                .chunks(chunk)
+                .map(|c| s.spawn(move |_| self.predict_full(cache, c, slot)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("prediction worker panicked"))
+                .collect()
+        })
+        .expect("prediction scope panicked");
+        let mut scores = Vec::with_capacity(archs.len());
+        let mut objectives = Vec::with_capacity(archs.len());
+        for r in results {
+            let (s, o) = r?;
+            scores.extend(s);
+            objectives.extend(o);
+        }
+        Ok((scores, objectives))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::encoders::EncoderChoice;
+    use hwpr_autograd::Tape;
+    use hwpr_nasbench::{Dataset, SearchSpaceId};
+    use hwpr_nn::layers::LayerRng;
+    use hwpr_nn::Binder;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Frozen encoder output must be bit-identical to the taped
+    /// [`EncoderSet::forward`] for every encoder combination.
+    fn assert_encoder_bit_identical(choice: EncoderChoice) {
+        let cache = EncodingCache::for_space(SearchSpaceId::NasBench201, Dataset::Cifar10);
+        let mut arch_rng = ChaCha8Rng::seed_from_u64(7);
+        let archs: Vec<Architecture> = (0..5)
+            .map(|_| Architecture::random(SearchSpaceId::NasBench201, &mut arch_rng))
+            .collect();
+        let mut params = Params::new();
+        let enc = EncoderSet::new(
+            &mut params,
+            "enc",
+            &ModelConfig::tiny(),
+            choice,
+            &cache,
+            &archs,
+        )
+        .unwrap();
+
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        let mut rng = LayerRng::seed_from_u64(0);
+        let out = enc.forward(&mut binder, &cache, &archs, &mut rng).unwrap();
+        let expected = tape.value(out).clone();
+
+        let frozen = FrozenEncoderSet::compile(&enc, &params);
+        let mut arena = InferArena::default();
+        let encodings: Vec<_> = archs.iter().map(|a| cache.encoding(a)).collect();
+        let repr = frozen
+            .forward(
+                &mut arena.pool,
+                &mut arena.scratch,
+                &encodings,
+                cache.nodes(),
+                cache.seq_len(),
+            )
+            .unwrap();
+        assert_eq!(repr.shape(), expected.shape(), "{choice}");
+        assert_eq!(repr.as_slice(), expected.as_slice(), "{choice}");
+
+        // a second pass over warmed scratch must agree with the first
+        let again = frozen
+            .forward(
+                &mut arena.pool,
+                &mut arena.scratch,
+                &encodings,
+                cache.nodes(),
+                cache.seq_len(),
+            )
+            .unwrap();
+        assert_eq!(again.as_slice(), expected.as_slice(), "{choice} rerun");
+    }
+
+    #[test]
+    fn frozen_encoder_af_matches_tape() {
+        assert_encoder_bit_identical(EncoderChoice::AF);
+    }
+
+    #[test]
+    fn frozen_encoder_lstm_matches_tape() {
+        assert_encoder_bit_identical(EncoderChoice::LSTM);
+    }
+
+    #[test]
+    fn frozen_encoder_gcn_matches_tape() {
+        assert_encoder_bit_identical(EncoderChoice::GCN);
+    }
+
+    #[test]
+    fn frozen_encoder_lstm_af_matches_tape() {
+        assert_encoder_bit_identical(EncoderChoice::LSTM_AF);
+    }
+
+    #[test]
+    fn frozen_encoder_gcn_af_matches_tape() {
+        assert_encoder_bit_identical(EncoderChoice::GCN_AF);
+    }
+
+    #[test]
+    fn frozen_encoder_all_matches_tape() {
+        assert_encoder_bit_identical(EncoderChoice::ALL);
+    }
+
+    #[test]
+    fn prepack_accounting_counts_every_panel() {
+        let cache = EncodingCache::for_space(SearchSpaceId::NasBench201, Dataset::Cifar10);
+        let archs = vec![Architecture::nb201_from_index(0).unwrap()];
+        let mut params = Params::new();
+        let cfg = ModelConfig::tiny();
+        let enc =
+            EncoderSet::new(&mut params, "e", &cfg, EncoderChoice::ALL, &cache, &archs).unwrap();
+        let frozen = FrozenEncoderSet::compile(&enc, &params);
+        let expected = cfg.gcn_layers as u64 + (cfg.lstm_layers * cache.seq_len()) as u64;
+        assert_eq!(frozen.prepacked_gemms(cache.seq_len()), expected);
+    }
+}

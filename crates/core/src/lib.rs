@@ -35,6 +35,7 @@ pub mod baselines;
 pub mod config;
 pub mod data;
 pub mod encoders;
+pub mod frozen;
 pub mod model;
 pub mod persist;
 pub mod predictor;
@@ -43,6 +44,7 @@ mod train;
 
 pub use config::{ModelConfig, TrainConfig};
 pub use data::{ArchSample, EncodingCache, SurrogateDataset};
+pub use frozen::FrozenModel;
 pub use model::HwPrNas;
 pub use train::{nb201_fraction, TrainReport};
 

@@ -3,16 +3,62 @@
 use crate::config::ModelConfig;
 use crate::data::EncodingCache;
 use crate::encoders::{EncoderChoice, EncoderSet};
+use crate::frozen::FrozenModel;
 use crate::Result;
 use hwpr_autograd::{Tape, Var};
 use hwpr_hwmodel::Platform;
 use hwpr_nasbench::{Architecture, Dataset};
 use hwpr_nn::layers::{LayerRng, Mlp, MlpConfig};
 use hwpr_nn::{Binder, Params};
+use parking_lot::RwLock;
 use rand_chacha::rand_core::SeedableRng;
+use std::sync::Arc;
 
-/// Maximum batch size used during inference (bounds tape memory).
+/// Default maximum batch size used during inference (bounds tape memory
+/// and sizes the frozen engine's activation arenas).
 pub(crate) const INFER_BATCH: usize = 256;
+
+/// Inference chunk size: [`INFER_BATCH`] unless overridden through the
+/// `HWPR_INFER_BATCH` environment variable.
+pub(crate) fn infer_batch() -> usize {
+    match std::env::var("HWPR_INFER_BATCH") {
+        Ok(spec) => batch_from_spec(&spec),
+        Err(_) => INFER_BATCH,
+    }
+}
+
+/// Parses an `HWPR_INFER_BATCH` override, warning through the telemetry
+/// event sink and falling back to the default on anything that is not a
+/// positive integer.
+fn batch_from_spec(spec: &str) -> usize {
+    match spec.trim().parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            hwpr_obs::warn(format!(
+                "invalid HWPR_INFER_BATCH value {spec:?} (expected a positive integer); \
+                 falling back to {INFER_BATCH}"
+            ));
+            INFER_BATCH
+        }
+    }
+}
+
+/// Denormalises a predicted accuracy into the minimisation objective
+/// `error %` (the model regresses accuracy in `[0, 1]`).
+pub(crate) fn denorm_error(a: f32) -> f64 {
+    (100.0 - a as f64 * 100.0).clamp(0.0, 100.0)
+}
+
+/// Denormalises a predicted accuracy into `accuracy %`.
+pub(crate) fn denorm_accuracy(a: f32) -> f64 {
+    (a as f64 * 100.0).clamp(0.0, 100.0)
+}
+
+/// Denormalises a predicted latency (regressed relative to the training
+/// set's maximum) back into milliseconds.
+pub(crate) fn denorm_latency(l: f32, max_latency: f64) -> f64 {
+    (l as f64 * max_latency).max(0.0)
+}
 
 /// The trained HW-PR-NAS surrogate.
 ///
@@ -36,6 +82,8 @@ pub struct HwPrNas {
     pub(crate) max_latency: Vec<f64>,
     pub(crate) dataset: Dataset,
     pub(crate) model_config: ModelConfig,
+    /// Lazily compiled tape-free inference engine (see [`crate::frozen`]).
+    pub(crate) frozen: RwLock<Option<Arc<FrozenModel>>>,
 }
 
 /// The raw branch outputs for one forward pass (still on the tape).
@@ -138,7 +186,41 @@ impl HwPrNas {
             max_latency,
             dataset,
             model_config,
+            frozen: RwLock::new(None),
         })
+    }
+
+    /// The compiled tape-free inference engine, built on first use (and
+    /// after every [`Self::invalidate_frozen`]). Weight packing happens
+    /// exactly once per trained model; repeat calls share the compiled
+    /// engine through an [`Arc`].
+    pub fn frozen(&self) -> Arc<FrozenModel> {
+        if let Some(f) = self.frozen.read().as_ref() {
+            return Arc::clone(f);
+        }
+        let mut slot = self.frozen.write();
+        if let Some(f) = slot.as_ref() {
+            return Arc::clone(f);
+        }
+        let f = Arc::new(FrozenModel::compile(self, infer_batch()));
+        *slot = Some(Arc::clone(&f));
+        f
+    }
+
+    /// Compiles (and installs) a frozen engine with an explicit chunk
+    /// size, bypassing `HWPR_INFER_BATCH`. Exposed so tests can force
+    /// uneven final chunks.
+    pub fn freeze_with_batch(&self, batch: usize) -> Arc<FrozenModel> {
+        let f = Arc::new(FrozenModel::compile(self, batch.max(1)));
+        *self.frozen.write() = Some(Arc::clone(&f));
+        f
+    }
+
+    /// Drops the compiled engine; the next predict call recompiles from
+    /// the current parameter values. Must be called whenever `params`
+    /// change after a freeze (training steps, weight restores).
+    pub(crate) fn invalidate_frozen(&self) {
+        *self.frozen.write() = None;
     }
 
     /// The platforms this model carries latency heads for.
@@ -199,17 +281,55 @@ impl HwPrNas {
     /// Pareto scores of `archs` on `platform` (higher = closer to the
     /// predicted Pareto front). This is the single call the MOEA makes.
     ///
+    /// Runs on the frozen tape-free engine; bit-identical to
+    /// [`Self::predict_scores_tape`] (proven by differential tests).
+    ///
     /// # Errors
     ///
     /// Returns an error when the model has no head for `platform`.
     pub fn predict_scores(&self, archs: &[Architecture], platform: Platform) -> Result<Vec<f64>> {
+        let slot = self.platform_slot(platform)?;
+        self.frozen().predict_scores(&self.cache, archs, slot)
+    }
+
+    /// [`Self::predict_scores`] into a caller-held buffer: with a warmed
+    /// frozen engine and encoding cache, this steady-state form performs
+    /// zero heap allocations (pinned by the `alloc-count` harness in
+    /// `hwpr-bench`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model has no head for `platform`.
+    pub fn predict_scores_into(
+        &self,
+        archs: &[Architecture],
+        platform: Platform,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let slot = self.platform_slot(platform)?;
+        self.frozen()
+            .predict_scores_into(&self.cache, archs, slot, out)
+    }
+
+    /// Reference implementation of [`Self::predict_scores`] on the
+    /// recording tape. Kept for differential testing and for callers whose
+    /// parameters are still changing (e.g. per-epoch validation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model has no head for `platform`.
+    pub fn predict_scores_tape(
+        &self,
+        archs: &[Architecture],
+        platform: Platform,
+    ) -> Result<Vec<f64>> {
         let slot = self.platform_slot(platform)?;
         let mut rng = LayerRng::seed_from_u64(0);
         let mut out = Vec::with_capacity(archs.len());
         // one tape for all chunks: reset() recycles buffers between passes
         let mut tape = Tape::new();
         let mut bound: Vec<Option<Var>> = Vec::new();
-        for chunk in archs.chunks(INFER_BATCH) {
+        for chunk in archs.chunks(infer_batch()) {
             tape.reset();
             let mut binder = Binder::rebind(&mut tape, &self.params, bound, false);
             let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
@@ -226,7 +346,8 @@ impl HwPrNas {
 
     /// Scores and predicted minimisation objectives `[error %, latency
     /// ms]` from a *single* forward pass — everything Fig. 3 produces in
-    /// one surrogate call.
+    /// one surrogate call. Runs on the frozen engine; bit-identical to
+    /// [`Self::predict_full_tape`].
     ///
     /// # Errors
     ///
@@ -237,12 +358,27 @@ impl HwPrNas {
         platform: Platform,
     ) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
         let slot = self.platform_slot(platform)?;
+        self.frozen().predict_full(&self.cache, archs, slot)
+    }
+
+    /// Reference implementation of [`Self::predict_full`] on the
+    /// recording tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model has no head for `platform`.
+    pub fn predict_full_tape(
+        &self,
+        archs: &[Architecture],
+        platform: Platform,
+    ) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
+        let slot = self.platform_slot(platform)?;
         let mut rng = LayerRng::seed_from_u64(0);
         let mut scores = Vec::with_capacity(archs.len());
         let mut objectives = Vec::with_capacity(archs.len());
         let mut tape = Tape::new();
         let mut bound: Vec<Option<Var>> = Vec::new();
-        for chunk in archs.chunks(INFER_BATCH) {
+        for chunk in archs.chunks(infer_batch()) {
             tape.reset();
             let mut binder = Binder::rebind(&mut tape, &self.params, bound, false);
             let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
@@ -257,8 +393,8 @@ impl HwPrNas {
             let lat = tape.value(outputs.latency);
             for (&a, &l) in acc.as_slice().iter().zip(lat.as_slice()) {
                 objectives.push(vec![
-                    (100.0 - a as f64 * 100.0).clamp(0.0, 100.0),
-                    (l as f64 * self.max_latency[slot]).max(0.0),
+                    denorm_error(a),
+                    denorm_latency(l, self.max_latency[slot]),
                 ]);
             }
         }
@@ -269,10 +405,12 @@ impl HwPrNas {
     /// threads (the MOEA's per-generation hot path).
     ///
     /// The input is cut into `threads` contiguous chunks, each worker runs
-    /// the serial predictor on its chunk, and the results are spliced back
-    /// in input order. Every row of a forward pass is independent and
-    /// dropout is inert at inference, so the result is bit-identical to
-    /// the serial path for any thread count.
+    /// the frozen serial predictor on its chunk with its own activation
+    /// arena (checked out from the engine's arena pool, so the parallel
+    /// path never re-packs weights), and the results are spliced back in
+    /// input order. Every row of a forward pass is independent and dropout
+    /// is statically elided, so the result is bit-identical to the serial
+    /// path for any thread count.
     ///
     /// # Errors
     ///
@@ -284,37 +422,15 @@ impl HwPrNas {
         platform: Platform,
         threads: usize,
     ) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
-        // fail fast on unknown platforms before spawning anything
-        self.platform_slot(platform)?;
-        let threads = threads.max(1).min(archs.len().max(1));
-        if threads == 1 {
-            return self.predict_full(archs, platform);
-        }
-        let chunk = archs.len().div_ceil(threads);
-        type ChunkResult = Result<(Vec<f64>, Vec<Vec<f64>>)>;
-        let results: Vec<ChunkResult> = crossbeam::scope(|s| {
-            let handles: Vec<_> = archs
-                .chunks(chunk)
-                .map(|c| s.spawn(move |_| self.predict_full(c, platform)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("prediction worker panicked"))
-                .collect()
-        })
-        .expect("prediction scope panicked");
-        let mut scores = Vec::with_capacity(archs.len());
-        let mut objectives = Vec::with_capacity(archs.len());
-        for r in results {
-            let (s, o) = r?;
-            scores.extend(s);
-            objectives.extend(o);
-        }
-        Ok((scores, objectives))
+        let slot = self.platform_slot(platform)?;
+        self.frozen()
+            .predict_full_parallel(&self.cache, archs, slot, threads)
     }
 
     /// Predicted `(accuracy %, latency ms)` pairs — the branch outputs
-    /// denormalised. Exposed for the predictor-quality studies.
+    /// denormalised. Exposed for the predictor-quality studies. Runs on
+    /// the frozen engine; bit-identical to
+    /// [`Self::predict_objectives_tape`].
     ///
     /// # Errors
     ///
@@ -325,11 +441,26 @@ impl HwPrNas {
         platform: Platform,
     ) -> Result<Vec<(f64, f64)>> {
         let slot = self.platform_slot(platform)?;
+        self.frozen().predict_objectives(&self.cache, archs, slot)
+    }
+
+    /// Reference implementation of [`Self::predict_objectives`] on the
+    /// recording tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the model has no head for `platform`.
+    pub fn predict_objectives_tape(
+        &self,
+        archs: &[Architecture],
+        platform: Platform,
+    ) -> Result<Vec<(f64, f64)>> {
+        let slot = self.platform_slot(platform)?;
         let mut rng = LayerRng::seed_from_u64(0);
         let mut out = Vec::with_capacity(archs.len());
         let mut tape = Tape::new();
         let mut bound: Vec<Option<Var>> = Vec::new();
-        for chunk in archs.chunks(INFER_BATCH) {
+        for chunk in archs.chunks(infer_batch()) {
             tape.reset();
             let mut binder = Binder::rebind(&mut tape, &self.params, bound, false);
             let outputs = self.forward(&mut binder, chunk, slot, &mut rng)?;
@@ -338,8 +469,8 @@ impl HwPrNas {
             let lat = tape.value(outputs.latency);
             for (&a, &l) in acc.as_slice().iter().zip(lat.as_slice()) {
                 out.push((
-                    (a as f64 * 100.0).clamp(0.0, 100.0),
-                    (l as f64 * self.max_latency[slot]).max(0.0),
+                    denorm_accuracy(a),
+                    denorm_latency(l, self.max_latency[slot]),
                 ));
             }
         }
@@ -391,6 +522,39 @@ mod tests {
         let (model, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
         let archs = vec![data.samples()[0].arch.clone()];
         assert!(model.predict_scores(&archs, Platform::Eyeriss).is_err());
+    }
+
+    #[test]
+    fn batch_spec_parses_and_falls_back() {
+        assert_eq!(batch_from_spec("7"), 7);
+        assert_eq!(batch_from_spec(" 512 "), 512);
+        assert_eq!(batch_from_spec("0"), INFER_BATCH);
+        assert_eq!(batch_from_spec("-3"), INFER_BATCH);
+        assert_eq!(batch_from_spec("lots"), INFER_BATCH);
+        assert_eq!(batch_from_spec(""), INFER_BATCH);
+    }
+
+    #[test]
+    fn denorm_helpers_clamp() {
+        assert_eq!(denorm_error(0.95), 100.0 - 0.95f32 as f64 * 100.0);
+        assert_eq!(denorm_error(2.0), 0.0); // accuracy above 100% clamps
+        assert_eq!(denorm_error(-1.0), 100.0);
+        assert_eq!(denorm_accuracy(0.5), 50.0);
+        assert_eq!(denorm_accuracy(1.5), 100.0);
+        assert_eq!(denorm_latency(0.5, 8.0), 4.0);
+        assert_eq!(denorm_latency(-0.5, 8.0), 0.0);
+    }
+
+    #[test]
+    fn freeze_compiles_once_and_invalidates() {
+        let data = tiny_dataset();
+        let (model, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+        let a = model.frozen();
+        let b = model.frozen();
+        assert!(Arc::ptr_eq(&a, &b), "repeat freezes must share the engine");
+        model.invalidate_frozen();
+        let c = model.frozen();
+        assert!(!Arc::ptr_eq(&a, &c), "invalidation must force a recompile");
     }
 
     #[test]

@@ -137,6 +137,9 @@ impl HwPrNas {
             }
             *model.params.get_mut(id) = value;
         }
+        // the weights changed after build: any frozen engine compiled in
+        // between (none today, but cheap insurance) would be stale
+        model.invalidate_frozen();
         Ok(model)
     }
 

@@ -370,7 +370,10 @@ fn validation_rank(model: &HwPrNas, val: &SurrogateDataset, slot: usize) -> Resu
     let objectives: Vec<Vec<f64>> = val.samples().iter().map(|s| s.objectives()).collect();
     let ranks = pareto_ranks(&objectives)?;
     let platform = model.platforms[slot];
-    let scores = model.predict_scores(&archs, platform)?;
+    // the tape reference path: parameters are still changing every epoch,
+    // so compiling (and immediately invalidating) a frozen engine per
+    // validation pass would waste the pack work
+    let scores = model.predict_scores_tape(&archs, platform)?;
     let pred: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
     let truth: Vec<f32> = ranks.iter().map(|&r| -(r as f32)).collect();
     Ok(ValidationRank {

@@ -1,0 +1,107 @@
+//! Differential fixture: the frozen tape-free inference engine must be
+//! bit-identical to the recording-tape reference path for every public
+//! predict method, every latency-head platform, and uneven final chunks.
+//!
+//! (Per-encoder-type differentials — AF / LSTM / GCN and combinations —
+//! live as unit tests in `hwpr_core::frozen`; here the full compiled
+//! model is exercised end to end.)
+
+use hwpr_core::{HwPrNas, ModelConfig, SurrogateDataset, TrainConfig};
+use hwpr_hwmodel::{Platform, SimBench, SimBenchConfig};
+use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
+
+fn bench(n: usize) -> SimBench {
+    SimBench::generate(SimBenchConfig {
+        space: SearchSpaceId::NasBench201,
+        sample_size: Some(n),
+        seed: 3,
+    })
+}
+
+fn trained_single() -> (HwPrNas, Vec<Architecture>) {
+    let b = bench(48);
+    let data = SurrogateDataset::from_simbench(&b, Dataset::Cifar10, Platform::EdgeGpu).unwrap();
+    let (model, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+    let archs = data.samples().iter().map(|s| s.arch.clone()).collect();
+    (model, archs)
+}
+
+fn trained_multi() -> (HwPrNas, Vec<Architecture>) {
+    let b = bench(40);
+    let platforms = [Platform::EdgeGpu, Platform::Pixel3];
+    let (model, _) = HwPrNas::fit_multi(
+        b.entries(),
+        Dataset::Cifar10,
+        &platforms,
+        &ModelConfig::tiny(),
+        &TrainConfig::tiny(),
+    )
+    .unwrap();
+    let archs = b.entries().iter().map(|e| e.arch().clone()).collect();
+    (model, archs)
+}
+
+fn assert_bit_identical(model: &HwPrNas, archs: &[Architecture], platform: Platform) {
+    let frozen_scores = model.predict_scores(archs, platform).unwrap();
+    let tape_scores = model.predict_scores_tape(archs, platform).unwrap();
+    assert_eq!(frozen_scores, tape_scores, "scores diverge on {platform}");
+
+    let (ff_scores, ff_objs) = model.predict_full(archs, platform).unwrap();
+    let (tf_scores, tf_objs) = model.predict_full_tape(archs, platform).unwrap();
+    assert_eq!(ff_scores, tf_scores, "full scores diverge on {platform}");
+    assert_eq!(ff_objs, tf_objs, "full objectives diverge on {platform}");
+
+    let frozen_objs = model.predict_objectives(archs, platform).unwrap();
+    let tape_objs = model.predict_objectives_tape(archs, platform).unwrap();
+    assert_eq!(frozen_objs, tape_objs, "objectives diverge on {platform}");
+}
+
+#[test]
+fn frozen_engine_is_bit_identical_to_tape() {
+    let (model, archs) = trained_single();
+    assert_bit_identical(&model, &archs, Platform::EdgeGpu);
+}
+
+#[test]
+fn frozen_engine_matches_tape_on_every_platform() {
+    let (model, archs) = trained_multi();
+    for &platform in model.platforms() {
+        assert_bit_identical(&model, &archs, platform);
+    }
+}
+
+#[test]
+fn uneven_final_chunks_are_bit_identical() {
+    let (model, archs) = trained_single();
+    let tape_scores = model
+        .predict_scores_tape(&archs, Platform::EdgeGpu)
+        .unwrap();
+    // 48 archs in chunks of 7 leaves a final chunk of 6; batch 5 leaves 3
+    for batch in [7usize, 5, 48, 64] {
+        let frozen = model.freeze_with_batch(batch);
+        assert_eq!(frozen.batch(), batch);
+        let scores = model.predict_scores(&archs, Platform::EdgeGpu).unwrap();
+        assert_eq!(scores, tape_scores, "chunk size {batch} diverges");
+    }
+}
+
+#[test]
+fn parallel_path_is_bit_identical_and_pack_free() {
+    let (model, archs) = trained_single();
+    let serial = model.predict_full(&archs, Platform::EdgeGpu).unwrap();
+    for threads in [2usize, 3, 8] {
+        let parallel = model
+            .predict_full_parallel(&archs, Platform::EdgeGpu, threads)
+            .unwrap();
+        assert_eq!(parallel, serial, "{threads} threads diverge from serial");
+    }
+}
+
+#[test]
+fn unknown_platform_still_fails_fast() {
+    let (model, archs) = trained_single();
+    assert!(model.predict_scores(&archs, Platform::Eyeriss).is_err());
+    assert!(model
+        .predict_full_parallel(&archs, Platform::Eyeriss, 4)
+        .is_err());
+}

@@ -113,11 +113,26 @@ impl FeatureNormalizer {
     ///
     /// Panics if `row` has the wrong dimension.
     pub fn transform(&self, row: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; row.len()];
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// Normalises one row into the caller's buffer (the allocation-free
+    /// form of [`FeatureNormalizer::transform`], bit-identical arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `out` has the wrong dimension.
+    pub fn transform_into(&self, row: &[f32], out: &mut [f32]) {
         assert_eq!(row.len(), self.mins.len(), "dimension mismatch");
-        row.iter()
-            .zip(self.mins.iter().zip(&self.spans))
-            .map(|(&v, (&mn, &span))| (v - mn) / span)
-            .collect()
+        assert_eq!(out.len(), self.mins.len(), "dimension mismatch");
+        for (o, (&v, (&mn, &span))) in out
+            .iter_mut()
+            .zip(row.iter().zip(self.mins.iter().zip(&self.spans)))
+        {
+            *o = (v - mn) / span;
+        }
     }
 
     /// Normalises a batch of rows.

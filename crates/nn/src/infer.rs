@@ -1,0 +1,471 @@
+//! Tape-free frozen forms of the layers, compiled once from trained
+//! parameters for the inference hot path.
+//!
+//! Each `Frozen*` type is built by its layer's `freeze(&params)` method: it
+//! copies the trained values out of [`crate::Params`], packs every GEMM
+//! weight into a persistent [`PackedWeight`] panel, and runs the forward
+//! pass as direct fused-kernel calls ([`hwpr_autograd::apply_bias_act`],
+//! [`hwpr_autograd::lstm_step_frozen`], pooled GCN propagation) — no tape,
+//! no op recording, no gradient buffers, and dropout statically elided
+//! (dropout is already the identity at inference).
+//!
+//! Every forward is **bit-identical** to the corresponding taped layer: the
+//! frozen path reuses the exact pointwise kernels the tape ops call, and
+//! the prepacked GEMM entry points are bit-identical to their unpacked
+//! forms (see `hwpr_tensor::packed`). The tape path stays as the reference
+//! implementation, anchored by differential tests in `hwpr-core`.
+//!
+//! All scratch storage comes from a caller-held [`BufferPool`], so a warmed
+//! forward pass performs no heap allocation.
+
+use crate::{NnError, Result};
+use hwpr_autograd::{apply_bias_act, lstm_step_frozen, Act, AutogradError};
+use hwpr_tensor::{BufferPool, Matrix, PackedWeight};
+
+/// A [`crate::layers::Linear`] compiled for tape-free inference: prepacked
+/// weight panel plus a copied bias row.
+#[derive(Debug)]
+pub struct FrozenLinear {
+    weight: PackedWeight,
+    bias: Option<Matrix>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl FrozenLinear {
+    /// Packs `weight` and copies `bias` out of the parameter store.
+    pub(crate) fn from_parts(
+        weight: &Matrix,
+        bias: Option<&Matrix>,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let mut packed = PackedWeight::new();
+        packed.pack(weight);
+        Self {
+            weight: packed,
+            bias: bias.cloned(),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// `act(x @ W + b)` into `out` (`[batch, out_dim]`): the frozen form of
+    /// the fused `linear_act` tape node, sharing its pointwise tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `x` or `out` mismatch the layer shape.
+    pub fn forward_act_into(&self, x: &Matrix, act: Act, out: &mut Matrix) -> Result<()> {
+        x.matmul_prepacked_into(&self.weight, out)
+            .map_err(AutogradError::from)?;
+        apply_bias_act(out, self.bias.as_ref(), act)?;
+        Ok(())
+    }
+}
+
+/// A [`crate::layers::Mlp`] compiled for tape-free inference. Hidden
+/// layers run the fused affine + activation kernel; the final layer stays
+/// linear and dropout is statically elided.
+#[derive(Debug)]
+pub struct FrozenMlp {
+    layers: Vec<FrozenLinear>,
+    act: Act,
+}
+
+impl FrozenMlp {
+    /// Assembles a frozen MLP from prepacked layers.
+    pub(crate) fn from_parts(layers: Vec<FrozenLinear>, act: Act) -> Self {
+        Self { layers, act }
+    }
+
+    /// Output dimension of the final layer.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, FrozenLinear::out_dim)
+    }
+
+    /// Number of affine layers (one GEMM each per forward pass).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Applies the network to a pooled `x` (`[batch, input_dim]`),
+    /// consuming it and returning a pooled `[batch, output_dim]` result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from mismatched inputs.
+    pub fn forward(&self, pool: &mut BufferPool, x: Matrix) -> Result<Matrix> {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let act = if i < last { self.act } else { Act::Identity };
+            let mut out = pool.take(h.rows(), layer.out_dim());
+            layer.forward_act_into(&h, act, &mut out)?;
+            pool.put(h);
+            h = out;
+        }
+        Ok(h)
+    }
+}
+
+/// One frozen LSTM layer: the stacked `[W_ih; W_hh]` gate weight packed
+/// once (the tape packs the same concatenation per pass) plus its bias.
+#[derive(Debug)]
+struct FrozenLstmCell {
+    weight: PackedWeight,
+    bias: Matrix,
+    in_dim: usize,
+}
+
+/// A [`crate::layers::Lstm`] compiled for tape-free inference.
+#[derive(Debug)]
+pub struct FrozenLstm {
+    cells: Vec<FrozenLstmCell>,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl FrozenLstm {
+    /// Assembles a frozen LSTM; `stacked` holds one `[W_ih; W_hh]` matrix
+    /// and one bias row per layer.
+    pub(crate) fn from_parts(
+        stacked: Vec<(Matrix, Matrix)>,
+        input_dim: usize,
+        hidden_dim: usize,
+    ) -> Self {
+        let cells = stacked
+            .into_iter()
+            .enumerate()
+            .map(|(l, (w, bias))| {
+                let mut packed = PackedWeight::new();
+                packed.pack(&w);
+                FrozenLstmCell {
+                    weight: packed,
+                    bias,
+                    in_dim: if l == 0 { input_dim } else { hidden_dim },
+                }
+            })
+            .collect();
+        Self {
+            cells,
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input feature dimension of the first layer.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden state dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Number of stacked layers.
+    pub fn layers(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Runs the recurrence over `steps` (each `[batch, input_dim]`) and
+    /// returns the pooled final hidden state of the top layer
+    /// (`[batch, hidden]`).
+    ///
+    /// The loop is step-major where the taped path is layer-major, but the
+    /// dataflow (and therefore every scalar operation's inputs) is
+    /// identical, so the result is bit-identical to
+    /// [`crate::layers::Lstm::forward`]. Layer states thread through as
+    /// packed `[h | c]` matrices; a deeper layer reads the first `hidden`
+    /// columns of the layer below's state directly, eliding the tape path's
+    /// per-step column slice. `states` is caller-held scratch (reused
+    /// across calls for its capacity); its matrices are recycled into
+    /// `pool` before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a config error when `steps` is empty, or a shape error when
+    /// step shapes are inconsistent.
+    pub fn forward(
+        &self,
+        pool: &mut BufferPool,
+        steps: &[Matrix],
+        states: &mut Vec<Matrix>,
+    ) -> Result<Matrix> {
+        if steps.is_empty() {
+            return Err(NnError::Config("LSTM received an empty sequence".into()));
+        }
+        let batch = steps[0].rows();
+        let h = self.hidden_dim;
+        states.clear();
+        // pool.take zero-fills, matching the taped zero initial [h | c]
+        for _ in &self.cells {
+            states.push(pool.take(batch, 2 * h));
+        }
+        for step in steps {
+            for (l, cell) in self.cells.iter().enumerate() {
+                let mut xh = pool.take(batch, cell.in_dim + h);
+                let mut gates = pool.take(batch, 4 * h);
+                let mut next = pool.take(batch, 2 * h);
+                {
+                    // layer l > 0 reads the h-part of the layer below's
+                    // state, already updated for this step
+                    let x = if l == 0 { step } else { &states[l - 1] };
+                    lstm_step_frozen(
+                        x,
+                        cell.in_dim,
+                        &states[l],
+                        &cell.weight,
+                        &cell.bias,
+                        &mut xh,
+                        &mut gates,
+                        &mut next,
+                    )?;
+                }
+                pool.put(xh);
+                pool.put(gates);
+                pool.put(std::mem::replace(&mut states[l], next));
+            }
+        }
+        let mut out = pool.take(batch, h);
+        let top = states.last().expect("at least one layer");
+        for r in 0..batch {
+            out.row_mut(r).copy_from_slice(&top.row(r)[..h]);
+        }
+        for s in states.drain(..) {
+            pool.put(s);
+        }
+        Ok(out)
+    }
+}
+
+/// A [`crate::layers::GcnLayer`] compiled for tape-free inference.
+#[derive(Debug)]
+pub struct FrozenGcnLayer {
+    weight: PackedWeight,
+    bias: Matrix,
+    out_dim: usize,
+}
+
+impl FrozenGcnLayer {
+    /// Packs the layer weight and copies the bias.
+    pub(crate) fn from_parts(weight: &Matrix, bias: &Matrix, out_dim: usize) -> Self {
+        let mut packed = PackedWeight::new();
+        packed.pack(weight);
+        Self {
+            weight: packed,
+            bias: bias.clone(),
+            out_dim,
+        }
+    }
+
+    /// Output node-feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// `relu(Â · x · W + b)` per node block: consumes the pooled
+    /// `[batch * nodes, in_dim]` input and returns the pooled output.
+    /// Adjacencies are borrowed per sample, exactly as in the taped
+    /// [`crate::layers::GcnLayer::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the block structure or feature dimension
+    /// is inconsistent.
+    pub fn forward(
+        &self,
+        pool: &mut BufferPool,
+        x: Matrix,
+        adjacency: &[impl std::borrow::Borrow<Matrix>],
+        nodes: usize,
+    ) -> Result<Matrix> {
+        let mut agg = pool.take(x.rows(), x.cols());
+        x.block_left_matmul_into(adjacency, nodes, pool, &mut agg)
+            .map_err(AutogradError::from)?;
+        pool.put(x);
+        let mut out = pool.take(agg.rows(), self.out_dim);
+        agg.matmul_prepacked_into(&self.weight, &mut out)
+            .map_err(AutogradError::from)?;
+        apply_bias_act(&mut out, Some(&self.bias), Act::Relu)?;
+        pool.put(agg);
+        Ok(out)
+    }
+}
+
+/// An [`crate::layers::Embedding`] compiled for tape-free inference (a
+/// copied table; lookup is a row gather).
+#[derive(Debug)]
+pub struct FrozenEmbedding {
+    table: Matrix,
+    vocab: usize,
+    dim: usize,
+}
+
+impl FrozenEmbedding {
+    /// Copies the trained table out of the parameter store.
+    pub(crate) fn from_parts(table: Matrix, vocab: usize, dim: usize) -> Self {
+        Self { table, vocab, dim }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds `ids` into the caller's `[ids.len(), dim]` output rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error if any id is `>= vocab` (mirroring the taped
+    /// `gather_rows`).
+    pub fn forward_into(&self, ids: &[usize], out: &mut Matrix) -> Result<()> {
+        for (r, &id) in ids.iter().enumerate() {
+            if id >= self.vocab {
+                return Err(NnError::Autograd(AutogradError::IndexOutOfRange {
+                    index: id,
+                    rows: self.vocab,
+                }));
+            }
+            out.row_mut(r).copy_from_slice(self.table.row(id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Embedding, GcnLayer, LayerRng, Linear, Lstm, Mlp, MlpConfig};
+    use crate::{Binder, Params};
+    use hwpr_autograd::{Tape, Var};
+    use hwpr_tensor::Init;
+    use rand_chacha::rand_core::SeedableRng;
+
+    fn det_matrix(rows: usize, cols: usize, salt: usize) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|i| (((i * 31 + salt * 17) % 23) as f32 - 11.0) * 0.09)
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frozen_linear_matches_tape_bitwise() {
+        let mut params = Params::new();
+        let fc = Linear::new(&mut params, "fc", 3, 2, Init::Xavier, 5, true);
+        let x = det_matrix(4, 3, 1);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        let xv = binder.input(x.clone());
+        let y = fc.forward_act(&mut binder, xv, Act::Tanh).unwrap();
+        let expected = tape.value(y).clone();
+
+        let frozen = fc.freeze(&params);
+        let mut out = Matrix::zeros(4, 2);
+        frozen.forward_act_into(&x, Act::Tanh, &mut out).unwrap();
+        assert_eq!(out.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn frozen_mlp_matches_tape_bitwise() {
+        let mut params = Params::new();
+        let mut cfg = MlpConfig::new(3, vec![5, 4], 2, 11);
+        cfg.dropout = 0.3; // elided at inference on both paths
+        let mlp = Mlp::new(&mut params, "m", &cfg).unwrap();
+        let x = det_matrix(6, 3, 2);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        let xv = binder.input(x.clone());
+        let mut rng = LayerRng::seed_from_u64(0);
+        let y = mlp.forward(&mut binder, xv, &mut rng).unwrap();
+        let expected = tape.value(y).clone();
+
+        let frozen = mlp.freeze(&params);
+        assert_eq!(frozen.depth(), 3);
+        assert_eq!(frozen.output_dim(), 2);
+        let mut pool = BufferPool::new();
+        let input = pool.take_copy(&x);
+        let out = frozen.forward(&mut pool, input).unwrap();
+        assert_eq!(out.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn frozen_lstm_matches_tape_bitwise() {
+        let mut params = Params::new();
+        let lstm = Lstm::new(&mut params, "lstm", 3, 4, 2, 9);
+        let steps_data: Vec<Matrix> = (0..4).map(|i| det_matrix(2, 3, i + 3)).collect();
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        let steps: Vec<Var> = steps_data.iter().map(|m| binder.input(m.clone())).collect();
+        let h = lstm.forward(&mut binder, &steps).unwrap();
+        let expected = tape.value(h).clone();
+
+        let frozen = lstm.freeze(&params);
+        assert_eq!(frozen.layers(), 2);
+        assert_eq!(frozen.hidden_dim(), 4);
+        let mut pool = BufferPool::new();
+        let mut states = Vec::new();
+        let out = frozen.forward(&mut pool, &steps_data, &mut states).unwrap();
+        assert_eq!(out.as_slice(), expected.as_slice());
+        assert!(frozen.forward(&mut pool, &[], &mut states).is_err());
+    }
+
+    #[test]
+    fn frozen_gcn_matches_tape_bitwise() {
+        let mut params = Params::new();
+        let gcn = GcnLayer::new(&mut params, "g", 4, 6, 1);
+        let adj0 =
+            crate::layers::normalize_adjacency(&Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]));
+        let adj1 = Matrix::identity(2);
+        let x = det_matrix(4, 4, 7); // batch 2, nodes 2
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        let xv = binder.input(x.clone());
+        let y = gcn
+            .forward(&mut binder, xv, &[adj0.clone(), adj1.clone()], 2)
+            .unwrap();
+        let expected = tape.value(y).clone();
+
+        let frozen = gcn.freeze(&params);
+        assert_eq!(frozen.out_dim(), 6);
+        let mut pool = BufferPool::new();
+        let input = pool.take_copy(&x);
+        let out = frozen
+            .forward(&mut pool, input, &[&adj0, &adj1], 2)
+            .unwrap();
+        assert_eq!(out.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn frozen_embedding_matches_tape_and_validates() {
+        let mut params = Params::new();
+        let emb = Embedding::new(&mut params, "emb", 5, 3, 9);
+        let ids = [0usize, 4, 2, 4];
+        let mut tape = Tape::new();
+        let mut binder = Binder::new(&mut tape, &params);
+        let y = emb.forward(&mut binder, &ids).unwrap();
+        let expected = tape.value(y).clone();
+
+        let frozen = emb.freeze(&params);
+        assert_eq!(frozen.dim(), 3);
+        let mut out = Matrix::zeros(4, 3);
+        frozen.forward_into(&ids, &mut out).unwrap();
+        assert_eq!(out.as_slice(), expected.as_slice());
+        assert!(frozen.forward_into(&[5], &mut out).is_err());
+    }
+}

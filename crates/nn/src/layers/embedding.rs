@@ -49,6 +49,16 @@ impl Embedding {
         let table = binder.param(self.table);
         Ok(binder.tape().gather_rows(table, ids)?)
     }
+
+    /// Compiles the table for tape-free inference (a copied table; lookup
+    /// stays a row gather).
+    pub fn freeze(&self, params: &Params) -> crate::infer::FrozenEmbedding {
+        crate::infer::FrozenEmbedding::from_parts(
+            params.get(self.table).clone(),
+            self.vocab,
+            self.dim,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -74,6 +74,16 @@ impl GcnLayer {
         // fused affine + ReLU over the aggregated node features
         Ok(tape.linear_act(agg, w, Some(b), hwpr_autograd::Act::Relu)?)
     }
+
+    /// Compiles the layer for tape-free inference (prepacked weight plus a
+    /// copied bias row).
+    pub fn freeze(&self, params: &Params) -> crate::infer::FrozenGcnLayer {
+        crate::infer::FrozenGcnLayer::from_parts(
+            params.get(self.weight),
+            params.get(self.bias),
+            self.out_dim,
+        )
+    }
 }
 
 /// Builds the symmetric-normalised adjacency `D^{-1/2}(A + I)D^{-1/2}`

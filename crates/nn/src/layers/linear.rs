@@ -86,6 +86,17 @@ impl Linear {
         let b = self.bias.map(|id| binder.param(id));
         Ok(binder.tape().linear_act(x, w, b, act)?)
     }
+
+    /// Compiles the layer for tape-free inference: the weight panel is
+    /// packed once and the bias copied out of `params`.
+    pub fn freeze(&self, params: &Params) -> crate::infer::FrozenLinear {
+        crate::infer::FrozenLinear::from_parts(
+            params.get(self.weight),
+            self.bias.map(|id| params.get(id)),
+            self.in_dim,
+            self.out_dim,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -183,6 +183,22 @@ impl Lstm {
         binder.tape().recycle_vars(scratch);
         Ok(())
     }
+
+    /// Compiles the recurrence for tape-free inference: each layer's
+    /// `[W_ih; W_hh]` gate weight is stacked and packed once — the same
+    /// concatenation the taped forward rebuilds (and repacks) every pass.
+    pub fn freeze(&self, params: &Params) -> crate::infer::FrozenLstm {
+        let stacked = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let w = Matrix::concat_rows(&[params.get(cell.w_ih), params.get(cell.w_hh)])
+                    .expect("gate weights share 4*hidden columns");
+                (w, params.get(cell.bias).clone())
+            })
+            .collect();
+        crate::infer::FrozenLstm::from_parts(stacked, self.input_dim, self.hidden_dim)
+    }
 }
 
 #[cfg(test)]

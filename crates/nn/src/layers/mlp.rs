@@ -134,6 +134,21 @@ impl Mlp {
         }
         Ok(h)
     }
+
+    /// Compiles the network for tape-free inference: every layer's weight
+    /// panel is packed once and dropout is statically elided (it is already
+    /// the identity at inference).
+    pub fn freeze(&self, params: &Params) -> crate::infer::FrozenMlp {
+        let act = match self.activation {
+            Activation::Relu => Act::Relu,
+            Activation::Tanh => Act::Tanh,
+            Activation::Sigmoid => Act::Sigmoid,
+        };
+        crate::infer::FrozenMlp::from_parts(
+            self.layers.iter().map(|l| l.freeze(params)).collect(),
+            act,
+        )
+    }
 }
 
 #[cfg(test)]

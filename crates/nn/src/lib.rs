@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 pub mod batch;
+pub mod infer;
 pub mod layers;
 pub mod optim;
 mod params;

@@ -359,6 +359,45 @@ mod tests {
     }
 
     #[test]
+    fn summarize_surfaces_frozen_inference_metrics() {
+        // the frozen engine's span, prepack-reuse counter and per-batch
+        // latency histogram must all land in their renderer sections
+        let events = vec![
+            Event::SpanStart {
+                id: 1,
+                parent: 0,
+                name: "infer.frozen".into(),
+                t_us: 0,
+            },
+            Event::SpanEnd {
+                id: 1,
+                parent: 0,
+                name: "infer.frozen".into(),
+                t_us: 400,
+                dur_us: 400,
+            },
+            Event::Counter {
+                name: "infer.prepack.reuse".into(),
+                value: 96,
+                t_us: 450,
+            },
+            Event::Hist {
+                name: "infer.batch.us".into(),
+                count: 4,
+                sum: 800.0,
+                bounds: vec![100.0, 1000.0],
+                counts: vec![3, 1, 0],
+                t_us: 450,
+            },
+        ];
+        let text = summarize(&events);
+        assert!(text.contains("infer.frozen"), "{text}");
+        assert!(text.contains("infer.prepack.reuse"), "{text}");
+        assert!(text.contains("96"), "{text}");
+        assert!(text.contains("infer.batch.us"), "{text}");
+    }
+
+    #[test]
     fn quantile_walks_buckets() {
         let bounds = [1.0, 2.0, 4.0];
         let counts = [5, 4, 1, 0];

@@ -323,9 +323,15 @@ pub struct HwPrNasEvaluator {
 impl HwPrNasEvaluator {
     /// Wraps a trained model targeting `platform`. Accepts the model by
     /// value or as an [`Arc`], so several evaluators can share one model.
+    ///
+    /// Eagerly compiles the model's frozen inference engine so the weight
+    /// packing happens here, once, instead of inside the first
+    /// generation's scoring call.
     pub fn new(model: impl Into<Arc<HwPrNas>>, platform: Platform) -> Self {
+        let model = model.into();
+        let _ = model.frozen();
         Self {
-            model: model.into(),
+            model,
             platform,
             call_cost_s: 0.0,
             threads: evaluation_threads(),

@@ -516,6 +516,64 @@ impl Matrix {
         }
         Ok(out)
     }
+
+    /// Allocation-free form of [`Matrix::block_left_matmul`]: scratch comes
+    /// from `pool` and the result is written into `out` (which must already
+    /// be `self.rows() x self.cols()`). Adjacency blocks are borrowed, so
+    /// callers can mix owned stacks and cached per-sample constants.
+    ///
+    /// Bit-identical to [`Matrix::block_left_matmul`]: both run the same
+    /// per-block GEMM on zeroed output storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] under the same conditions as
+    /// [`Matrix::block_left_matmul`], or when `out` has the wrong shape.
+    pub fn block_left_matmul_into(
+        &self,
+        adjacency: &[impl std::borrow::Borrow<Matrix>],
+        n: usize,
+        pool: &mut crate::BufferPool,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        if n == 0 || self.rows() != adjacency.len() * n {
+            return Err(ShapeError::new(
+                "block_left_matmul_into",
+                self.shape(),
+                (adjacency.len() * n, n),
+            ));
+        }
+        for a in adjacency {
+            if a.borrow().shape() != (n, n) {
+                return Err(ShapeError::new(
+                    "block_left_matmul_into",
+                    a.borrow().shape(),
+                    (n, n),
+                ));
+            }
+        }
+        if out.shape() != self.shape() {
+            return Err(ShapeError::new(
+                "block_left_matmul_into",
+                self.shape(),
+                out.shape(),
+            ));
+        }
+        let mut block = pool.take(n, self.cols());
+        let mut prod = pool.take(n, self.cols());
+        for (b, adj) in adjacency.iter().enumerate() {
+            for i in 0..n {
+                block.row_mut(i).copy_from_slice(self.row(b * n + i));
+            }
+            adj.borrow().matmul_into(&block, &mut prod)?;
+            for i in 0..n {
+                out.row_mut(b * n + i).copy_from_slice(prod.row(i));
+            }
+        }
+        pool.put(block);
+        pool.put(prod);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -611,6 +669,29 @@ mod tests {
         assert_eq!(out.row(2), &[5.0, 6.0]);
         assert_eq!(out.row(3), &[7.0, 8.0]);
         assert!(x.block_left_matmul(&[adj0], 2).is_err());
+    }
+
+    #[test]
+    fn block_left_matmul_into_is_bit_identical() {
+        let adj0 = Matrix::from_rows(&[&[0.3, 1.1], &[0.7, 0.2]]);
+        let adj1 = Matrix::from_rows(&[&[1.0, 0.4], &[0.0, 0.9]]);
+        let x = Matrix::from_rows(&[&[1.5, 2.0], &[3.0, 4.5], &[5.0, 6.5], &[7.5, 8.0]]);
+        let expected = x
+            .block_left_matmul(&[adj0.clone(), adj1.clone()], 2)
+            .unwrap();
+        let mut pool = crate::BufferPool::new();
+        let mut out = Matrix::zeros(4, 2);
+        x.block_left_matmul_into(&[&adj0, &adj1], 2, &mut pool, &mut out)
+            .unwrap();
+        assert_eq!(out.as_slice(), expected.as_slice());
+        // shape errors mirror the allocating form
+        assert!(x
+            .block_left_matmul_into(&[&adj0], 2, &mut pool, &mut out)
+            .is_err());
+        let mut bad = Matrix::zeros(2, 2);
+        assert!(x
+            .block_left_matmul_into(&[&adj0, &adj1], 2, &mut pool, &mut bad)
+            .is_err());
     }
 
     #[test]
