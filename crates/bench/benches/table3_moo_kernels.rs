@@ -1,10 +1,17 @@
 //! Benchmarks behind Table III and Fig. 6: the multi-objective kernels —
 //! fast non-dominated sorting, Pareto ranking and hypervolume — at the
-//! population sizes the MOEA uses.
+//! population sizes the MOEA uses, plus the PR-5 head-to-heads: the
+//! frozen `hwpr_moo::reference` implementations against the
+//! workspace-backed kernels (`*_ref` vs `*_ws` rows, N ∈ {256, 1024,
+//! 4096}) and the per-generation incremental-hypervolume scenario the
+//! search telemetry runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hwpr_bench::fixture_objectives;
-use hwpr_moo::{fast_non_dominated_sort, hypervolume, nadir_reference_point, pareto_ranks};
+use hwpr_moo::{
+    fast_non_dominated_sort, hypervolume, nadir_reference_point, pareto_ranks, reference, Fronts,
+    IncrementalHv2, MooWorkspace,
+};
 
 fn bench_moo(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_moo_kernels");
@@ -16,12 +23,12 @@ fn bench_moo(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("pareto_ranks_2d", n), &objs2, |b, objs| {
             b.iter(|| pareto_ranks(objs).expect("ranks failed"));
         });
-        let reference = nadir_reference_point(&objs2, 1.0).expect("reference");
+        let reference_pt = nadir_reference_point(&objs2, 1.0).expect("reference");
         group.bench_with_input(
             BenchmarkId::new("hypervolume_2d", n),
-            &(objs2.clone(), reference),
-            |b, (objs, reference)| {
-                b.iter(|| hypervolume(objs, reference).expect("hv failed"));
+            &(objs2.clone(), reference_pt),
+            |b, (objs, reference_pt)| {
+                b.iter(|| hypervolume(objs, reference_pt).expect("hv failed"));
             },
         );
     }
@@ -31,7 +38,124 @@ fn bench_moo(c: &mut Criterion) {
     group.bench_function("hypervolume_3d_64", |b| {
         b.iter(|| hypervolume(&objs3, &reference3).expect("hv failed"));
     });
+
+    // reference vs warm workspace, 2-D: O(N^2) dominance counting against
+    // the sweep-sort layering
+    group.sample_size(30);
+    for &n in &[256usize, 1024, 4096] {
+        let objs2 = fixture_objectives(n, 2);
+        let reference_pt = nadir_reference_point(&objs2, 1.0).expect("reference");
+        group.bench_with_input(BenchmarkId::new("nds_2d_ref", n), &objs2, |b, objs| {
+            b.iter(|| reference::fast_non_dominated_sort(objs).expect("sort failed"));
+        });
+        group.bench_with_input(BenchmarkId::new("nds_2d_ws", n), &objs2, |b, objs| {
+            let mut ws = MooWorkspace::new();
+            let mut fronts = Fronts::new();
+            b.iter(|| {
+                ws.fast_non_dominated_sort_into(objs, &mut fronts)
+                    .expect("sort failed");
+                fronts.len()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("hv_2d_ref", n),
+            &(objs2.clone(), reference_pt.clone()),
+            |b, (objs, reference_pt)| {
+                b.iter(|| reference::hypervolume(objs, reference_pt).expect("hv failed"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hv_2d_ws", n),
+            &(objs2, reference_pt),
+            |b, (objs, reference_pt)| {
+                let mut ws = MooWorkspace::new();
+                b.iter(|| ws.hypervolume(objs, reference_pt).expect("hv failed"));
+            },
+        );
+    }
+    // reference vs warm workspace, 3-D (CSR + pooled WFG path)
+    let objs3 = fixture_objectives(1024, 3);
+    let reference3 = nadir_reference_point(&objs3, 1.0).expect("reference");
+    group.bench_function("nds_3d_ref/1024", |b| {
+        b.iter(|| reference::fast_non_dominated_sort(&objs3).expect("sort failed"));
+    });
+    group.bench_function("nds_3d_ws/1024", |b| {
+        let mut ws = MooWorkspace::new();
+        let mut fronts = Fronts::new();
+        b.iter(|| {
+            ws.fast_non_dominated_sort_into(&objs3, &mut fronts)
+                .expect("sort failed");
+            fronts.len()
+        });
+    });
+    group.bench_function("hv_3d_ref/1024", |b| {
+        b.iter(|| reference::hypervolume(&objs3, &reference3).expect("hv failed"));
+    });
+    group.bench_function("hv_3d_ws/1024", |b| {
+        let mut ws = MooWorkspace::new();
+        b.iter(|| ws.hypervolume(&objs3, &reference3).expect("hv failed"));
+    });
+
+    // the telemetry scenario: per-generation hypervolume of a slowly
+    // improving 2-D front. `batch` recomputes from scratch each
+    // generation (validate + non-dominated extraction + sort + sweep);
+    // `incremental` folds the generation into a warm IncrementalHv2
+    // archive and reads the maintained value — the elitist steady state,
+    // where nearly every insert is an O(log N) rejection.
+    let generations = front_evolution(30, 256);
+    let hv_reference = [110.0f64, 110.0];
+    group.bench_function("hv2_per_gen_batch", |b| {
+        let mut g = 0usize;
+        b.iter(|| {
+            let hv = reference::hypervolume(&generations[g], &hv_reference).expect("hv failed");
+            g = (g + 1) % generations.len();
+            hv
+        });
+    });
+    group.bench_function("hv2_per_gen_incremental", |b| {
+        let mut archive = IncrementalHv2::new(&hv_reference).expect("finite reference");
+        // warm: the archive converges to the best front ever seen
+        for generation in &generations {
+            for p in generation {
+                archive.insert(p[0], p[1]).expect("bounded point");
+            }
+        }
+        let mut g = 0usize;
+        b.iter(|| {
+            for p in &generations[g] {
+                archive.insert(p[0], p[1]).expect("bounded point");
+            }
+            g = (g + 1) % generations.len();
+            archive.hypervolume()
+        });
+    });
     group.finish();
+}
+
+/// A deterministic 30-generation front evolution: each generation is a
+/// near-Pareto point cloud on a staircase that contracts toward the
+/// origin, so per-generation fronts are large (like a converged elitist
+/// population) and later generations dominate earlier ones.
+fn front_evolution(generations: usize, per_gen: usize) -> Vec<Vec<Vec<f64>>> {
+    let mut state = 0x9E37_79B9u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 40) as f64) / (1u64 << 24) as f64
+    };
+    (0..generations)
+        .map(|g| {
+            let decay = 0.98f64.powi(g as i32);
+            (0..per_gen)
+                .map(|_| {
+                    let x = 1.0 + 99.0 * next();
+                    let y = (101.0 - x) * decay + next();
+                    vec![x, y]
+                })
+                .collect()
+        })
+        .collect()
 }
 
 criterion_group!(benches, bench_moo);

@@ -1,6 +1,7 @@
-//! Proves the zero-allocation properties of the two hot paths: once its
-//! arenas, buffer pools and caches are warm, (a) a training step and
-//! (b) a frozen-engine inference pass each perform zero heap allocations.
+//! Proves the zero-allocation properties of the hot paths: once its
+//! arenas, buffer pools and caches are warm, (a) a training step,
+//! (b) a frozen-engine inference pass and (c) the workspace-backed MOO
+//! kernels each perform zero heap allocations.
 //!
 //! Gated behind the `alloc-count` feature because it installs a global
 //! allocator; run with `cargo test -p hwpr-bench --features alloc-count`.
@@ -9,8 +10,9 @@
 
 use hwpr_bench::alloc_count::{allocations, CountingAllocator};
 use hwpr_bench::train_step::{step_data, FusedTrainer, StepConfig};
-use hwpr_bench::{fixture_archs, fixture_model};
+use hwpr_bench::{fixture_archs, fixture_model, fixture_objectives};
 use hwpr_hwmodel::Platform;
+use hwpr_moo::{Fronts, IncrementalHv2, MooWorkspace};
 use hwpr_nasbench::SearchSpaceId;
 
 #[global_allocator]
@@ -37,6 +39,78 @@ fn steady_state_train_step_is_allocation_free() {
         after - before,
         0,
         "steady-state training steps performed {} heap allocations",
+        after - before
+    );
+}
+
+#[test]
+fn warm_moo_workspace_calls_are_allocation_free() {
+    // both dispatch paths: the 2-D sweep and the M >= 3 CSR + WFG route
+    let points2 = fixture_objectives(256, 2);
+    let points3 = fixture_objectives(128, 3);
+    let reference2 = vec![101.0, 101.0];
+    let reference3 = vec![101.0, 101.0, 101.0];
+    let mut ws = MooWorkspace::new();
+    let mut fronts = Fronts::new();
+    let mut checksum = 0.0f64;
+    // warm-up: grows every scratch buffer (objective arena, CSR edges,
+    // sort orders, WFG level pool) to its steady-state footprint
+    for _ in 0..3 {
+        ws.fast_non_dominated_sort_into(&points2, &mut fronts)
+            .unwrap();
+        ws.fast_non_dominated_sort_into(&points3, &mut fronts)
+            .unwrap();
+        ws.pareto_ranks(&points2).unwrap();
+        ws.pareto_front(&points3).unwrap();
+        ws.crowding_distance(&points2).unwrap();
+        checksum += ws.hypervolume(&points2, &reference2).unwrap();
+        checksum += ws.hypervolume(&points3, &reference3).unwrap();
+    }
+    let before = allocations();
+    for _ in 0..3 {
+        ws.fast_non_dominated_sort_into(&points2, &mut fronts)
+            .unwrap();
+        checksum += fronts.front(0).len() as f64;
+        ws.fast_non_dominated_sort_into(&points3, &mut fronts)
+            .unwrap();
+        checksum += ws.pareto_ranks(&points2).unwrap().len() as f64;
+        checksum += ws.pareto_front(&points3).unwrap().len() as f64;
+        checksum += ws.crowding_distance(&points2).unwrap()[0];
+        checksum += ws.hypervolume(&points2, &reference2).unwrap();
+        checksum += ws.hypervolume(&points3, &reference3).unwrap();
+    }
+    let after = allocations();
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "warm MOO workspace calls performed {} heap allocations",
+        after - before
+    );
+}
+
+#[test]
+fn warm_incremental_hv2_is_allocation_free() {
+    let points = fixture_objectives(512, 2);
+    let mut archive = IncrementalHv2::new(&[101.0, 101.0]).unwrap();
+    // warm-up: the staircase grows to its steady-state capacity, which
+    // `clear` retains
+    archive.reset_from(&points).unwrap();
+    let before = allocations();
+    archive.clear();
+    let mut accepted = 0u64;
+    for p in &points {
+        if archive.insert(p[0], p[1]).unwrap() {
+            accepted += 1;
+        }
+    }
+    let hv = archive.recompute();
+    let after = allocations();
+    assert!(hv.is_finite() && accepted > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "warm incremental-hv inserts performed {} heap allocations",
         after - before
     );
 }

@@ -10,7 +10,7 @@ use crate::data::{EncodingCache, SurrogateDataset};
 use crate::encoders::{EncoderChoice, EncoderSet};
 use crate::Result;
 use hwpr_autograd::Tape;
-use hwpr_moo::pareto_ranks;
+use hwpr_moo::MooWorkspace;
 use hwpr_nasbench::Architecture;
 use hwpr_nn::batch::shuffled_batches;
 use hwpr_nn::layers::{LayerRng, Mlp, MlpConfig};
@@ -147,6 +147,8 @@ impl ScalableHwPrNas {
             config.epochs,
         );
         let mut rng = LayerRng::seed_from_u64(config.seed);
+        // reused across every batch's Pareto ranking
+        let mut moo = MooWorkspace::new();
         for epoch in 0..config.epochs {
             optimizer.set_learning_rate(schedule.learning_rate_at(epoch));
             let batches = shuffled_batches(
@@ -162,7 +164,7 @@ impl ScalableHwPrNas {
                     batch.iter().map(|&i| samples[i].arch.clone()).collect();
                 let batch_objs: Vec<Vec<f64>> =
                     batch.iter().map(|&i| objectives[i].clone()).collect();
-                let ranks = pareto_ranks(&batch_objs)?;
+                let ranks = moo.pareto_ranks(&batch_objs)?;
                 let mut order: Vec<usize> = (0..batch.len()).collect();
                 order.shuffle(&mut rng);
                 order.sort_by_key(|&i| ranks[i]);

@@ -6,7 +6,7 @@ use crate::model::HwPrNas;
 use crate::Result;
 use hwpr_autograd::Tape;
 use hwpr_hwmodel::{BenchEntry, Platform};
-use hwpr_moo::pareto_ranks;
+use hwpr_moo::MooWorkspace;
 use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
 use hwpr_nn::batch::shuffled_batches;
 use hwpr_nn::layers::LayerRng;
@@ -209,7 +209,10 @@ fn train_loop(
     // §III-A: Pareto ranks are computed over the whole training set
     // *before* batching; each batch is ordered by these global ranks
     let global_objectives: Vec<Vec<f64>> = samples.iter().map(|s| s.objectives()).collect();
-    let global_ranks = pareto_ranks(&global_objectives)?;
+    // one workspace serves the global ranking and every per-epoch
+    // validation ranking without reallocating
+    let mut moo = MooWorkspace::new();
+    let global_ranks = moo.pareto_ranks(&global_objectives)?.to_vec();
     let mut final_loss = f64::INFINITY;
     let mut epochs_run = 0;
     let mut best_tau = -1.0f64;
@@ -285,7 +288,7 @@ fn train_loop(
         epochs_run = epoch + 1;
         final_loss = epoch_loss / batches.len().max(1) as f64;
         // validation: how well do predicted scores rank the true fronts?
-        let rank = validation_rank(model, val, slot)?;
+        let rank = validation_rank(model, val, slot, &mut moo)?;
         best_tau = best_tau.max(rank.kendall_tau);
         if let Some(start) = epoch_started {
             let epoch_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -346,7 +349,7 @@ fn train_loop(
                 fusion_opt.step(&mut model.params, &grads);
             }
         }
-        best_tau = best_tau.max(validation_rank(model, val, slot)?.kendall_tau);
+        best_tau = best_tau.max(validation_rank(model, val, slot, &mut moo)?.kendall_tau);
     }
     Ok(TrainReport {
         epochs_run,
@@ -365,10 +368,15 @@ struct ValidationRank {
 }
 
 /// Scores the validation split once and computes both rank correlations.
-fn validation_rank(model: &HwPrNas, val: &SurrogateDataset, slot: usize) -> Result<ValidationRank> {
+fn validation_rank(
+    model: &HwPrNas,
+    val: &SurrogateDataset,
+    slot: usize,
+    moo: &mut MooWorkspace,
+) -> Result<ValidationRank> {
     let archs: Vec<Architecture> = val.samples().iter().map(|s| s.arch.clone()).collect();
     let objectives: Vec<Vec<f64>> = val.samples().iter().map(|s| s.objectives()).collect();
-    let ranks = pareto_ranks(&objectives)?;
+    let ranks = moo.pareto_ranks(&objectives)?;
     let platform = model.platforms[slot];
     // the tape reference path: parameters are still changing every epoch,
     // so compiling (and immediately invalidating) a frozen engine per

@@ -9,7 +9,7 @@
 use crate::{shared_reference, true_objectives, Harness, MarkdownTable};
 use hwpr_core::HwPrNas;
 use hwpr_hwmodel::Platform;
-use hwpr_moo::{hypervolume, pareto_front};
+use hwpr_moo::MooWorkspace;
 use hwpr_nasbench::{Dataset, SearchSpaceId};
 use std::fmt::Write as _;
 
@@ -45,13 +45,9 @@ pub fn run(h: &Harness) -> String {
         "# Ablation — training-loss composition (§III-A, footnote 2)\n"
     );
     let mut t = MarkdownTable::new(vec!["Loss", "Validation rank τ ↑", "Search hypervolume ↑"]);
+    let mut moo = MooWorkspace::new();
     for ((name, tau, pop), objs) in rows.iter().zip(&populations) {
-        let front: Vec<Vec<f64>> = pareto_front(objs)
-            .expect("non-empty population")
-            .into_iter()
-            .map(|i| objs[i].clone())
-            .collect();
-        let hv = hypervolume(&front, &reference).expect("bounded");
+        let hv = moo.hypervolume(objs, &reference).expect("bounded");
         let _ = pop;
         t.row(vec![
             name.to_string(),

@@ -7,7 +7,7 @@ use crate::{
     Harness, MarkdownTable,
 };
 use hwpr_hwmodel::Platform;
-use hwpr_moo::{hypervolume, pareto_front};
+use hwpr_moo::MooWorkspace;
 use hwpr_nasbench::{Dataset, SearchSpaceId};
 use hwpr_search::{HwPrNasEvaluator, Moea, PairEvaluator};
 use std::fmt::Write as _;
@@ -40,15 +40,23 @@ pub fn run(h: &Harness) -> String {
     truth.extend(hwpr_objs.iter().cloned());
     truth.extend(brp_objs.iter().cloned());
     let reference = shared_reference(&[truth.clone()]);
-    let truth_front: Vec<Vec<f64>> = pareto_front(&truth)
+    // one workspace for all three hypervolumes; the kernel extracts each
+    // front itself, and the reference bounds every folded point
+    let mut moo = MooWorkspace::new();
+    let truth_front: Vec<Vec<f64>> = moo
+        .pareto_front(&truth)
         .expect("non-empty truth")
-        .into_iter()
-        .map(|i| truth[i].clone())
+        .iter()
+        .map(|&i| truth[i].clone())
         .collect();
-    let hv_truth = hypervolume(&truth_front, &reference).expect("reference bounds truth");
-    let nhv = |pop: &[hwpr_nasbench::Architecture]| {
-        let front = true_front(pop, &oracle);
-        hypervolume(&front, &reference).expect("reference bounds front") / hv_truth
+    let hv_truth = moo
+        .hypervolume(&truth, &reference)
+        .expect("reference bounds truth");
+    let mut nhv = |pop: &[hwpr_nasbench::Architecture]| {
+        let objs = true_objectives(pop, &oracle);
+        moo.hypervolume(&objs, &reference)
+            .expect("reference bounds population")
+            / hv_truth
     };
     let hwpr_nhv = nhv(&hwpr.population);
     let brp_nhv = nhv(&brp.population);

@@ -8,7 +8,7 @@ use crate::{
     MarkdownTable,
 };
 use hwpr_hwmodel::Platform;
-use hwpr_moo::{hypervolume, pareto_front};
+use hwpr_moo::MooWorkspace;
 use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
 use std::fmt::Write as _;
 
@@ -62,16 +62,12 @@ pub fn run(h: &Harness) -> String {
         truth.extend(hwpr_objs.iter().cloned());
         truth.extend(brp_objs.iter().cloned());
         let reference = shared_reference(&[truth.clone()]);
-        let truth_front: Vec<Vec<f64>> = pareto_front(&truth)
-            .expect("non-empty truth")
-            .into_iter()
-            .map(|i| truth[i].clone())
-            .collect();
-        let hv_truth = hypervolume(&truth_front, &reference).expect("bounded");
+        let mut moo = MooWorkspace::new();
+        let hv_truth = moo.hypervolume(&truth, &reference).expect("bounded");
         let hwpr_front = true_front(&hwpr_pop, &oracle);
         let brp_front = true_front(&brp_pop, &oracle);
-        let hwpr_nhv = hypervolume(&hwpr_front, &reference).expect("bounded") / hv_truth;
-        let brp_nhv = hypervolume(&brp_front, &reference).expect("bounded") / hv_truth;
+        let hwpr_nhv = moo.hypervolume(&hwpr_front, &reference).expect("bounded") / hv_truth;
+        let brp_nhv = moo.hypervolume(&brp_front, &reference).expect("bounded") / hv_truth;
         summary.row(vec![
             platform.to_string(),
             format!("{hwpr_nhv:.3}"),

@@ -4,7 +4,7 @@
 use crate::{shared_reference, Harness, MarkdownTable};
 use hwpr_core::scalable::ScalableHwPrNas;
 use hwpr_hwmodel::Platform;
-use hwpr_moo::{hypervolume, pareto_front};
+use hwpr_moo::MooWorkspace;
 use hwpr_nasbench::{Dataset, SearchSpaceId};
 use hwpr_search::{Moea, ScoreEvaluator, ScoreFn, SearchError};
 use std::fmt::Write as _;
@@ -44,17 +44,18 @@ pub fn run(h: &Harness) -> String {
     let ours = objs3(&result.population);
     let base = objs3(&baseline.population);
     let reference = shared_reference(&[ours.clone(), base.clone()]);
-    let front_of = |objs: &Vec<Vec<f64>>| -> Vec<Vec<f64>> {
-        pareto_front(objs)
+    let mut moo = MooWorkspace::new();
+    let mut front_of = |objs: &Vec<Vec<f64>>| -> Vec<Vec<f64>> {
+        moo.pareto_front(objs)
             .expect("non-empty population")
-            .into_iter()
-            .map(|i| objs[i].clone())
+            .iter()
+            .map(|&i| objs[i].clone())
             .collect()
     };
     let our_front = front_of(&ours);
     let base_front = front_of(&base);
-    let hv_ours = hypervolume(&our_front, &reference).expect("bounded");
-    let hv_base = hypervolume(&base_front, &reference).expect("bounded");
+    let hv_ours = moo.hypervolume(&our_front, &reference).expect("bounded");
+    let hv_base = moo.hypervolume(&base_front, &reference).expect("bounded");
 
     let mut out = String::new();
     let _ = writeln!(

@@ -4,7 +4,7 @@
 
 use crate::{shared_reference, Harness, MarkdownTable};
 use hwpr_hwmodel::Platform;
-use hwpr_moo::{hypervolume, pareto_front};
+use hwpr_moo::MooWorkspace;
 use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
 use hwpr_search::{HwPrNasEvaluator, Moea, PairEvaluator};
 use std::fmt::Write as _;
@@ -41,14 +41,12 @@ pub fn run(h: &Harness) -> String {
         }
     }
     let reference = shared_reference(&all);
-    let hv_of = |pop: &[Architecture]| -> f64 {
+    // one workspace across every generation snapshot of both runs; the
+    // kernel extracts the front itself
+    let mut moo = MooWorkspace::new();
+    let mut hv_of = |pop: &[Architecture]| -> f64 {
         let objs = objectives(pop);
-        let front: Vec<Vec<f64>> = pareto_front(&objs)
-            .expect("non-empty population")
-            .into_iter()
-            .map(|i| objs[i].clone())
-            .collect();
-        hypervolume(&front, &reference).expect("bounded")
+        moo.hypervolume(&objs, &reference).expect("bounded")
     };
 
     let mut out = String::new();

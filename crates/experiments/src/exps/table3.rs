@@ -5,7 +5,7 @@
 use crate::{shared_reference, true_objectives, Harness, MarkdownTable};
 use hwpr_hwmodel::Platform;
 use hwpr_metrics::MeanStdError;
-use hwpr_moo::{hypervolume, pareto_front};
+use hwpr_moo::MooWorkspace;
 use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
 use hwpr_search::{HwPrNasEvaluator, PairEvaluator};
 use std::fmt::Write as _;
@@ -102,17 +102,14 @@ pub fn run(h: &Harness) -> String {
             .map(|pop| true_objectives(pop, &oracle))
             .collect();
         let reference = shared_reference(&all_objs);
+        let mut moo = MooWorkspace::new();
         for (mi, runs) in populations.iter().enumerate() {
             let hvs: Vec<f64> = runs
                 .iter()
                 .map(|pop| {
                     let objs = true_objectives(pop, &oracle);
-                    let front: Vec<Vec<f64>> = pareto_front(&objs)
-                        .expect("non-empty population")
-                        .into_iter()
-                        .map(|i| objs[i].clone())
-                        .collect();
-                    hypervolume(&front, &reference).expect("reference bounds front")
+                    moo.hypervolume(&objs, &reference)
+                        .expect("reference bounds population")
                 })
                 .collect();
             cells[mi].push(MeanStdError::from_values(&hvs).to_string());

@@ -18,7 +18,7 @@ pub mod exps;
 use hwpr_core::baselines::SurrogatePair;
 use hwpr_core::{HwPrNas, ModelConfig, SurrogateDataset, TrainConfig};
 use hwpr_hwmodel::{Platform, SimBench, SimBenchConfig};
-use hwpr_moo::{hypervolume, nadir_reference_point, pareto_front};
+use hwpr_moo::{nadir_reference_point, pareto_front, MooWorkspace};
 use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
 use hwpr_search::{
     random_search, HwPrNasEvaluator, MeasuredEvaluator, Moea, MoeaConfig, PairEvaluator,
@@ -408,8 +408,12 @@ pub fn population_hypervolume(
     oracle: &MeasuredEvaluator,
     reference: &[f64],
 ) -> f64 {
-    let front = true_front(pop, oracle);
-    hypervolume(&front, reference).expect("reference must bound the front")
+    // the hypervolume kernel extracts the non-dominated front itself, so
+    // the objectives go in directly — one pass instead of front + HV
+    let objs = true_objectives(pop, oracle);
+    let mut moo = MooWorkspace::new();
+    moo.hypervolume(&objs, reference)
+        .expect("reference must bound the population")
 }
 
 /// A reference point bounding every listed objective set (nadir + 10 %).

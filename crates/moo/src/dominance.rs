@@ -28,6 +28,45 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     strictly_better
 }
 
+/// Outcome of a single-pass pairwise dominance comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DomOrdering {
+    /// The left point strictly dominates the right one.
+    Left,
+    /// The right point strictly dominates the left one.
+    Right,
+    /// Neither dominates (incomparable or equal).
+    Neither,
+}
+
+/// Decides both `dominates(a, b)` and `dominates(b, a)` in one pass over
+/// the objectives — the workspace sort performs one comparison per (i, j)
+/// pair instead of two [`dominates`] calls.
+#[inline]
+pub(crate) fn compare(a: &[f64], b: &[f64]) -> DomOrdering {
+    debug_assert_eq!(a.len(), b.len(), "dominance requires equal dimensions");
+    let mut a_better = false;
+    let mut b_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            if b_better {
+                return DomOrdering::Neither;
+            }
+            a_better = true;
+        } else if y < x {
+            if a_better {
+                return DomOrdering::Neither;
+            }
+            b_better = true;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => DomOrdering::Left,
+        (false, true) => DomOrdering::Right,
+        _ => DomOrdering::Neither,
+    }
+}
+
 /// Weak dominance: `a` is no worse than `b` in every objective.
 ///
 /// # Panics
@@ -62,5 +101,27 @@ mod tests {
     #[should_panic(expected = "equal dimensions")]
     fn mismatched_dimensions_panic() {
         let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn single_pass_compare_agrees_with_dominates() {
+        let pts = [
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![1.0, 1.0],
+        ];
+        for a in &pts {
+            for b in &pts {
+                let expected = match (dominates(a, b), dominates(b, a)) {
+                    (true, false) => DomOrdering::Left,
+                    (false, true) => DomOrdering::Right,
+                    (false, false) => DomOrdering::Neither,
+                    (true, true) => unreachable!("dominance is asymmetric"),
+                };
+                assert_eq!(compare(a, b), expected, "{a:?} vs {b:?}");
+            }
+        }
     }
 }

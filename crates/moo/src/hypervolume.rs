@@ -1,8 +1,12 @@
 //! Exact hypervolume computation (minimization convention).
+//!
+//! The free functions here run on a fresh [`MooWorkspace`] per call;
+//! hot paths hold a long-lived workspace (or an
+//! [`crate::IncrementalHv2`] archive) instead.
 
-use crate::dominance::weakly_dominates;
-use crate::sort::pareto_front;
+use crate::workspace::MooWorkspace;
 use crate::{validate_points, MooError, Result};
+use std::borrow::Borrow;
 
 /// The hypervolume dominated by `points` with respect to `reference`
 /// (every objective minimised; the reference must be weakly worse than
@@ -10,7 +14,8 @@ use crate::{validate_points, MooError, Result};
 ///
 /// Uses an exact sweep for 1-D/2-D and the WFG exclusive-hypervolume
 /// recursion for three or more objectives — the same quantity pymoo
-/// computes for the paper's Table III.
+/// computes for the paper's Table III. Input is validated exactly once;
+/// the internal first-front extraction is unchecked.
 ///
 /// # Errors
 ///
@@ -24,101 +29,9 @@ use crate::{validate_points, MooError, Result};
 /// let hv = hwpr_moo::hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]).unwrap();
 /// assert_eq!(hv, 4.0);
 /// ```
-pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> Result<f64> {
-    let dim = validate_points(points)?;
-    if reference.len() != dim {
-        return Err(MooError::DimensionMismatch {
-            expected: dim,
-            found: reference.len(),
-        });
-    }
-    if reference.iter().any(|v| !v.is_finite()) {
-        return Err(MooError::NonFinite);
-    }
-    if points
-        .iter()
-        .any(|p| p.iter().zip(reference).any(|(x, r)| x > r))
-    {
-        return Err(MooError::ReferenceNotDominating);
-    }
-    // only the non-dominated points contribute
-    let front_idx = pareto_front(points)?;
-    let front: Vec<Vec<f64>> = front_idx.iter().map(|&i| points[i].clone()).collect();
-    Ok(match dim {
-        1 => reference[0] - front.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min),
-        2 => hv2(&front, reference),
-        _ => wfg(&front, reference),
-    })
-}
-
-/// 2-D hypervolume by sweeping points sorted on the first objective.
-fn hv2(front: &[Vec<f64>], reference: &[f64]) -> f64 {
-    let mut pts = front.to_vec();
-    pts.sort_by(|a, b| a[0].total_cmp(&b[0]));
-    let mut hv = 0.0;
-    let mut prev_y = reference[1];
-    for p in pts {
-        // front is non-dominated, so y strictly decreases along increasing x
-        let width = reference[0] - p[0];
-        let height = prev_y - p[1];
-        if height > 0.0 {
-            hv += width * height;
-            prev_y = p[1];
-        }
-    }
-    hv
-}
-
-/// WFG exclusive-hypervolume recursion for `d >= 3`.
-fn wfg(front: &[Vec<f64>], reference: &[f64]) -> f64 {
-    let mut pts = front.to_vec();
-    // processing points sorted worst-first on the last objective improves
-    // limit-set pruning
-    pts.sort_by(|a, b| b[a.len() - 1].total_cmp(&a[a.len() - 1]));
-    let mut total = 0.0;
-    for i in 0..pts.len() {
-        total += exclusive_hv(&pts[i], &pts[i + 1..], reference);
-    }
-    total
-}
-
-/// Volume dominated by `p` alone, minus the part also dominated by `rest`.
-fn exclusive_hv(p: &[f64], rest: &[Vec<f64>], reference: &[f64]) -> f64 {
-    let box_vol: f64 = p.iter().zip(reference).map(|(x, r)| r - x).product();
-    if rest.is_empty() {
-        return box_vol;
-    }
-    // limit set: clip every other point into p's dominated box
-    let limited: Vec<Vec<f64>> = rest
-        .iter()
-        .map(|q| q.iter().zip(p).map(|(&qv, &pv)| qv.max(pv)).collect())
-        .collect();
-    // non-dominated subset of the limit set
-    let nd = non_dominated(&limited);
-    box_vol - hv_dispatch(&nd, reference)
-}
-
-fn hv_dispatch(front: &[Vec<f64>], reference: &[f64]) -> f64 {
-    if front.is_empty() {
-        return 0.0;
-    }
-    match front[0].len() {
-        1 => reference[0] - front.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min),
-        2 => hv2(front, reference),
-        _ => wfg(front, reference),
-    }
-}
-
-fn non_dominated(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    let mut keep: Vec<Vec<f64>> = Vec::new();
-    for p in points {
-        if keep.iter().any(|q| weakly_dominates(q, p)) {
-            continue;
-        }
-        keep.retain(|q| !weakly_dominates(p, q));
-        keep.push(p.clone());
-    }
-    keep
+pub fn hypervolume<P: Borrow<Vec<f64>>>(points: &[P], reference: &[f64]) -> Result<f64> {
+    let mut ws = MooWorkspace::new();
+    ws.hypervolume(points, reference)
 }
 
 /// Hypervolume of `approximation` normalised by the hypervolume of
@@ -130,16 +43,17 @@ fn non_dominated(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
 ///
 /// Propagates [`MooError`] from either hypervolume computation, and
 /// returns [`MooError::EmptySet`] if the true front has zero hypervolume.
-pub fn normalized_hypervolume(
-    approximation: &[Vec<f64>],
-    true_front: &[Vec<f64>],
+pub fn normalized_hypervolume<P: Borrow<Vec<f64>>, Q: Borrow<Vec<f64>>>(
+    approximation: &[P],
+    true_front: &[Q],
     reference: &[f64],
 ) -> Result<f64> {
-    let denom = hypervolume(true_front, reference)?;
+    let mut ws = MooWorkspace::new();
+    let denom = ws.hypervolume(true_front, reference)?;
     if denom <= 0.0 {
         return Err(MooError::EmptySet);
     }
-    Ok(hypervolume(approximation, reference)? / denom)
+    Ok(ws.hypervolume(approximation, reference)? / denom)
 }
 
 /// The reference point the paper uses: the coordinate-wise worst value
@@ -149,11 +63,11 @@ pub fn normalized_hypervolume(
 /// # Errors
 ///
 /// Returns [`MooError`] for empty or inconsistent point sets.
-pub fn nadir_reference_point(points: &[Vec<f64>], margin: f64) -> Result<Vec<f64>> {
+pub fn nadir_reference_point<P: Borrow<Vec<f64>>>(points: &[P], margin: f64) -> Result<Vec<f64>> {
     let dim = validate_points(points)?;
     let mut reference = vec![f64::NEG_INFINITY; dim];
     for p in points {
-        for (r, &v) in reference.iter_mut().zip(p) {
+        for (r, &v) in reference.iter_mut().zip(p.borrow()) {
             *r = r.max(v);
         }
     }
@@ -166,6 +80,7 @@ pub fn nadir_reference_point(points: &[Vec<f64>], margin: f64) -> Result<Vec<f64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dominance::weakly_dominates;
 
     #[test]
     fn two_d_staircase() {
@@ -277,6 +192,6 @@ mod tests {
     fn nadir_reference_is_worst_plus_margin() {
         let pts = vec![vec![1.0, 9.0], vec![5.0, 2.0]];
         assert_eq!(nadir_reference_point(&pts, 1.0).unwrap(), vec![6.0, 10.0]);
-        assert!(nadir_reference_point(&[], 1.0).is_err());
+        assert!(nadir_reference_point::<Vec<f64>>(&[], 1.0).is_err());
     }
 }

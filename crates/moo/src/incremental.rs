@@ -1,0 +1,364 @@
+//! [`IncrementalHv2`]: a persistent 2-D Pareto archive with O(Δ log N)
+//! hypervolume maintenance.
+//!
+//! Search telemetry records the front hypervolume every MOEA generation.
+//! Recomputing it from scratch is a full validate + non-dominated sort +
+//! sweep over the population; between consecutive generations the front
+//! barely moves, so this structure keeps the non-dominated staircase
+//! sorted by the first objective and folds each new point in with a
+//! binary search, a contiguous dominated-run removal, and a local update
+//! of the staircase sum
+//!
+//! ```text
+//!     hv = Σᵢ (rx − xᵢ)(yᵢ₋₁ − yᵢ)      with y₋₁ = ry
+//! ```
+//!
+//! (minimization; `(rx, ry)` is the reference point, points sorted by x
+//! ascending so y is strictly descending along the front).
+//!
+//! The accumulated sum can drift by a few ulps from the batch sweep after
+//! many updates; [`IncrementalHv2::recompute`] restores the exact value
+//! in O(N) without allocating, and [`IncrementalHv2::reset_from`] rebuilds
+//! the archive from a fresh point set (the telemetry fallback when the
+//! population front diverges from the archive).
+
+use crate::{MooError, Result};
+use std::borrow::Borrow;
+
+/// Incrementally maintained 2-D hypervolume archive (see the [module
+/// docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use hwpr_moo::IncrementalHv2;
+///
+/// let mut hv = IncrementalHv2::new(&[4.0, 4.0]).unwrap();
+/// hv.insert(1.0, 3.0).unwrap();
+/// hv.insert(3.0, 1.0).unwrap();
+/// hv.insert(2.0, 2.0).unwrap();
+/// assert!((hv.hypervolume() - 6.0).abs() < 1e-12);
+/// assert!(!hv.insert(2.5, 2.5).unwrap()); // dominated: front unchanged
+/// assert_eq!(hv.front_len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalHv2 {
+    reference: [f64; 2],
+    /// Non-dominated staircase: x strictly ascending, y strictly
+    /// descending.
+    front: Vec<(f64, f64)>,
+    hv: f64,
+    inserts: u64,
+    accepted: u64,
+    resets: u64,
+}
+
+impl IncrementalHv2 {
+    /// Creates an empty archive bounded by `reference` (both coordinates
+    /// must be finite; inserted points must lie weakly inside the box).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError`] if `reference` is not a finite 2-D point.
+    pub fn new(reference: &[f64]) -> Result<Self> {
+        if reference.len() != 2 {
+            return Err(MooError::DimensionMismatch {
+                expected: 2,
+                found: reference.len(),
+            });
+        }
+        if reference.iter().any(|v| !v.is_finite()) {
+            return Err(MooError::NonFinite);
+        }
+        Ok(Self {
+            reference: [reference[0], reference[1]],
+            front: Vec::new(),
+            hv: 0.0,
+            inserts: 0,
+            accepted: 0,
+            resets: 0,
+        })
+    }
+
+    /// The reference point.
+    pub fn reference(&self) -> [f64; 2] {
+        self.reference
+    }
+
+    /// Folds `(x, y)` into the archive; returns `true` when the front
+    /// changed (the point was not weakly dominated). O(Δ log N): a binary
+    /// search plus removal of the contiguous run of newly dominated
+    /// points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError::NonFinite`] for non-finite coordinates and
+    /// [`MooError::ReferenceNotDominating`] for points outside the
+    /// reference box.
+    pub fn insert(&mut self, x: f64, y: f64) -> Result<bool> {
+        if !x.is_finite() || !y.is_finite() {
+            return Err(MooError::NonFinite);
+        }
+        if x > self.reference[0] || y > self.reference[1] {
+            return Err(MooError::ReferenceNotDominating);
+        }
+        self.inserts += 1;
+        // first slot with front x >= x: everything before has smaller x
+        let pos = self.front.partition_point(|p| p.0 < x);
+        // weakly dominated by the best predecessor (smallest y with x' < x)…
+        if pos > 0 && self.front[pos - 1].1 <= y {
+            return Ok(false);
+        }
+        // …or by/equal to the (unique) front point sharing this x
+        if pos < self.front.len() && self.front[pos].0 == x && self.front[pos].1 <= y {
+            return Ok(false);
+        }
+        self.accepted += 1;
+        let (rx, ry) = (self.reference[0], self.reference[1]);
+        let y_left = if pos > 0 { self.front[pos - 1].1 } else { ry };
+        // newly dominated points (x' >= x and y' >= y) are the contiguous
+        // run after `pos`, since y descends along the staircase
+        let mut end = pos;
+        let mut removed = 0.0;
+        let mut y_prev = y_left;
+        while end < self.front.len() && self.front[end].1 >= y {
+            let (px, py) = self.front[end];
+            removed += (rx - px) * (y_prev - py);
+            y_prev = py;
+            end += 1;
+        }
+        // the slot after the run sees its upper edge move from y_prev to y
+        let mut delta = (rx - x) * (y_left - y) - removed;
+        if end < self.front.len() {
+            let (nx, ny) = self.front[end];
+            delta += (rx - nx) * (y - y_prev);
+            debug_assert!(ny < y, "staircase must stay strictly descending");
+        }
+        self.hv += delta;
+        if end > pos {
+            self.front[pos] = (x, y);
+            self.front.drain(pos + 1..end);
+        } else {
+            self.front.insert(pos, (x, y));
+        }
+        Ok(true)
+    }
+
+    /// True iff `(x, y)` is exactly one of the archive's front points.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        let pos = self.front.partition_point(|p| p.0 < x);
+        pos < self.front.len() && self.front[pos].0 == x && self.front[pos].1 == y
+    }
+
+    /// The maintained hypervolume of the archived front.
+    pub fn hypervolume(&self) -> f64 {
+        self.hv
+    }
+
+    /// Number of points on the archived front.
+    pub fn front_len(&self) -> usize {
+        self.front.len()
+    }
+
+    /// The archived front, x ascending / y descending.
+    pub fn front(&self) -> &[(f64, f64)] {
+        &self.front
+    }
+
+    /// Recomputes the hypervolume with a full staircase sweep (no
+    /// allocation), replacing the incrementally accumulated value — the
+    /// summation order matches the batch 2-D sweep, so the result is
+    /// exactly what [`crate::hypervolume`] returns for this front.
+    pub fn recompute(&mut self) -> f64 {
+        let (rx, ry) = (self.reference[0], self.reference[1]);
+        let mut hv = 0.0;
+        let mut y_prev = ry;
+        for &(x, y) in &self.front {
+            hv += (rx - x) * (y_prev - y);
+            y_prev = y;
+        }
+        self.hv = hv;
+        hv
+    }
+
+    /// Drops the archived front (the reference point and buffers are
+    /// kept, so warm rebuilds do not allocate).
+    pub fn clear(&mut self) {
+        self.front.clear();
+        self.hv = 0.0;
+    }
+
+    /// Rebuilds the archive from `points` (each a 2-D objective vector)
+    /// and returns the exact hypervolume. This is the divergence
+    /// fallback: counters keep counting across resets, and retained
+    /// capacity makes warm resets allocation-free for fronts no larger
+    /// than previously seen.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::insert`]; the archive is cleared even
+    /// when a point is rejected, so a failed reset leaves it empty rather
+    /// than stale.
+    pub fn reset_from<P: Borrow<Vec<f64>>>(&mut self, points: &[P]) -> Result<f64> {
+        self.clear();
+        self.resets += 1;
+        for p in points {
+            let p = p.borrow();
+            if p.len() != 2 {
+                return Err(MooError::DimensionMismatch {
+                    expected: 2,
+                    found: p.len(),
+                });
+            }
+            self.insert(p[0], p[1])?;
+        }
+        Ok(self.recompute())
+    }
+
+    /// Total [`Self::insert`] calls.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Inserts that changed the front.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of [`Self::reset_from`] rebuilds.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn matches_batch_hypervolume_point_by_point() {
+        let pts = [
+            (5.0, 5.0),
+            (1.0, 4.0),
+            (2.0, 2.0),
+            (2.0, 2.0), // duplicate
+            (4.0, 1.0),
+            (3.0, 3.0), // dominated on arrival
+            (1.0, 1.0), // dominates everything so far
+            (0.5, 6.0),
+        ];
+        let reference_pt = [8.0, 8.0];
+        let mut inc = IncrementalHv2::new(&reference_pt).unwrap();
+        let mut seen: Vec<Vec<f64>> = Vec::new();
+        for &(x, y) in &pts {
+            inc.insert(x, y).unwrap();
+            seen.push(vec![x, y]);
+            let batch = reference::hypervolume(&seen, &reference_pt).unwrap();
+            assert!(
+                (inc.hypervolume() - batch).abs() <= 1e-12 * batch.max(1.0),
+                "after ({x}, {y}): {} vs {batch}",
+                inc.hypervolume()
+            );
+        }
+        assert_eq!(inc.inserts(), pts.len() as u64);
+        assert!(inc.accepted() < inc.inserts());
+    }
+
+    #[test]
+    fn recompute_matches_batch_sweep_exactly() {
+        let mut inc = IncrementalHv2::new(&[10.0, 10.0]).unwrap();
+        let mut pts = Vec::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for _ in 0..200 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (state >> 40) as f64 / (1u64 << 24) as f64 * 9.0;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let y = (state >> 40) as f64 / (1u64 << 24) as f64 * 9.0;
+            inc.insert(x, y).unwrap();
+            pts.push(vec![x, y]);
+        }
+        let exact = inc.recompute();
+        let batch = reference::hypervolume(&pts, &[10.0, 10.0]).unwrap();
+        assert_eq!(exact.to_bits(), batch.to_bits(), "{exact} vs {batch}");
+        assert_eq!(inc.hypervolume().to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn dominated_run_removal_keeps_staircase_strict() {
+        let mut inc = IncrementalHv2::new(&[10.0, 10.0]).unwrap();
+        for (x, y) in [(2.0, 8.0), (4.0, 6.0), (6.0, 4.0), (8.0, 2.0)] {
+            assert!(inc.insert(x, y).unwrap());
+        }
+        // dominates the middle two in one shot
+        assert!(inc.insert(3.0, 3.0).unwrap());
+        assert_eq!(inc.front(), &[(2.0, 8.0), (3.0, 3.0), (8.0, 2.0)]);
+        for w in inc.front().windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 > w[1].1);
+        }
+        let batch = reference::hypervolume(
+            &inc.front()
+                .iter()
+                .map(|&(x, y)| vec![x, y])
+                .collect::<Vec<_>>(),
+            &[10.0, 10.0],
+        )
+        .unwrap();
+        assert!((inc.hypervolume() - batch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_coordinate_edges() {
+        let mut inc = IncrementalHv2::new(&[10.0, 10.0]).unwrap();
+        assert!(inc.insert(2.0, 5.0).unwrap());
+        assert!(!inc.insert(2.0, 5.0).unwrap()); // exact duplicate
+        assert!(!inc.insert(2.0, 6.0).unwrap()); // worse y at same x
+        assert!(inc.insert(2.0, 4.0).unwrap()); // better y replaces
+        assert_eq!(inc.front(), &[(2.0, 4.0)]);
+        assert!(!inc.insert(3.0, 4.0).unwrap()); // same y, worse x: dominated
+        assert!(inc.insert(1.0, 4.0).unwrap()); // same y, better x replaces
+        assert_eq!(inc.front(), &[(1.0, 4.0)]);
+        assert!(inc.contains(1.0, 4.0));
+        assert!(!inc.contains(2.0, 4.0));
+    }
+
+    #[test]
+    fn rejects_bad_points() {
+        let mut inc = IncrementalHv2::new(&[1.0, 1.0]).unwrap();
+        assert_eq!(inc.insert(f64::NAN, 0.0).unwrap_err(), MooError::NonFinite);
+        assert_eq!(
+            inc.insert(2.0, 0.0).unwrap_err(),
+            MooError::ReferenceNotDominating
+        );
+        assert!(matches!(
+            IncrementalHv2::new(&[1.0]).unwrap_err(),
+            MooError::DimensionMismatch { .. }
+        ));
+        assert_eq!(
+            IncrementalHv2::new(&[f64::INFINITY, 0.0]).unwrap_err(),
+            MooError::NonFinite
+        );
+    }
+
+    #[test]
+    fn reset_rebuilds_and_counts() {
+        let mut inc = IncrementalHv2::new(&[4.0, 4.0]).unwrap();
+        inc.insert(3.5, 3.5).unwrap();
+        let pts = vec![
+            vec![1.0, 3.0],
+            vec![2.0, 2.0],
+            vec![3.0, 1.0],
+            vec![2.5, 2.5],
+        ];
+        let hv = inc.reset_from(&pts).unwrap();
+        assert!((hv - 6.0).abs() < 1e-12);
+        assert_eq!(inc.front_len(), 3);
+        assert_eq!(inc.resets(), 1);
+        assert!(inc.contains(2.0, 2.0));
+        assert!(!inc.contains(2.5, 2.5));
+    }
+}

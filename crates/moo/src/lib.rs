@@ -12,7 +12,14 @@
 //!   higher dimensions) and [`normalized_hypervolume`], the paper's
 //!   front-quality metric (Figs. 1 and 6, Table III),
 //! - [`nadir_reference_point`] — the "furthest point from the Pareto
-//!   front" reference the paper uses.
+//!   front" reference the paper uses,
+//! - [`MooWorkspace`] — a reusable flat arena the hot paths hold so warm
+//!   sort/crowding/hypervolume calls allocate nothing, with an
+//!   O(N log N) sweep for the paper's two-objective configuration,
+//! - [`IncrementalHv2`] — a persistent 2-D front archive with
+//!   O(Δ log N) per-generation hypervolume maintenance,
+//! - [`reference`] — the original kernels, frozen as ground truth for
+//!   differential tests and benchmarks.
 //!
 //! # Examples
 //!
@@ -31,11 +38,16 @@
 #![warn(missing_docs)]
 mod dominance;
 mod hypervolume;
+mod incremental;
+pub mod reference;
 mod sort;
+mod workspace;
 
 pub use dominance::{dominates, weakly_dominates};
 pub use hypervolume::{hypervolume, nadir_reference_point, normalized_hypervolume};
+pub use incremental::IncrementalHv2;
 pub use sort::{crowding_distance, fast_non_dominated_sort, pareto_front, pareto_ranks};
+pub use workspace::{Fronts, MooWorkspace};
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,251 @@
+//! The original O(M·N²) multi-objective kernels, kept as the ground truth
+//! for the workspace-backed implementations in [`crate::MooWorkspace`] —
+//! the same pattern as `hwpr_tensor::reference` for the blocked GEMM.
+//!
+//! Differential tests assert the optimised paths produce identical fronts,
+//! ranks and crowding distances (hypervolume within 1e-12), and the
+//! `table3_moo_kernels` criterion bench measures the speedup. These are
+//! the pre-workspace `hwpr_moo` implementations, unchanged.
+//!
+//! One behavioural note preserved here: `fast_non_dominated_sort` lists
+//! each front in domination-count release order (front 0 ascending, later
+//! fronts in traversal order), whereas the optimised kernels normalise
+//! every front to ascending index order. The sets per front are identical.
+
+use crate::dominance::{dominates, weakly_dominates};
+use crate::{validate_points, MooError, Result};
+use std::borrow::Borrow;
+
+/// Partitions `points` into Pareto fronts (indices), best front first
+/// (original implementation).
+///
+/// # Errors
+///
+/// Returns [`crate::MooError`] when the set is empty, dimensions are
+/// inconsistent, or values are non-finite.
+pub fn fast_non_dominated_sort<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<Vec<usize>>> {
+    validate_points(points)?;
+    let n = points.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(points[i].borrow(), points[j].borrow()) {
+                dominated_by[i].push(j);
+                domination_count[j] += 1;
+            } else if dominates(points[j].borrow(), points[i].borrow()) {
+                dominated_by[j].push(i);
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    Ok(fronts)
+}
+
+/// The Pareto rank (0-based front index) of every point (original
+/// implementation).
+///
+/// # Errors
+///
+/// Same conditions as [`fast_non_dominated_sort`].
+pub fn pareto_ranks<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<usize>> {
+    let fronts = fast_non_dominated_sort(points)?;
+    let mut ranks = vec![0usize; points.len()];
+    for (k, front) in fronts.iter().enumerate() {
+        for &i in front {
+            ranks[i] = k;
+        }
+    }
+    Ok(ranks)
+}
+
+/// Indices of the non-dominated (first-front) points (original
+/// implementation: computes *all* fronts, then takes the first).
+///
+/// # Errors
+///
+/// Same conditions as [`fast_non_dominated_sort`].
+pub fn pareto_front<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<usize>> {
+    Ok(fast_non_dominated_sort(points)?.remove(0))
+}
+
+/// NSGA-II crowding distance of each point *within one front* (original
+/// implementation).
+///
+/// # Errors
+///
+/// Returns [`crate::MooError`] for empty/inconsistent inputs.
+pub fn crowding_distance<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<f64>> {
+    let dim = validate_points(points)?;
+    let n = points.len();
+    let mut distance = vec![0.0f64; n];
+    if n <= 2 {
+        return Ok(vec![f64::INFINITY; n]);
+    }
+    let at = |i: usize, d: usize| points[i].borrow()[d];
+    for d in 0..dim {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| at(i, d).total_cmp(&at(j, d)));
+        let span = at(order[n - 1], d) - at(order[0], d);
+        distance[order[0]] = f64::INFINITY;
+        distance[order[n - 1]] = f64::INFINITY;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..n - 1 {
+            let gap = (at(order[w + 1], d) - at(order[w - 1], d)) / span;
+            distance[order[w]] += gap;
+        }
+    }
+    Ok(distance)
+}
+
+/// The hypervolume dominated by `points` with respect to `reference`
+/// (original implementation: re-validates inside [`pareto_front`] and
+/// clones the point set at every WFG recursion level).
+///
+/// # Errors
+///
+/// Returns [`MooError`] for empty/inconsistent input, a reference point of
+/// the wrong dimension, or a reference that does not bound the points.
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> Result<f64> {
+    let dim = validate_points(points)?;
+    if reference.len() != dim {
+        return Err(MooError::DimensionMismatch {
+            expected: dim,
+            found: reference.len(),
+        });
+    }
+    if reference.iter().any(|v| !v.is_finite()) {
+        return Err(MooError::NonFinite);
+    }
+    if points
+        .iter()
+        .any(|p| p.iter().zip(reference).any(|(x, r)| x > r))
+    {
+        return Err(MooError::ReferenceNotDominating);
+    }
+    // only the non-dominated points contribute
+    let front_idx = pareto_front(points)?;
+    let front: Vec<Vec<f64>> = front_idx.iter().map(|&i| points[i].clone()).collect();
+    Ok(match dim {
+        1 => reference[0] - front.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min),
+        2 => hv2(&front, reference),
+        _ => wfg(&front, reference),
+    })
+}
+
+/// 2-D hypervolume by sweeping points sorted on the first objective.
+fn hv2(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut pts = front.to_vec();
+    pts.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for p in pts {
+        // front is non-dominated, so y strictly decreases along increasing x
+        let width = reference[0] - p[0];
+        let height = prev_y - p[1];
+        if height > 0.0 {
+            hv += width * height;
+            prev_y = p[1];
+        }
+    }
+    hv
+}
+
+/// WFG exclusive-hypervolume recursion for `d >= 3`.
+fn wfg(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut pts = front.to_vec();
+    // processing points sorted worst-first on the last objective improves
+    // limit-set pruning
+    pts.sort_by(|a, b| b[a.len() - 1].total_cmp(&a[a.len() - 1]));
+    let mut total = 0.0;
+    for i in 0..pts.len() {
+        total += exclusive_hv(&pts[i], &pts[i + 1..], reference);
+    }
+    total
+}
+
+/// Volume dominated by `p` alone, minus the part also dominated by `rest`.
+fn exclusive_hv(p: &[f64], rest: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let box_vol: f64 = p.iter().zip(reference).map(|(x, r)| r - x).product();
+    if rest.is_empty() {
+        return box_vol;
+    }
+    // limit set: clip every other point into p's dominated box
+    let limited: Vec<Vec<f64>> = rest
+        .iter()
+        .map(|q| q.iter().zip(p).map(|(&qv, &pv)| qv.max(pv)).collect())
+        .collect();
+    // non-dominated subset of the limit set
+    let nd = non_dominated(&limited);
+    box_vol - hv_dispatch(&nd, reference)
+}
+
+fn hv_dispatch(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    if front.is_empty() {
+        return 0.0;
+    }
+    match front[0].len() {
+        1 => reference[0] - front.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min),
+        2 => hv2(front, reference),
+        _ => wfg(front, reference),
+    }
+}
+
+fn non_dominated(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut keep: Vec<Vec<f64>> = Vec::new();
+    for p in points {
+        if keep.iter().any(|q| weakly_dominates(q, p)) {
+            continue;
+        }
+        keep.retain(|q| !weakly_dominates(p, q));
+        keep.push(p.clone());
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_front_traversal_order_is_preserved() {
+        // the original sort releases later fronts in traversal order; this
+        // pins the exact behaviour the workspace normalises away
+        let points = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![4.0, 1.0],
+            vec![3.0, 4.0],
+            vec![5.0, 5.0],
+        ];
+        let fronts = fast_non_dominated_sort(&points).unwrap();
+        assert_eq!(fronts[0], vec![0, 1, 2]);
+        assert_eq!(fronts[1], vec![3]);
+        assert_eq!(fronts[2], vec![4]);
+        assert_eq!(pareto_ranks(&points).unwrap(), vec![0, 0, 0, 1, 2]);
+        assert_eq!(pareto_front(&points).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reference_hypervolume_staircase() {
+        let front = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+        let hv = hypervolume(&front, &[4.0, 4.0]).unwrap();
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,14 +1,24 @@
 //! NSGA-II fast non-dominated sorting and crowding distance.
+//!
+//! These free functions are the convenience API: each call runs on a
+//! fresh [`MooWorkspace`] and copies the result out. Hot paths (the MOEA
+//! loop, training-batch ranking, per-generation telemetry) hold a
+//! long-lived workspace instead and call its methods directly, which
+//! reuses every internal buffer and allocates nothing once warm.
 
-use crate::dominance::dominates;
-use crate::{validate_points, Result};
+use crate::workspace::{Fronts, MooWorkspace};
+use crate::Result;
 use std::borrow::Borrow;
 
-/// Partitions `points` into Pareto fronts (indices), best front first.
+/// Partitions `points` into Pareto fronts (indices), best front first;
+/// each front is listed in ascending index order.
 ///
 /// This is the NSGA-II fast non-dominated sort: `F_1` contains all
 /// non-dominated points, `F_2` the points only dominated by `F_1`, and so
 /// on — the layering the HW-PR-NAS surrogate is trained to reproduce.
+/// Two objectives are layered by an O(N log N) lexicographic sweep; three
+/// or more use the pairwise path with a single dominance comparison per
+/// pair (see [`MooWorkspace`]).
 ///
 /// # Errors
 ///
@@ -19,36 +29,10 @@ use std::borrow::Borrow;
 /// (`Vec<f64>`, `Arc<Vec<f64>>`, `&Vec<f64>`), so shared fitness caches
 /// can be sorted without deep-copying their points.
 pub fn fast_non_dominated_sort<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<Vec<usize>>> {
-    validate_points(points)?;
-    let n = points.len();
-    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
-    let mut domination_count = vec![0usize; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if dominates(points[i].borrow(), points[j].borrow()) {
-                dominated_by[i].push(j);
-                domination_count[j] += 1;
-            } else if dominates(points[j].borrow(), points[i].borrow()) {
-                dominated_by[j].push(i);
-                domination_count[i] += 1;
-            }
-        }
-    }
-    let mut fronts: Vec<Vec<usize>> = Vec::new();
-    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
-    while !current.is_empty() {
-        let mut next = Vec::new();
-        for &i in &current {
-            for &j in &dominated_by[i] {
-                domination_count[j] -= 1;
-                if domination_count[j] == 0 {
-                    next.push(j);
-                }
-            }
-        }
-        fronts.push(std::mem::replace(&mut current, next));
-    }
-    Ok(fronts)
+    let mut ws = MooWorkspace::new();
+    let mut fronts = Fronts::new();
+    ws.fast_non_dominated_sort_into(points, &mut fronts)?;
+    Ok(fronts.iter().map(<[usize]>::to_vec).collect())
 }
 
 /// The Pareto rank (0-based front index) of every point.
@@ -57,23 +41,22 @@ pub fn fast_non_dominated_sort<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<
 ///
 /// Same conditions as [`fast_non_dominated_sort`].
 pub fn pareto_ranks<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<usize>> {
-    let fronts = fast_non_dominated_sort(points)?;
-    let mut ranks = vec![0usize; points.len()];
-    for (k, front) in fronts.iter().enumerate() {
-        for &i in front {
-            ranks[i] = k;
-        }
-    }
-    Ok(ranks)
+    let mut ws = MooWorkspace::new();
+    Ok(ws.pareto_ranks(points)?.to_vec())
 }
 
-/// Indices of the non-dominated (first-front) points.
+/// Indices of the non-dominated (first-front) points, ascending.
+///
+/// Runs a dedicated first-front scan that stops once front membership is
+/// decided, instead of layering the whole set and discarding everything
+/// past the first front.
 ///
 /// # Errors
 ///
 /// Same conditions as [`fast_non_dominated_sort`].
 pub fn pareto_front<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<usize>> {
-    Ok(fast_non_dominated_sort(points)?.remove(0))
+    let mut ws = MooWorkspace::new();
+    Ok(ws.pareto_front(points)?.to_vec())
 }
 
 /// NSGA-II crowding distance of each point *within one front*.
@@ -86,28 +69,8 @@ pub fn pareto_front<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<usize>> {
 ///
 /// Returns [`crate::MooError`] for empty/inconsistent inputs.
 pub fn crowding_distance<P: Borrow<Vec<f64>>>(points: &[P]) -> Result<Vec<f64>> {
-    let dim = validate_points(points)?;
-    let n = points.len();
-    let mut distance = vec![0.0f64; n];
-    if n <= 2 {
-        return Ok(vec![f64::INFINITY; n]);
-    }
-    let at = |i: usize, d: usize| points[i].borrow()[d];
-    for d in 0..dim {
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| at(i, d).total_cmp(&at(j, d)));
-        let span = at(order[n - 1], d) - at(order[0], d);
-        distance[order[0]] = f64::INFINITY;
-        distance[order[n - 1]] = f64::INFINITY;
-        if span <= 0.0 {
-            continue;
-        }
-        for w in 1..n - 1 {
-            let gap = (at(order[w + 1], d) - at(order[w - 1], d)) / span;
-            distance[order[w]] += gap;
-        }
-    }
-    Ok(distance)
+    let mut ws = MooWorkspace::new();
+    Ok(ws.crowding_distance(points)?.to_vec())
 }
 
 #[cfg(test)]
@@ -129,9 +92,7 @@ mod tests {
     fn sorts_known_layout() {
         let fronts = fast_non_dominated_sort(&sample()).unwrap();
         assert_eq!(fronts.len(), 3);
-        let mut f0 = fronts[0].clone();
-        f0.sort_unstable();
-        assert_eq!(f0, vec![0, 1, 2, 5]);
+        assert_eq!(fronts[0], vec![0, 1, 2, 5]);
         assert_eq!(fronts[1], vec![3]);
         assert_eq!(fronts[2], vec![4]);
     }
@@ -144,9 +105,7 @@ mod tests {
 
     #[test]
     fn pareto_front_returns_first_layer() {
-        let mut front = pareto_front(&sample()).unwrap();
-        front.sort_unstable();
-        assert_eq!(front, vec![0, 1, 2, 5]);
+        assert_eq!(pareto_front(&sample()).unwrap(), vec![0, 1, 2, 5]);
     }
 
     #[test]

@@ -1,0 +1,1039 @@
+//! [`MooWorkspace`]: a reusable flat arena for the Pareto kernels.
+//!
+//! Every public kernel in this crate ultimately runs through a workspace.
+//! The workspace owns all scratch the kernels need — a flat
+//! structure-of-arrays mirror of the objective vectors, a CSR-style
+//! dominance edge list, per-objective index sort buffers, and pooled WFG
+//! recursion levels — so that on *warm* calls (same or smaller problem
+//! size as a previous call) the kernels perform **zero heap allocations**.
+//! `crates/bench/tests/alloc_free.rs` proves this with a counting
+//! allocator, and `crates/moo/tests/differential.rs` proves every kernel
+//! equivalent to the original implementations in [`crate::reference`].
+//!
+//! Algorithmic upgrades over the reference path:
+//!
+//! - **One comparison per pair**: the M ≥ 3 sort classifies each (i, j)
+//!   pair with a single objective pass instead of two `dominates` calls,
+//!   and stores the result in a flat edge list bucketed into CSR form.
+//! - **O(N log N) two-objective sort**: the paper's dominant
+//!   accuracy+latency configuration is layered by a lexicographic sweep
+//!   with a binary search over per-front minima instead of the O(N²)
+//!   pairwise pass (the 1-D case rides the same sweep).
+//! - **First-front-only scan**: [`MooWorkspace::pareto_front`] stops once
+//!   front 0 is known instead of layering the whole set.
+//! - **Single validation**: each public entry point validates its input
+//!   exactly once; internal kernels are unchecked.
+//!
+//! Front ordering: the workspace lists every front in ascending index
+//! order (the reference lists later fronts in traversal order). Ranks,
+//! front *membership* and crowding distances are bit-identical.
+
+use crate::dominance::{compare, DomOrdering};
+use crate::{validate_points, MooError, Result};
+use std::borrow::Borrow;
+use std::sync::Arc;
+
+/// Pareto fronts as a flat CSR-style index list, reusable across calls.
+///
+/// `flat` concatenates the fronts; `offsets[k]..offsets[k + 1]` delimits
+/// front `k`. Produced by
+/// [`MooWorkspace::fast_non_dominated_sort_into`]; callers keep one
+/// `Fronts` alive across generations so the sort never reallocates.
+#[derive(Debug, Clone, Default)]
+pub struct Fronts {
+    flat: Vec<usize>,
+    offsets: Vec<usize>,
+}
+
+impl Fronts {
+    /// Creates an empty front list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of fronts.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// True when no sort has populated this list.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The point indices of front `k` (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    pub fn front(&self, k: usize) -> &[usize] {
+        &self.flat[self.offsets[k]..self.offsets[k + 1]]
+    }
+
+    /// Iterates over the fronts, best front first.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &[usize]> + '_ {
+        self.offsets.windows(2).map(|w| &self.flat[w[0]..w[1]])
+    }
+
+    fn clear(&mut self) {
+        self.flat.clear();
+        self.offsets.clear();
+    }
+}
+
+/// Pooled scratch for one WFG recursion level: the point set handed to
+/// that level, an index buffer for sorting it, and a staging buffer for
+/// building the next level's limit set.
+#[derive(Debug, Default)]
+struct WfgLevel {
+    pts: Vec<f64>,
+    idx: Vec<u32>,
+    tmp: Vec<f64>,
+}
+
+/// A reusable arena for the Pareto kernels (see the [module
+/// docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use hwpr_moo::MooWorkspace;
+///
+/// let mut ws = MooWorkspace::new();
+/// let points = vec![vec![1.0, 4.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+/// assert_eq!(ws.pareto_ranks(&points).unwrap(), &[0, 0, 1]);
+/// assert_eq!(ws.pareto_front(&points).unwrap(), &[0, 1]);
+/// // warm calls reuse every buffer — no further heap allocations
+/// assert_eq!(ws.pareto_ranks(&points).unwrap(), &[0, 0, 1]);
+/// ```
+#[derive(Debug, Default)]
+pub struct MooWorkspace {
+    /// Flat row-major SoA mirror of the loaded objective vectors.
+    objs: Vec<f64>,
+    n: usize,
+    dim: usize,
+    /// Pareto rank per point.
+    ranks: Vec<usize>,
+    /// Domination counts (M ≥ 3) / per-rank counters for front bucketing.
+    counts: Vec<usize>,
+    /// Decisive (dominator, dominated) pairs before CSR bucketing.
+    edges: Vec<(u32, u32)>,
+    /// CSR offsets (per dominator) into `adj`.
+    heads: Vec<u32>,
+    /// CSR cursor scratch while filling `adj`.
+    cursors: Vec<u32>,
+    /// CSR edge targets.
+    adj: Vec<u32>,
+    /// BFS queue for front propagation.
+    queue: Vec<u32>,
+    /// Index sort buffer (lexicographic sweep, crowding, hv2).
+    order: Vec<u32>,
+    /// 2-D sweep: minimum second objective per front so far.
+    front_min_y: Vec<f64>,
+    /// 2-D sweep: first objective of the point achieving that minimum.
+    front_min_x: Vec<f64>,
+    /// Internal fronts for [`Self::pareto_ranks`].
+    fronts: Fronts,
+    /// Crowding-distance output buffer.
+    crowd: Vec<f64>,
+    /// First-front indices for hypervolume / `pareto_front`.
+    front_buf: Vec<usize>,
+    /// Dominated flags for the M ≥ 3 first-front scan.
+    dominated: Vec<bool>,
+    /// Pooled WFG recursion levels.
+    wfg: Vec<WfgLevel>,
+    /// Kernel invocations served by this workspace (first call = cold).
+    calls: u64,
+    /// Cached telemetry handles (resolved once, only with telemetry on).
+    sort_hist: Option<Arc<hwpr_obs::metrics::Histogram>>,
+    hv_hist: Option<Arc<hwpr_obs::metrics::Histogram>>,
+    reuse_counter: Option<Arc<hwpr_obs::metrics::Counter>>,
+}
+
+/// Kind of kernel timed by [`MooWorkspace::finish_timer`].
+#[derive(Clone, Copy)]
+enum Kernel {
+    Sort,
+    Hv,
+}
+
+impl MooWorkspace {
+    /// Creates an empty workspace; buffers grow on first use and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Partitions `points` into Pareto fronts, writing them into the
+    /// caller-owned `out` (each front in ascending index order).
+    ///
+    /// Keeping `out` outside the workspace lets callers hold the fronts
+    /// while continuing to use the workspace (e.g. per-front
+    /// [`Self::crowding_distance_of`] calls).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError`] when the set is empty, dimensions are
+    /// inconsistent, or values are non-finite.
+    pub fn fast_non_dominated_sort_into<P: Borrow<Vec<f64>>>(
+        &mut self,
+        points: &[P],
+        out: &mut Fronts,
+    ) -> Result<()> {
+        let timer = self.start_call();
+        self.load(points)?;
+        self.rank_impl();
+        self.bucket_fronts_from_ranks(false);
+        out.clear();
+        out.flat.extend_from_slice(&self.fronts.flat);
+        out.offsets.extend_from_slice(&self.fronts.offsets);
+        self.finish_timer(timer, Kernel::Sort);
+        Ok(())
+    }
+
+    /// The Pareto rank (0-based front index) of every point; the slice is
+    /// valid until the next workspace call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::fast_non_dominated_sort_into`].
+    pub fn pareto_ranks<P: Borrow<Vec<f64>>>(&mut self, points: &[P]) -> Result<&[usize]> {
+        let timer = self.start_call();
+        self.load(points)?;
+        self.rank_impl();
+        self.finish_timer(timer, Kernel::Sort);
+        Ok(&self.ranks)
+    }
+
+    /// Indices of the non-dominated (first-front) points, ascending; the
+    /// slice is valid until the next workspace call.
+    ///
+    /// Unlike the reference path this never layers the full set: the 2-D
+    /// case is a single lexicographic sweep and the M ≥ 3 case stops at
+    /// the first-front membership test.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::fast_non_dominated_sort_into`].
+    pub fn pareto_front<P: Borrow<Vec<f64>>>(&mut self, points: &[P]) -> Result<&[usize]> {
+        let timer = self.start_call();
+        self.load(points)?;
+        self.first_front_impl();
+        self.finish_timer(timer, Kernel::Sort);
+        Ok(&self.front_buf)
+    }
+
+    /// NSGA-II crowding distance of each point *within one front*; the
+    /// slice is valid until the next workspace call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError`] for empty/inconsistent inputs.
+    pub fn crowding_distance<P: Borrow<Vec<f64>>>(&mut self, points: &[P]) -> Result<&[f64]> {
+        let timer = self.start_call();
+        self.load(points)?;
+        self.crowding_impl();
+        self.finish_timer(timer, Kernel::Sort);
+        Ok(&self.crowd)
+    }
+
+    /// Crowding distance of the front `points[subset[0]], points[subset[1]],
+    /// …` without materialising the subset: `result[slot]` corresponds to
+    /// `points[subset[slot]]`. Bit-identical to calling
+    /// [`Self::crowding_distance`] on the gathered subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError`] for empty/inconsistent subsets; panics if a
+    /// subset index is out of bounds (caller bug, like slice indexing).
+    pub fn crowding_distance_of<P: Borrow<Vec<f64>>>(
+        &mut self,
+        points: &[P],
+        subset: &[usize],
+    ) -> Result<&[f64]> {
+        let timer = self.start_call();
+        self.load_subset(points, subset)?;
+        self.crowding_impl();
+        self.finish_timer(timer, Kernel::Sort);
+        Ok(&self.crowd)
+    }
+
+    /// The hypervolume dominated by `points` with respect to `reference`
+    /// (minimization; the reference must be weakly worse than every point
+    /// in every objective).
+    ///
+    /// Validates once, extracts the first front with the dedicated scan,
+    /// and dispatches to the 2-D sweep or the pooled-scratch WFG
+    /// recursion. Matches [`crate::reference::hypervolume`] to 1e-12.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError`] for empty/inconsistent input, a reference
+    /// point of the wrong dimension, or a reference that does not bound
+    /// the points.
+    pub fn hypervolume<P: Borrow<Vec<f64>>>(
+        &mut self,
+        points: &[P],
+        reference: &[f64],
+    ) -> Result<f64> {
+        let timer = self.start_call();
+        self.load(points)?;
+        if reference.len() != self.dim {
+            return Err(MooError::DimensionMismatch {
+                expected: self.dim,
+                found: reference.len(),
+            });
+        }
+        if reference.iter().any(|v| !v.is_finite()) {
+            return Err(MooError::NonFinite);
+        }
+        for i in 0..self.n {
+            if self.point(i).iter().zip(reference).any(|(x, r)| x > r) {
+                return Err(MooError::ReferenceNotDominating);
+            }
+        }
+        self.first_front_impl();
+        let hv = match self.dim {
+            1 => {
+                let best = self
+                    .front_buf
+                    .iter()
+                    .map(|&i| self.objs[i])
+                    .fold(f64::INFINITY, f64::min);
+                reference[0] - best
+            }
+            2 => self.hv2_impl(reference),
+            _ => self.wfg_impl(reference),
+        };
+        self.finish_timer(timer, Kernel::Hv);
+        Ok(hv)
+    }
+
+    // ------------------------------------------------------------------
+    // loading & validation
+    // ------------------------------------------------------------------
+
+    /// Validates `points` and mirrors them into the flat SoA buffer.
+    fn load<P: Borrow<Vec<f64>>>(&mut self, points: &[P]) -> Result<()> {
+        let dim = validate_points(points)?;
+        self.n = points.len();
+        self.dim = dim;
+        self.objs.clear();
+        self.objs.reserve(self.n * dim);
+        for p in points {
+            self.objs.extend_from_slice(p.borrow());
+        }
+        Ok(())
+    }
+
+    /// Validates and mirrors the subset `points[subset[..]]` only, exactly
+    /// as if the caller had gathered it into a fresh slice.
+    fn load_subset<P: Borrow<Vec<f64>>>(&mut self, points: &[P], subset: &[usize]) -> Result<()> {
+        let first = subset.first().ok_or(MooError::EmptySet)?;
+        let dim = points[*first].borrow().len();
+        if dim == 0 {
+            return Err(MooError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        self.n = subset.len();
+        self.dim = dim;
+        self.objs.clear();
+        self.objs.reserve(self.n * dim);
+        for &i in subset {
+            let p = points[i].borrow();
+            if p.len() != dim {
+                return Err(MooError::DimensionMismatch {
+                    expected: dim,
+                    found: p.len(),
+                });
+            }
+            if p.iter().any(|v| !v.is_finite()) {
+                return Err(MooError::NonFinite);
+            }
+            self.objs.extend_from_slice(p);
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn point(&self, i: usize) -> &[f64] {
+        &self.objs[i * self.dim..(i + 1) * self.dim]
+    }
+
+    // ------------------------------------------------------------------
+    // non-dominated sorting
+    // ------------------------------------------------------------------
+
+    /// Fills `self.ranks` for the loaded point set.
+    fn rank_impl(&mut self) {
+        if self.dim <= 2 {
+            self.rank_sweep();
+        } else {
+            self.rank_general();
+        }
+    }
+
+    /// O(N log N) layering for 1-D/2-D: process points in lexicographic
+    /// order; each point lands on the first front whose running minimum
+    /// does not dominate it (binary search — the per-front minima are
+    /// non-decreasing). Matches the pairwise sort exactly, including
+    /// duplicates and ties.
+    fn rank_sweep(&mut self) {
+        let n = self.n;
+        let dim = self.dim;
+        let objs = &self.objs;
+        let order = &mut self.order;
+        order.clear();
+        order.extend(0..n as u32);
+        let xy = |i: u32| {
+            let base = i as usize * dim;
+            let x = objs[base];
+            let y = if dim == 2 { objs[base + 1] } else { 0.0 };
+            (x, y)
+        };
+        order.sort_unstable_by(|&a, &b| {
+            let (ax, ay) = xy(a);
+            let (bx, by) = xy(b);
+            ax.total_cmp(&bx).then(ay.total_cmp(&by)).then(a.cmp(&b))
+        });
+        self.front_min_y.clear();
+        self.front_min_x.clear();
+        self.ranks.clear();
+        self.ranks.resize(n, 0);
+        for &iu in order.iter() {
+            let (x, y) = xy(iu);
+            // all processed points have x' <= x, so front f dominates
+            // (x, y) iff its minimum y is strictly below y, or equals y
+            // with a strictly smaller x at that minimum
+            let nf = self.front_min_y.len();
+            let (mut lo, mut hi) = (0usize, nf);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let dominates_q = self.front_min_y[mid] < y
+                    || (self.front_min_y[mid] == y && self.front_min_x[mid] < x);
+                if dominates_q {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            if lo == nf {
+                self.front_min_y.push(y);
+                self.front_min_x.push(x);
+            } else if y < self.front_min_y[lo] {
+                self.front_min_y[lo] = y;
+                self.front_min_x[lo] = x;
+            }
+            self.ranks[iu as usize] = lo;
+        }
+    }
+
+    /// O(M·N²) layering for M ≥ 3: one dominance comparison per pair into
+    /// a flat edge list, CSR bucketing, then a BFS release over the
+    /// domination counts (the releasing dominator is always on the
+    /// deepest front among a point's dominators, so its rank + 1 is the
+    /// point's rank).
+    fn rank_general(&mut self) {
+        let n = self.n;
+        self.edges.clear();
+        self.counts.clear();
+        self.counts.resize(n, 0);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                match compare(self.point(i), self.point(j)) {
+                    DomOrdering::Left => {
+                        self.edges.push((i as u32, j as u32));
+                        self.counts[j] += 1;
+                    }
+                    DomOrdering::Right => {
+                        self.edges.push((j as u32, i as u32));
+                        self.counts[i] += 1;
+                    }
+                    DomOrdering::Neither => {}
+                }
+            }
+        }
+        // CSR: bucket edge targets by dominator
+        self.heads.clear();
+        self.heads.resize(n + 1, 0);
+        for &(w, _) in &self.edges {
+            self.heads[w as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.heads[i + 1] += self.heads[i];
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.heads[..n]);
+        self.adj.clear();
+        self.adj.resize(self.edges.len(), 0);
+        for &(w, l) in &self.edges {
+            let c = &mut self.cursors[w as usize];
+            self.adj[*c as usize] = l;
+            *c += 1;
+        }
+        // BFS release in front order
+        self.ranks.clear();
+        self.ranks.resize(n, 0);
+        self.queue.clear();
+        for i in 0..n {
+            if self.counts[i] == 0 {
+                self.queue.push(i as u32);
+            }
+        }
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let v = self.queue[head] as usize;
+            head += 1;
+            let rank_v = self.ranks[v];
+            for e in self.heads[v] as usize..self.heads[v + 1] as usize {
+                let u = self.adj[e] as usize;
+                self.counts[u] -= 1;
+                if self.counts[u] == 0 {
+                    self.ranks[u] = rank_v + 1;
+                    self.queue.push(u as u32);
+                }
+            }
+        }
+    }
+
+    /// Buckets `self.ranks` into `self.fronts` (counting sort, so every
+    /// front lists its indices in ascending order). With
+    /// `first_front_only` set, stops after front 0 (into `front_buf`).
+    fn bucket_fronts_from_ranks(&mut self, first_front_only: bool) {
+        if first_front_only {
+            self.front_buf.clear();
+            for (i, &r) in self.ranks.iter().enumerate() {
+                if r == 0 {
+                    self.front_buf.push(i);
+                }
+            }
+            return;
+        }
+        let nf = self.ranks.iter().copied().max().map_or(0, |r| r + 1);
+        self.counts.clear();
+        self.counts.resize(nf, 0);
+        for &r in &self.ranks {
+            self.counts[r] += 1;
+        }
+        self.fronts.clear();
+        self.fronts.offsets.reserve(nf + 1);
+        self.fronts.offsets.push(0);
+        let mut total = 0usize;
+        for k in 0..nf {
+            total += self.counts[k];
+            self.fronts.offsets.push(total);
+        }
+        // reuse `counts` as per-front fill cursors
+        for k in 0..nf {
+            self.counts[k] = self.fronts.offsets[k];
+        }
+        self.fronts.flat.clear();
+        self.fronts.flat.resize(self.n, 0);
+        for (i, &r) in self.ranks.iter().enumerate() {
+            self.fronts.flat[self.counts[r]] = i;
+            self.counts[r] += 1;
+        }
+    }
+
+    /// Fills `front_buf` with the ascending first-front indices without
+    /// layering the rest of the set.
+    fn first_front_impl(&mut self) {
+        if self.dim <= 2 {
+            self.first_front_sweep();
+        } else {
+            self.first_front_scan();
+        }
+    }
+
+    /// 1-D/2-D first front by lexicographic sweep: a point survives iff
+    /// its second objective strictly improves the running minimum, or it
+    /// duplicates the point achieving it.
+    fn first_front_sweep(&mut self) {
+        let n = self.n;
+        let dim = self.dim;
+        let objs = &self.objs;
+        let order = &mut self.order;
+        order.clear();
+        order.extend(0..n as u32);
+        let xy = |i: u32| {
+            let base = i as usize * dim;
+            let x = objs[base];
+            let y = if dim == 2 { objs[base + 1] } else { 0.0 };
+            (x, y)
+        };
+        order.sort_unstable_by(|&a, &b| {
+            let (ax, ay) = xy(a);
+            let (bx, by) = xy(b);
+            ax.total_cmp(&bx).then(ay.total_cmp(&by)).then(a.cmp(&b))
+        });
+        self.front_buf.clear();
+        let mut min_y = f64::INFINITY;
+        let mut min_x = f64::INFINITY;
+        for &iu in order.iter() {
+            let (x, y) = xy(iu);
+            if y < min_y {
+                min_y = y;
+                min_x = x;
+                self.front_buf.push(iu as usize);
+            } else if y == min_y && x == min_x {
+                // exact duplicate of the front point achieving the
+                // minimum: equal points never dominate each other
+                self.front_buf.push(iu as usize);
+            }
+        }
+        self.front_buf.sort_unstable();
+    }
+
+    /// M ≥ 3 first front: pairwise scan with dominated flags; pairs where
+    /// both points are already dominated are skipped.
+    fn first_front_scan(&mut self) {
+        let n = self.n;
+        self.dominated.clear();
+        self.dominated.resize(n, false);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.dominated[i] && self.dominated[j] {
+                    continue;
+                }
+                match compare(self.point(i), self.point(j)) {
+                    DomOrdering::Left => self.dominated[j] = true,
+                    DomOrdering::Right => self.dominated[i] = true,
+                    DomOrdering::Neither => {}
+                }
+            }
+        }
+        self.front_buf.clear();
+        for (i, &d) in self.dominated.iter().enumerate() {
+            if !d {
+                self.front_buf.push(i);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // crowding distance
+    // ------------------------------------------------------------------
+
+    /// Crowding over the loaded set, bit-identical to the reference: the
+    /// per-objective stable value sort is reproduced by an unstable sort
+    /// with an index tie-break, and the gap accumulation order is
+    /// unchanged.
+    fn crowding_impl(&mut self) {
+        let n = self.n;
+        let dim = self.dim;
+        self.crowd.clear();
+        if n <= 2 {
+            self.crowd.resize(n, f64::INFINITY);
+            return;
+        }
+        self.crowd.resize(n, 0.0);
+        let objs = &self.objs;
+        let at = |i: u32, d: usize| objs[i as usize * dim + d];
+        for d in 0..dim {
+            let order = &mut self.order;
+            order.clear();
+            order.extend(0..n as u32);
+            order.sort_unstable_by(|&i, &j| at(i, d).total_cmp(&at(j, d)).then(i.cmp(&j)));
+            let span = at(order[n - 1], d) - at(order[0], d);
+            self.crowd[order[0] as usize] = f64::INFINITY;
+            self.crowd[order[n - 1] as usize] = f64::INFINITY;
+            if span <= 0.0 {
+                continue;
+            }
+            for w in 1..n - 1 {
+                let gap = (at(order[w + 1], d) - at(order[w - 1], d)) / span;
+                self.crowd[order[w] as usize] += gap;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // hypervolume
+    // ------------------------------------------------------------------
+
+    /// 2-D sweep over the first front (`front_buf`), summing boxes in the
+    /// same order as the reference (x ascending, front order on ties).
+    fn hv2_impl(&mut self, reference: &[f64]) -> f64 {
+        let dim = self.dim;
+        let objs = &self.objs;
+        let front = &self.front_buf;
+        let order = &mut self.order;
+        order.clear();
+        order.extend(0..front.len() as u32);
+        // `front_buf` is ascending, so tie-breaking on the slot position
+        // reproduces the reference's stable sort over the front points
+        order.sort_unstable_by(|&a, &b| {
+            let xa = objs[front[a as usize] * dim];
+            let xb = objs[front[b as usize] * dim];
+            xa.total_cmp(&xb).then(a.cmp(&b))
+        });
+        let mut hv = 0.0;
+        let mut prev_y = reference[1];
+        for &slot in order.iter() {
+            let base = front[slot as usize] * dim;
+            let width = reference[0] - objs[base];
+            let height = prev_y - objs[base + 1];
+            if height > 0.0 {
+                hv += width * height;
+                prev_y = objs[base + 1];
+            }
+        }
+        hv
+    }
+
+    /// WFG recursion over pooled per-level scratch: no point-set clones,
+    /// no per-level `Vec<Vec<f64>>` — each recursion depth owns a flat
+    /// buffer that is reused across calls.
+    fn wfg_impl(&mut self, reference: &[f64]) -> f64 {
+        let dim = self.dim;
+        if self.wfg.is_empty() {
+            self.wfg.push(WfgLevel::default());
+        }
+        let level0 = &mut self.wfg[0];
+        level0.pts.clear();
+        level0.pts.reserve(self.front_buf.len() * dim);
+        for &i in &self.front_buf {
+            level0
+                .pts
+                .extend_from_slice(&self.objs[i * dim..(i + 1) * dim]);
+        }
+        wfg_rec(&mut self.wfg, 0, dim, reference)
+    }
+
+    // ------------------------------------------------------------------
+    // telemetry
+    // ------------------------------------------------------------------
+
+    /// Starts a kernel timer and counts workspace reuse; inert with
+    /// telemetry off (one relaxed atomic load).
+    fn start_call(&mut self) -> Option<std::time::Instant> {
+        let warm = self.calls > 0;
+        self.calls += 1;
+        if !hwpr_obs::enabled() {
+            return None;
+        }
+        if warm {
+            self.reuse_counter
+                .get_or_insert_with(|| hwpr_obs::metrics::registry().counter("moo.workspace.reuse"))
+                .inc();
+        }
+        Some(std::time::Instant::now())
+    }
+
+    /// Records the elapsed µs into `moo.sort.us` / `moo.hv.us`.
+    fn finish_timer(&mut self, timer: Option<std::time::Instant>, kernel: Kernel) {
+        let Some(start) = timer else { return };
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        let registry = hwpr_obs::metrics::registry();
+        let hist = match kernel {
+            Kernel::Sort => self.sort_hist.get_or_insert_with(|| {
+                registry.histogram(
+                    "moo.sort.us",
+                    &hwpr_obs::metrics::Histogram::exponential_bounds(1.0, 4.0, 10),
+                )
+            }),
+            Kernel::Hv => self.hv_hist.get_or_insert_with(|| {
+                registry.histogram(
+                    "moo.hv.us",
+                    &hwpr_obs::metrics::Histogram::exponential_bounds(1.0, 4.0, 10),
+                )
+            }),
+        };
+        hist.observe(us);
+    }
+}
+
+/// One WFG level: sorts its point set worst-first on the last objective,
+/// then accumulates each point's exclusive hypervolume, building the
+/// limit set for the next level in that level's pooled buffers.
+fn wfg_rec(levels: &mut Vec<WfgLevel>, level: usize, dim: usize, reference: &[f64]) -> f64 {
+    let mut cur = std::mem::take(&mut levels[level]);
+    if levels.len() <= level + 1 {
+        levels.push(WfgLevel::default());
+    }
+    let count = cur.pts.len() / dim;
+    // sort worst-first on the last objective (stable via slot tie-break,
+    // matching the reference's stable sort)
+    cur.idx.clear();
+    cur.idx.extend(0..count as u32);
+    {
+        let pts = &cur.pts;
+        cur.idx.sort_unstable_by(|&a, &b| {
+            let ka = pts[a as usize * dim + dim - 1];
+            let kb = pts[b as usize * dim + dim - 1];
+            kb.total_cmp(&ka).then(a.cmp(&b))
+        });
+    }
+    // permute into sorted order through the staging buffer
+    cur.tmp.clear();
+    for &slot in &cur.idx {
+        let base = slot as usize * dim;
+        cur.tmp.extend_from_slice(&cur.pts[base..base + dim]);
+    }
+    std::mem::swap(&mut cur.pts, &mut cur.tmp);
+
+    let mut total = 0.0;
+    for i in 0..count {
+        let (p, rest) = {
+            let after = &cur.pts[i * dim..];
+            after.split_at(dim)
+        };
+        let box_vol: f64 = p.iter().zip(reference).map(|(x, r)| r - x).product();
+        if rest.is_empty() {
+            total += box_vol;
+            continue;
+        }
+        // limit set: clip the remaining points into p's dominated box,
+        // then keep only its non-dominated subset (same incremental
+        // keep/retain order as the reference)
+        let next = &mut levels[level + 1];
+        next.tmp.clear();
+        for q in rest.chunks_exact(dim) {
+            next.tmp
+                .extend(q.iter().zip(p).map(|(&qv, &pv)| qv.max(pv)));
+        }
+        next.pts.clear();
+        'candidate: for c in 0..rest.len() / dim {
+            let cand = &next.tmp[c * dim..(c + 1) * dim];
+            let kept = next.pts.len() / dim;
+            for k in 0..kept {
+                if weakly_dominates_slice(&next.pts[k * dim..(k + 1) * dim], cand) {
+                    continue 'candidate;
+                }
+            }
+            // retain: drop kept points weakly dominated by the candidate
+            let mut write = 0usize;
+            for k in 0..kept {
+                let dominated = weakly_dominates_slice(cand, &next.pts[k * dim..(k + 1) * dim]);
+                if !dominated {
+                    if write != k {
+                        let (head, tail) = next.pts.split_at_mut(k * dim);
+                        head[write * dim..write * dim + dim].copy_from_slice(&tail[..dim]);
+                    }
+                    write += 1;
+                }
+            }
+            next.pts.truncate(write * dim);
+            next.pts.extend_from_slice(cand);
+        }
+        let nd_count = next.pts.len() / dim;
+        let inner = if nd_count == 0 {
+            0.0
+        } else if dim == 2 {
+            hv2_flat(next, dim, reference)
+        } else {
+            debug_assert!(dim >= 3);
+            wfg_rec(levels, level + 1, dim, reference)
+        };
+        total += box_vol - inner;
+    }
+    levels[level] = cur;
+    total
+}
+
+/// Reference-ordered 2-D sweep over a level's flat point list (the WFG
+/// recursion bottoms out here when called with two objectives; the
+/// workspace's own 2-D path never reaches it).
+fn hv2_flat(level: &mut WfgLevel, dim: usize, reference: &[f64]) -> f64 {
+    let count = level.pts.len() / dim;
+    level.idx.clear();
+    level.idx.extend(0..count as u32);
+    {
+        let pts = &level.pts;
+        level.idx.sort_unstable_by(|&a, &b| {
+            let xa = pts[a as usize * dim];
+            let xb = pts[b as usize * dim];
+            xa.total_cmp(&xb).then(a.cmp(&b))
+        });
+    }
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for &slot in &level.idx {
+        let base = slot as usize * dim;
+        let width = reference[0] - level.pts[base];
+        let height = prev_y - level.pts[base + 1];
+        if height > 0.0 {
+            hv += width * height;
+            prev_y = level.pts[base + 1];
+        }
+    }
+    hv
+}
+
+#[inline]
+fn weakly_dominates_slice(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(&x, &y)| x <= y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::dominates;
+    use crate::reference;
+
+    fn sample() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![4.0, 1.0],
+            vec![3.0, 4.0],
+            vec![5.0, 5.0],
+            vec![2.0, 3.0], // duplicate of a front-0 point
+        ]
+    }
+
+    #[test]
+    fn sweep_matches_reference_ranks() {
+        let mut ws = MooWorkspace::new();
+        let ranks = ws.pareto_ranks(&sample()).unwrap();
+        assert_eq!(ranks, reference::pareto_ranks(&sample()).unwrap());
+    }
+
+    #[test]
+    fn fronts_are_ascending_and_partition() {
+        let mut ws = MooWorkspace::new();
+        let mut fronts = Fronts::new();
+        ws.fast_non_dominated_sort_into(&sample(), &mut fronts)
+            .unwrap();
+        assert_eq!(fronts.len(), 3);
+        assert_eq!(fronts.front(0), &[0, 1, 2, 5]);
+        assert_eq!(fronts.front(1), &[3]);
+        assert_eq!(fronts.front(2), &[4]);
+        let total: usize = fronts.iter().map(<[usize]>::len).sum();
+        assert_eq!(total, sample().len());
+    }
+
+    #[test]
+    fn first_front_only_matches_full_sort() {
+        let mut ws = MooWorkspace::new();
+        let front = ws.pareto_front(&sample()).unwrap();
+        assert_eq!(front, &[0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn three_d_paths_match_reference() {
+        let pts = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 2.0, 1.0],
+            vec![2.0, 2.0, 2.0],
+            vec![3.0, 3.0, 3.0],
+            vec![1.0, 2.0, 3.0], // duplicate
+        ];
+        let mut ws = MooWorkspace::new();
+        assert_eq!(
+            ws.pareto_ranks(&pts).unwrap(),
+            reference::pareto_ranks(&pts).unwrap()
+        );
+        let mut expected = reference::pareto_front(&pts).unwrap();
+        expected.sort_unstable();
+        assert_eq!(ws.pareto_front(&pts).unwrap(), expected.as_slice());
+        let reference_pt = [4.0, 4.0, 4.0];
+        let hv_ws = ws.hypervolume(&pts, &reference_pt).unwrap();
+        let hv_ref = reference::hypervolume(&pts, &reference_pt).unwrap();
+        assert!((hv_ws - hv_ref).abs() < 1e-12, "{hv_ws} vs {hv_ref}");
+    }
+
+    #[test]
+    fn crowding_bit_identical_to_reference() {
+        let front = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![3.0, 3.0],
+            vec![3.0, 2.0],
+            vec![5.0, 1.0],
+        ];
+        let mut ws = MooWorkspace::new();
+        let got = ws.crowding_distance(&front).unwrap().to_vec();
+        let expected = reference::crowding_distance(&front).unwrap();
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.to_bits(), e.to_bits(), "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn crowding_of_subset_matches_materialised_call() {
+        let pts = vec![
+            vec![9.0, 9.0],
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![7.0, 7.0],
+            vec![3.0, 2.0],
+            vec![5.0, 1.0],
+        ];
+        let subset = [1usize, 2, 4, 5];
+        let gathered: Vec<Vec<f64>> = subset.iter().map(|&i| pts[i].clone()).collect();
+        let mut ws = MooWorkspace::new();
+        let direct = ws.crowding_distance(&gathered).unwrap().to_vec();
+        let via_subset = ws.crowding_distance_of(&pts, &subset).unwrap();
+        assert_eq!(direct, via_subset);
+    }
+
+    #[test]
+    fn one_dimensional_ties_share_fronts() {
+        let pts = vec![vec![2.0], vec![1.0], vec![2.0], vec![3.0], vec![1.0]];
+        let mut ws = MooWorkspace::new();
+        assert_eq!(ws.pareto_ranks(&pts).unwrap(), &[1, 0, 1, 2, 0]);
+        assert_eq!(ws.pareto_front(&pts).unwrap(), &[1, 4]);
+    }
+
+    #[test]
+    fn errors_validate_once_and_propagate() {
+        let mut ws = MooWorkspace::new();
+        let mut fronts = Fronts::new();
+        assert_eq!(
+            ws.fast_non_dominated_sort_into::<Vec<f64>>(&[], &mut fronts)
+                .unwrap_err(),
+            MooError::EmptySet
+        );
+        assert!(ws.pareto_ranks(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(ws.crowding_distance(&[vec![f64::NAN]]).is_err());
+        assert!(matches!(
+            ws.hypervolume(&[vec![1.0, 1.0]], &[0.5, 2.0]).unwrap_err(),
+            MooError::ReferenceNotDominating
+        ));
+        assert!(matches!(
+            ws.hypervolume(&[vec![1.0, 1.0]], &[2.0]).unwrap_err(),
+            MooError::DimensionMismatch { .. }
+        ));
+        // a failed call must not poison the workspace
+        assert_eq!(ws.pareto_ranks(&sample()).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn workspace_survives_shape_changes() {
+        let mut ws = MooWorkspace::new();
+        let two = sample();
+        let three = vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]];
+        for _ in 0..3 {
+            assert_eq!(
+                ws.pareto_ranks(&two).unwrap(),
+                reference::pareto_ranks(&two).unwrap()
+            );
+            assert_eq!(
+                ws.pareto_ranks(&three).unwrap(),
+                reference::pareto_ranks(&three).unwrap()
+            );
+        }
+    }
+
+    // `dominates` is used by the first-front scan's flag invariants only
+    // indirectly; keep a direct guard that the scan agrees with it
+    #[test]
+    fn first_front_scan_agrees_with_dominates() {
+        let pts = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 1.0, 3.0],
+            vec![2.0, 2.0, 4.0],
+            vec![0.5, 3.0, 3.0],
+        ];
+        let mut ws = MooWorkspace::new();
+        let front = ws.pareto_front(&pts).unwrap().to_vec();
+        for (i, p) in pts.iter().enumerate() {
+            let dominated = pts.iter().any(|q| dominates(q, p));
+            assert_eq!(front.contains(&i), !dominated, "point {i}");
+        }
+    }
+}

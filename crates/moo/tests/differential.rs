@@ -1,0 +1,188 @@
+//! Differential tests: the workspace-backed kernels versus the frozen
+//! originals in `hwpr_moo::reference`.
+//!
+//! The equivalence bar from the PR: identical fronts/ranks/crowding on
+//! all inputs — including duplicated points and tied objective values —
+//! and hypervolume within 1e-12. Point sets are drawn with a coarse
+//! value grid (`0.0, 0.5, …`) so duplicates and per-objective ties are
+//! common rather than measure-zero.
+
+use hwpr_moo::{reference, Fronts, IncrementalHv2, MooWorkspace};
+use proptest::prelude::*;
+
+/// Point sets over a coarse grid: duplicates and ties occur constantly.
+fn tied_point_set(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u8..12).prop_map(|v| f64::from(v) * 0.5), dim),
+        1..40,
+    )
+}
+
+/// Continuous point sets (ties only by chance).
+fn smooth_point_set(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, dim), 1..30)
+}
+
+/// Reference front lists later fronts in traversal order; the workspace
+/// normalises every front to ascending index order. Sets must agree.
+fn normalised(mut fronts: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    for f in &mut fronts {
+        f.sort_unstable();
+    }
+    fronts
+}
+
+fn assert_kernels_match(points: &[Vec<f64>], ws: &mut MooWorkspace) {
+    // ranks: exactly identical
+    let expected_ranks = reference::pareto_ranks(points).unwrap();
+    assert_eq!(ws.pareto_ranks(points).unwrap(), expected_ranks.as_slice());
+
+    // fronts: identical sets per layer
+    let expected_fronts = normalised(reference::fast_non_dominated_sort(points).unwrap());
+    let mut fronts = Fronts::new();
+    ws.fast_non_dominated_sort_into(points, &mut fronts)
+        .unwrap();
+    assert_eq!(fronts.len(), expected_fronts.len());
+    for (k, expected) in expected_fronts.iter().enumerate() {
+        assert_eq!(fronts.front(k), expected.as_slice(), "front {k}");
+    }
+
+    // first-front-only scan agrees with the full sort's first layer
+    assert_eq!(
+        ws.pareto_front(points).unwrap(),
+        expected_fronts[0].as_slice()
+    );
+
+    // crowding: bit-identical
+    let expected_crowd = reference::crowding_distance(points).unwrap();
+    let crowd = ws.crowding_distance(points).unwrap();
+    assert_eq!(crowd.len(), expected_crowd.len());
+    for (i, (a, b)) in crowd.iter().zip(&expected_crowd).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "crowding[{i}]: {a} vs {b}");
+    }
+
+    // hypervolume: within 1e-12 of the reference path
+    let reference_pt: Vec<f64> = (0..points[0].len())
+        .map(|d| {
+            points
+                .iter()
+                .map(|p| p[d])
+                .fold(f64::NEG_INFINITY, f64::max)
+                + 1.0
+        })
+        .collect();
+    let expected_hv = reference::hypervolume(points, &reference_pt).unwrap();
+    let hv = ws.hypervolume(points, &reference_pt).unwrap();
+    assert!(
+        (hv - expected_hv).abs() <= 1e-12 * expected_hv.max(1.0),
+        "hv {hv} vs reference {expected_hv}"
+    );
+}
+
+proptest! {
+    #[test]
+    fn kernels_match_reference_with_ties_1d(points in tied_point_set(1)) {
+        assert_kernels_match(&points, &mut MooWorkspace::new());
+    }
+
+    #[test]
+    fn kernels_match_reference_with_ties_2d(points in tied_point_set(2)) {
+        assert_kernels_match(&points, &mut MooWorkspace::new());
+    }
+
+    #[test]
+    fn kernels_match_reference_with_ties_3d(points in tied_point_set(3)) {
+        assert_kernels_match(&points, &mut MooWorkspace::new());
+    }
+
+    #[test]
+    fn kernels_match_reference_with_ties_4d(points in tied_point_set(4)) {
+        assert_kernels_match(&points, &mut MooWorkspace::new());
+    }
+
+    #[test]
+    fn kernels_match_reference_smooth_2d(points in smooth_point_set(2)) {
+        assert_kernels_match(&points, &mut MooWorkspace::new());
+    }
+
+    #[test]
+    fn kernels_match_reference_smooth_3d(points in smooth_point_set(3)) {
+        assert_kernels_match(&points, &mut MooWorkspace::new());
+    }
+
+    /// A single warm workspace across many differently-shaped inputs must
+    /// behave exactly like a fresh one (no state leaks between calls).
+    #[test]
+    fn warm_workspace_matches_cold(sets in proptest::collection::vec(tied_point_set(2), 1..5)) {
+        let mut warm = MooWorkspace::new();
+        for points in &sets {
+            assert_kernels_match(points, &mut warm);
+        }
+    }
+
+    /// Free functions route through the workspace: spot-check they agree
+    /// with the reference too.
+    #[test]
+    fn free_functions_match_reference(points in tied_point_set(2)) {
+        let expected = normalised(reference::fast_non_dominated_sort(&points).unwrap());
+        prop_assert_eq!(hwpr_moo::fast_non_dominated_sort(&points).unwrap(), expected.clone());
+        prop_assert_eq!(
+            hwpr_moo::pareto_ranks(&points).unwrap(),
+            reference::pareto_ranks(&points).unwrap()
+        );
+        prop_assert_eq!(hwpr_moo::pareto_front(&points).unwrap(), expected[0].clone());
+    }
+}
+
+/// Incremental-vs-batch hypervolume across a simulated 30-generation
+/// front evolution: each generation mutates the population toward the
+/// origin, the archive folds in every generation's population front, and
+/// the archived hypervolume must stay within 1e-12 of a batch recompute
+/// over every point ever inserted.
+#[test]
+fn incremental_hv_tracks_batch_over_thirty_generations() {
+    let reference_pt = [100.0, 100.0];
+    let mut archive = IncrementalHv2::new(&reference_pt).unwrap();
+    let mut ws = MooWorkspace::new();
+
+    // deterministic LCG so the test needs no rand dependency
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 40) as f64 / (1u64 << 24) as f64
+    };
+
+    let mut population: Vec<Vec<f64>> = (0..40)
+        .map(|_| vec![20.0 + 70.0 * next(), 20.0 + 70.0 * next()])
+        .collect();
+    let mut inserted: Vec<Vec<f64>> = Vec::new();
+
+    for generation in 0..30 {
+        // drift: each point moves toward the origin by a random factor,
+        // occasionally jumping (duplicates + regressions included)
+        for p in &mut population {
+            let f = 0.9 + 0.1 * next();
+            p[0] *= f;
+            p[1] *= 0.9 + 0.1 * next();
+            if next() < 0.1 {
+                p[0] = 20.0 + 70.0 * next();
+            }
+        }
+        // fold this generation's non-dominated front into the archive
+        let front: Vec<usize> = ws.pareto_front(&population).unwrap().to_vec();
+        for &i in &front {
+            archive.insert(population[i][0], population[i][1]).unwrap();
+            inserted.push(population[i].clone());
+        }
+        let batch = reference::hypervolume(&inserted, &reference_pt).unwrap();
+        assert!(
+            (archive.hypervolume() - batch).abs() <= 1e-12 * batch.max(1.0),
+            "generation {generation}: incremental {} vs batch {batch}",
+            archive.hypervolume()
+        );
+    }
+    assert!(archive.inserts() > archive.accepted());
+    assert!(archive.front_len() >= 1);
+}

@@ -398,6 +398,53 @@ mod tests {
     }
 
     #[test]
+    fn summarize_surfaces_moo_kernel_metrics() {
+        // the Pareto-kernel workspace emits sort/hv latency histograms, a
+        // workspace-reuse counter and the incremental-vs-full hypervolume
+        // split; all must land in their renderer sections
+        let events = vec![
+            Event::Counter {
+                name: "moo.workspace.reuse".into(),
+                value: 58,
+                t_us: 10,
+            },
+            Event::Counter {
+                name: "moo.hv.incremental".into(),
+                value: 27,
+                t_us: 10,
+            },
+            Event::Counter {
+                name: "moo.hv.full".into(),
+                value: 3,
+                t_us: 10,
+            },
+            Event::Hist {
+                name: "moo.sort.us".into(),
+                count: 30,
+                sum: 420.0,
+                bounds: vec![1.0, 4.0, 16.0],
+                counts: vec![12, 15, 3, 0],
+                t_us: 20,
+            },
+            Event::Hist {
+                name: "moo.hv.us".into(),
+                count: 30,
+                sum: 95.0,
+                bounds: vec![1.0, 4.0, 16.0],
+                counts: vec![25, 5, 0, 0],
+                t_us: 20,
+            },
+        ];
+        let text = summarize(&events);
+        assert!(text.contains("moo.workspace.reuse"), "{text}");
+        assert!(text.contains("58"), "{text}");
+        assert!(text.contains("moo.hv.incremental"), "{text}");
+        assert!(text.contains("moo.hv.full"), "{text}");
+        assert!(text.contains("moo.sort.us"), "{text}");
+        assert!(text.contains("moo.hv.us"), "{text}");
+    }
+
+    #[test]
     fn quantile_walks_buckets() {
         let bounds = [1.0, 2.0, 4.0];
         let counts = [5, 4, 1, 0];

@@ -3,7 +3,7 @@
 use crate::clock::SearchClock;
 use crate::evaluator::{Evaluator, Fitness, SharedObjectives};
 use crate::{Result, SearchError};
-use hwpr_moo::{crowding_distance, fast_non_dominated_sort};
+use hwpr_moo::{Fronts, MooWorkspace};
 use hwpr_nasbench::{Architecture, SearchSpaceId};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -174,6 +174,9 @@ impl Moea {
         let cfg = &self.config;
         let _search_span = hwpr_obs::span("search.moea");
         let mut generation_telemetry = crate::telemetry::GenerationTelemetry::default();
+        // one workspace for the whole run: every per-generation sort and
+        // crowding call reuses its buffers instead of allocating
+        let mut moo = MooWorkspace::new();
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let mut clock = match cfg.budget {
             Some(b) => SearchClock::with_budget(b),
@@ -206,7 +209,7 @@ impl Moea {
                 break;
             }
             // offspring via tournament selection + crossover + mutation
-            let keys = selection_keys(&fitness)?;
+            let keys = selection_keys(&fitness, &mut moo)?;
             let mut offspring = Vec::with_capacity(cfg.population);
             for _ in 0..cfg.population {
                 let a = tournament(keys.as_ref(), cfg.tournament, &mut rng);
@@ -233,7 +236,7 @@ impl Moea {
 
             // elitist survivor selection over P ∪ Q
             let (merged, merged_fitness) = merge(population, fitness, offspring, offspring_fitness);
-            let keep = survivor_selection(&merged, &merged_fitness, cfg.population)?;
+            let keep = survivor_selection(&merged, &merged_fitness, cfg.population, &mut moo)?;
             // survivor indices are unique, so survivors move out of the
             // merged pool instead of being cloned each generation
             let mut merged: Vec<Option<Architecture>> = merged.into_iter().map(Some).collect();
@@ -281,17 +284,17 @@ impl Moea {
 /// For scores the key is the score itself; for objective vectors the key
 /// is `-(rank + crowding tie-break)` from non-dominated sorting — the
 /// comparisons the paper counts as two-surrogate overhead.
-fn selection_keys(fitness: &Fitness) -> Result<Cow<'_, [f64]>> {
+fn selection_keys<'a>(fitness: &'a Fitness, moo: &mut MooWorkspace) -> Result<Cow<'a, [f64]>> {
     match fitness {
         // scores are borrowed straight out of the fitness — no per-
         // generation copy of the whole key vector
         Fitness::Scores(s) | Fitness::Ranked { scores: s, .. } => Ok(Cow::Borrowed(s.as_slice())),
         Fitness::Objectives(objs) => {
-            let fronts = fast_non_dominated_sort(objs)?;
+            let mut fronts = Fronts::new();
+            moo.fast_non_dominated_sort_into(objs, &mut fronts)?;
             let mut key = vec![0.0f64; objs.len()];
             for (rank, front) in fronts.iter().enumerate() {
-                let pts: Vec<SharedObjectives> = front.iter().map(|&i| objs[i].clone()).collect();
-                let crowd = crowding_distance(&pts)?;
+                let crowd = moo.crowding_distance_of(objs, front)?;
                 for (slot, &i) in front.iter().enumerate() {
                     let tie = 1.0 - 1.0 / (1.0 + crowd[slot].min(1e12));
                     key[i] = -(rank as f64) + tie * 0.5;
@@ -355,7 +358,12 @@ fn merge(
 /// (rank, crowding) for objective vectors. Duplicate architectures are
 /// removed first so the population cannot collapse onto copies of the
 /// score maximiser (`merged` aligns with the fitness entries).
-fn survivor_selection(merged: &[Architecture], fitness: &Fitness, k: usize) -> Result<Vec<usize>> {
+fn survivor_selection(
+    merged: &[Architecture],
+    fitness: &Fitness,
+    k: usize,
+    moo: &mut MooWorkspace,
+) -> Result<Vec<usize>> {
     // keep one entry per distinct architecture
     let mut seen = std::collections::HashSet::new();
     let unique: Vec<usize> = (0..merged.len())
@@ -382,24 +390,22 @@ fn survivor_selection(merged: &[Architecture], fitness: &Fitness, k: usize) -> R
             if pool.len() <= k {
                 return Ok(pool);
             }
-            let pts: Vec<SharedObjectives> = pool.iter().map(|&i| objectives[i].clone()).collect();
-            let crowd = crowding_distance(&pts)?;
+            let crowd = moo.crowding_distance_of(objectives, &pool)?;
             let mut order: Vec<usize> = (0..pool.len()).collect();
             order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
             Ok(order.into_iter().take(k).map(|slot| pool[slot]).collect())
         }
         Fitness::Objectives(all_objs) => {
             let objs: Vec<SharedObjectives> = unique.iter().map(|&i| all_objs[i].clone()).collect();
-            let fronts = fast_non_dominated_sort(&objs)?;
+            let mut fronts = Fronts::new();
+            moo.fast_non_dominated_sort_into(&objs, &mut fronts)?;
             let mut keep = Vec::with_capacity(k);
-            for front in fronts {
+            for front in fronts.iter() {
                 if keep.len() + front.len() <= k {
-                    keep.extend(front.into_iter().map(|i| unique[i]));
+                    keep.extend(front.iter().map(|&i| unique[i]));
                 } else {
                     // fill the remainder with the most spread-out members
-                    let pts: Vec<SharedObjectives> =
-                        front.iter().map(|&i| objs[i].clone()).collect();
-                    let crowd = crowding_distance(&pts)?;
+                    let crowd = moo.crowding_distance_of(&objs, front)?;
                     let mut order: Vec<usize> = (0..front.len()).collect();
                     order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
                     for &slot in order.iter().take(k - keep.len()) {
@@ -430,7 +436,9 @@ pub(crate) fn top_k_by_score(scores: &[f64], k: usize) -> Vec<usize> {
     let archs: Vec<Architecture> = (0..scores.len())
         .map(|i| Architecture::nb201_from_index(i as u64).expect("small index"))
         .collect();
-    survivor_selection(&archs, &Fitness::Scores(scores.to_vec()), k).expect("scores never fail")
+    let mut moo = MooWorkspace::new();
+    survivor_selection(&archs, &Fitness::Scores(scores.to_vec()), k, &mut moo)
+        .expect("scores never fail")
 }
 
 #[cfg(test)]
@@ -493,8 +501,13 @@ mod tests {
         let archs: Vec<Architecture> = (0..4)
             .map(|i| Architecture::nb201_from_index(i).unwrap())
             .collect();
-        let keep =
-            survivor_selection(&archs, &Fitness::Objectives(share_objectives(objs)), 3).unwrap();
+        let keep = survivor_selection(
+            &archs,
+            &Fitness::Objectives(share_objectives(objs)),
+            3,
+            &mut MooWorkspace::new(),
+        )
+        .unwrap();
         assert_eq!(keep.len(), 3);
         assert!(!keep.contains(&3), "dominated point survived");
     }
@@ -576,7 +589,7 @@ mod tests {
             scores,
             objectives: share_objectives(objectives),
         };
-        let keep = survivor_selection(&archs, &fitness, 4).unwrap();
+        let keep = survivor_selection(&archs, &fitness, 4, &mut MooWorkspace::new()).unwrap();
         assert_eq!(keep.len(), 4);
         assert!(keep.contains(&0), "low-error corner evicted");
         assert!(keep.contains(&5), "low-latency corner evicted");
@@ -600,7 +613,7 @@ mod tests {
             scores,
             objectives: share_objectives(objectives),
         };
-        let keep = survivor_selection(&archs, &fitness, 4).unwrap();
+        let keep = survivor_selection(&archs, &fitness, 4, &mut MooWorkspace::new()).unwrap();
         assert!(
             !keep.contains(&11),
             "score-gated pool admitted a low-score candidate"
@@ -622,7 +635,7 @@ mod tests {
             scores,
             objectives: share_objectives(objectives),
         };
-        let keep = survivor_selection(&archs, &fitness, 1).unwrap();
+        let keep = survivor_selection(&archs, &fitness, 1, &mut MooWorkspace::new()).unwrap();
         // pool = top-2 scores {3, 6}; crowding over 2 points keeps both at
         // infinity, truncation keeps the first by crowding order
         assert_eq!(keep.len(), 1);
@@ -634,7 +647,7 @@ mod tests {
         let arch = Architecture::nb201_from_index(5).unwrap();
         let archs = vec![arch.clone(), arch.clone(), arch];
         let fitness = Fitness::Scores(vec![3.0, 2.0, 1.0]);
-        let keep = survivor_selection(&archs, &fitness, 3).unwrap();
+        let keep = survivor_selection(&archs, &fitness, 3, &mut MooWorkspace::new()).unwrap();
         assert_eq!(keep, vec![0], "duplicates must collapse to one entry");
     }
 }

@@ -4,7 +4,7 @@ use crate::clock::SearchClock;
 use crate::evaluator::{Evaluator, Fitness, SharedObjectives};
 use crate::moea::SearchResult;
 use crate::{Result, SearchError};
-use hwpr_moo::{crowding_distance, fast_non_dominated_sort};
+use hwpr_moo::{Fronts, MooWorkspace};
 use hwpr_nasbench::{Architecture, SearchSpaceId};
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -128,7 +128,8 @@ pub fn random_search(
         });
     }
     let fitness = fitness.ok_or_else(|| SearchError::Config("no samples evaluated".into()))?;
-    let keep = best_indices(&archs, &fitness, config.keep.min(archs.len()))?;
+    let mut moo = MooWorkspace::new();
+    let keep = best_indices(&archs, &fitness, config.keep.min(archs.len()), &mut moo)?;
     let surrogate_calls = evaluator
         .calls_made()
         .map_or(archs.len() * evaluator.calls_per_arch(), |calls| {
@@ -150,7 +151,12 @@ pub fn random_search(
     })
 }
 
-fn best_indices(archs: &[Architecture], fitness: &Fitness, k: usize) -> Result<Vec<usize>> {
+fn best_indices(
+    archs: &[Architecture],
+    fitness: &Fitness,
+    k: usize,
+    moo: &mut MooWorkspace,
+) -> Result<Vec<usize>> {
     // unique architectures only (uniform sampling can repeat)
     let mut seen = std::collections::HashSet::new();
     let unique: Vec<usize> = (0..archs.len())
@@ -174,23 +180,21 @@ fn best_indices(archs: &[Architecture], fitness: &Fitness, k: usize) -> Result<V
             if pool.len() <= k {
                 return Ok(pool);
             }
-            let pts: Vec<SharedObjectives> = pool.iter().map(|&i| objectives[i].clone()).collect();
-            let crowd = crowding_distance(&pts)?;
+            let crowd = moo.crowding_distance_of(objectives, &pool)?;
             let mut order: Vec<usize> = (0..pool.len()).collect();
             order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
             Ok(order.into_iter().take(k).map(|slot| pool[slot]).collect())
         }
         Fitness::Objectives(all_objs) => {
             let objs: Vec<SharedObjectives> = unique.iter().map(|&i| all_objs[i].clone()).collect();
-            let fronts = fast_non_dominated_sort(&objs)?;
+            let mut fronts = Fronts::new();
+            moo.fast_non_dominated_sort_into(&objs, &mut fronts)?;
             let mut keep = Vec::with_capacity(k);
-            for front in fronts {
+            for front in fronts.iter() {
                 if keep.len() + front.len() <= k {
-                    keep.extend(front.into_iter().map(|i| unique[i]));
+                    keep.extend(front.iter().map(|&i| unique[i]));
                 } else {
-                    let pts: Vec<SharedObjectives> =
-                        front.iter().map(|&i| objs[i].clone()).collect();
-                    let crowd = crowding_distance(&pts)?;
+                    let crowd = moo.crowding_distance_of(&objs, front)?;
                     let mut order: Vec<usize> = (0..front.len()).collect();
                     order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
                     for &slot in order.iter().take(k - keep.len()) {
