@@ -18,7 +18,7 @@
 use crate::error::AutogradError;
 use crate::tape::{Act, Op, Tape, Var};
 use crate::Result;
-use hwpr_tensor::{fast_sigmoid, fast_tanh, Matrix, PackedWeight, ShapeError};
+use hwpr_tensor::{fast_tanh, Matrix, PackedWeight, ShapeError};
 
 /// Applies an optional row-broadcast `bias` and activation `act` in place:
 /// the exact pointwise tail of [`Tape::linear_act`], factored out so the
@@ -28,7 +28,7 @@ use hwpr_tensor::{fast_sigmoid, fast_tanh, Matrix, PackedWeight, ShapeError};
 ///
 /// Returns a shape error when `bias` is not `[1, value.cols()]`.
 pub fn apply_bias_act(value: &mut Matrix, bias: Option<&Matrix>, act: Act) -> Result<()> {
-    let (m, n) = value.shape();
+    let n = value.cols();
     if let Some(bv) = bias {
         if bv.shape() != (1, n) {
             return Err(AutogradError::Shape(ShapeError::new(
@@ -37,8 +37,9 @@ pub fn apply_bias_act(value: &mut Matrix, bias: Option<&Matrix>, act: Act) -> Re
                 bv.shape(),
             )));
         }
-        for r in 0..m {
-            for (v, &bias_v) in value.row_mut(r).iter_mut().zip(bv.as_slice()) {
+        let bias_row = bv.as_slice();
+        for row in value.as_mut_slice().chunks_exact_mut(n) {
+            for (v, &bias_v) in row.iter_mut().zip(bias_row) {
                 *v = act.apply(*v + bias_v);
             }
         }
@@ -65,19 +66,26 @@ pub fn lstm_pack_xh(x: &Matrix, input: usize, hc: &Matrix, hidden: usize, xh: &m
 /// Each gate block is a contiguous slice processed by a branch-free
 /// `fast_sigmoid`/`fast_tanh` loop the auto-vectoriser handles.
 pub fn lstm_bias_gates(gates: &mut Matrix, bias: &Matrix, hidden: usize) {
+    let width = 4 * hidden;
     let bv = bias.as_slice();
-    for r in 0..gates.rows() {
-        let row = gates.row_mut(r);
-        let (sig_if, rest) = row.split_at_mut(2 * hidden);
-        let (tanh_g, sig_o) = rest.split_at_mut(hidden);
-        for (g, &b) in sig_if.iter_mut().zip(&bv[..2 * hidden]) {
-            *g = fast_sigmoid(*g + b);
-        }
-        for (g, &b) in tanh_g.iter_mut().zip(&bv[2 * hidden..3 * hidden]) {
-            *g = fast_tanh(*g + b);
-        }
-        for (g, &b) in sig_o.iter_mut().zip(&bv[3 * hidden..]) {
-            *g = fast_sigmoid(*g + b);
+    // One uniform pass over each full `[i f g o]` row instead of three
+    // narrow per-gate loops: at practical hidden sizes a single gate
+    // block is shorter than a vector register, which forces the split
+    // form onto the scalar epilogue. `fast_sigmoid` is exactly
+    // `0.5 + 0.5·fast_tanh(0.5·x)`, and both selector constants are
+    // powers of two (the pre-scale is exact), so evaluating every lane
+    // through `fast_tanh` with a per-lane affine select is bit-identical
+    // to the per-gate branch — and the whole row width vectorises.
+    for row in gates.as_mut_slice().chunks_exact_mut(width) {
+        for (j, (g, &b)) in row.iter_mut().zip(bv).enumerate() {
+            let is_tanh_lane = j >= 2 * hidden && j < 3 * hidden;
+            let (scale, base, gain) = if is_tanh_lane {
+                (1.0, 0.0, 1.0)
+            } else {
+                (0.5, 0.5, 0.5)
+            };
+            let t = fast_tanh(scale * (*g + b));
+            *g = base + gain * t;
         }
     }
 }
@@ -87,6 +95,50 @@ pub fn lstm_bias_gates(gates: &mut Matrix, bias: &Matrix, hidden: usize) {
 /// output. Gate blocks are pre-split into equal-length slices so the `j`
 /// loop has provable bounds and vectorises.
 pub fn lstm_state_update(gates: &Matrix, hc_prev: &Matrix, hidden: usize, out: &mut Matrix) {
+    if hidden <= 16 {
+        // At vector-register-or-smaller hidden sizes the natural loop's
+        // trip count defeats the vectoriser, so eight rows of `c_new`
+        // are staged into one fixed 16-lane-per-row pad and pushed
+        // through a single 128-lane `tanh` pass: eight independent
+        // divide chains keep the divider pipelined where a row-at-a-time
+        // pass would serialise on its latency. Pad lanes hold zero
+        // (`tanh(0)` is finite) and are never written back; live lanes
+        // see the exact arithmetic of the general loop below.
+        let rows = gates.rows();
+        let mut r = 0;
+        while r < rows {
+            let blk = (rows - r).min(8);
+            let mut cv = [0.0f32; 128];
+            for ii in 0..blk {
+                let gr = gates.row(r + ii);
+                let (i_g, rest) = gr.split_at(hidden);
+                let (f_g, rest) = rest.split_at(hidden);
+                let (g_g, _) = rest.split_at(hidden);
+                let c_prev = &hc_prev.row(r + ii)[hidden..];
+                let c_out = &mut out.row_mut(r + ii)[hidden..];
+                let lanes = &mut cv[ii * 16..ii * 16 + hidden];
+                for (j, (c_o, lane)) in c_out.iter_mut().zip(lanes).enumerate() {
+                    let c_new = f_g[j] * c_prev[j] + i_g[j] * g_g[j];
+                    *c_o = c_new;
+                    *lane = c_new;
+                }
+            }
+            let mut tv = [0.0f32; 128];
+            for j in 0..128 {
+                tv[j] = fast_tanh(cv[j]);
+            }
+            for ii in 0..blk {
+                let o_g = &gates.row(r + ii)[3 * hidden..];
+                let h_out = &mut out.row_mut(r + ii)[..hidden];
+                let lanes = &tv[ii * 16..ii * 16 + hidden];
+                for (h_o, (&o1, &t1)) in h_out.iter_mut().zip(o_g.iter().zip(lanes)) {
+                    *h_o = o1 * t1;
+                }
+            }
+            r += blk;
+        }
+        return;
+    }
     for r in 0..gates.rows() {
         let gr = gates.row(r);
         let (i_g, rest) = gr.split_at(hidden);

@@ -41,7 +41,7 @@ use hwpr_nasbench::Architecture;
 use hwpr_nn::infer::{FrozenEmbedding, FrozenGcnLayer, FrozenLstm, FrozenMlp};
 use hwpr_nn::Params;
 use hwpr_obs::metrics::{registry, Counter, Histogram};
-use hwpr_tensor::{BufferPool, Matrix};
+use hwpr_tensor::{BufferPool, Matrix, Precision};
 use parking_lot::Mutex;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -52,6 +52,9 @@ struct InferMetrics {
     prepack_reuse: Arc<Counter>,
     /// "infer.batch.us": per-batch frozen forward wall time.
     batch_us: Arc<Histogram>,
+    /// "infer.batch.size": rows per frozen chunk — shows whether callers
+    /// actually fill the compiled batch width or trickle partial chunks.
+    batch_size: Arc<Histogram>,
 }
 
 fn metrics() -> &'static InferMetrics {
@@ -61,6 +64,10 @@ fn metrics() -> &'static InferMetrics {
         batch_us: registry().histogram(
             "infer.batch.us",
             &Histogram::exponential_bounds(1.0, 4.0, 10),
+        ),
+        batch_size: registry().histogram(
+            "infer.batch.size",
+            &Histogram::exponential_bounds(1.0, 2.0, 10),
         ),
     })
 }
@@ -81,11 +88,12 @@ impl ChunkTimer {
         }
     }
 
-    fn finish(self, prepacked_gemms: u64) {
+    fn finish(self, prepacked_gemms: u64, rows: usize) {
         if let Some(start) = self.start {
             let m = metrics();
             m.prepack_reuse.add(prepacked_gemms);
             m.batch_us.observe(start.elapsed().as_secs_f64() * 1e6);
+            m.batch_size.observe(rows as f64);
         }
     }
 }
@@ -94,14 +102,20 @@ impl ChunkTimer {
 /// capacity between calls so the warmed path never allocates.
 #[derive(Debug, Default)]
 struct EncoderScratch {
-    /// Pooled per-sample adjacency copies for the GCN part.
-    adj: Vec<Matrix>,
     /// Pooled `[batch, embed_dim]` timestep inputs for the LSTM part.
     steps: Vec<Matrix>,
     /// Pooled `[h | c]` layer states threaded through the recurrence.
     states: Vec<Matrix>,
-    /// Token-id staging buffer, one id per sample per timestep.
+    /// SoA token-id staging: `seq_len * batch` ids laid out step-major, so
+    /// each encoding is visited once and every LSTM step reads one
+    /// contiguous `[batch]` slice.
     ids: Vec<usize>,
+    /// Weight-independent first-layer graph aggregation
+    /// `blockdiag(A) @ X` for the current chunk: staged once by the first
+    /// encoder that needs it and reused by every other encoder (the
+    /// accuracy and latency branches read identical graph inputs), then
+    /// recycled into the pool at the next chunk.
+    graph_agg: Option<Matrix>,
 }
 
 /// One worker's reusable activation storage: a buffer pool plus the
@@ -126,11 +140,15 @@ struct FrozenEncoderSet {
 }
 
 impl FrozenEncoderSet {
-    fn compile(enc: &EncoderSet, params: &Params) -> Self {
+    fn compile(enc: &EncoderSet, params: &Params, precision: Precision) -> Self {
         Self {
-            gcn: enc.gcn_layers().iter().map(|l| l.freeze(params)).collect(),
+            gcn: enc
+                .gcn_layers()
+                .iter()
+                .map(|l| l.freeze_with(params, precision))
+                .collect(),
             embedding: enc.embedding().map(|e| e.freeze(params)),
-            lstm: enc.lstm().map(|l| l.freeze(params)),
+            lstm: enc.lstm().map(|l| l.freeze_with(params, precision)),
             normalizer: enc.normalizer().cloned(),
             output_dim: enc.output_dim(),
         }
@@ -160,28 +178,48 @@ impl FrozenEncoderSet {
     ) -> Result<Matrix> {
         let batch = encodings.len();
         // recycle anything a previous erroring call left behind
-        for m in scratch.adj.drain(..) {
-            pool.put(m);
-        }
         for m in scratch.steps.drain(..) {
             pool.put(m);
         }
-        let mut repr = pool.take(batch, self.output_dim);
+        // every column range below is written for every row
+        let mut repr = pool.take_uninit(batch, self.output_dim);
         let mut col = 0;
         if !self.gcn.is_empty() {
-            let feat_cols = encodings[0].graph.features.cols();
-            let mut h = pool.take(batch * nodes, feat_cols);
-            for (b, e) in encodings.iter().enumerate() {
-                // row-stack the node features (≡ concat_rows) and stage a
-                // pooled copy of each sample's constant adjacency
-                for r in 0..nodes {
-                    h.row_mut(b * nodes + r)
-                        .copy_from_slice(e.graph.features.row(r));
+            if scratch.graph_agg.is_none() {
+                let feat_cols = encodings[0].graph.features.cols();
+                // row-stack the node features (≡ concat_rows), then run
+                // the weight-independent first-layer aggregation
+                // `blockdiag(A) @ X` once for the whole chunk — every
+                // encoder branch starts from the same graph input, so
+                // the second branch reuses this staging for free
+                let mut h0 = pool.take_uninit(batch * nodes, feat_cols);
+                for (b, e) in encodings.iter().enumerate() {
+                    for r in 0..nodes {
+                        h0.row_mut(b * nodes + r)
+                            .copy_from_slice(e.graph.features.row(r));
+                    }
                 }
-                scratch.adj.push(pool.take_copy(&e.graph.adjacency));
+                let mut agg = pool.take_uninit(batch * nodes, feat_cols);
+                h0.block_left_matmul_each_into(
+                    batch,
+                    nodes,
+                    |b| &encodings[b].graph.adjacency,
+                    &mut agg,
+                )
+                .map_err(hwpr_autograd::AutogradError::from)?;
+                pool.put(h0);
+                scratch.graph_agg = Some(agg);
             }
-            for layer in &self.gcn {
-                h = layer.forward(pool, h, &scratch.adj, nodes)?;
+            let agg = scratch
+                .graph_agg
+                .as_ref()
+                .expect("graph aggregation staged above");
+            // first layer consumes the shared pre-aggregated input; each
+            // later layer reads every sample's constant adjacency in
+            // place — no staging copies, no per-sample GEMM dispatch
+            let mut h = self.gcn[0].forward_from_agg(pool, agg)?;
+            for layer in &self.gcn[1..] {
+                h = layer.forward_each(pool, h, batch, |b| &encodings[b].graph.adjacency, nodes)?;
             }
             // read out each sample's global node (≡ gather_rows)
             let width = self.gcn.last().expect("non-empty stack").out_dim();
@@ -190,17 +228,21 @@ impl FrozenEncoderSet {
                     .copy_from_slice(h.row(b * nodes + e.graph.global_node()));
             }
             pool.put(h);
-            for m in scratch.adj.drain(..) {
-                pool.put(m);
-            }
             col += width;
         }
         if let (Some(embedding), Some(lstm)) = (&self.embedding, &self.lstm) {
+            // stage all token ids in one pass over the encodings
+            // (step-major SoA), then embed each step's contiguous slice
+            scratch.ids.clear();
+            scratch.ids.resize(seq_len * batch, 0);
+            for (b, e) in encodings.iter().enumerate() {
+                for (t, &tok) in e.tokens.iter().take(seq_len).enumerate() {
+                    scratch.ids[t * batch + b] = tok;
+                }
+            }
             for t in 0..seq_len {
-                scratch.ids.clear();
-                scratch.ids.extend(encodings.iter().map(|e| e.tokens[t]));
-                let mut step = pool.take(batch, embedding.dim());
-                embedding.forward_into(&scratch.ids, &mut step)?;
+                let mut step = pool.take_uninit(batch, embedding.dim());
+                embedding.forward_into(&scratch.ids[t * batch..(t + 1) * batch], &mut step)?;
                 scratch.steps.push(step);
             }
             let h = lstm.forward(pool, &scratch.steps, &mut scratch.states)?;
@@ -242,6 +284,8 @@ pub struct FrozenModel {
     nodes: usize,
     seq_len: usize,
     batch: usize,
+    /// Panel storage precision every GEMM weight was frozen at.
+    precision: Precision,
     /// Prepacked GEMMs per full-batch forward (drives the reuse counter).
     prepacked_gemms: u64,
     /// Reusable worker arenas; one is checked out per predict call and
@@ -251,18 +295,21 @@ pub struct FrozenModel {
 }
 
 impl FrozenModel {
-    /// Freezes `model`: packs every GEMM weight once and fixes the
-    /// inference chunk size to `batch` rows.
-    pub(crate) fn compile(model: &HwPrNas, batch: usize) -> Self {
-        let accuracy_encoder = FrozenEncoderSet::compile(&model.accuracy_encoder, &model.params);
-        let latency_encoder = FrozenEncoderSet::compile(&model.latency_encoder, &model.params);
-        let accuracy_head = model.accuracy_head.freeze(&model.params);
+    /// Freezes `model`: packs every GEMM weight once at `precision` and
+    /// fixes the inference chunk size to `batch` rows. Rank-critical
+    /// scalar heads stay f32 under int8 (see `hwpr_nn::infer`).
+    pub(crate) fn compile(model: &HwPrNas, batch: usize, precision: Precision) -> Self {
+        let accuracy_encoder =
+            FrozenEncoderSet::compile(&model.accuracy_encoder, &model.params, precision);
+        let latency_encoder =
+            FrozenEncoderSet::compile(&model.latency_encoder, &model.params, precision);
+        let accuracy_head = model.accuracy_head.freeze_with(&model.params, precision);
         let latency_heads: Vec<FrozenMlp> = model
             .latency_heads
             .iter()
-            .map(|h| h.freeze(&model.params))
+            .map(|h| h.freeze_with(&model.params, precision))
             .collect();
-        let fusion = model.fusion.freeze(&model.params);
+        let fusion = model.fusion.freeze_with(&model.params, precision);
         let seq_len = model.cache.seq_len();
         let prepacked_gemms = accuracy_encoder.prepacked_gemms(seq_len)
             + latency_encoder.prepacked_gemms(seq_len)
@@ -280,6 +327,7 @@ impl FrozenModel {
             nodes: model.cache.nodes(),
             seq_len,
             batch: batch.max(1),
+            precision,
             prepacked_gemms,
             arenas: Mutex::new(Vec::new()),
         }
@@ -293,6 +341,11 @@ impl FrozenModel {
     /// The inference chunk size the engine was compiled with.
     pub fn batch(&self) -> usize {
         self.batch
+    }
+
+    /// The panel precision the engine was frozen at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     fn check_slot(&self, slot: usize) -> Result<()> {
@@ -326,6 +379,11 @@ impl FrozenModel {
         } = arena;
         encodings.clear();
         encodings.extend(chunk.iter().map(|a| cache.encoding(a)));
+        // the staged graph aggregation is chunk-specific: recycle the
+        // previous chunk's buffer so the first encoder re-stages
+        if let Some(agg) = scratch.graph_agg.take() {
+            pool.put(agg);
+        }
         let batch = chunk.len();
         let acc_repr =
             self.accuracy_encoder
@@ -376,7 +434,7 @@ impl FrozenModel {
         out: &mut Vec<f64>,
     ) -> Result<()> {
         self.check_slot(slot)?;
-        let _span = hwpr_obs::span("infer.frozen");
+        let _span = hwpr_obs::span_labeled("infer.frozen", self.precision.label());
         let mut arena = self.checkout();
         out.reserve(archs.len());
         for chunk in archs.chunks(self.batch) {
@@ -386,7 +444,7 @@ impl FrozenModel {
             arena.pool.put(score);
             arena.pool.put(accuracy);
             arena.pool.put(latency);
-            timer.finish(self.prepacked_gemms);
+            timer.finish(self.prepacked_gemms, chunk.len());
         }
         self.arenas.lock().push(arena);
         Ok(())
@@ -405,7 +463,7 @@ impl FrozenModel {
         slot: usize,
     ) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
         self.check_slot(slot)?;
-        let _span = hwpr_obs::span("infer.frozen");
+        let _span = hwpr_obs::span_labeled("infer.frozen", self.precision.label());
         let mut arena = self.checkout();
         let mut scores = Vec::with_capacity(archs.len());
         let mut objectives = Vec::with_capacity(archs.len());
@@ -422,7 +480,7 @@ impl FrozenModel {
             arena.pool.put(score);
             arena.pool.put(accuracy);
             arena.pool.put(latency);
-            timer.finish(self.prepacked_gemms);
+            timer.finish(self.prepacked_gemms, chunk.len());
         }
         self.arenas.lock().push(arena);
         Ok((scores, objectives))
@@ -440,7 +498,7 @@ impl FrozenModel {
         slot: usize,
     ) -> Result<Vec<(f64, f64)>> {
         self.check_slot(slot)?;
-        let _span = hwpr_obs::span("infer.frozen");
+        let _span = hwpr_obs::span_labeled("infer.frozen", self.precision.label());
         let mut arena = self.checkout();
         let mut out = Vec::with_capacity(archs.len());
         for chunk in archs.chunks(self.batch) {
@@ -455,7 +513,7 @@ impl FrozenModel {
             arena.pool.put(score);
             arena.pool.put(accuracy);
             arena.pool.put(latency);
-            timer.finish(self.prepacked_gemms);
+            timer.finish(self.prepacked_gemms, chunk.len());
         }
         self.arenas.lock().push(arena);
         Ok(out)
@@ -481,7 +539,14 @@ impl FrozenModel {
         if threads == 1 {
             return self.predict_full(cache, archs, slot);
         }
-        let chunk = archs.len().div_ceil(threads);
+        // round each worker's share up to the compiled batch width so only
+        // the final worker can see a partial batch (a per-thread remainder
+        // would otherwise cost one underfilled GEMM chunk per worker)
+        let chunk = archs
+            .len()
+            .div_ceil(threads)
+            .next_multiple_of(self.batch)
+            .min(archs.len());
         type ChunkResult = Result<(Vec<f64>, Vec<Vec<f64>>)>;
         let results: Vec<ChunkResult> = crossbeam::scope(|s| {
             let handles: Vec<_> = archs
@@ -542,7 +607,7 @@ mod tests {
         let out = enc.forward(&mut binder, &cache, &archs, &mut rng).unwrap();
         let expected = tape.value(out).clone();
 
-        let frozen = FrozenEncoderSet::compile(&enc, &params);
+        let frozen = FrozenEncoderSet::compile(&enc, &params, Precision::F32);
         let mut arena = InferArena::default();
         let encodings: Vec<_> = archs.iter().map(|a| cache.encoding(a)).collect();
         let repr = frozen
@@ -608,7 +673,7 @@ mod tests {
         let cfg = ModelConfig::tiny();
         let enc =
             EncoderSet::new(&mut params, "e", &cfg, EncoderChoice::ALL, &cache, &archs).unwrap();
-        let frozen = FrozenEncoderSet::compile(&enc, &params);
+        let frozen = FrozenEncoderSet::compile(&enc, &params, Precision::F32);
         let expected = cfg.gcn_layers as u64 + (cfg.lstm_layers * cache.seq_len()) as u64;
         assert_eq!(frozen.prepacked_gemms(cache.seq_len()), expected);
     }

@@ -45,6 +45,7 @@ mod train;
 pub use config::{ModelConfig, TrainConfig};
 pub use data::{ArchSample, EncodingCache, SurrogateDataset};
 pub use frozen::FrozenModel;
+pub use hwpr_tensor::Precision;
 pub use model::HwPrNas;
 pub use train::{nb201_fraction, TrainReport};
 

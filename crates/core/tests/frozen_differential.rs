@@ -6,9 +6,11 @@
 //! live as unit tests in `hwpr_core::frozen`; here the full compiled
 //! model is exercised end to end.)
 
-use hwpr_core::{HwPrNas, ModelConfig, SurrogateDataset, TrainConfig};
+use hwpr_core::{HwPrNas, ModelConfig, Precision, SurrogateDataset, TrainConfig};
 use hwpr_hwmodel::{Platform, SimBench, SimBenchConfig};
 use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
+use proptest::prelude::*;
+use std::sync::OnceLock;
 
 fn bench(n: usize) -> SimBench {
     SimBench::generate(SimBenchConfig {
@@ -16,6 +18,23 @@ fn bench(n: usize) -> SimBench {
         sample_size: Some(n),
         seed: 3,
     })
+}
+
+/// A scoring population larger than the training set, so batch widths
+/// 64 and 129 exercise uneven final chunks and Kendall τ has enough
+/// pairs to be meaningful.
+fn eval_archs(n: usize) -> Vec<Architecture> {
+    bench(n)
+        .entries()
+        .iter()
+        .map(|e| e.arch().clone())
+        .collect()
+}
+
+fn tau(a: &[f64], b: &[f64]) -> f64 {
+    let af: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+    let bf: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+    hwpr_metrics::kendall_tau(&af, &bf).unwrap()
 }
 
 fn trained_single() -> (HwPrNas, Vec<Architecture>) {
@@ -94,6 +113,94 @@ fn parallel_path_is_bit_identical_and_pack_free() {
             .predict_full_parallel(&archs, Platform::EdgeGpu, threads)
             .unwrap();
         assert_eq!(parallel, serial, "{threads} threads diverge from serial");
+    }
+}
+
+#[test]
+fn batched_engine_matches_serial_bit_identically() {
+    let (model, _) = trained_single();
+    let archs = eval_archs(160);
+    model.freeze_with(1, Precision::F32);
+    let serial = model.predict_full(&archs, Platform::EdgeGpu).unwrap();
+    for batch in [7usize, 64, 129] {
+        model.freeze_with(batch, Precision::F32);
+        let batched = model.predict_full(&archs, Platform::EdgeGpu).unwrap();
+        assert_eq!(batched, serial, "batch width {batch} diverges from serial");
+    }
+}
+
+#[test]
+fn reduced_precision_preserves_rank_on_uneven_batches() {
+    let (model, _) = trained_single();
+    let archs = eval_archs(160);
+    model.freeze_with(64, Precision::F32);
+    let base = model.predict_scores(&archs, Platform::EdgeGpu).unwrap();
+    for precision in [Precision::F16, Precision::Int8] {
+        for batch in [1usize, 7, 64, 129] {
+            model.freeze_with(batch, precision);
+            let scores = model.predict_scores(&archs, Platform::EdgeGpu).unwrap();
+            let t = tau(&base, &scores);
+            assert!(
+                t >= 0.99,
+                "{} batch {batch}: Kendall tau {t:.4} < 0.99",
+                precision.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_rank_is_preserved_on_every_platform_head() {
+    let (model, _) = trained_multi();
+    let archs = eval_archs(160);
+    for &platform in model.platforms() {
+        model.freeze_with(64, Precision::F32);
+        let base = model.predict_scores(&archs, platform).unwrap();
+        for precision in [Precision::F16, Precision::Int8] {
+            model.freeze_with(64, precision);
+            let scores = model.predict_scores(&archs, platform).unwrap();
+            let t = tau(&base, &scores);
+            assert!(
+                t >= 0.99,
+                "{platform} {}: Kendall tau {t:.4} < 0.99",
+                precision.label()
+            );
+        }
+    }
+}
+
+/// Shared fixture for the proptest below only — proptest cases run
+/// sequentially inside one `#[test]`, so reinstalling the frozen engine
+/// per case never races with the other tests (which train their own
+/// models).
+fn proptest_fixture() -> &'static (HwPrNas, Vec<Architecture>, Vec<f64>) {
+    static FIX: OnceLock<(HwPrNas, Vec<Architecture>, Vec<f64>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let (model, archs) = trained_single();
+        let tape = model
+            .predict_scores_tape(&archs, Platform::EdgeGpu)
+            .unwrap();
+        (model, archs, tape)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Scores are per-architecture, so any prefix scored at any batch
+    // width must reproduce the tape reference bit for bit (the tape is
+    // itself bit-identical to the serial frozen path).
+    #[test]
+    fn any_batch_width_is_bit_identical_to_the_tape(
+        batch in 1usize..=160,
+        len in 1usize..=48,
+    ) {
+        let (model, archs, tape) = proptest_fixture();
+        model.freeze_with(batch, Precision::F32);
+        let scores = model
+            .predict_scores(&archs[..len], Platform::EdgeGpu)
+            .unwrap();
+        prop_assert_eq!(&scores[..], &tape[..len]);
     }
 }
 

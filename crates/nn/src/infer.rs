@@ -9,18 +9,56 @@
 //! no op recording, no gradient buffers, and dropout statically elided
 //! (dropout is already the identity at inference).
 //!
-//! Every forward is **bit-identical** to the corresponding taped layer: the
-//! frozen path reuses the exact pointwise kernels the tape ops call, and
-//! the prepacked GEMM entry points are bit-identical to their unpacked
-//! forms (see `hwpr_tensor::packed`). The tape path stays as the reference
-//! implementation, anchored by differential tests in `hwpr-core`.
+//! Every f32 forward is **bit-identical** to the corresponding taped
+//! layer: the frozen path reuses the exact pointwise kernels the tape ops
+//! call, and the prepacked GEMM entry points are bit-identical to their
+//! unpacked forms (see `hwpr_tensor::packed`). The tape path stays as the
+//! reference implementation, anchored by differential tests in
+//! `hwpr-core`. Freezing at [`Precision::F16`] or [`Precision::Int8`]
+//! trades that bit-identity for smaller, faster weight panels; rank
+//! preservation (Kendall τ vs f32) is what the differential tests assert
+//! there.
 //!
 //! All scratch storage comes from a caller-held [`BufferPool`], so a warmed
 //! forward pass performs no heap allocation.
 
 use crate::{NnError, Result};
 use hwpr_autograd::{apply_bias_act, lstm_step_frozen, Act, AutogradError};
-use hwpr_tensor::{BufferPool, Matrix, PackedWeight};
+use hwpr_tensor::{BufferPool, Matrix, PackedWeight, Precision};
+
+/// Whether a packed panel belongs to an encoder GEMM or an MLP regressor
+/// stack — the quantisation policy differs between the two.
+#[derive(Debug, Clone, Copy)]
+enum PanelRole {
+    /// GCN layers and LSTM steps: compute-dominant, noise-tolerant bulk.
+    Encoder,
+    /// [`FrozenLinear`] regressor layers feeding scalar heads.
+    Head,
+}
+
+/// The storage precision actually used for a `k x n` GEMM weight when the
+/// model is frozen at `requested` precision.
+///
+/// Quantisation follows the usual backbone/head split:
+///
+/// - encoder GEMMs take `requested` as-is, including int8 — they dominate
+///   the FLOP count and their noise is filtered by downstream layers;
+/// - the MLP regressor stacks cap at f16 under an int8 freeze: their
+///   outputs reach the scalar rank-critical heads within a hop or two and
+///   the reductions are too short for per-channel int8 noise to average
+///   out (int8 regressors cost ~0.01 Kendall τ; f16 is measurably free);
+/// - degenerate panels (`n == 1` scalar heads, `k < 4` dots shorter than
+///   one int8 lane group) stay f32.
+///
+/// [`Precision::F16`] quantises everything (binary16 weight rounding is
+/// far below the model's own noise floor).
+fn panel_precision(requested: Precision, role: PanelRole, k: usize, n: usize) -> Precision {
+    match (requested, role) {
+        (Precision::Int8, _) if n == 1 || k < 4 => Precision::F32,
+        (Precision::Int8, PanelRole::Head) => Precision::F16,
+        (p, _) => p,
+    }
+}
 
 /// A [`crate::layers::Linear`] compiled for tape-free inference: prepacked
 /// weight panel plus a copied bias row.
@@ -39,15 +77,25 @@ impl FrozenLinear {
         bias: Option<&Matrix>,
         in_dim: usize,
         out_dim: usize,
+        precision: Precision,
     ) -> Self {
         let mut packed = PackedWeight::new();
-        packed.pack(weight);
+        packed.pack_with(
+            weight,
+            panel_precision(precision, PanelRole::Head, in_dim, out_dim),
+        );
         Self {
             weight: packed,
             bias: bias.cloned(),
             in_dim,
             out_dim,
         }
+    }
+
+    /// The storage precision of the packed weight panel (may be f32 under
+    /// an int8 freeze when the layer is exempted, see [`panel_precision`]).
+    pub fn precision(&self) -> Precision {
+        self.weight.precision()
     }
 
     /// Input feature dimension.
@@ -110,7 +158,8 @@ impl FrozenMlp {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             let act = if i < last { self.act } else { Act::Identity };
-            let mut out = pool.take(h.rows(), layer.out_dim());
+            // fully overwritten by the prepacked GEMM: no zero-fill needed
+            let mut out = pool.take_uninit(h.rows(), layer.out_dim());
             layer.forward_act_into(&h, act, &mut out)?;
             pool.put(h);
             h = out;
@@ -143,13 +192,15 @@ impl FrozenLstm {
         stacked: Vec<(Matrix, Matrix)>,
         input_dim: usize,
         hidden_dim: usize,
+        precision: Precision,
     ) -> Self {
         let cells = stacked
             .into_iter()
             .enumerate()
             .map(|(l, (w, bias))| {
+                let (k, n) = w.shape();
                 let mut packed = PackedWeight::new();
-                packed.pack(&w);
+                packed.pack_with(&w, panel_precision(precision, PanelRole::Encoder, k, n));
                 FrozenLstmCell {
                     weight: packed,
                     bias,
@@ -215,9 +266,10 @@ impl FrozenLstm {
         }
         for step in steps {
             for (l, cell) in self.cells.iter().enumerate() {
-                let mut xh = pool.take(batch, cell.in_dim + h);
-                let mut gates = pool.take(batch, 4 * h);
-                let mut next = pool.take(batch, 2 * h);
+                // all three are fully overwritten by lstm_step_frozen
+                let mut xh = pool.take_uninit(batch, cell.in_dim + h);
+                let mut gates = pool.take_uninit(batch, 4 * h);
+                let mut next = pool.take_uninit(batch, 2 * h);
                 {
                     // layer l > 0 reads the h-part of the layer below's
                     // state, already updated for this step
@@ -238,7 +290,7 @@ impl FrozenLstm {
                 pool.put(std::mem::replace(&mut states[l], next));
             }
         }
-        let mut out = pool.take(batch, h);
+        let mut out = pool.take_uninit(batch, h);
         let top = states.last().expect("at least one layer");
         for r in 0..batch {
             out.row_mut(r).copy_from_slice(&top.row(r)[..h]);
@@ -260,9 +312,15 @@ pub struct FrozenGcnLayer {
 
 impl FrozenGcnLayer {
     /// Packs the layer weight and copies the bias.
-    pub(crate) fn from_parts(weight: &Matrix, bias: &Matrix, out_dim: usize) -> Self {
+    pub(crate) fn from_parts(
+        weight: &Matrix,
+        bias: &Matrix,
+        out_dim: usize,
+        precision: Precision,
+    ) -> Self {
+        let (k, n) = weight.shape();
         let mut packed = PackedWeight::new();
-        packed.pack(weight);
+        packed.pack_with(weight, panel_precision(precision, PanelRole::Encoder, k, n));
         Self {
             weight: packed,
             bias: bias.clone(),
@@ -291,15 +349,54 @@ impl FrozenGcnLayer {
         adjacency: &[impl std::borrow::Borrow<Matrix>],
         nodes: usize,
     ) -> Result<Matrix> {
-        let mut agg = pool.take(x.rows(), x.cols());
-        x.block_left_matmul_into(adjacency, nodes, pool, &mut agg)
+        self.forward_each(pool, x, adjacency.len(), |b| adjacency[b].borrow(), nodes)
+    }
+
+    /// [`FrozenGcnLayer::forward`] with lazily fetched adjacency: block `b`
+    /// of the batch is aggregated against `adj_of(b)` via the direct
+    /// row-axpy kernel (no per-sample GEMM dispatch, no staging copies),
+    /// then the whole `[batch * nodes, out_dim]` product runs as one
+    /// prepacked GEMM. Bit-identical to the taped layer modulo the sign of
+    /// zero (see `block_left_matmul_each_into`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the block structure or feature dimension
+    /// is inconsistent.
+    pub fn forward_each<'a>(
+        &self,
+        pool: &mut BufferPool,
+        x: Matrix,
+        blocks: usize,
+        adj_of: impl Fn(usize) -> &'a Matrix,
+        nodes: usize,
+    ) -> Result<Matrix> {
+        let mut agg = pool.take_uninit(x.rows(), x.cols());
+        x.block_left_matmul_each_into(blocks, nodes, adj_of, &mut agg)
             .map_err(AutogradError::from)?;
         pool.put(x);
-        let mut out = pool.take(agg.rows(), self.out_dim);
+        let mut out = pool.take_uninit(agg.rows(), self.out_dim);
         agg.matmul_prepacked_into(&self.weight, &mut out)
             .map_err(AutogradError::from)?;
         apply_bias_act(&mut out, Some(&self.bias), Act::Relu)?;
         pool.put(agg);
+        Ok(out)
+    }
+
+    /// The GEMM + bias + ReLU half of [`FrozenGcnLayer::forward_each`]
+    /// against a borrowed, already-aggregated input: callers that share
+    /// one `blockdiag(A) @ X` staging across several layer stacks (the
+    /// aggregation is weight-independent) run each stack's first layer
+    /// through this entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `agg`'s width does not match the layer.
+    pub fn forward_from_agg(&self, pool: &mut BufferPool, agg: &Matrix) -> Result<Matrix> {
+        let mut out = pool.take_uninit(agg.rows(), self.out_dim);
+        agg.matmul_prepacked_into(&self.weight, &mut out)
+            .map_err(AutogradError::from)?;
+        apply_bias_act(&mut out, Some(&self.bias), Act::Relu)?;
         Ok(out)
     }
 }

@@ -21,6 +21,9 @@ pub enum Event {
         parent: u64,
         /// Span name, e.g. `"search.moea"`.
         name: String,
+        /// Optional variant label, e.g. the precision of an
+        /// `"infer.frozen"` span. Omitted from the JSON when absent.
+        label: Option<String>,
         /// Start time.
         t_us: u64,
     },
@@ -32,6 +35,8 @@ pub enum Event {
         parent: u64,
         /// Span name.
         name: String,
+        /// Optional variant label from the matching start event.
+        label: Option<String>,
         /// End time.
         t_us: u64,
         /// Span duration (monotonic, so `t_us >= start.t_us + dur_us` is
@@ -131,18 +136,23 @@ impl Event {
                 id,
                 parent,
                 name,
+                label,
                 t_us,
             } => {
                 put("type", Value::String("span_start".into()));
                 put("id", Value::UInt(*id));
                 put("parent", Value::UInt(*parent));
                 put("name", Value::String(name.clone()));
+                if let Some(label) = label {
+                    put("label", Value::String(label.clone()));
+                }
                 put("t_us", Value::UInt(*t_us));
             }
             Event::SpanEnd {
                 id,
                 parent,
                 name,
+                label,
                 t_us,
                 dur_us,
             } => {
@@ -150,6 +160,9 @@ impl Event {
                 put("id", Value::UInt(*id));
                 put("parent", Value::UInt(*parent));
                 put("name", Value::String(name.clone()));
+                if let Some(label) = label {
+                    put("label", Value::String(label.clone()));
+                }
                 put("t_us", Value::UInt(*t_us));
                 put("dur_us", Value::UInt(*dur_us));
             }
@@ -243,18 +256,32 @@ impl Event {
                 )),
             }
         };
+        // absent on spans written before labels existed (and on unlabeled
+        // spans), so failure to find the key is not an error
+        let get_label = || -> Result<Option<String>, String> {
+            match pairs.iter().find(|(k, _)| k == "label").map(|(_, v)| v) {
+                None => Ok(None),
+                Some(Value::String(s)) => Ok(Some(s.clone())),
+                Some(other) => Err(format!(
+                    "field `label`: expected string, got {}",
+                    other.kind()
+                )),
+            }
+        };
         let kind = get_str("type")?;
         Ok(match kind.as_str() {
             "span_start" => Event::SpanStart {
                 id: get_u64("id")?,
                 parent: get_u64("parent")?,
                 name: get_str("name")?,
+                label: get_label()?,
                 t_us: get_u64("t_us")?,
             },
             "span_end" => Event::SpanEnd {
                 id: get_u64("id")?,
                 parent: get_u64("parent")?,
                 name: get_str("name")?,
+                label: get_label()?,
                 t_us: get_u64("t_us")?,
                 dur_us: get_u64("dur_us")?,
             },
@@ -329,17 +356,45 @@ mod tests {
             id: 7,
             parent: 3,
             name: "search.moea".into(),
+            label: None,
             t_us: 120,
         };
         let end = Event::SpanEnd {
             id: 7,
             parent: 3,
             name: "search.moea".into(),
+            label: None,
             t_us: 950,
             dur_us: 830,
         };
         for ev in [start, end] {
-            assert_eq!(Event::from_json(&ev.to_json()).unwrap(), ev);
+            let json = ev.to_json();
+            assert!(!json.contains("label"), "unlabeled span leaks the key");
+            assert_eq!(Event::from_json(&json).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn labeled_span_events_round_trip() {
+        let start = Event::SpanStart {
+            id: 9,
+            parent: 0,
+            name: "infer.frozen".into(),
+            label: Some("int8".into()),
+            t_us: 5,
+        };
+        let end = Event::SpanEnd {
+            id: 9,
+            parent: 0,
+            name: "infer.frozen".into(),
+            label: Some("int8".into()),
+            t_us: 55,
+            dur_us: 50,
+        };
+        for ev in [start, end] {
+            let json = ev.to_json();
+            assert!(json.contains("\"label\":\"int8\""));
+            assert_eq!(Event::from_json(&json).unwrap(), ev);
         }
     }
 

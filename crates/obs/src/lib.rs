@@ -56,7 +56,7 @@ pub use config::{init_from_env, TelemetrySpec};
 pub use event::Event;
 pub use serde::Value;
 pub use sink::Recorder;
-pub use span::{span, Span};
+pub use span::{span, span_labeled, Span};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};

@@ -49,11 +49,18 @@ pub fn summarize(events: &[Event]) -> String {
         }
     }
 
-    // span aggregates: count, total, mean, max per name
-    let mut spans: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    // span aggregates: count, total, mean, max per (name, label) variant;
+    // labeled spans render as `name[label]`
+    let mut spans: BTreeMap<(&str, Option<&str>), (u64, u64, u64)> = BTreeMap::new();
     for event in events {
-        if let Event::SpanEnd { name, dur_us, .. } = event {
-            let entry = spans.entry(name).or_insert((0, 0, 0));
+        if let Event::SpanEnd {
+            name,
+            label,
+            dur_us,
+            ..
+        } = event
+        {
+            let entry = spans.entry((name, label.as_deref())).or_insert((0, 0, 0));
             entry.0 += 1;
             entry.1 += dur_us;
             entry.2 = entry.2.max(*dur_us);
@@ -62,9 +69,13 @@ pub fn summarize(events: &[Event]) -> String {
     if !spans.is_empty() {
         let rows: Vec<Vec<String>> = spans
             .iter()
-            .map(|(name, (count, total, max))| {
+            .map(|((name, label), (count, total, max))| {
+                let shown = match label {
+                    Some(label) => format!("{name}[{label}]"),
+                    None => name.to_string(),
+                };
                 vec![
-                    name.to_string(),
+                    shown,
                     count.to_string(),
                     fmt_us(*total),
                     fmt_us(total / count.max(&1)),
@@ -307,12 +318,14 @@ mod tests {
                 id: 1,
                 parent: 0,
                 name: "search.moea".into(),
+                label: None,
                 t_us: 0,
             },
             Event::SpanEnd {
                 id: 1,
                 parent: 0,
                 name: "search.moea".into(),
+                label: None,
                 t_us: 900,
                 dur_us: 900,
             },
@@ -367,12 +380,14 @@ mod tests {
                 id: 1,
                 parent: 0,
                 name: "infer.frozen".into(),
+                label: Some("int8".into()),
                 t_us: 0,
             },
             Event::SpanEnd {
                 id: 1,
                 parent: 0,
                 name: "infer.frozen".into(),
+                label: Some("int8".into()),
                 t_us: 400,
                 dur_us: 400,
             },
@@ -391,7 +406,7 @@ mod tests {
             },
         ];
         let text = summarize(&events);
-        assert!(text.contains("infer.frozen"), "{text}");
+        assert!(text.contains("infer.frozen[int8]"), "{text}");
         assert!(text.contains("infer.prepack.reuse"), "{text}");
         assert!(text.contains("96"), "{text}");
         assert!(text.contains("infer.batch.us"), "{text}");

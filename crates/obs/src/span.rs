@@ -34,12 +34,25 @@ struct SpanInner {
     id: u64,
     parent: u64,
     name: &'static str,
+    label: Option<&'static str>,
     start: Instant,
 }
 
 /// Opens a span named `name`. Inert (and allocation-free) when telemetry
 /// is off.
 pub fn span(name: &'static str) -> Span {
+    open(name, None)
+}
+
+/// Opens a span named `name` carrying a variant `label` (e.g. the panel
+/// precision of an `"infer.frozen"` span). The label rides on both the
+/// start and end events and is rendered as `name[label]` by the report.
+/// Inert (and allocation-free) when telemetry is off.
+pub fn span_labeled(name: &'static str, label: &'static str) -> Span {
+    open(name, Some(label))
+}
+
+fn open(name: &'static str, label: Option<&'static str>) -> Span {
     if !crate::enabled() {
         return Span { inner: None };
     }
@@ -49,6 +62,7 @@ pub fn span(name: &'static str) -> Span {
         id,
         parent,
         name: name.to_string(),
+        label: label.map(str::to_string),
         t_us: crate::now_us(),
     });
     Span {
@@ -56,6 +70,7 @@ pub fn span(name: &'static str) -> Span {
             id,
             parent,
             name,
+            label,
             start: Instant::now(),
         }),
     }
@@ -78,6 +93,7 @@ impl Drop for Span {
             id: inner.id,
             parent: inner.parent,
             name: inner.name.to_string(),
+            label: inner.label.map(str::to_string),
             t_us: crate::now_us(),
             dur_us: inner.start.elapsed().as_micros() as u64,
         });

@@ -44,6 +44,7 @@ fn spans_nest_and_time_monotonically() {
                     parent,
                     name: n,
                     t_us,
+                    ..
                 } if n == name => Some((*id, *parent, *t_us)),
                 _ => None,
             })
@@ -59,6 +60,7 @@ fn spans_nest_and_time_monotonically() {
                     name: n,
                     t_us,
                     dur_us,
+                    ..
                 } if n == name => Some((*id, *parent, *t_us, *dur_us)),
                 _ => None,
             })
@@ -140,12 +142,14 @@ fn every_event_kind_round_trips_through_jsonl() {
             id: 7,
             parent: 3,
             name: "search.moea".into(),
+            label: None,
             t_us: 12,
         },
         Event::SpanEnd {
             id: 7,
             parent: 3,
             name: "search.moea".into(),
+            label: Some("f16".into()),
             t_us: 90,
             dur_us: 78,
         },

@@ -23,11 +23,11 @@ pub const MR: usize = 8;
 /// Micro-kernel columns: C tile width held in registers.
 pub const NR: usize = 16;
 /// K-blocking: depth of the packed panels (sized for L1-resident strips).
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 /// M-blocking: rows of A packed per inner block (L2-resident).
-const MC: usize = 128;
+pub(crate) const MC: usize = 128;
 /// N-blocking: columns of B packed per outer panel (L3-resident).
-const NC: usize = 512;
+pub(crate) const NC: usize = 512;
 
 /// How a logically `rows x cols` operand is laid out in its backing slice.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -51,7 +51,7 @@ fn load(src: &[f32], layout: Layout, rows: usize, cols: usize, r: usize, c: usiz
 /// Packs the `mc x kc` block of `A` at `(ic, pc)` into `MR`-row strips:
 /// strip `ir/MR` holds `kc` groups of `MR` consecutive logical rows,
 /// zero-padded past `mc` so the micro-kernel never reads out of bounds.
-fn pack_a(
+pub(crate) fn pack_a(
     a: &[f32],
     layout: Layout,
     (m, k): (usize, usize),
@@ -183,6 +183,161 @@ fn micro_kernel(kc: usize, a_strip: &[f32], b_strip: &[f32], acc: &mut [[f32; NR
     }
 }
 
+/// [`micro_kernel`] reading a full `MR`-row tile of row-major `A` in
+/// place (row stride `lda`) instead of from a packed strip: the broadcast
+/// loads are scalar either way, so skipping the pack removes a whole copy
+/// of `A` per GEMM without touching the per-element FMA chain — results
+/// stay bit-identical to the packed path.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+#[inline]
+fn micro_kernel_direct(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b_strip: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    use std::arch::x86_64::*;
+    assert!(b_strip.len() >= kc * NR, "packed B strip too short");
+    assert!(a.len() > (MR - 1) * lda + kc - 1, "A tile out of bounds");
+    // SAFETY: AVX-512F is statically enabled by the cfg; the asserts bound
+    // every read below.
+    unsafe {
+        let mut rows = [_mm512_setzero_ps(); MR];
+        for (row, dst) in rows.iter_mut().zip(acc.iter()) {
+            *row = _mm512_loadu_ps(dst.as_ptr());
+        }
+        let pa = a.as_ptr();
+        let mut pb = b_strip.as_ptr();
+        for p in 0..kc {
+            let b = _mm512_loadu_ps(pb);
+            for (i, row) in rows.iter_mut().enumerate() {
+                let av = _mm512_set1_ps(*pa.add(i * lda + p));
+                *row = _mm512_fmadd_ps(av, b, *row);
+            }
+            pb = pb.add(NR);
+        }
+        for (dst, row) in acc.iter_mut().zip(rows.iter()) {
+            _mm512_storeu_ps(dst.as_mut_ptr(), *row);
+        }
+    }
+}
+
+/// Portable in-place-`A` micro-kernel (see the AVX-512 variant above).
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+#[inline(always)]
+fn micro_kernel_direct(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b_strip: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    debug_assert!(b_strip.len() >= kc * NR);
+    debug_assert!(a.len() > (MR - 1) * lda + kc - 1);
+    for p in 0..kc {
+        let b_vals = &b_strip[p * NR..(p + 1) * NR];
+        for (i, row) in acc.iter_mut().enumerate() {
+            let a_val = a[i * lda + p];
+            for (cell, &b_val) in row.iter_mut().zip(b_vals) {
+                *cell += a_val * b_val;
+            }
+        }
+    }
+}
+
+/// [`micro_kernel_direct`] for the overwrite case (`pc == 0`, full
+/// `MR x NR` tile): accumulates from zero in registers and stores the
+/// finished tile straight into `C` (row stride `ldc`), skipping the
+/// stack accumulator's zero-fill / load / store / copy round trip. The
+/// per-element FMA chain is unchanged, so the stored bits match the
+/// staged path exactly.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+#[inline]
+fn micro_kernel_direct_store(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b_strip: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    use std::arch::x86_64::*;
+    assert!(b_strip.len() >= kc * NR, "packed B strip too short");
+    assert!(a.len() > (MR - 1) * lda + kc - 1, "A tile out of bounds");
+    assert!(c.len() >= (MR - 1) * ldc + NR, "C tile out of bounds");
+    // SAFETY: AVX-512F is statically enabled by the cfg; the asserts bound
+    // every read and write below.
+    unsafe {
+        let mut rows = [_mm512_setzero_ps(); MR];
+        let pa = a.as_ptr();
+        let mut pb = b_strip.as_ptr();
+        for p in 0..kc {
+            let b = _mm512_loadu_ps(pb);
+            for (i, row) in rows.iter_mut().enumerate() {
+                let av = _mm512_set1_ps(*pa.add(i * lda + p));
+                *row = _mm512_fmadd_ps(av, b, *row);
+            }
+            pb = pb.add(NR);
+        }
+        let pc_out = c.as_mut_ptr();
+        for (i, row) in rows.iter().enumerate() {
+            _mm512_storeu_ps(pc_out.add(i * ldc), *row);
+        }
+    }
+}
+
+/// Portable store-direct micro-kernel (see the AVX-512 variant above).
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+#[inline(always)]
+fn micro_kernel_direct_store(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b_strip: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    micro_kernel_direct(kc, a, lda, b_strip, &mut acc);
+    for (i, row) in acc.iter().enumerate() {
+        c[i * ldc..i * ldc + NR].copy_from_slice(row);
+    }
+}
+
+/// In-place-`A` micro-kernel for the final partial row tile
+/// (`live < MR`): per-element ops and `k`-order match the full kernels
+/// exactly (fused on AVX-512F, two roundings elsewhere), so the tail rows
+/// get the same bits the packed path would produce.
+#[inline]
+fn micro_kernel_direct_partial(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    live: usize,
+    b_strip: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    debug_assert!(live < MR && live > 0);
+    debug_assert!(b_strip.len() >= kc * NR);
+    for p in 0..kc {
+        let b_vals = &b_strip[p * NR..(p + 1) * NR];
+        for (i, row) in acc.iter_mut().enumerate().take(live) {
+            let a_val = a[i * lda + p];
+            for (cell, &b_val) in row.iter_mut().zip(b_vals) {
+                #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+                {
+                    *cell = a_val.mul_add(b_val, *cell);
+                }
+                #[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+                {
+                    *cell += a_val * b_val;
+                }
+            }
+        }
+    }
+}
+
 /// Packs every `(jc, pc)` panel of a `k x n` operand `B` into `dst` in
 /// the exact order the driver consumes them (outer `jc`, inner `pc`), so
 /// [`gemm_prepacked`] can run without touching `B` again. Amortises the
@@ -200,9 +355,14 @@ pub fn pack_b_full(b: &[f32], layout: Layout, (k, n): (usize, usize), dst: &mut 
     }
 }
 
-/// [`gemm`] with `B` already packed by [`pack_b_full`]. Accumulates
-/// `C += A @ B` in the same panel and `k` order as the unpacked driver,
-/// so results are bit-identical to [`gemm`].
+/// [`gemm`] with `B` already packed by [`pack_b_full`]. **Overwrites**
+/// `C = A @ B`: the first `k`-panel's tile stores straight into `C`
+/// (saving a zero-fill plus a read-modify-write pass over the output) and
+/// later panels accumulate. The per-element operation chain is the zeroed
+/// accumulator's FMA chain in the unpacked driver's `k`-order, so results
+/// are bit-identical to [`gemm`] on zeroed output (up to the sign of
+/// all-zero products: a stored `-0.0` where `0.0 + -0.0` would round to
+/// `+0.0`, which compares equal and behaves identically downstream).
 pub fn gemm_prepacked(
     (m, n, k): (usize, usize, usize),
     a: &[f32],
@@ -211,10 +371,19 @@ pub fn gemm_prepacked(
     c: &mut [f32],
 ) {
     debug_assert_eq!(c.len(), m * n);
-    if m == 0 || n == 0 || k == 0 {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
         return;
     }
     let _timer = crate::telemetry::KernelTimer::gemm((m, n, k));
+    // Row-major `A` feeds the micro-kernel in place (broadcast loads are
+    // scalar either way), eliminating the `pack_a` copy — the dominant
+    // fixed cost for the skinny inference shapes. Transposed `A` keeps the
+    // packed route, which absorbs the stride.
+    let direct = a_layout == Layout::RowMajor;
     PACK_SCRATCH.with(|scratch| {
         let (a_pack, _) = &mut *scratch.borrow_mut();
         let mut b_offset = 0;
@@ -227,19 +396,45 @@ pub fn gemm_prepacked(
                 b_offset += panel_len;
                 for ic in (0..m).step_by(MC) {
                     let mc = MC.min(m - ic);
-                    pack_a(a, a_layout, (m, k), (ic, pc), (mc, kc), a_pack);
+                    if !direct {
+                        pack_a(a, a_layout, (m, k), (ic, pc), (mc, kc), a_pack);
+                    }
                     for jr in (0..nc).step_by(NR) {
                         let b_strip = &b_panel[(jr / NR) * NR * kc..];
                         for ir in (0..mc).step_by(MR) {
-                            let a_strip = &a_pack[(ir / MR) * MR * kc..];
-                            let mut acc = [[0.0f32; NR]; MR];
-                            micro_kernel(kc, a_strip, b_strip, &mut acc);
                             let live_rows = MR.min(mc - ir);
                             let live_cols = NR.min(nc - jr);
+                            if direct && pc == 0 && live_rows == MR && live_cols == NR {
+                                // overwrite mode, full tile: skip the
+                                // stack accumulator entirely
+                                let a_tile = &a[(ic + ir) * k..];
+                                let c_tile = &mut c[(ic + ir) * n + jc + jr..];
+                                micro_kernel_direct_store(kc, a_tile, k, b_strip, c_tile, n);
+                                continue;
+                            }
+                            let mut acc = [[0.0f32; NR]; MR];
+                            if direct {
+                                let a_tile = &a[(ic + ir) * k + pc..];
+                                if live_rows == MR {
+                                    micro_kernel_direct(kc, a_tile, k, b_strip, &mut acc);
+                                } else {
+                                    micro_kernel_direct_partial(
+                                        kc, a_tile, k, live_rows, b_strip, &mut acc,
+                                    );
+                                }
+                            } else {
+                                let a_strip = &a_pack[(ir / MR) * MR * kc..];
+                                micro_kernel(kc, a_strip, b_strip, &mut acc);
+                            }
                             for (ii, acc_row) in acc.iter().enumerate().take(live_rows) {
                                 let row = (ic + ir + ii) * n + jc + jr;
-                                for (cell, &v) in c[row..row + live_cols].iter_mut().zip(acc_row) {
-                                    *cell += v;
+                                let dst = &mut c[row..row + live_cols];
+                                if pc == 0 {
+                                    dst.copy_from_slice(&acc_row[..live_cols]);
+                                } else {
+                                    for (cell, &v) in dst.iter_mut().zip(acc_row) {
+                                        *cell += v;
+                                    }
                                 }
                             }
                         }

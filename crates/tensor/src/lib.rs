@@ -28,6 +28,7 @@ mod matrix;
 mod ops;
 mod packed;
 mod pool;
+mod quant;
 pub mod reference;
 mod shape;
 mod telemetry;
@@ -37,6 +38,7 @@ pub use init::{he_std, xavier_std, Init};
 pub use matrix::Matrix;
 pub use packed::PackedWeight;
 pub use pool::BufferPool;
+pub use quant::Precision;
 pub use shape::ShapeError;
 
 /// Convenience alias for fallible matrix operations.

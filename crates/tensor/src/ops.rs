@@ -574,6 +574,176 @@ impl Matrix {
         pool.put(prod);
         Ok(())
     }
+
+    /// Direct form of [`Matrix::block_left_matmul_into`] for small blocks:
+    /// each output row accumulates densely over its adjacency row into a
+    /// 16-lane register block, with no per-block GEMM dispatch, no pooled
+    /// staging copies and no data-dependent branches (zero entries
+    /// multiply through as exact `±0.0` terms). Blocks are fetched lazily
+    /// via `adj_of`, so callers can stream per-sample adjacency without
+    /// materialising a slice of borrows.
+    ///
+    /// Bit-identical to the GEMM form modulo the sign of zero: per output
+    /// element the accumulation runs over the full `k` range in ascending
+    /// order from `0.0`, with the same fused/unfused multiply-add as the
+    /// blocked micro-kernel — the exact register chain the micro-kernel
+    /// executes for a `k x n` panel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `rows != blocks * n`, any fetched block is
+    /// not `n x n`, or `out` is not the shape of `self`.
+    pub fn block_left_matmul_each_into<'a>(
+        &self,
+        blocks: usize,
+        n: usize,
+        adj_of: impl Fn(usize) -> &'a Matrix,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        if n == 0 || self.rows() != blocks * n {
+            return Err(ShapeError::new(
+                "block_left_matmul_each_into",
+                self.shape(),
+                (blocks * n, n),
+            ));
+        }
+        if out.shape() != self.shape() {
+            return Err(ShapeError::new(
+                "block_left_matmul_each_into",
+                self.shape(),
+                out.shape(),
+            ));
+        }
+        for b in 0..blocks {
+            let adj = adj_of(b);
+            if adj.shape() != (n, n) {
+                return Err(ShapeError::new(
+                    "block_left_matmul_each_into",
+                    adj.shape(),
+                    (n, n),
+                ));
+            }
+            let base = b * n;
+            let cols = self.cols();
+            if n <= 12 {
+                // Small-block fast path (the graph-encoder shape: <= 12
+                // nodes per cell DAG). Each 16-lane column stripe of the
+                // block's input rows is staged once into a fixed-size
+                // stack tile, so the adjacency chain below reads pure
+                // stack with no slice re-derivation per term; `zip`
+                // truncates the tile to `n` rows.
+                let mut tile = [[0.0f32; 16]; 12];
+                let mut c0 = 0;
+                while c0 + 16 <= cols {
+                    for (dst, j) in tile.iter_mut().zip(0..n) {
+                        dst.copy_from_slice(&self.row(base + j)[c0..c0 + 16]);
+                    }
+                    for i in 0..n {
+                        let arow = adj.row(i);
+                        let mut acc = [0.0f32; 16];
+                        for (xrow, &a) in tile.iter().zip(arow) {
+                            for (al, &xi) in acc.iter_mut().zip(xrow) {
+                                *al = madd(a, xi, *al);
+                            }
+                        }
+                        out.row_mut(base + i)[c0..c0 + 16].copy_from_slice(&acc);
+                    }
+                    c0 += 16;
+                }
+                if c0 < cols {
+                    let w = cols - c0;
+                    if w <= 2 {
+                        // one- or two-column tail (the one-hot feature
+                        // width leaves exactly one): a staged-column
+                        // matvec per live column is far cheaper than
+                        // running the 16-lane kernel for it; the chain
+                        // (`j` ascending from zero, fused where the
+                        // kernel fuses) is unchanged
+                        for l in c0..cols {
+                            let mut colv = [0.0f32; 12];
+                            for (dst, j) in colv.iter_mut().zip(0..n) {
+                                *dst = self.row(base + j)[l];
+                            }
+                            for i in 0..n {
+                                let mut acc = 0.0f32;
+                                for (&a, &xv) in adj.row(i).iter().zip(&colv[..n]) {
+                                    acc = madd(a, xv, acc);
+                                }
+                                out.row_mut(base + i)[l] = acc;
+                            }
+                        }
+                        continue;
+                    }
+                    for (dst, j) in tile.iter_mut().zip(0..n) {
+                        dst[..w].copy_from_slice(&self.row(base + j)[c0..]);
+                    }
+                    for i in 0..n {
+                        let arow = adj.row(i);
+                        // full 16-lane compute, first `w` lanes written
+                        // back: the live lanes see the exact same chain
+                        // as the full-stripe loop, the rest (stale tile
+                        // columns) are discarded — keeps the tail on the
+                        // vector kernel instead of a scalar epilogue
+                        let mut acc = [0.0f32; 16];
+                        for (xrow, &a) in tile.iter().zip(arow) {
+                            for (al, &xi) in acc.iter_mut().zip(xrow) {
+                                *al = madd(a, xi, *al);
+                            }
+                        }
+                        out.row_mut(base + i)[c0..].copy_from_slice(&acc[..w]);
+                    }
+                }
+                continue;
+            }
+            for i in 0..n {
+                let arow = adj.row(i);
+                // 16 f32 = one AVX-512 register: the accumulator chunk
+                // stays live across the whole adjacency-row chain. The
+                // full-width case uses a const-length array so the lane
+                // loop compiles to a single fused multiply-add.
+                let mut c0 = 0;
+                while c0 + 16 <= cols {
+                    let mut acc = [0.0f32; 16];
+                    for (j, &a) in arow.iter().enumerate() {
+                        let src: &[f32; 16] = self.row(base + j)[c0..c0 + 16]
+                            .try_into()
+                            .expect("slice is 16 wide");
+                        for (al, &xi) in acc.iter_mut().zip(src) {
+                            *al = madd(a, xi, *al);
+                        }
+                    }
+                    out.row_mut(base + i)[c0..c0 + 16].copy_from_slice(&acc);
+                    c0 += 16;
+                }
+                if c0 < cols {
+                    let w = cols - c0;
+                    let mut acc = [0.0f32; 16];
+                    for (j, &a) in arow.iter().enumerate() {
+                        let src = &self.row(base + j)[c0..];
+                        for (al, &xi) in acc[..w].iter_mut().zip(src) {
+                            *al = madd(a, xi, *al);
+                        }
+                    }
+                    out.row_mut(base + i)[c0..].copy_from_slice(&acc[..w]);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One multiply-add term, rounded exactly like the blocked micro-kernel:
+/// fused on AVX-512F targets, separate multiply and add elsewhere.
+#[inline(always)]
+fn madd(a: f32, x: f32, acc: f32) -> f32 {
+    #[cfg(target_feature = "avx512f")]
+    {
+        a.mul_add(x, acc)
+    }
+    #[cfg(not(target_feature = "avx512f"))]
+    {
+        acc + a * x
+    }
 }
 
 #[cfg(test)]
@@ -669,6 +839,54 @@ mod tests {
         assert_eq!(out.row(2), &[5.0, 6.0]);
         assert_eq!(out.row(3), &[7.0, 8.0]);
         assert!(x.block_left_matmul(&[adj0], 2).is_err());
+    }
+
+    #[test]
+    fn block_left_matmul_each_into_is_bit_identical() {
+        // sparse-ish adjacency (about half zeros, like NB201 DAGs), dirty
+        // output buffer, several blocks
+        let n = 8;
+        let blocks = 5;
+        let cols = 16;
+        let x = Matrix::from_vec(
+            blocks * n,
+            cols,
+            (0..blocks * n * cols)
+                .map(|i| ((i * 29 % 23) as f32 - 11.0) * 0.13)
+                .collect(),
+        )
+        .unwrap();
+        let adjs: Vec<Matrix> = (0..blocks)
+            .map(|b| {
+                Matrix::from_vec(
+                    n,
+                    n,
+                    (0..n * n)
+                        .map(|i| {
+                            if (i * 7 + b) % 2 == 0 {
+                                0.0
+                            } else {
+                                ((i + b) % 5) as f32 * 0.5
+                            }
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let expect = x.block_left_matmul(&adjs, n).unwrap();
+        let mut out = Matrix::from_vec(blocks * n, cols, vec![9.0; blocks * n * cols]).unwrap();
+        x.block_left_matmul_each_into(blocks, n, |b| &adjs[b], &mut out)
+            .unwrap();
+        assert_eq!(out.as_slice(), expect.as_slice());
+        // shape errors
+        assert!(x
+            .block_left_matmul_each_into(blocks + 1, n, |_| &adjs[0], &mut out)
+            .is_err());
+        let mut bad = Matrix::zeros(1, 1);
+        assert!(x
+            .block_left_matmul_each_into(blocks, n, |b| &adjs[b], &mut bad)
+            .is_err());
     }
 
     #[test]

@@ -64,6 +64,17 @@ impl BufferPool {
         Matrix::from_vec(rows, cols, data).expect("pool buffer sized to shape")
     }
 
+    /// Takes a `rows x cols` matrix with **unspecified contents**, for
+    /// outputs that every kernel in the consuming path fully overwrites
+    /// (e.g. `matmul_prepacked_into`). Skips the zero-fill of
+    /// [`BufferPool::take`].
+    pub fn take_uninit(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        let mut data = self.take_raw(len);
+        data.resize(len, 0.0);
+        Matrix::from_vec(rows, cols, data).expect("pool buffer sized to shape")
+    }
+
     /// Takes a pooled copy of `src` (same shape, same contents).
     pub fn take_copy(&mut self, src: &Matrix) -> Matrix {
         let len = src.len();
@@ -161,6 +172,17 @@ mod tests {
         assert_eq!(pool.parked(), 1);
         let _again = pool.take(2, 4); // len 8 → same class
         assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn take_uninit_has_shape_and_reuses_class() {
+        let mut pool = BufferPool::new();
+        let mut m = pool.take(4, 4);
+        m.as_mut_slice().fill(3.0);
+        pool.put(m);
+        let dirty = pool.take_uninit(4, 4);
+        assert_eq!(dirty.shape(), (4, 4));
+        assert_eq!(pool.reuse_hits(), 1);
     }
 
     #[test]
