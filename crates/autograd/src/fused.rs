@@ -18,7 +18,9 @@
 use crate::error::AutogradError;
 use crate::tape::{Act, Op, Tape, Var};
 use crate::Result;
-use hwpr_tensor::{fast_tanh, Matrix, PackedWeight, ShapeError};
+use hwpr_tensor::{
+    fast_sigmoid_block, fast_tanh, fast_tanh_block, Matrix, PackedWeight, ShapeError,
+};
 
 /// Applies an optional row-broadcast `bias` and activation `act` in place:
 /// the exact pointwise tail of [`Tape::linear_act`], factored out so the
@@ -43,8 +45,17 @@ pub fn apply_bias_act(value: &mut Matrix, bias: Option<&Matrix>, act: Act) -> Re
                 *v = act.apply(*v + bias_v);
             }
         }
-    } else if act != Act::Identity {
-        value.map_inplace(|v| act.apply(v));
+    } else {
+        // Whole-panel block kernels for the saturating activations: same
+        // scalar arithmetic lane for lane (`fast_*_block` is bit-identical
+        // to `Act::apply`), but the slice form hands the vectoriser one
+        // long branch-free loop over the `[batch, n]` panel.
+        match act {
+            Act::Identity => {}
+            Act::Tanh => fast_tanh_block(value.as_mut_slice()),
+            Act::Sigmoid => fast_sigmoid_block(value.as_mut_slice()),
+            _ => value.map_inplace(|v| act.apply(v)),
+        }
     }
     Ok(())
 }
@@ -75,7 +86,39 @@ pub fn lstm_bias_gates(gates: &mut Matrix, bias: &Matrix, hidden: usize) {
     // `0.5 + 0.5·fast_tanh(0.5·x)`, and both selector constants are
     // powers of two (the pre-scale is exact), so evaluating every lane
     // through `fast_tanh` with a per-lane affine select is bit-identical
-    // to the per-gate branch — and the whole row width vectorises.
+    // to the per-gate branch.
+    if width <= MAX_GATE_WIDTH {
+        // Every row shares the same lane classification, so stage the
+        // selector constants per column once and split the work into a
+        // prescale sweep, one [`fast_tanh_block`] over the **whole**
+        // `[batch, 4·hidden]` panel (a single long contiguous loop with
+        // no per-row epilogue), and an affine output sweep. Each lane
+        // sees exactly the arithmetic of the fallback loop below.
+        let mut scale = [0.0f32; MAX_GATE_WIDTH];
+        let mut base = [0.0f32; MAX_GATE_WIDTH];
+        let mut gain = [0.0f32; MAX_GATE_WIDTH];
+        for j in 0..width {
+            let is_tanh_lane = j >= 2 * hidden && j < 3 * hidden;
+            (scale[j], base[j], gain[j]) = if is_tanh_lane {
+                (1.0, 0.0, 1.0)
+            } else {
+                (0.5, 0.5, 0.5)
+            };
+        }
+        let (sc, ba, ga) = (&scale[..width], &base[..width], &gain[..width]);
+        for row in gates.as_mut_slice().chunks_exact_mut(width) {
+            for (g, (&b, &s)) in row.iter_mut().zip(bv.iter().zip(sc)) {
+                *g = s * (*g + b);
+            }
+        }
+        fast_tanh_block(gates.as_mut_slice());
+        for row in gates.as_mut_slice().chunks_exact_mut(width) {
+            for (g, (&a, &m)) in row.iter_mut().zip(ba.iter().zip(ga)) {
+                *g = a + m * *g;
+            }
+        }
+        return;
+    }
     for row in gates.as_mut_slice().chunks_exact_mut(width) {
         for (j, (g, &b)) in row.iter_mut().zip(bv).enumerate() {
             let is_tanh_lane = j >= 2 * hidden && j < 3 * hidden;
@@ -90,6 +133,10 @@ pub fn lstm_bias_gates(gates: &mut Matrix, bias: &Matrix, hidden: usize) {
     }
 }
 
+/// Widest `4·hidden` gate row the staged [`lstm_bias_gates`] fast path
+/// covers from stack-resident selector arrays (hidden sizes ≤ 64).
+const MAX_GATE_WIDTH: usize = 256;
+
 /// LSTM state update from post-activation gates: `c_new = f·c_prev + i·g`,
 /// `h_new = o·tanh(c_new)`, written into the packed `[h_new | c_new]`
 /// output. Gate blocks are pre-split into equal-length slices so the `j`
@@ -97,42 +144,52 @@ pub fn lstm_bias_gates(gates: &mut Matrix, bias: &Matrix, hidden: usize) {
 pub fn lstm_state_update(gates: &Matrix, hc_prev: &Matrix, hidden: usize, out: &mut Matrix) {
     if hidden <= 16 {
         // At vector-register-or-smaller hidden sizes the natural loop's
-        // trip count defeats the vectoriser, so eight rows of `c_new`
-        // are staged into one fixed 16-lane-per-row pad and pushed
-        // through a single 128-lane `tanh` pass: eight independent
-        // divide chains keep the divider pipelined where a row-at-a-time
-        // pass would serialise on its latency. Pad lanes hold zero
-        // (`tanh(0)` is finite) and are never written back; live lanes
-        // see the exact arithmetic of the general loop below.
+        // trip count defeats the vectoriser, so blocks of rows stage
+        // `c_new` **contiguously** (no pad lanes — every staged lane is
+        // live) into a stack buffer and push it through one long
+        // [`fast_tanh_block`] pass, which compiles to full-width FMA
+        // chains with no per-row epilogue. Live lanes see the exact
+        // arithmetic of the general loop below.
+        const CV: usize = 256;
         let rows = gates.rows();
+        let block_rows = CV / hidden;
+        let w4 = 4 * hidden;
+        let w2 = 2 * hidden;
+        let gs_all = gates.as_slice();
+        let ps_all = hc_prev.as_slice();
+        let os_all = out.as_mut_slice();
         let mut r = 0;
         while r < rows {
-            let blk = (rows - r).min(8);
-            let mut cv = [0.0f32; 128];
-            for ii in 0..blk {
-                let gr = gates.row(r + ii);
+            let blk = (rows - r).min(block_rows);
+            let live = blk * hidden;
+            let mut cv = [0.0f32; CV];
+            let gs = &gs_all[r * w4..(r + blk) * w4];
+            let ps = &ps_all[r * w2..(r + blk) * w2];
+            let os = &mut os_all[r * w2..(r + blk) * w2];
+            for ((gr, pr), (or_, lanes)) in gs.chunks_exact(w4).zip(ps.chunks_exact(w2)).zip(
+                os.chunks_exact_mut(w2)
+                    .zip(cv[..live].chunks_exact_mut(hidden)),
+            ) {
                 let (i_g, rest) = gr.split_at(hidden);
                 let (f_g, rest) = rest.split_at(hidden);
                 let (g_g, _) = rest.split_at(hidden);
-                let c_prev = &hc_prev.row(r + ii)[hidden..];
-                let c_out = &mut out.row_mut(r + ii)[hidden..];
-                let lanes = &mut cv[ii * 16..ii * 16 + hidden];
-                for (j, (c_o, lane)) in c_out.iter_mut().zip(lanes).enumerate() {
+                let c_prev = &pr[hidden..];
+                let c_out = &mut or_[hidden..];
+                for j in 0..hidden {
                     let c_new = f_g[j] * c_prev[j] + i_g[j] * g_g[j];
-                    *c_o = c_new;
-                    *lane = c_new;
+                    c_out[j] = c_new;
+                    lanes[j] = c_new;
                 }
             }
-            let mut tv = [0.0f32; 128];
-            for j in 0..128 {
-                tv[j] = fast_tanh(cv[j]);
-            }
-            for ii in 0..blk {
-                let o_g = &gates.row(r + ii)[3 * hidden..];
-                let h_out = &mut out.row_mut(r + ii)[..hidden];
-                let lanes = &tv[ii * 16..ii * 16 + hidden];
-                for (h_o, (&o1, &t1)) in h_out.iter_mut().zip(o_g.iter().zip(lanes)) {
-                    *h_o = o1 * t1;
+            fast_tanh_block(&mut cv[..live]);
+            for (gr, (or_, lanes)) in gs
+                .chunks_exact(w4)
+                .zip(os.chunks_exact_mut(w2).zip(cv[..live].chunks_exact(hidden)))
+            {
+                let o_g = &gr[3 * hidden..];
+                let h_out = &mut or_[..hidden];
+                for j in 0..hidden {
+                    h_out[j] = o_g[j] * lanes[j];
                 }
             }
             r += blk;

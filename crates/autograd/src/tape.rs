@@ -30,14 +30,18 @@ pub enum Act {
 }
 
 impl Act {
-    /// Applies the activation to a pre-activation value.
+    /// Applies the activation to a pre-activation value. The saturating
+    /// activations use the division-free `fast_tanh`/`fast_sigmoid`
+    /// kernels (≤ 1e-6 abs error vs libm) so the fused `linear_act` pass
+    /// vectorises; the standalone [`Tape::tanh`]/[`Tape::sigmoid`] ops
+    /// keep exact libm as the accuracy anchor.
     #[inline]
     pub(crate) fn apply(self, x: f32) -> f32 {
         match self {
             Act::Identity => x,
             Act::Relu => x.max(0.0),
-            Act::Tanh => x.tanh(),
-            Act::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Act::Tanh => hwpr_tensor::fast_tanh(x),
+            Act::Sigmoid => hwpr_tensor::fast_sigmoid(x),
         }
     }
 

@@ -1,0 +1,90 @@
+//! Scalar libm vs rational-divide vs division-free activation kernels —
+//! the pointwise pass that dominated the frozen inference profile after
+//! PR 6 batched the GEMMs. Widths cover one gate block (16), one fast-
+//! config hidden row (64) and a whole batched activation panel (1024).
+//!
+//! Compares `fast_tanh` (division-free, Newton reciprocal) against
+//! `rational_tanh` (the retired `p / q` form, kept in
+//! `hwpr_tensor::reference`) and libm. Both rational forms are ~25x
+//! faster than libm; between the two, the division-free form wins where
+//! divider throughput is the constraint, while wide out-of-order cores
+//! that pipeline `vdivps` well can tie it or edge ahead at large widths —
+//! record both rows and read the snapshot before claiming a winner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwpr_tensor::{fast_sigmoid_block, fast_tanh_block, reference};
+use std::hint::black_box;
+
+/// Deterministic activation panel spanning the active range plus the
+/// saturated tails (no RNG, so runs are comparable).
+fn panel(width: usize) -> Vec<f32> {
+    (0..width)
+        .map(|i| ((i * 29 % 257) as f32 - 128.0) * 0.07)
+        .collect()
+}
+
+fn bench_activations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("activation_kernels");
+    for &width in &[16usize, 64, 1024] {
+        let xs = panel(width);
+        let mut buf = vec![0.0f32; width];
+        group.bench_with_input(BenchmarkId::new("libm_tanh", width), &width, |b, _| {
+            b.iter(|| {
+                buf.copy_from_slice(&xs);
+                for v in &mut buf {
+                    *v = v.tanh();
+                }
+                black_box(&mut buf);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rational_tanh", width), &width, |b, _| {
+            b.iter(|| {
+                buf.copy_from_slice(&xs);
+                for v in &mut buf {
+                    *v = reference::rational_tanh(*v);
+                }
+                black_box(&mut buf);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fast_tanh", width), &width, |b, _| {
+            b.iter(|| {
+                buf.copy_from_slice(&xs);
+                fast_tanh_block(&mut buf);
+                black_box(&mut buf);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("libm_sigmoid", width), &width, |b, _| {
+            b.iter(|| {
+                buf.copy_from_slice(&xs);
+                for v in &mut buf {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+                black_box(&mut buf);
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("rational_sigmoid", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    buf.copy_from_slice(&xs);
+                    for v in &mut buf {
+                        *v = reference::rational_sigmoid(*v);
+                    }
+                    black_box(&mut buf);
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fast_sigmoid", width), &width, |b, _| {
+            b.iter(|| {
+                buf.copy_from_slice(&xs);
+                fast_sigmoid_block(&mut buf);
+                black_box(&mut buf);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_activations);
+criterion_main!(benches);

@@ -5,6 +5,7 @@ use hwpr_hwmodel::{BenchEntry, Platform, SimBench};
 use hwpr_nasbench::features::ArchFeatures;
 use hwpr_nasbench::graph::{self, ArchGraph};
 use hwpr_nasbench::{tokens, Architecture, Dataset, SearchSpaceId};
+use hwpr_tensor::Matrix;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -165,7 +166,74 @@ pub struct CachedEncoding {
     pub tokens: Vec<usize>,
     /// Raw (unnormalised) architecture features.
     pub af: Vec<f32>,
+    /// First-layer GCN aggregation `A @ X` (`nodes x NODE_FEATURE_DIM`):
+    /// weight-independent, so it is computed once per architecture here
+    /// instead of once per chunk in the inference hot loop. Produced by
+    /// the same accumulation kernel the live path runs
+    /// ([`Matrix::block_left_matmul_each_into`] on a single block), so
+    /// consuming it is bit-identical to aggregating in place.
+    pub agg: Matrix,
 }
+
+/// Multiply-fold hasher for the cache key. The entries map is probed for
+/// every architecture of every inference chunk, and the default SipHash
+/// showed up in the frozen sweep profile; the key is a tiny
+/// `(space, index)` pair that needs no DoS resistance (indices come from
+/// the bounded search spaces, not attacker input).
+#[derive(Default)]
+struct ArchKeyHasher(u64);
+
+impl ArchKeyHasher {
+    #[inline]
+    fn fold(&mut self, v: u64) {
+        // golden-ratio multiply-fold (FxHash-style): two rounds cover the
+        // u128 index, one the space discriminant
+        self.0 = (self.0 ^ v)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(5);
+    }
+}
+
+impl std::hash::Hasher for ArchKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.fold(v as u64);
+        self.fold((v >> 64) as u64);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+
+    fn write_isize(&mut self, v: isize) {
+        self.fold(v as u64);
+    }
+}
+
+type ArchKeyMap = HashMap<
+    (SearchSpaceId, u128),
+    Arc<CachedEncoding>,
+    std::hash::BuildHasherDefault<ArchKeyHasher>,
+>;
 
 /// Thread-safe memoisation of architecture encodings.
 ///
@@ -177,7 +245,7 @@ pub struct EncodingCache {
     dataset: Dataset,
     nodes: usize,
     seq_len: usize,
-    entries: Mutex<HashMap<(SearchSpaceId, u128), Arc<CachedEncoding>>>,
+    entries: Mutex<ArchKeyMap>,
 }
 
 impl EncodingCache {
@@ -188,7 +256,7 @@ impl EncodingCache {
             dataset,
             nodes,
             seq_len,
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(ArchKeyMap::default()),
         }
     }
 
@@ -231,13 +299,53 @@ impl EncodingCache {
         if let Some(hit) = self.entries.lock().get(&key) {
             return Arc::clone(hit);
         }
-        let enc = Arc::new(CachedEncoding {
-            graph: graph::encode_padded(arch, self.nodes),
-            tokens: tokens::padded_tokens(arch, self.seq_len),
-            af: ArchFeatures::extract(arch, self.dataset).to_vec(),
-        });
+        let enc = self.build(arch);
         self.entries.lock().insert(key, Arc::clone(&enc));
         enc
+    }
+
+    /// The encodings of a whole batch under **one** cache lock.
+    ///
+    /// The inference hot loop looks up every architecture of every chunk;
+    /// taking the entries lock (and paying its fence) per architecture
+    /// showed up as a top-three cost in the frozen sweep profile. The
+    /// batch form locks once for the warm all-hits case (allocation-free
+    /// when `out` keeps its capacity); any miss falls back to the
+    /// per-architecture path, which happens at most once per architecture
+    /// ever.
+    pub fn encodings_into(&self, archs: &[Architecture], out: &mut Vec<Arc<CachedEncoding>>) {
+        out.clear();
+        out.reserve(archs.len());
+        {
+            let entries = self.entries.lock();
+            for arch in archs {
+                match entries.get(&(arch.space(), arch.index())) {
+                    Some(hit) => out.push(Arc::clone(hit)),
+                    None => break,
+                }
+            }
+        }
+        if out.len() == archs.len() {
+            return;
+        }
+        // cold path: at least one architecture has never been encoded
+        out.clear();
+        out.extend(archs.iter().map(|a| self.encoding(a)));
+    }
+
+    fn build(&self, arch: &Architecture) -> Arc<CachedEncoding> {
+        let graph = graph::encode_padded(arch, self.nodes);
+        let mut agg = Matrix::zeros(self.nodes, graph.features.cols());
+        graph
+            .features
+            .block_left_matmul_each_into(1, self.nodes, |_| &graph.adjacency, &mut agg)
+            .expect("encoding shapes are cache-consistent");
+        Arc::new(CachedEncoding {
+            graph,
+            tokens: tokens::padded_tokens(arch, self.seq_len),
+            af: ArchFeatures::extract(arch, self.dataset).to_vec(),
+            agg,
+        })
     }
 
     /// Number of memoised architectures.

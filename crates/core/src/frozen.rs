@@ -8,17 +8,22 @@
 //! activation arena ([`InferArena`]) with **no tape, no op recording, no
 //! gradient buffers**, and dropout statically elided.
 //!
-//! # Bit-identity
+//! # Error budget
 //!
-//! The frozen path is bit-identical to the recording-tape reference
-//! implementation (`predict_*_tape` on [`HwPrNas`]): every kernel it calls
-//! is either the exact routine the corresponding tape op runs
+//! The frozen path is pinned to the recording-tape reference
+//! implementation (`predict_*_tape` on [`HwPrNas`]) by a documented error
+//! budget: f32 max-abs ≤ 1e-5 with Kendall τ = 1.0 on the differential
+//! fixtures, and τ ≥ 0.99 per platform head at f16/int8 (see the
+//! `hwpr_nn::infer` module docs for the rationale). The implementation
+//! currently sits at exact f32 bit-equality — every kernel it calls is
+//! either the routine the corresponding tape op runs
 //! ([`hwpr_autograd::apply_bias_act`], [`hwpr_autograd::lstm_step_frozen`])
-//! or a documented bit-identical variant of one
-//! (`matmul_prepacked_into` ≡ `matmul`, `block_left_matmul_into` ≡
-//! `block_left_matmul`), and concatenations/gathers become plain copies.
-//! Differential tests in this module and in `tests/frozen_differential.rs`
-//! pin the equivalence for every encoder type and platform.
+//! or a bit-identical variant (`matmul_prepacked_into` ≡ `matmul`
+//! including the static-shape kernels, `block_left_matmul_into` ≡
+//! `block_left_matmul`), with concatenations/gathers as plain copies —
+//! but only the budget is contractual. Differential tests in this module
+//! and in `tests/frozen_differential.rs` pin the budget for every encoder
+//! type and platform.
 //!
 //! # Arena memory model
 //!
@@ -38,7 +43,7 @@ use crate::Result;
 use hwpr_hwmodel::Platform;
 use hwpr_nasbench::features::{FeatureNormalizer, ARCH_FEATURE_DIM};
 use hwpr_nasbench::Architecture;
-use hwpr_nn::infer::{FrozenEmbedding, FrozenGcnLayer, FrozenLstm, FrozenMlp};
+use hwpr_nn::infer::{FrozenEmbedding, FrozenGcnLayer, FrozenLstm, FrozenMlp, LstmScratch};
 use hwpr_nn::Params;
 use hwpr_obs::metrics::{registry, Counter, Histogram};
 use hwpr_tensor::{BufferPool, Matrix, Precision};
@@ -104,8 +109,8 @@ impl ChunkTimer {
 struct EncoderScratch {
     /// Pooled `[batch, embed_dim]` timestep inputs for the LSTM part.
     steps: Vec<Matrix>,
-    /// Pooled `[h | c]` layer states threaded through the recurrence.
-    states: Vec<Matrix>,
+    /// Per-layer recurrence working set (states, staging, gates).
+    lstm: LstmScratch,
     /// SoA token-id staging: `seq_len * batch` ids laid out step-major, so
     /// each encoding is visited once and every LSTM step reads one
     /// contiguous `[batch]` slice.
@@ -187,27 +192,16 @@ impl FrozenEncoderSet {
         if !self.gcn.is_empty() {
             if scratch.graph_agg.is_none() {
                 let feat_cols = encodings[0].graph.features.cols();
-                // row-stack the node features (≡ concat_rows), then run
-                // the weight-independent first-layer aggregation
-                // `blockdiag(A) @ X` once for the whole chunk — every
-                // encoder branch starts from the same graph input, so
-                // the second branch reuses this staging for free
-                let mut h0 = pool.take_uninit(batch * nodes, feat_cols);
-                for (b, e) in encodings.iter().enumerate() {
-                    for r in 0..nodes {
-                        h0.row_mut(b * nodes + r)
-                            .copy_from_slice(e.graph.features.row(r));
-                    }
-                }
+                // row-stack each architecture's memoised first-layer
+                // aggregation `A @ X` (weight-independent, computed once
+                // per architecture by the cache) — every encoder branch
+                // starts from the same graph input, so the second branch
+                // reuses this staging for free
                 let mut agg = pool.take_uninit(batch * nodes, feat_cols);
-                h0.block_left_matmul_each_into(
-                    batch,
-                    nodes,
-                    |b| &encodings[b].graph.adjacency,
-                    &mut agg,
-                )
-                .map_err(hwpr_autograd::AutogradError::from)?;
-                pool.put(h0);
+                for (b, e) in encodings.iter().enumerate() {
+                    agg.rows_mut(b * nodes, nodes)
+                        .copy_from_slice(e.agg.as_slice());
+                }
                 scratch.graph_agg = Some(agg);
             }
             let agg = scratch
@@ -217,15 +211,44 @@ impl FrozenEncoderSet {
             // first layer consumes the shared pre-aggregated input; each
             // later layer reads every sample's constant adjacency in
             // place — no staging copies, no per-sample GEMM dispatch
-            let mut h = self.gcn[0].forward_from_agg(pool, agg)?;
-            for layer in &self.gcn[1..] {
-                h = layer.forward_each(pool, h, batch, |b| &encodings[b].graph.adjacency, nodes)?;
-            }
-            // read out each sample's global node (≡ gather_rows)
-            let width = self.gcn.last().expect("non-empty stack").out_dim();
-            for (b, e) in encodings.iter().enumerate() {
-                repr.row_mut(b)[col..col + width]
-                    .copy_from_slice(h.row(b * nodes + e.graph.global_node()));
+            // only each sample's global readout node survives the stack,
+            // so the last layer runs the row-pruned kernel; earlier
+            // layers still produce every node (their outputs feed the
+            // next layer's aggregation in full)
+            let last = self.gcn.len() - 1;
+            let adj_global_row = |b: usize| {
+                let g = &encodings[b].graph;
+                g.adjacency.row(g.global_node())
+            };
+            let h = if last == 0 {
+                // single-layer stack: gather each sample's global
+                // aggregation row, then run the layer on just those rows
+                let feat_cols = encodings[0].graph.features.cols();
+                let mut gathered = pool.take_uninit(batch, feat_cols);
+                for (b, e) in encodings.iter().enumerate() {
+                    gathered
+                        .row_mut(b)
+                        .copy_from_slice(agg.row(b * nodes + e.graph.global_node()));
+                }
+                let out = self.gcn[0].forward_from_agg(pool, &gathered)?;
+                pool.put(gathered);
+                out
+            } else {
+                let mut h = self.gcn[0].forward_from_agg(pool, agg)?;
+                for layer in &self.gcn[1..last] {
+                    h = layer.forward_each(
+                        pool,
+                        h,
+                        batch,
+                        |b| &encodings[b].graph.adjacency,
+                        nodes,
+                    )?;
+                }
+                self.gcn[last].forward_global_each(pool, h, batch, adj_global_row, nodes)?
+            };
+            let width = self.gcn[last].out_dim();
+            for b in 0..batch {
+                repr.row_mut(b)[col..col + width].copy_from_slice(h.row(b));
             }
             pool.put(h);
             col += width;
@@ -245,7 +268,7 @@ impl FrozenEncoderSet {
                 embedding.forward_into(&scratch.ids[t * batch..(t + 1) * batch], &mut step)?;
                 scratch.steps.push(step);
             }
-            let h = lstm.forward(pool, &scratch.steps, &mut scratch.states)?;
+            let h = lstm.forward(pool, &scratch.steps, &mut scratch.lstm)?;
             let width = lstm.hidden_dim();
             for b in 0..batch {
                 repr.row_mut(b)[col..col + width].copy_from_slice(h.row(b));
@@ -377,8 +400,7 @@ impl FrozenModel {
             encodings,
             scratch,
         } = arena;
-        encodings.clear();
-        encodings.extend(chunk.iter().map(|a| cache.encoding(a)));
+        cache.encodings_into(chunk, encodings);
         // the staged graph aggregation is chunk-specific: recycle the
         // previous chunk's buffer so the first encoder re-stages
         if let Some(agg) = scratch.graph_agg.take() {
@@ -582,9 +604,11 @@ mod tests {
     use rand_chacha::rand_core::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    /// Frozen encoder output must be bit-identical to the taped
-    /// [`EncoderSet::forward`] for every encoder combination.
-    fn assert_encoder_bit_identical(choice: EncoderChoice) {
+    /// Frozen encoder output must stay inside the f32 error budget
+    /// (max-abs ≤ 1e-5 vs the taped [`EncoderSet::forward`]) for every
+    /// encoder combination; reruns over warmed scratch must be
+    /// bit-stable.
+    fn assert_encoder_within_budget(choice: EncoderChoice) {
         let cache = EncodingCache::for_space(SearchSpaceId::NasBench201, Dataset::Cifar10);
         let mut arch_rng = ChaCha8Rng::seed_from_u64(7);
         let archs: Vec<Architecture> = (0..5)
@@ -620,7 +644,14 @@ mod tests {
             )
             .unwrap();
         assert_eq!(repr.shape(), expected.shape(), "{choice}");
-        assert_eq!(repr.as_slice(), expected.as_slice(), "{choice}");
+        let worst = repr
+            .as_slice()
+            .iter()
+            .zip(expected.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst <= 1e-5, "{choice}: frozen-vs-tape max-abs {worst}");
+        let first = repr.as_slice().to_vec();
 
         // a second pass over warmed scratch must agree with the first
         let again = frozen
@@ -632,37 +663,37 @@ mod tests {
                 cache.seq_len(),
             )
             .unwrap();
-        assert_eq!(again.as_slice(), expected.as_slice(), "{choice} rerun");
+        assert_eq!(again.as_slice(), first.as_slice(), "{choice} rerun");
     }
 
     #[test]
     fn frozen_encoder_af_matches_tape() {
-        assert_encoder_bit_identical(EncoderChoice::AF);
+        assert_encoder_within_budget(EncoderChoice::AF);
     }
 
     #[test]
     fn frozen_encoder_lstm_matches_tape() {
-        assert_encoder_bit_identical(EncoderChoice::LSTM);
+        assert_encoder_within_budget(EncoderChoice::LSTM);
     }
 
     #[test]
     fn frozen_encoder_gcn_matches_tape() {
-        assert_encoder_bit_identical(EncoderChoice::GCN);
+        assert_encoder_within_budget(EncoderChoice::GCN);
     }
 
     #[test]
     fn frozen_encoder_lstm_af_matches_tape() {
-        assert_encoder_bit_identical(EncoderChoice::LSTM_AF);
+        assert_encoder_within_budget(EncoderChoice::LSTM_AF);
     }
 
     #[test]
     fn frozen_encoder_gcn_af_matches_tape() {
-        assert_encoder_bit_identical(EncoderChoice::GCN_AF);
+        assert_encoder_within_budget(EncoderChoice::GCN_AF);
     }
 
     #[test]
     fn frozen_encoder_all_matches_tape() {
-        assert_encoder_bit_identical(EncoderChoice::ALL);
+        assert_encoder_within_budget(EncoderChoice::ALL);
     }
 
     #[test]

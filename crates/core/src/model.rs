@@ -22,51 +22,57 @@ pub(crate) const INFER_BATCH: usize = 256;
 /// Inference chunk size: [`INFER_BATCH`] unless overridden through the
 /// `HWPR_INFER_BATCH` environment variable.
 pub(crate) fn infer_batch() -> usize {
-    match std::env::var("HWPR_INFER_BATCH") {
-        Ok(spec) => batch_from_spec(&spec),
-        Err(_) => INFER_BATCH,
-    }
+    hwpr_obs::env_or_else(
+        "HWPR_INFER_BATCH",
+        "a positive integer",
+        parse_batch,
+        || INFER_BATCH,
+        INFER_BATCH,
+    )
 }
 
-/// Parses an `HWPR_INFER_BATCH` override, warning through the telemetry
-/// event sink and falling back to the default on anything that is not a
-/// positive integer.
+fn parse_batch(spec: &str) -> Option<usize> {
+    spec.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Parses an `HWPR_INFER_BATCH` override through the shared
+/// warn-and-default policy, falling back to the default on anything that
+/// is not a positive integer.
+#[cfg(test)]
 fn batch_from_spec(spec: &str) -> usize {
-    match spec.trim().parse::<usize>() {
-        Ok(n) if n > 0 => n,
-        _ => {
-            hwpr_obs::warn(format!(
-                "invalid HWPR_INFER_BATCH value {spec:?} (expected a positive integer); \
-                 falling back to {INFER_BATCH}"
-            ));
-            INFER_BATCH
-        }
-    }
+    hwpr_obs::spec_or(
+        "HWPR_INFER_BATCH",
+        "a positive integer",
+        spec,
+        parse_batch,
+        INFER_BATCH,
+    )
 }
 
 /// Frozen panel precision: f32 unless overridden through the
 /// `HWPR_INFER_PRECISION` environment variable (`f32` | `f16` | `int8`).
 pub(crate) fn infer_precision() -> Precision {
-    match std::env::var("HWPR_INFER_PRECISION") {
-        Ok(spec) => precision_from_spec(&spec),
-        Err(_) => Precision::F32,
-    }
+    hwpr_obs::env_or_else(
+        "HWPR_INFER_PRECISION",
+        "f32, f16 or int8",
+        Precision::parse,
+        || Precision::F32,
+        Precision::F32,
+    )
 }
 
-/// Parses an `HWPR_INFER_PRECISION` override, warning through the
-/// telemetry event sink and falling back to f32 on anything that is not a
-/// recognised precision name.
+/// Parses an `HWPR_INFER_PRECISION` override through the shared
+/// warn-and-default policy, falling back to f32 on anything that is not
+/// a recognised precision name.
+#[cfg(test)]
 fn precision_from_spec(spec: &str) -> Precision {
-    match Precision::parse(spec) {
-        Some(p) => p,
-        None => {
-            hwpr_obs::warn(format!(
-                "invalid HWPR_INFER_PRECISION value {spec:?} (expected f32, f16 or int8); \
-                 falling back to f32"
-            ));
-            Precision::F32
-        }
-    }
+    hwpr_obs::spec_or(
+        "HWPR_INFER_PRECISION",
+        "f32, f16 or int8",
+        spec,
+        Precision::parse,
+        Precision::F32,
+    )
 }
 
 /// Denormalises a predicted accuracy into the minimisation objective
@@ -315,8 +321,10 @@ impl HwPrNas {
     /// Pareto scores of `archs` on `platform` (higher = closer to the
     /// predicted Pareto front). This is the single call the MOEA makes.
     ///
-    /// Runs on the frozen tape-free engine; bit-identical to
-    /// [`Self::predict_scores_tape`] (proven by differential tests).
+    /// Runs on the frozen tape-free engine, pinned to
+    /// [`Self::predict_scores_tape`] by the documented error budget
+    /// (f32 max-abs ≤ 1e-5, τ = 1.0; see `hwpr_nn::infer`), with
+    /// differential tests asserting the budget.
     ///
     /// # Errors
     ///
@@ -380,8 +388,8 @@ impl HwPrNas {
 
     /// Scores and predicted minimisation objectives `[error %, latency
     /// ms]` from a *single* forward pass — everything Fig. 3 produces in
-    /// one surrogate call. Runs on the frozen engine; bit-identical to
-    /// [`Self::predict_full_tape`].
+    /// one surrogate call. Runs on the frozen engine, pinned to
+    /// [`Self::predict_full_tape`] by the documented error budget.
     ///
     /// # Errors
     ///
@@ -463,8 +471,8 @@ impl HwPrNas {
 
     /// Predicted `(accuracy %, latency ms)` pairs — the branch outputs
     /// denormalised. Exposed for the predictor-quality studies. Runs on
-    /// the frozen engine; bit-identical to
-    /// [`Self::predict_objectives_tape`].
+    /// the frozen engine, pinned to [`Self::predict_objectives_tape`]
+    /// by the documented error budget.
     ///
     /// # Errors
     ///

@@ -1,6 +1,9 @@
-//! Differential fixture: the frozen tape-free inference engine must be
-//! bit-identical to the recording-tape reference path for every public
-//! predict method, every latency-head platform, and uneven final chunks.
+//! Differential fixture: the frozen tape-free inference engine must stay
+//! inside the documented error budget against the recording-tape
+//! reference path — f32 max-abs ≤ 1e-5 with Kendall τ = 1.0, and rank
+//! preservation (τ ≥ 0.99) when CI re-runs this binary under
+//! `HWPR_INFER_PRECISION=f16` / `int8` — for every public predict
+//! method, every latency-head platform, and uneven final chunks.
 //!
 //! (Per-encoder-type differentials — AF / LSTM / GCN and combinations —
 //! live as unit tests in `hwpr_core::frozen`; here the full compiled
@@ -37,6 +40,15 @@ fn tau(a: &[f64], b: &[f64]) -> f64 {
     hwpr_metrics::kendall_tau(&af, &bf).unwrap()
 }
 
+/// [`tau`], but `None` when either side is constant (`ZeroVariance`) —
+/// rank preservation is vacuous on a degenerate column, e.g. the tiny
+/// fixture predicting one latency for every architecture.
+fn try_tau(a: &[f64], b: &[f64]) -> Option<f64> {
+    let af: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+    let bf: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+    hwpr_metrics::kendall_tau(&af, &bf).ok()
+}
+
 fn trained_single() -> (HwPrNas, Vec<Architecture>) {
     let b = bench(48);
     let data = SurrogateDataset::from_simbench(&b, Dataset::Cifar10, Platform::EdgeGpu).unwrap();
@@ -60,37 +72,97 @@ fn trained_multi() -> (HwPrNas, Vec<Architecture>) {
     (model, archs)
 }
 
-fn assert_bit_identical(model: &HwPrNas, archs: &[Architecture], platform: Platform) {
+/// The precision the default frozen engine compiles at — the same env
+/// knob the engine itself reads. CI re-runs this test binary with
+/// `HWPR_INFER_PRECISION=f16` and `int8` to exercise the reduced-
+/// precision budget on every differential below.
+fn env_precision() -> Precision {
+    std::env::var("HWPR_INFER_PRECISION")
+        .ok()
+        .and_then(|spec| Precision::parse(&spec))
+        .unwrap_or(Precision::F32)
+}
+
+fn max_abs(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Frozen-vs-tape score budget: at f32, max-abs ≤ 1e-5 and τ = 1.0; at
+/// f16/int8 the guarantee is rank preservation, τ ≥ 0.99.
+fn assert_scores_within_budget(frozen: &[f64], tape: &[f64], what: &str) {
+    match env_precision() {
+        Precision::F32 => {
+            let worst = max_abs(frozen, tape);
+            assert!(worst <= 1e-5, "{what}: max-abs {worst:e} > 1e-5");
+            if frozen.len() > 2 {
+                if let Some(t) = try_tau(frozen, tape) {
+                    assert!(t >= 1.0, "{what}: Kendall tau {t:.4} < 1.0");
+                }
+            }
+        }
+        _ => {
+            if let Some(t) = try_tau(frozen, tape) {
+                assert!(t >= 0.99, "{what}: Kendall tau {t:.4} < 0.99");
+            }
+        }
+    }
+}
+
+fn assert_within_budget(model: &HwPrNas, archs: &[Architecture], platform: Platform) {
     let frozen_scores = model.predict_scores(archs, platform).unwrap();
     let tape_scores = model.predict_scores_tape(archs, platform).unwrap();
-    assert_eq!(frozen_scores, tape_scores, "scores diverge on {platform}");
+    assert_scores_within_budget(&frozen_scores, &tape_scores, "scores");
 
     let (ff_scores, ff_objs) = model.predict_full(archs, platform).unwrap();
     let (tf_scores, tf_objs) = model.predict_full_tape(archs, platform).unwrap();
-    assert_eq!(ff_scores, tf_scores, "full scores diverge on {platform}");
-    assert_eq!(ff_objs, tf_objs, "full objectives diverge on {platform}");
+    assert_scores_within_budget(&ff_scores, &tf_scores, "full scores");
+    let f_flat: Vec<f64> = ff_objs.iter().flatten().copied().collect();
+    let t_flat: Vec<f64> = tf_objs.iter().flatten().copied().collect();
+    if env_precision() == Precision::F32 {
+        let worst = max_abs(&f_flat, &t_flat);
+        assert!(worst <= 1e-5, "full objectives: max-abs {worst:e} > 1e-5");
+    }
 
     let frozen_objs = model.predict_objectives(archs, platform).unwrap();
     let tape_objs = model.predict_objectives_tape(archs, platform).unwrap();
-    assert_eq!(frozen_objs, tape_objs, "objectives diverge on {platform}");
+    if env_precision() == Precision::F32 {
+        let f_flat: Vec<f64> = frozen_objs.iter().flat_map(|&(a, l)| [a, l]).collect();
+        let t_flat: Vec<f64> = tape_objs.iter().flat_map(|&(a, l)| [a, l]).collect();
+        let worst = max_abs(&f_flat, &t_flat);
+        assert!(worst <= 1e-5, "objectives: max-abs {worst:e} > 1e-5");
+    } else {
+        type ObjColumn = fn(&(f64, f64)) -> f64;
+        let pick: [(ObjColumn, &str); 2] = [(|o| o.0, "accuracy"), (|o| o.1, "latency")];
+        for (col, name) in pick {
+            let f: Vec<f64> = frozen_objs.iter().map(col).collect();
+            let t: Vec<f64> = tape_objs.iter().map(col).collect();
+            if let Some(tv) = try_tau(&f, &t) {
+                assert!(tv >= 0.99, "{name} objectives: Kendall tau {tv:.4} < 0.99");
+            }
+        }
+    }
 }
 
 #[test]
-fn frozen_engine_is_bit_identical_to_tape() {
+fn frozen_engine_stays_within_budget_of_tape() {
     let (model, archs) = trained_single();
-    assert_bit_identical(&model, &archs, Platform::EdgeGpu);
+    assert_within_budget(&model, &archs, Platform::EdgeGpu);
 }
 
 #[test]
 fn frozen_engine_matches_tape_on_every_platform() {
     let (model, archs) = trained_multi();
     for &platform in model.platforms() {
-        assert_bit_identical(&model, &archs, platform);
+        assert_within_budget(&model, &archs, platform);
     }
 }
 
 #[test]
-fn uneven_final_chunks_are_bit_identical() {
+fn uneven_final_chunks_stay_within_budget() {
     let (model, archs) = trained_single();
     let tape_scores = model
         .predict_scores_tape(&archs, Platform::EdgeGpu)
@@ -100,7 +172,7 @@ fn uneven_final_chunks_are_bit_identical() {
         let frozen = model.freeze_with_batch(batch);
         assert_eq!(frozen.batch(), batch);
         let scores = model.predict_scores(&archs, Platform::EdgeGpu).unwrap();
-        assert_eq!(scores, tape_scores, "chunk size {batch} diverges");
+        assert_scores_within_budget(&scores, &tape_scores, "chunked scores");
     }
 }
 
@@ -188,10 +260,11 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     // Scores are per-architecture, so any prefix scored at any batch
-    // width must reproduce the tape reference bit for bit (the tape is
-    // itself bit-identical to the serial frozen path).
+    // width must reproduce the tape reference within the f32 error
+    // budget (the engine is explicitly frozen at f32 here regardless of
+    // the env precision).
     #[test]
-    fn any_batch_width_is_bit_identical_to_the_tape(
+    fn any_batch_width_stays_within_budget_of_the_tape(
         batch in 1usize..=160,
         len in 1usize..=48,
     ) {
@@ -200,7 +273,8 @@ proptest! {
         let scores = model
             .predict_scores(&archs[..len], Platform::EdgeGpu)
             .unwrap();
-        prop_assert_eq!(&scores[..], &tape[..len]);
+        let worst = max_abs(&scores, &tape[..len]);
+        prop_assert!(worst <= 1e-5, "batch {} len {}: max-abs {:e}", batch, len, worst);
     }
 }
 

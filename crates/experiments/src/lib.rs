@@ -39,13 +39,38 @@ pub enum Scale {
     Paper,
 }
 
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Scale::Smoke => "smoke",
+            Scale::Fast => "fast",
+            Scale::Paper => "paper",
+        })
+    }
+}
+
 impl Scale {
-    /// Reads `HWPR_SCALE` (defaults to [`Scale::Fast`]).
+    /// Reads `HWPR_SCALE` through the shared warn-and-default policy
+    /// (`smoke` | `fast` | `paper`); unset or empty means
+    /// [`Scale::Fast`], anything else warns and falls back to it.
     pub fn from_env() -> Self {
-        match std::env::var("HWPR_SCALE").unwrap_or_default().as_str() {
-            "smoke" => Scale::Smoke,
-            "paper" => Scale::Paper,
-            _ => Scale::Fast,
+        hwpr_obs::env_or_else(
+            "HWPR_SCALE",
+            "smoke, fast or paper",
+            Self::parse,
+            || Scale::Fast,
+            Scale::Fast,
+        )
+    }
+
+    /// Parses an `HWPR_SCALE` value; the empty string means the default
+    /// scale (so `HWPR_SCALE= cmd` behaves like an unset variable).
+    fn parse(spec: &str) -> Option<Self> {
+        match spec.trim() {
+            "smoke" => Some(Scale::Smoke),
+            "" | "fast" => Some(Scale::Fast),
+            "paper" => Some(Scale::Paper),
+            _ => None,
         }
     }
 

@@ -9,15 +9,25 @@
 //! no op recording, no gradient buffers, and dropout statically elided
 //! (dropout is already the identity at inference).
 //!
-//! Every f32 forward is **bit-identical** to the corresponding taped
-//! layer: the frozen path reuses the exact pointwise kernels the tape ops
-//! call, and the prepacked GEMM entry points are bit-identical to their
-//! unpacked forms (see `hwpr_tensor::packed`). The tape path stays as the
-//! reference implementation, anchored by differential tests in
-//! `hwpr-core`. Freezing at [`Precision::F16`] or [`Precision::Int8`]
-//! trades that bit-identity for smaller, faster weight panels; rank
-//! preservation (Kendall τ vs f32) is what the differential tests assert
-//! there.
+//! # Error budget
+//!
+//! The frozen-vs-tape contract is a documented error budget, not f32
+//! bit-identity: at f32 a frozen forward must stay within **max-abs
+//! ≤ 1e-5** of the taped layer with **Kendall τ = 1.0** on the
+//! differential fixtures; at [`Precision::F16`]/[`Precision::Int8`] the
+//! guarantee is rank preservation (**τ ≥ 0.99** per platform head).
+//! Budget rather than bits keeps the freeze path free to specialise —
+//! monomorphized fixed-shape GEMM kernels
+//! ([`PackedWeight::pack_for_inference`]), division-free activations,
+//! precision-tiered panels — without renegotiating the tests each time.
+//! In the current implementation the f32 path happens to land on exact
+//! bit-equality anyway (the frozen layers reuse the tape's fused
+//! pointwise kernels, and both the prepacked and static GEMM paths are
+//! bit-identical to the unpacked driver), but only the budget is
+//! contractual. The tape stays the reference implementation, anchored by
+//! differential tests in `hwpr-core`; the rational-divide activations the
+//! fast kernels replaced live on in `hwpr_tensor::reference` as ground
+//! truth.
 //!
 //! All scratch storage comes from a caller-held [`BufferPool`], so a warmed
 //! forward pass performs no heap allocation.
@@ -80,7 +90,7 @@ impl FrozenLinear {
         precision: Precision,
     ) -> Self {
         let mut packed = PackedWeight::new();
-        packed.pack_with(
+        packed.pack_for_inference(
             weight,
             panel_precision(precision, PanelRole::Head, in_dim, out_dim),
         );
@@ -200,7 +210,7 @@ impl FrozenLstm {
             .map(|(l, (w, bias))| {
                 let (k, n) = w.shape();
                 let mut packed = PackedWeight::new();
-                packed.pack_with(&w, panel_precision(precision, PanelRole::Encoder, k, n));
+                packed.pack_for_inference(&w, panel_precision(precision, PanelRole::Encoder, k, n));
                 FrozenLstmCell {
                     weight: packed,
                     bias,
@@ -240,9 +250,11 @@ impl FrozenLstm {
     /// [`crate::layers::Lstm::forward`]. Layer states thread through as
     /// packed `[h | c]` matrices; a deeper layer reads the first `hidden`
     /// columns of the layer below's state directly, eliding the tape path's
-    /// per-step column slice. `states` is caller-held scratch (reused
-    /// across calls for its capacity); its matrices are recycled into
-    /// `pool` before returning.
+    /// per-step column slice. All working buffers are checked out of
+    /// `pool` **once per layer** and ping-ponged across steps (rather
+    /// than cycled through the pool per step — at small recurrence shapes
+    /// the per-step pool traffic was measurable); `scratch` is caller-held
+    /// and keeps its `Vec` capacities across calls.
     ///
     /// # Errors
     ///
@@ -252,24 +264,36 @@ impl FrozenLstm {
         &self,
         pool: &mut BufferPool,
         steps: &[Matrix],
-        states: &mut Vec<Matrix>,
+        scratch: &mut LstmScratch,
     ) -> Result<Matrix> {
         if steps.is_empty() {
             return Err(NnError::Config("LSTM received an empty sequence".into()));
         }
         let batch = steps[0].rows();
         let h = self.hidden_dim;
-        states.clear();
-        // pool.take zero-fills, matching the taped zero initial [h | c]
-        for _ in &self.cells {
+        let LstmScratch {
+            states,
+            next,
+            xh,
+            gates,
+        } = scratch;
+        // recycle anything a previous erroring call left behind
+        for buf in states.drain(..).chain(next.drain(..)) {
+            pool.put(buf);
+        }
+        for buf in xh.drain(..).chain(gates.drain(..)) {
+            pool.put(buf);
+        }
+        for cell in &self.cells {
+            // pool.take zero-fills, matching the taped zero initial [h | c];
+            // the rest are fully overwritten by every lstm_step_frozen
             states.push(pool.take(batch, 2 * h));
+            next.push(pool.take_uninit(batch, 2 * h));
+            xh.push(pool.take_uninit(batch, cell.in_dim + h));
+            gates.push(pool.take_uninit(batch, 4 * h));
         }
         for step in steps {
             for (l, cell) in self.cells.iter().enumerate() {
-                // all three are fully overwritten by lstm_step_frozen
-                let mut xh = pool.take_uninit(batch, cell.in_dim + h);
-                let mut gates = pool.take_uninit(batch, 4 * h);
-                let mut next = pool.take_uninit(batch, 2 * h);
                 {
                     // layer l > 0 reads the h-part of the layer below's
                     // state, already updated for this step
@@ -280,14 +304,14 @@ impl FrozenLstm {
                         &states[l],
                         &cell.weight,
                         &cell.bias,
-                        &mut xh,
-                        &mut gates,
-                        &mut next,
+                        &mut xh[l],
+                        &mut gates[l],
+                        &mut next[l],
                     )?;
                 }
-                pool.put(xh);
-                pool.put(gates);
-                pool.put(std::mem::replace(&mut states[l], next));
+                // ping-pong: the freshly-written state becomes current;
+                // the old buffer is next step's (fully overwritten) target
+                std::mem::swap(&mut states[l], &mut next[l]);
             }
         }
         let mut out = pool.take_uninit(batch, h);
@@ -295,11 +319,25 @@ impl FrozenLstm {
         for r in 0..batch {
             out.row_mut(r).copy_from_slice(&top.row(r)[..h]);
         }
-        for s in states.drain(..) {
-            pool.put(s);
+        for buf in states.drain(..).chain(next.drain(..)) {
+            pool.put(buf);
+        }
+        for buf in xh.drain(..).chain(gates.drain(..)) {
+            pool.put(buf);
         }
         Ok(out)
     }
+}
+
+/// Caller-held working set for [`FrozenLstm::forward`]: per-layer state,
+/// next-state, `[x | h]` staging and gate buffers. The `Vec`s keep their
+/// capacity across calls; the matrices inside are pooled per call.
+#[derive(Debug, Default)]
+pub struct LstmScratch {
+    states: Vec<Matrix>,
+    next: Vec<Matrix>,
+    xh: Vec<Matrix>,
+    gates: Vec<Matrix>,
 }
 
 /// A [`crate::layers::GcnLayer`] compiled for tape-free inference.
@@ -320,7 +358,7 @@ impl FrozenGcnLayer {
     ) -> Self {
         let (k, n) = weight.shape();
         let mut packed = PackedWeight::new();
-        packed.pack_with(weight, panel_precision(precision, PanelRole::Encoder, k, n));
+        packed.pack_for_inference(weight, panel_precision(precision, PanelRole::Encoder, k, n));
         Self {
             weight: packed,
             bias: bias.clone(),
@@ -376,6 +414,39 @@ impl FrozenGcnLayer {
             .map_err(AutogradError::from)?;
         pool.put(x);
         let mut out = pool.take_uninit(agg.rows(), self.out_dim);
+        agg.matmul_prepacked_into(&self.weight, &mut out)
+            .map_err(AutogradError::from)?;
+        apply_bias_act(&mut out, Some(&self.bias), Act::Relu)?;
+        pool.put(agg);
+        Ok(out)
+    }
+
+    /// [`FrozenGcnLayer::forward_each`] restricted to one output node per
+    /// sample: aggregates only adjacency row `adj_row_of(b)` (the global
+    /// readout node's row) per block and returns `[blocks, out_dim]` —
+    /// the rows the encoder readout actually consumes. Only valid for the
+    /// **last** layer of a stack, where the other node rows are dead; the
+    /// produced rows are bit-identical to the corresponding rows of
+    /// [`FrozenGcnLayer::forward_each`] (see
+    /// `block_left_matmul_row_each_into`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the block structure or feature dimension
+    /// is inconsistent.
+    pub fn forward_global_each<'a>(
+        &self,
+        pool: &mut BufferPool,
+        x: Matrix,
+        blocks: usize,
+        adj_row_of: impl Fn(usize) -> &'a [f32],
+        nodes: usize,
+    ) -> Result<Matrix> {
+        let mut agg = pool.take_uninit(blocks, x.cols());
+        x.block_left_matmul_row_each_into(blocks, nodes, adj_row_of, &mut agg)
+            .map_err(AutogradError::from)?;
+        pool.put(x);
+        let mut out = pool.take_uninit(blocks, self.out_dim);
         agg.matmul_prepacked_into(&self.weight, &mut out)
             .map_err(AutogradError::from)?;
         apply_bias_act(&mut out, Some(&self.bias), Act::Relu)?;
@@ -461,8 +532,21 @@ mod tests {
         .unwrap()
     }
 
+    /// The frozen-vs-tape error budget (see the module docs): max-abs
+    /// difference at or below `1e-5`. The two paths currently agree
+    /// bitwise, but only the budget is contractual.
+    fn assert_within_budget(got: &[f32], want: &[f32]) {
+        assert_eq!(got.len(), want.len());
+        let worst = got
+            .iter()
+            .zip(want)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst <= 1e-5, "frozen-vs-tape max-abs {worst} > 1e-5");
+    }
+
     #[test]
-    fn frozen_linear_matches_tape_bitwise() {
+    fn frozen_linear_matches_tape_within_budget() {
         let mut params = Params::new();
         let fc = Linear::new(&mut params, "fc", 3, 2, Init::Xavier, 5, true);
         let x = det_matrix(4, 3, 1);
@@ -475,11 +559,11 @@ mod tests {
         let frozen = fc.freeze(&params);
         let mut out = Matrix::zeros(4, 2);
         frozen.forward_act_into(&x, Act::Tanh, &mut out).unwrap();
-        assert_eq!(out.as_slice(), expected.as_slice());
+        assert_within_budget(out.as_slice(), expected.as_slice());
     }
 
     #[test]
-    fn frozen_mlp_matches_tape_bitwise() {
+    fn frozen_mlp_matches_tape_within_budget() {
         let mut params = Params::new();
         let mut cfg = MlpConfig::new(3, vec![5, 4], 2, 11);
         cfg.dropout = 0.3; // elided at inference on both paths
@@ -498,11 +582,11 @@ mod tests {
         let mut pool = BufferPool::new();
         let input = pool.take_copy(&x);
         let out = frozen.forward(&mut pool, input).unwrap();
-        assert_eq!(out.as_slice(), expected.as_slice());
+        assert_within_budget(out.as_slice(), expected.as_slice());
     }
 
     #[test]
-    fn frozen_lstm_matches_tape_bitwise() {
+    fn frozen_lstm_matches_tape_within_budget() {
         let mut params = Params::new();
         let lstm = Lstm::new(&mut params, "lstm", 3, 4, 2, 9);
         let steps_data: Vec<Matrix> = (0..4).map(|i| det_matrix(2, 3, i + 3)).collect();
@@ -516,14 +600,16 @@ mod tests {
         assert_eq!(frozen.layers(), 2);
         assert_eq!(frozen.hidden_dim(), 4);
         let mut pool = BufferPool::new();
-        let mut states = Vec::new();
-        let out = frozen.forward(&mut pool, &steps_data, &mut states).unwrap();
-        assert_eq!(out.as_slice(), expected.as_slice());
-        assert!(frozen.forward(&mut pool, &[], &mut states).is_err());
+        let mut scratch = LstmScratch::default();
+        let out = frozen
+            .forward(&mut pool, &steps_data, &mut scratch)
+            .unwrap();
+        assert_within_budget(out.as_slice(), expected.as_slice());
+        assert!(frozen.forward(&mut pool, &[], &mut scratch).is_err());
     }
 
     #[test]
-    fn frozen_gcn_matches_tape_bitwise() {
+    fn frozen_gcn_matches_tape_within_budget() {
         let mut params = Params::new();
         let gcn = GcnLayer::new(&mut params, "g", 4, 6, 1);
         let adj0 =
@@ -545,7 +631,7 @@ mod tests {
         let out = frozen
             .forward(&mut pool, input, &[&adj0, &adj1], 2)
             .unwrap();
-        assert_eq!(out.as_slice(), expected.as_slice());
+        assert_within_budget(out.as_slice(), expected.as_slice());
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod report;
 pub mod sink;
 pub mod span;
 
-pub use config::{init_from_env, TelemetrySpec};
+pub use config::{env_or_else, init_from_env, spec_or, TelemetrySpec};
 pub use event::Event;
 pub use serde::Value;
 pub use sink::Recorder;

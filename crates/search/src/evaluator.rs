@@ -282,25 +282,25 @@ impl ScoreCache {
 /// telemetry event sink and falls back to the serial path (1 thread) —
 /// a typo must not silently grab every core.
 pub fn evaluation_threads() -> usize {
-    match std::env::var("HWPR_THREADS") {
-        Ok(spec) => threads_from_spec(&spec),
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    hwpr_obs::env_or_else(
+        "HWPR_THREADS",
+        "a positive integer",
+        parse_threads,
+        || std::thread::available_parallelism().map_or(1, |n| n.get()),
+        1,
+    )
 }
 
-/// Parses an explicit `HWPR_THREADS` value (factored out of
-/// [`evaluation_threads`] so tests need not mutate the environment).
+fn parse_threads(spec: &str) -> Option<usize> {
+    spec.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Parses an explicit `HWPR_THREADS` value through the shared
+/// warn-and-default policy (factored out of [`evaluation_threads`] so
+/// tests need not mutate the environment).
+#[cfg(test)]
 fn threads_from_spec(spec: &str) -> usize {
-    match spec.trim().parse::<usize>() {
-        Ok(n) if n > 0 => n,
-        _ => {
-            hwpr_obs::warn(format!(
-                "invalid HWPR_THREADS value {spec:?} (expected a positive integer); \
-                 falling back to 1 worker thread"
-            ));
-            1
-        }
-    }
+    hwpr_obs::spec_or("HWPR_THREADS", "a positive integer", spec, parse_threads, 1)
 }
 
 /// Evaluates with the full HW-PR-NAS model: one call yields the Pareto

@@ -1,22 +1,60 @@
-//! Branch-free `tanh`/`sigmoid` approximations for fused kernels.
+//! Branch-free, **division-free** `tanh`/`sigmoid` for the fused kernels.
 //!
-//! `f32::tanh` and `f32::exp` lower to scalar libm calls, which the
+//! `f32::tanh` and `f32::exp` lower to scalar libm calls the
 //! auto-vectoriser cannot touch; in the fused LSTM gate pass they cost
-//! more than the gate GEMM itself. These replacements are clamped
-//! rational approximations built from plain multiply/add/divide, so a
-//! whole gate row vectorises. Maximum absolute error is below `1e-6`
-//! over the full range (the unit tests sweep it), which is far inside
-//! the tolerance of the gradchecks and the fused-vs-reference
-//! differential tests.
+//! more than the gate GEMM itself. The first replacement (PR 2) was a
+//! clamped degree-13/6 rational whose single `p / q` divide vectorised —
+//! but `vdivps` on a 512-bit vector is not pipelined (one result every
+//! ~16 cycles on Skylake-X against two FMAs per cycle), and once the
+//! frozen engine's GEMMs were batched and quantised (PR 6) that divide
+//! became the dominant term of the inference profile.
 //!
-//! The reference ops (`Tape::tanh`, `Tape::sigmoid`,
-//! [`crate::reference`]) keep libm on purpose: they are the ground truth
-//! the fused kernels are pinned against.
+//! [`fast_tanh`] therefore evaluates the same minimax rational but
+//! replaces the divide with a Newton–Raphson reciprocal (SLEEF lineage):
+//! a bit-trick seed refined by three multiply/subtract iterations, which
+//! converges to within ~2 ULP of the exactly rounded quotient. Every
+//! operation is a multiply, add or integer subtract, so a whole
+//! activation panel compiles to full-width FMA chains with no `vdivps`
+//! and no libm edge. Maximum absolute error stays below `1e-6` over the
+//! full range (the unit tests sweep it at `1e-3` steps), far inside the
+//! tolerance of the gradchecks and the fused-vs-reference differentials.
+//!
+//! [`fast_tanh_block`]/[`fast_sigmoid_block`] apply the same scalar to a
+//! whole slice — the `[batch, width]` activation panels the frozen
+//! engine stages — guaranteeing the vectorisable loop shape regardless
+//! of how the caller iterates rows. Block and scalar forms are
+//! bit-identical lane for lane (tested).
+//!
+//! The retired rational-divide forms live on as
+//! [`crate::reference::rational_tanh`]/[`rational_sigmoid`]
+//! (ground truth for the differential tests), and the true libm ops
+//! (`Tape::tanh`, `Tape::sigmoid`, [`crate::reference`]) remain the
+//! accuracy anchor.
+//!
+//! [`rational_sigmoid`]: crate::reference::rational_sigmoid
+
+/// Reciprocal of a strictly positive, normal `d` without a divide:
+/// bit-trick seed (max relative error ~0.05) plus three Newton–Raphson
+/// steps (`y ← y·(2 − d·y)` squares the error: 5e-2 → 2.5e-3 → 6e-6 →
+/// ~4e-11, below f32 rounding). NaN propagates through the `d · y`
+/// products.
+///
+/// Only sound for the range it is used on: the tanh denominator `q` is
+/// an even polynomial with all-positive coefficients, bounded to
+/// `[4.89e-3, 0.38]` by the clamp, where the seed constant is valid.
+#[inline(always)]
+fn recip_positive(d: f32) -> f32 {
+    let y = f32::from_bits(0x7EF3_11C3u32.wrapping_sub(d.to_bits()));
+    let y = y * (2.0 - d * y);
+    let y = y * (2.0 - d * y);
+    y * (2.0 - d * y)
+}
 
 /// `tanh(x)` as a degree-13/6 rational approximation on the clamped
 /// range `|x| <= 7.90531` (beyond which `tanh` saturates to `±1` in
-/// f32). Coefficients are the widely used minimax set (Eigen/XNNPACK
-/// lineage).
+/// f32), evaluated without a divide. Coefficients are the widely used
+/// minimax set (Eigen/XNNPACK lineage); the quotient comes from
+/// [`recip_positive`] instead of `vdivps`.
 #[inline(always)]
 pub fn fast_tanh(x: f32) -> f32 {
     const CLAMP: f32 = 7.905_31;
@@ -34,15 +72,33 @@ pub fn fast_tanh(x: f32) -> f32 {
     q = q * x2 + 1.185_347_1e-4;
     q = q * x2 + 2.268_434_6e-3;
     q = q * x2 + 4.893_525e-3;
-    p / q
+    p * recip_positive(q)
 }
 
 /// `1 / (1 + exp(-x))` via the tanh identity
-/// `sigmoid(x) = (1 + tanh(x / 2)) / 2` — same vectorisable arithmetic,
-/// same sub-`1e-6` absolute error.
+/// `sigmoid(x) = (1 + tanh(x / 2)) / 2` — the pre-scale and the affine
+/// are exact (powers of two), so this inherits [`fast_tanh`]'s
+/// division-free arithmetic and sub-`1e-6` absolute error.
 #[inline(always)]
 pub fn fast_sigmoid(x: f32) -> f32 {
     0.5 + 0.5 * fast_tanh(0.5 * x)
+}
+
+/// [`fast_tanh`] over a whole activation panel in place. The loop body
+/// is branch-free scalar arithmetic, so the compiler unrolls it into
+/// full-width FMA chains; each lane is bit-identical to the scalar call.
+pub fn fast_tanh_block(xs: &mut [f32]) {
+    for x in xs {
+        *x = fast_tanh(*x);
+    }
+}
+
+/// [`fast_sigmoid`] over a whole activation panel in place; each lane is
+/// bit-identical to the scalar call.
+pub fn fast_sigmoid_block(xs: &mut [f32]) {
+    for x in xs {
+        *x = fast_sigmoid(*x);
+    }
 }
 
 #[cfg(test)]
@@ -73,6 +129,23 @@ mod tests {
     }
 
     #[test]
+    fn matches_the_retired_rational_form() {
+        // the Newton reciprocal replaces an exactly rounded divide, so
+        // the division-free form may differ from the rational by a few
+        // ULPs but no more
+        let mut x = -12.0f32;
+        while x <= 12.0 {
+            let df = fast_tanh(x);
+            let rational = crate::reference::rational_tanh(x);
+            assert!(
+                (df - rational).abs() <= 5e-7,
+                "fast_tanh({x}) = {df} vs rational {rational}"
+            );
+            x += 1e-3;
+        }
+    }
+
+    #[test]
     fn saturates_cleanly() {
         // the clamped rational lands within an ULP of the saturation
         // values rather than exactly on them
@@ -80,6 +153,8 @@ mod tests {
         assert!((fast_tanh(-40.0) + 1.0).abs() < 1e-6);
         assert!((fast_sigmoid(40.0) - 1.0).abs() < 1e-6);
         assert!(fast_sigmoid(-40.0).abs() < 1e-6);
+        assert!((fast_tanh(f32::INFINITY) - 1.0).abs() < 1e-6);
+        assert!((fast_tanh(f32::NEG_INFINITY) + 1.0).abs() < 1e-6);
         assert_eq!(fast_tanh(0.0), 0.0);
         assert_eq!(fast_sigmoid(0.0), 0.5);
     }
@@ -88,5 +163,69 @@ mod tests {
     fn propagates_nan() {
         assert!(fast_tanh(f32::NAN).is_nan());
         assert!(fast_sigmoid(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn preserves_signed_zero_and_subnormals() {
+        assert_eq!(fast_tanh(0.0f32).to_bits(), 0.0f32.to_bits());
+        assert_eq!(fast_tanh(-0.0f32).to_bits(), (-0.0f32).to_bits());
+        // near the origin tanh(x) ≈ x: subnormal inputs must come back
+        // finite, sign-correct and tiny (the polynomial degenerates to
+        // p0·x with p0/q0 ≈ 1)
+        for &x in &[f32::MIN_POSITIVE / 2.0, 1.0e-40, -1.0e-40, 1.0e-44] {
+            let y = fast_tanh(x);
+            assert!(y.is_finite(), "fast_tanh({x:e}) = {y}");
+            // the p0/q0 ratio is within a few ULPs of one, so the result
+            // tracks x itself up to reciprocal rounding noise
+            assert!(y.abs() <= x.abs() * 1.001, "fast_tanh({x:e}) = {y:e} grew");
+            assert_eq!(
+                y.is_sign_negative(),
+                x.is_sign_negative(),
+                "sign flipped at {x:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_on_the_active_range() {
+        // tanh is strictly increasing; the approximation must be
+        // monotone across [-8, 8] up to its own rounding noise. The
+        // Newton reciprocal jitters each sample by a few ULPs of the
+        // quotient, so adjacent 1e-3 steps may tie or dip by less than
+        // the approximation's own error bound — but never walk
+        // backwards by a visible amount.
+        let mut x = -8.0f32;
+        let mut prev = fast_tanh(x);
+        while x <= 8.0 {
+            x += 1e-3;
+            let y = fast_tanh(x);
+            assert!(
+                y >= prev - 1e-6,
+                "fast_tanh not monotone at {x}: {y} < {prev}"
+            );
+            prev = y.max(prev);
+        }
+    }
+
+    #[test]
+    fn block_forms_are_bit_identical_to_scalar() {
+        let xs: Vec<f32> = (0..4097)
+            .map(|i| (i as f32 - 2048.0) * 4.0e-3)
+            .chain([f32::NAN, 0.0, -0.0, 17.0, -17.0, 1.0e-40])
+            .collect();
+        let mut t = xs.clone();
+        fast_tanh_block(&mut t);
+        for (&x, &y) in xs.iter().zip(&t) {
+            assert_eq!(y.to_bits(), fast_tanh(x).to_bits(), "tanh lane at {x}");
+        }
+        let mut s = xs.clone();
+        fast_sigmoid_block(&mut s);
+        for (&x, &y) in xs.iter().zip(&s) {
+            assert_eq!(
+                y.to_bits(),
+                fast_sigmoid(x).to_bits(),
+                "sigmoid lane at {x}"
+            );
+        }
     }
 }

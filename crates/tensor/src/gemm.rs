@@ -190,7 +190,7 @@ fn micro_kernel(kc: usize, a_strip: &[f32], b_strip: &[f32], acc: &mut [[f32; NR
 /// stay bit-identical to the packed path.
 #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
 #[inline]
-fn micro_kernel_direct(
+pub(crate) fn micro_kernel_direct(
     kc: usize,
     a: &[f32],
     lda: usize,
@@ -226,7 +226,7 @@ fn micro_kernel_direct(
 /// Portable in-place-`A` micro-kernel (see the AVX-512 variant above).
 #[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
 #[inline(always)]
-fn micro_kernel_direct(
+pub(crate) fn micro_kernel_direct(
     kc: usize,
     a: &[f32],
     lda: usize,
@@ -254,7 +254,7 @@ fn micro_kernel_direct(
 /// staged path exactly.
 #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
 #[inline]
-fn micro_kernel_direct_store(
+pub(crate) fn micro_kernel_direct_store(
     kc: usize,
     a: &[f32],
     lda: usize,
@@ -290,7 +290,7 @@ fn micro_kernel_direct_store(
 /// Portable store-direct micro-kernel (see the AVX-512 variant above).
 #[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
 #[inline(always)]
-fn micro_kernel_direct_store(
+pub(crate) fn micro_kernel_direct_store(
     kc: usize,
     a: &[f32],
     lda: usize,
@@ -310,7 +310,7 @@ fn micro_kernel_direct_store(
 /// exactly (fused on AVX-512F, two roundings elsewhere), so the tail rows
 /// get the same bits the packed path would produce.
 #[inline]
-fn micro_kernel_direct_partial(
+pub(crate) fn micro_kernel_direct_partial(
     kc: usize,
     a: &[f32],
     lda: usize,

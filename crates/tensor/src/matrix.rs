@@ -206,6 +206,18 @@ impl Matrix {
         &mut self.data[r * c..(r + 1) * c]
     }
 
+    /// Mutable borrow of rows `start..start + count` as one contiguous
+    /// slice of `count * cols` elements (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the last row.
+    pub fn rows_mut(&mut self, start: usize, count: usize) -> &mut [f32] {
+        assert!(start + count <= self.rows, "row range out of bounds");
+        let c = self.cols;
+        &mut self.data[start * c..(start + count) * c]
+    }
+
     /// Column `c` copied into a `Vec`.
     ///
     /// # Panics

@@ -732,6 +732,86 @@ impl Matrix {
     }
 }
 
+impl Matrix {
+    /// Single-output-row form of
+    /// [`Matrix::block_left_matmul_each_into`]: per block `b`, aggregates
+    /// only adjacency row `adj_row_of(b)` over the block's `n` input rows,
+    /// writing one row of `out` (`[blocks, cols]`). The frozen GCN uses
+    /// this for the **last** layer, whose output is read at exactly one
+    /// node per sample (the global readout node) — aggregating the other
+    /// `n - 1` rows there is dead work.
+    ///
+    /// Per output element the accumulation is the identical chain the full
+    /// block kernel runs for that row (`j` ascending from `0.0`, 16-lane
+    /// stripes, same fused/unfused multiply-add), so the produced row is
+    /// bit-identical to the corresponding row of the full aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `rows != blocks * n`, any fetched
+    /// adjacency row is not `n` long, or `out` is not `[blocks, cols]`.
+    pub fn block_left_matmul_row_each_into<'a>(
+        &self,
+        blocks: usize,
+        n: usize,
+        adj_row_of: impl Fn(usize) -> &'a [f32],
+        out: &mut Matrix,
+    ) -> Result<()> {
+        if n == 0 || self.rows() != blocks * n {
+            return Err(ShapeError::new(
+                "block_left_matmul_row_each_into",
+                self.shape(),
+                (blocks * n, n),
+            ));
+        }
+        if out.shape() != (blocks, self.cols()) {
+            return Err(ShapeError::new(
+                "block_left_matmul_row_each_into",
+                (blocks, self.cols()),
+                out.shape(),
+            ));
+        }
+        let cols = self.cols();
+        for b in 0..blocks {
+            let arow = adj_row_of(b);
+            if arow.len() != n {
+                return Err(ShapeError::new(
+                    "block_left_matmul_row_each_into",
+                    (1, n),
+                    (1, arow.len()),
+                ));
+            }
+            let base = b * n;
+            let mut c0 = 0;
+            while c0 + 16 <= cols {
+                let mut acc = [0.0f32; 16];
+                for (j, &a) in arow.iter().enumerate() {
+                    let src: &[f32; 16] = self.row(base + j)[c0..c0 + 16]
+                        .try_into()
+                        .expect("slice is 16 wide");
+                    for (al, &xi) in acc.iter_mut().zip(src) {
+                        *al = madd(a, xi, *al);
+                    }
+                }
+                out.row_mut(b)[c0..c0 + 16].copy_from_slice(&acc);
+                c0 += 16;
+            }
+            if c0 < cols {
+                let w = cols - c0;
+                let mut acc = [0.0f32; 16];
+                for (j, &a) in arow.iter().enumerate() {
+                    let src = &self.row(base + j)[c0..];
+                    for (al, &xi) in acc[..w].iter_mut().zip(src) {
+                        *al = madd(a, xi, *al);
+                    }
+                }
+                out.row_mut(b)[c0..].copy_from_slice(&acc[..w]);
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One multiply-add term, rounded exactly like the blocked micro-kernel:
 /// fused on AVX-512F targets, separate multiply and add elsewhere.
 #[inline(always)]

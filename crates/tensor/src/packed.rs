@@ -21,6 +21,7 @@ use crate::gemm::{self, Layout};
 use crate::matrix::Matrix;
 use crate::quant::{self, Int8Panels, Precision};
 use crate::shape::ShapeError;
+use crate::static_gemm::{self, StaticKernelFn};
 use crate::Result;
 
 /// Precision-specific panel storage.
@@ -46,6 +47,10 @@ pub struct PackedWeight {
     k: usize,
     n: usize,
     panels: Panels,
+    /// Monomorphized fixed-shape kernel resolved at
+    /// [`PackedWeight::pack_for_inference`] time, `None` on the dynamic
+    /// (training) packing paths and for shapes outside the registry.
+    static_kernel: Option<StaticKernelFn>,
 }
 
 impl PackedWeight {
@@ -67,6 +72,7 @@ impl PackedWeight {
         let (k, n) = b.shape();
         self.k = k;
         self.n = n;
+        self.static_kernel = None;
         match precision {
             Precision::F32 => {
                 let data = match &mut self.panels {
@@ -114,6 +120,31 @@ impl PackedWeight {
         }
     }
 
+    /// [`PackedWeight::pack_with`] plus static-shape kernel resolution:
+    /// when the panels are f32 and `(k, n)` is in the fixed-shape
+    /// registry ([`crate::STATIC_SHAPES`]), subsequent
+    /// [`Matrix::matmul_prepacked_into`] calls dispatch to the
+    /// monomorphized kernel instead of the blocked driver. Results are
+    /// bit-identical either way; the frozen inference engine calls this
+    /// at `freeze()` time, while the training paths keep the plain
+    /// dynamic packs (so repacking per optimiser step never pays the
+    /// lookup).
+    pub fn pack_for_inference(&mut self, b: &Matrix, precision: Precision) {
+        self.pack_with(b, precision);
+        if precision == Precision::F32 {
+            self.static_kernel = static_gemm::lookup(self.k, self.n);
+            if self.static_kernel.is_some() {
+                crate::telemetry::note_static_pack();
+            }
+        }
+    }
+
+    /// Whether [`Matrix::matmul_prepacked_into`] will dispatch to a
+    /// monomorphized fixed-shape kernel for this pack.
+    pub fn has_static_kernel(&self) -> bool {
+        self.static_kernel.is_some()
+    }
+
     /// Packs `b`'s transpose as the `B` operand of `A @ B^T` — the
     /// prepacked counterpart of [`Matrix::matmul_nt_into`]'s `rhs`.
     /// Always full precision (this form feeds the training path).
@@ -121,6 +152,7 @@ impl PackedWeight {
         let (n, k) = b.shape();
         self.k = k;
         self.n = n;
+        self.static_kernel = None;
         let data = match &mut self.panels {
             Panels::F32(data) => data,
             other => {
@@ -178,13 +210,20 @@ impl Matrix {
             ));
         }
         match &b.panels {
-            Panels::F32(data) => gemm::gemm_prepacked(
-                (m, n, k),
-                self.as_slice(),
-                Layout::RowMajor,
-                data,
-                out.as_mut_slice(),
-            ),
+            Panels::F32(data) => {
+                if let Some(kernel) = b.static_kernel {
+                    crate::telemetry::note_static_gemm((m, n, k));
+                    kernel(self.as_slice(), m, data, out.as_mut_slice());
+                } else {
+                    gemm::gemm_prepacked(
+                        (m, n, k),
+                        self.as_slice(),
+                        Layout::RowMajor,
+                        data,
+                        out.as_mut_slice(),
+                    );
+                }
+            }
             Panels::F16(halfs) => {
                 quant::gemm_prepacked_f16((m, n, k), self.as_slice(), halfs, out.as_mut_slice())
             }
@@ -333,6 +372,48 @@ mod tests {
                 .collect();
             assert_eq!(joined, full.as_slice(), "split at {split}");
         }
+    }
+
+    #[test]
+    fn inference_pack_binds_and_matches_the_dynamic_path() {
+        // (20, 48) is in the fixed-shape registry: the inference pack
+        // must resolve the monomorphized kernel and produce the same
+        // bits as the dynamic driver
+        let b = det(20, 48, 11);
+        let mut fast = PackedWeight::new();
+        fast.pack_for_inference(&b, Precision::F32);
+        assert!(fast.has_static_kernel());
+        let mut dynamic = PackedWeight::new();
+        dynamic.pack(&b);
+        assert!(!dynamic.has_static_kernel());
+        for m in [1usize, 8, 13, 64] {
+            let a = det(m, 20, m);
+            let mut got = Matrix::zeros(m, 48);
+            let mut expect = Matrix::zeros(m, 48);
+            a.matmul_prepacked_into(&fast, &mut got).unwrap();
+            a.matmul_prepacked_into(&dynamic, &mut expect).unwrap();
+            assert_eq!(got.as_slice(), expect.as_slice(), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn inference_pack_falls_back_off_registry() {
+        // unlisted shape: stays on the dynamic driver
+        let b = det(19, 47, 12);
+        let mut pw = PackedWeight::new();
+        pw.pack_for_inference(&b, Precision::F32);
+        assert!(!pw.has_static_kernel());
+        // reduced precision never binds a static kernel (quantised
+        // drivers have their own epilogues)
+        let mut half = PackedWeight::new();
+        half.pack_for_inference(&det(20, 48, 13), Precision::F16);
+        assert!(!half.has_static_kernel());
+        // and a dynamic repack drops a previously bound kernel
+        let mut repacked = PackedWeight::new();
+        repacked.pack_for_inference(&det(20, 48, 14), Precision::F32);
+        assert!(repacked.has_static_kernel());
+        repacked.pack(&det(20, 48, 15));
+        assert!(!repacked.has_static_kernel());
     }
 
     #[test]

@@ -3,6 +3,12 @@
 //! match these within float tolerance, and the `matmul_kernels` criterion
 //! bench measures the speedup. These are the original `Matrix::matmul*`
 //! implementations, unchanged.
+//!
+//! The rational-divide activations retired from [`crate::fastmath`]
+//! ([`rational_tanh`], [`rational_sigmoid`]) live here for the same
+//! reason: they are the exactly-divided form the division-free kernels
+//! are pinned against, and the `activation_kernels` bench measures what
+//! dropping the divide buys.
 
 use crate::matrix::Matrix;
 use crate::shape::ShapeError;
@@ -94,4 +100,36 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
         }
     }
     Ok(out)
+}
+
+/// The PR 2 `fast_tanh`: the same clamped degree-13/6 minimax rational
+/// as [`crate::fast_tanh`], but with the quotient computed by an exactly
+/// rounded `p / q` divide. Kept as the ground truth the division-free
+/// form is differenced against (the two agree to a few ULPs; the unit
+/// tests in [`crate::fastmath`] pin the gap).
+#[inline]
+pub fn rational_tanh(x: f32) -> f32 {
+    const CLAMP: f32 = 7.905_31;
+    let x = x.clamp(-CLAMP, CLAMP);
+    let x2 = x * x;
+    let mut p = -2.760_768_4e-16;
+    p = p * x2 + 2.000_188e-13;
+    p = p * x2 + -8.604_672e-11;
+    p = p * x2 + 5.122_297e-8;
+    p = p * x2 + 1.485_722_4e-5;
+    p = p * x2 + 6.372_619e-4;
+    p = p * x2 + 4.893_524_6e-3;
+    p *= x;
+    let mut q = 1.198_258_4e-6;
+    q = q * x2 + 1.185_347_1e-4;
+    q = q * x2 + 2.268_434_6e-3;
+    q = q * x2 + 4.893_525e-3;
+    p / q
+}
+
+/// The rational-divide sigmoid, via the same exact tanh identity as
+/// [`crate::fast_sigmoid`].
+#[inline]
+pub fn rational_sigmoid(x: f32) -> f32 {
+    0.5 + 0.5 * rational_tanh(0.5 * x)
 }
