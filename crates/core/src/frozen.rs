@@ -407,14 +407,24 @@ impl FrozenModel {
             pool.put(agg);
         }
         let batch = chunk.len();
-        let acc_repr =
-            self.accuracy_encoder
-                .forward(pool, scratch, encodings, self.nodes, self.seq_len)?;
-        let accuracy = self.accuracy_head.forward(pool, acc_repr)?;
-        let lat_repr =
-            self.latency_encoder
-                .forward(pool, scratch, encodings, self.nodes, self.seq_len)?;
-        let latency = self.latency_heads[slot].forward(pool, lat_repr)?;
+        let accuracy = {
+            let _stage = hwpr_obs::span_labeled("infer.encode", "accuracy");
+            let acc_repr = self.accuracy_encoder.forward(
+                pool,
+                scratch,
+                encodings,
+                self.nodes,
+                self.seq_len,
+            )?;
+            self.accuracy_head.forward(pool, acc_repr)?
+        };
+        let latency = {
+            let _stage = hwpr_obs::span_labeled("infer.encode", "latency");
+            let lat_repr =
+                self.latency_encoder
+                    .forward(pool, scratch, encodings, self.nodes, self.seq_len)?;
+            self.latency_heads[slot].forward(pool, lat_repr)?
+        };
         // fuse the two branch columns (≡ concat_cols) into the score head
         let mut both = pool.take(batch, 2);
         for r in 0..batch {
@@ -570,10 +580,18 @@ impl FrozenModel {
             .next_multiple_of(self.batch)
             .min(archs.len());
         type ChunkResult = Result<(Vec<f64>, Vec<Vec<f64>>)>;
+        // capture the calling thread's span context so worker spans stay in
+        // the caller's trace instead of becoming per-thread orphan roots
+        let ctx = hwpr_obs::current_context();
         let results: Vec<ChunkResult> = crossbeam::scope(|s| {
             let handles: Vec<_> = archs
                 .chunks(chunk)
-                .map(|c| s.spawn(move |_| self.predict_full(cache, c, slot)))
+                .map(|c| {
+                    s.spawn(move |_| {
+                        let _worker = hwpr_obs::span_with_parent("infer.worker", ctx);
+                        self.predict_full(cache, c, slot)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()

@@ -164,6 +164,7 @@ impl FrozenMlp {
     ///
     /// Propagates shape errors from mismatched inputs.
     pub fn forward(&self, pool: &mut BufferPool, x: Matrix) -> Result<Matrix> {
+        let _span = hwpr_obs::span("infer.mlp");
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
@@ -269,6 +270,7 @@ impl FrozenLstm {
         if steps.is_empty() {
             return Err(NnError::Config("LSTM received an empty sequence".into()));
         }
+        let _span = hwpr_obs::span("infer.lstm");
         let batch = steps[0].rows();
         let h = self.hidden_dim;
         let LstmScratch {
@@ -409,6 +411,7 @@ impl FrozenGcnLayer {
         adj_of: impl Fn(usize) -> &'a Matrix,
         nodes: usize,
     ) -> Result<Matrix> {
+        let _span = hwpr_obs::span("infer.gcn");
         let mut agg = pool.take_uninit(x.rows(), x.cols());
         x.block_left_matmul_each_into(blocks, nodes, adj_of, &mut agg)
             .map_err(AutogradError::from)?;
@@ -442,6 +445,7 @@ impl FrozenGcnLayer {
         adj_row_of: impl Fn(usize) -> &'a [f32],
         nodes: usize,
     ) -> Result<Matrix> {
+        let _span = hwpr_obs::span("infer.gcn");
         let mut agg = pool.take_uninit(blocks, x.cols());
         x.block_left_matmul_row_each_into(blocks, nodes, adj_row_of, &mut agg)
             .map_err(AutogradError::from)?;
@@ -464,6 +468,7 @@ impl FrozenGcnLayer {
     ///
     /// Returns a shape error when `agg`'s width does not match the layer.
     pub fn forward_from_agg(&self, pool: &mut BufferPool, agg: &Matrix) -> Result<Matrix> {
+        let _span = hwpr_obs::span("infer.gcn");
         let mut out = pool.take_uninit(agg.rows(), self.out_dim);
         agg.matmul_prepacked_into(&self.weight, &mut out)
             .map_err(AutogradError::from)?;

@@ -1,0 +1,426 @@
+//! Perf-regression sentinel: scenario-by-scenario comparison of two
+//! `HWPR_BENCH_JSON` snapshots (the `BENCH_prN.json` files the bench
+//! harness writes).
+//!
+//! Comparison is on **median** nanoseconds — the bench harness records
+//! both mean and median, and the median is the robust one on shared CI
+//! runners. A scenario regresses when its new median exceeds the old by
+//! more than its budget percentage; budgets resolve per scenario via
+//! longest-prefix override (`--budget inference_throughput/=25`) falling
+//! back to the global default. Scenarios present on only one side are
+//! reported but are warnings by default: bench suites grow every PR and
+//! a rename must not read as a regression.
+//!
+//! The caller maps [`DiffReport::verdict`] to an exit code; `hwpr-report
+//! bench-diff` uses 0 = within budget, 2 = regression, so CI can gate on
+//! it (softly via `--warn-only` on noisy runners).
+
+use crate::report::{fmt_f64, table};
+use serde::Value;
+
+/// One scenario row from a bench snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Scenario name, e.g. `"inference_throughput/frozen_b8_f32"`.
+    pub name: String,
+    /// Median wall time per iteration in nanoseconds.
+    pub median_ns: f64,
+    /// Mean wall time per iteration in nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Parses a bench snapshot (a JSON array of scenario objects).
+///
+/// # Errors
+///
+/// Returns a message for malformed JSON or rows missing
+/// `name`/`median_ns`/`mean_ns`.
+pub fn parse_snapshot(text: &str) -> Result<Vec<BenchRow>, String> {
+    let value: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    let rows = value
+        .as_array()
+        .ok_or("bench snapshot is not a JSON array")?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let pairs = row
+                .as_object()
+                .ok_or_else(|| format!("bench row {i} is not an object"))?;
+            let get_str = |key: &str| match pairs.iter().find(|(k, _)| k == key) {
+                Some((_, Value::String(s))) => Ok(s.clone()),
+                _ => Err(format!("bench row {i}: missing string field `{key}`")),
+            };
+            let get_num = |key: &str| match pairs.iter().find(|(k, _)| k == key) {
+                Some((_, Value::Float(f))) => Ok(*f),
+                Some((_, Value::UInt(u))) => Ok(*u as f64),
+                Some((_, Value::Int(n))) => Ok(*n as f64),
+                _ => Err(format!("bench row {i}: missing numeric field `{key}`")),
+            };
+            Ok(BenchRow {
+                name: get_str("name")?,
+                median_ns: get_num("median_ns")?,
+                mean_ns: get_num("mean_ns")?,
+            })
+        })
+        .collect()
+}
+
+/// Budget configuration for a diff.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Allowed slowdown in percent for scenarios without an override
+    /// (e.g. `10.0` accepts up to +10% on the median).
+    pub default_budget_pct: f64,
+    /// `(prefix, pct)` overrides; the **longest** prefix matching a
+    /// scenario name wins.
+    pub overrides: Vec<(String, f64)>,
+    /// Treat scenarios present in the old snapshot but missing from the
+    /// new one as failures instead of warnings.
+    pub fail_on_missing: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            default_budget_pct: 10.0,
+            overrides: Vec::new(),
+            fail_on_missing: false,
+        }
+    }
+}
+
+impl DiffConfig {
+    /// The budget (percent) applying to `scenario`.
+    pub fn budget_for(&self, scenario: &str) -> f64 {
+        self.overrides
+            .iter()
+            .filter(|(prefix, _)| scenario.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map_or(self.default_budget_pct, |(_, pct)| *pct)
+    }
+}
+
+/// Outcome for one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within budget (may be mildly slower).
+    Ok,
+    /// Meaningfully faster (median improved by more than the budget).
+    Improved,
+    /// Slower than the budget allows.
+    Regressed,
+    /// Present only in the old snapshot (removed or renamed).
+    OnlyOld,
+    /// Present only in the new snapshot (newly added).
+    OnlyNew,
+}
+
+impl Verdict {
+    fn shown(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::OnlyOld => "only-old",
+            Verdict::OnlyNew => "only-new",
+        }
+    }
+}
+
+/// One compared scenario.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Scenario name.
+    pub name: String,
+    /// Old median, ns (`None` for [`Verdict::OnlyNew`]).
+    pub old_ns: Option<f64>,
+    /// New median, ns (`None` for [`Verdict::OnlyOld`]).
+    pub new_ns: Option<f64>,
+    /// Median delta in percent, `(new - old) / old * 100`.
+    pub delta_pct: Option<f64>,
+    /// The budget that applied.
+    pub budget_pct: f64,
+    /// Outcome.
+    pub verdict: Verdict,
+}
+
+/// The full scenario-by-scenario comparison.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// One row per scenario (union of both snapshots), regressions first,
+    /// then by name.
+    pub rows: Vec<DiffRow>,
+    /// Whether missing-in-new scenarios count as failures.
+    pub fail_on_missing: bool,
+}
+
+/// Compares two snapshots under `config`.
+pub fn diff(old: &[BenchRow], new: &[BenchRow], config: &DiffConfig) -> DiffReport {
+    let mut rows: Vec<DiffRow> = Vec::new();
+    for o in old {
+        let budget_pct = config.budget_for(&o.name);
+        match new.iter().find(|n| n.name == o.name) {
+            Some(n) => {
+                // guard the ratio: a zero-median row would make every
+                // delta infinite
+                let delta_pct = if o.median_ns > 0.0 {
+                    (n.median_ns - o.median_ns) / o.median_ns * 100.0
+                } else {
+                    0.0
+                };
+                let verdict = if delta_pct > budget_pct {
+                    Verdict::Regressed
+                } else if delta_pct < -budget_pct {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                rows.push(DiffRow {
+                    name: o.name.clone(),
+                    old_ns: Some(o.median_ns),
+                    new_ns: Some(n.median_ns),
+                    delta_pct: Some(delta_pct),
+                    budget_pct,
+                    verdict,
+                });
+            }
+            None => rows.push(DiffRow {
+                name: o.name.clone(),
+                old_ns: Some(o.median_ns),
+                new_ns: None,
+                delta_pct: None,
+                budget_pct,
+                verdict: Verdict::OnlyOld,
+            }),
+        }
+    }
+    for n in new {
+        if !old.iter().any(|o| o.name == n.name) {
+            rows.push(DiffRow {
+                name: n.name.clone(),
+                old_ns: None,
+                new_ns: Some(n.median_ns),
+                delta_pct: None,
+                budget_pct: config.budget_for(&n.name),
+                verdict: Verdict::OnlyNew,
+            });
+        }
+    }
+    rows.sort_by(|a, b| {
+        let rank = |v: Verdict| match v {
+            Verdict::Regressed => 0,
+            Verdict::OnlyOld => 1,
+            Verdict::Improved => 2,
+            Verdict::Ok => 3,
+            Verdict::OnlyNew => 4,
+        };
+        rank(a.verdict)
+            .cmp(&rank(b.verdict))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    DiffReport {
+        rows,
+        fail_on_missing: config.fail_on_missing,
+    }
+}
+
+impl DiffReport {
+    /// Scenarios over budget (plus missing-in-new when
+    /// `fail_on_missing`).
+    pub fn failures(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| {
+                r.verdict == Verdict::Regressed
+                    || (self.fail_on_missing && r.verdict == Verdict::OnlyOld)
+            })
+            .count()
+    }
+
+    /// Whether the new snapshot is acceptable.
+    pub fn passed(&self) -> bool {
+        self.failures() == 0
+    }
+
+    /// Renders the comparison table plus a one-line verdict.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.old_ns.map_or("-".into(), fmt_f64),
+                    r.new_ns.map_or("-".into(), fmt_f64),
+                    r.delta_pct.map_or("-".into(), |d| format!("{d:+.1}%")),
+                    format!("{:.0}%", r.budget_pct),
+                    r.verdict.shown().to_string(),
+                ]
+            })
+            .collect();
+        let mut out = table(
+            &["scenario", "old ns", "new ns", "delta", "budget", "verdict"],
+            &rows,
+        );
+        let failures = self.failures();
+        let only_old = self
+            .rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::OnlyOld)
+            .count();
+        out.push_str(&format!(
+            "\n{} scenarios compared, {} regressed, {} missing in new\n",
+            self.rows.len(),
+            failures,
+            only_old
+        ));
+        out.push_str(if self.passed() {
+            "verdict: PASS (within budget)\n"
+        } else {
+            "verdict: FAIL (budget exceeded)\n"
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, median_ns: f64) -> BenchRow {
+        BenchRow {
+            name: name.into(),
+            median_ns,
+            mean_ns: median_ns,
+        }
+    }
+
+    #[test]
+    fn parse_reads_the_snapshot_format() {
+        let rows = parse_snapshot(
+            r#"[{"name": "a/b", "mean_ns": 10.5, "median_ns": 9.0,
+                 "samples": 10, "iters_per_sample": 2}]"#,
+        )
+        .unwrap();
+        assert_eq!(
+            rows,
+            vec![BenchRow {
+                name: "a/b".into(),
+                median_ns: 9.0,
+                mean_ns: 10.5,
+            }]
+        );
+        assert!(parse_snapshot("{}").is_err());
+        assert!(parse_snapshot(r#"[{"name": "x"}]"#).is_err());
+    }
+
+    #[test]
+    fn regression_over_budget_is_flagged() {
+        let old = vec![row("k/fast", 100.0), row("k/slow", 100.0)];
+        let new = vec![row("k/fast", 105.0), row("k/slow", 125.0)];
+        let report = diff(&old, &new, &DiffConfig::default()); // 10%
+        assert_eq!(report.failures(), 1);
+        assert!(!report.passed());
+        let slow = report.rows.iter().find(|r| r.name == "k/slow").unwrap();
+        assert_eq!(slow.verdict, Verdict::Regressed);
+        assert_eq!(
+            report
+                .rows
+                .iter()
+                .find(|r| r.name == "k/fast")
+                .unwrap()
+                .verdict,
+            Verdict::Ok
+        );
+        // regressions sort to the top of the report
+        assert_eq!(report.rows[0].name, "k/slow");
+        assert!(report.render().contains("REGRESSED"), "{}", report.render());
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn longest_prefix_override_wins() {
+        let config = DiffConfig {
+            default_budget_pct: 10.0,
+            overrides: vec![("k/".into(), 20.0), ("k/noisy".into(), 60.0)],
+            fail_on_missing: false,
+        };
+        assert_eq!(config.budget_for("other/x"), 10.0);
+        assert_eq!(config.budget_for("k/fast"), 20.0);
+        assert_eq!(config.budget_for("k/noisy_gemm"), 60.0);
+
+        let old = vec![row("k/noisy_gemm", 100.0)];
+        let new = vec![row("k/noisy_gemm", 150.0)];
+        assert!(diff(&old, &new, &config).passed());
+        assert!(!diff(&old, &new, &DiffConfig::default()).passed());
+    }
+
+    #[test]
+    fn improvement_and_additions_never_fail() {
+        let old = vec![row("k/a", 100.0)];
+        let new = vec![row("k/a", 40.0), row("k/brand_new", 5.0)];
+        let report = diff(&old, &new, &DiffConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.rows[0].verdict, Verdict::Improved);
+        assert_eq!(report.rows[1].verdict, Verdict::OnlyNew);
+    }
+
+    #[test]
+    fn missing_scenarios_warn_by_default_and_fail_on_request() {
+        let old = vec![row("k/gone", 100.0)];
+        let new: Vec<BenchRow> = Vec::new();
+        assert!(diff(&old, &new, &DiffConfig::default()).passed());
+        let strict = DiffConfig {
+            fail_on_missing: true,
+            ..DiffConfig::default()
+        };
+        let report = diff(&old, &new, &strict);
+        assert!(!report.passed());
+        assert_eq!(report.rows[0].verdict, Verdict::OnlyOld);
+    }
+
+    #[test]
+    fn zero_median_rows_do_not_blow_up_the_ratio() {
+        let old = vec![row("k/degenerate", 0.0)];
+        let new = vec![row("k/degenerate", 50.0)];
+        let report = diff(&old, &new, &DiffConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.rows[0].delta_pct, Some(0.0));
+    }
+
+    /// The real PR-6 -> PR-7 snapshots must pass at the budget the CI
+    /// soft gate uses (50%): the known tape_serial slowdown (~32%, traded
+    /// for the frozen-path wins) stays inside it, everything else is flat
+    /// or faster.
+    #[test]
+    fn checked_in_snapshots_pass_at_the_ci_budget() {
+        let old = parse_snapshot(include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_pr6.json"
+        )))
+        .unwrap();
+        let new = parse_snapshot(include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_pr7.json"
+        )))
+        .unwrap();
+        assert!(!old.is_empty() && !new.is_empty());
+        let config = DiffConfig {
+            default_budget_pct: 50.0,
+            ..DiffConfig::default()
+        };
+        let report = diff(&old, &new, &config);
+        assert!(report.passed(), "{}", report.render());
+        // and the sentinel is not vacuous: a tight budget catches the
+        // documented tape_serial slowdown in the same data
+        let tight = diff(
+            &old,
+            &new,
+            &DiffConfig {
+                default_budget_pct: 5.0,
+                ..DiffConfig::default()
+            },
+        );
+        assert!(!tight.passed());
+    }
+}

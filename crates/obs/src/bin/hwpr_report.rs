@@ -1,45 +1,180 @@
-//! Summarizes a telemetry JSONL run record into a human-readable table.
+//! Offline analysis of telemetry run records and bench snapshots.
 //!
 //! ```text
-//! hwpr-report telemetry.jsonl        # read a file
-//! some-run | hwpr-report -           # read stdin
+//! hwpr-report summary RUN.jsonl          # metric/span summary tables
+//! hwpr-report trace RUN.jsonl -o T.json  # Chrome Trace JSON (Perfetto)
+//! hwpr-report tree RUN.jsonl             # span tree with self-time
+//! hwpr-report folded RUN.jsonl           # folded stacks (flamegraph.pl)
+//! hwpr-report bench-diff OLD.json NEW.json --budget-pct 10 \
+//!     --budget inference_throughput/=25 [--warn-only] [--fail-on-missing]
+//! hwpr-report RUN.jsonl                  # bare path = summary (legacy)
+//! some-run | hwpr-report summary -       # `-` reads stdin anywhere
 //! ```
+//!
+//! Exit codes: 0 success / within budget, 1 usage or IO error,
+//! 2 bench-diff budget exceeded (0 under `--warn-only`).
 
+use hwpr_obs::benchdiff::{self, DiffConfig};
+use hwpr_obs::{report, trace};
 use std::io::Read;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let source = match args.as_slice() {
-        [path] => path.clone(),
-        _ => {
-            eprintln!("usage: hwpr-report <telemetry.jsonl | ->");
-            return ExitCode::FAILURE;
-        }
-    };
-    let text = if source == "-" {
+const USAGE: &str = "usage: hwpr-report <command> [args]\n\
+    \n\
+    commands:\n\
+    \x20 summary <RUN.jsonl | ->               metric/span summary tables\n\
+    \x20 trace   <RUN.jsonl | -> [-o OUT.json] Chrome Trace JSON (Perfetto)\n\
+    \x20 tree    <RUN.jsonl | ->               span tree with self-time\n\
+    \x20 folded  <RUN.jsonl | ->               folded stacks for flamegraphs\n\
+    \x20 bench-diff <OLD.json> <NEW.json> [--budget-pct N]\n\
+    \x20            [--budget PREFIX=PCT]... [--warn-only] [--fail-on-missing]\n\
+    \n\
+    a bare <RUN.jsonl> argument is shorthand for `summary`";
+
+fn read_source(source: &str) -> Result<String, String> {
+    if source == "-" {
         let mut buf = String::new();
-        if let Err(err) = std::io::stdin().read_to_string(&mut buf) {
-            eprintln!("hwpr-report: reading stdin: {err}");
-            return ExitCode::FAILURE;
-        }
-        buf
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|err| format!("reading stdin: {err}"))?;
+        Ok(buf)
     } else {
-        match std::fs::read_to_string(&source) {
-            Ok(text) => text,
-            Err(err) => {
-                eprintln!("hwpr-report: reading {source}: {err}");
-                return ExitCode::FAILURE;
-            }
-        }
-    };
-    match hwpr_obs::report::parse_jsonl(&text) {
+        std::fs::read_to_string(source).map_err(|err| format!("reading {source}: {err}"))
+    }
+}
+
+fn load_events(source: &str) -> Result<Vec<hwpr_obs::Event>, String> {
+    report::parse_jsonl(&read_source(source)?)
+}
+
+/// `summary` / `tree` / `folded`: parse a run record, print one rendering.
+fn render_command(source: &str, render: impl FnOnce(&[hwpr_obs::Event]) -> String) -> ExitCode {
+    match load_events(source) {
         Ok(events) => {
-            print!("{}", hwpr_obs::report::summarize(&events));
+            print!("{}", render(&events));
             ExitCode::SUCCESS
         }
         Err(err) => {
             eprintln!("hwpr-report: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn trace_command(args: &[String]) -> ExitCode {
+    let (source, out) = match args {
+        [source] => (source, None),
+        [source, flag, out] if flag == "-o" || flag == "--out" => (source, Some(out)),
+        _ => {
+            eprintln!("usage: hwpr-report trace <RUN.jsonl | -> [-o OUT.json]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match load_events(source) {
+        Ok(events) => events,
+        Err(err) => {
+            eprintln!("hwpr-report: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = trace::chrome_trace(&events);
+    match out {
+        None => {
+            println!("{json}");
+        }
+        Some(path) => {
+            if let Err(err) = std::fs::write(path, &json) {
+                eprintln!("hwpr-report: writing {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+            let stats = trace::stats(&events);
+            eprintln!(
+                "wrote {path}: {} spans, {} roots, {} orphans, {} thread lanes \
+                 (open in https://ui.perfetto.dev)",
+                stats.spans, stats.roots, stats.orphans, stats.threads
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn bench_diff_command(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut config = DiffConfig::default();
+    let mut warn_only = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--budget-pct" => {
+                let Some(pct) = iter.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("hwpr-report: --budget-pct needs a number");
+                    return ExitCode::FAILURE;
+                };
+                config.default_budget_pct = pct;
+            }
+            "--budget" => {
+                let parsed = iter.next().and_then(|v| {
+                    let (prefix, pct) = v.split_once('=')?;
+                    Some((prefix.to_string(), pct.parse::<f64>().ok()?))
+                });
+                let Some(over) = parsed else {
+                    eprintln!("hwpr-report: --budget needs PREFIX=PCT");
+                    return ExitCode::FAILURE;
+                };
+                config.overrides.push(over);
+            }
+            "--warn-only" => warn_only = true,
+            "--fail-on-missing" => config.fail_on_missing = true,
+            _ => paths.push(arg),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: hwpr-report bench-diff <OLD.json> <NEW.json> [--budget-pct N]\n\
+             \x20          [--budget PREFIX=PCT]... [--warn-only] [--fail-on-missing]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let load = |path: &str| -> Result<Vec<benchdiff::BenchRow>, String> {
+        benchdiff::parse_snapshot(&read_source(path)?).map_err(|err| format!("{path}: {err}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("hwpr-report: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = benchdiff::diff(&old, &new, &config);
+    print!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else if warn_only {
+        eprintln!("hwpr-report: budget exceeded (ignored: --warn-only)");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match (cmd.as_str(), rest) {
+            ("summary", [source]) => render_command(source, report::summarize),
+            ("tree", [source]) => render_command(source, trace::span_tree),
+            ("folded", [source]) => render_command(source, trace::folded_stacks),
+            ("trace", rest) => trace_command(rest),
+            ("bench-diff", rest) => bench_diff_command(rest),
+            // back-compat: a bare path (or `-`) means `summary`
+            (source, []) if !source.starts_with("--") => render_command(source, report::summarize),
+            _ => {
+                eprintln!("{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }

@@ -60,22 +60,45 @@ impl TelemetrySpec {
         }
     }
 
-    /// Installs the matching sink as the global recorder. Returns whether
-    /// telemetry ended up enabled.
+    /// Installs the matching sink as the global recorder and opens the
+    /// run record with the `trace.meta` event ([`crate::trace_id`] +
+    /// pid). Returns whether telemetry ended up enabled.
+    ///
+    /// Missing parent directories of a [`Self::Jsonl`] path are created.
     ///
     /// # Errors
     ///
-    /// Propagates file-creation failures for [`Self::Jsonl`].
+    /// Propagates directory-/file-creation failures for [`Self::Jsonl`].
+    /// Prefer [`Self::install_or_warn`] in binaries: telemetry is
+    /// best-effort and must not kill the run it observes.
     pub fn install(&self) -> io::Result<bool> {
         match self {
             Self::Off => Ok(false),
             Self::Stderr => {
                 crate::install(Arc::new(JsonlSink::to_stderr()));
+                crate::emit_run_metadata();
                 Ok(true)
             }
             Self::Jsonl(path) => {
                 crate::install(Arc::new(JsonlSink::to_file(path)?));
+                crate::emit_run_metadata();
                 Ok(true)
+            }
+        }
+    }
+
+    /// [`Self::install`], degraded to a stderr warning on failure: an
+    /// unwritable `jsonl:PATH` leaves telemetry off and the run alive.
+    /// Returns whether telemetry ended up enabled.
+    pub fn install_or_warn(&self) -> bool {
+        match self.install() {
+            Ok(enabled) => enabled,
+            Err(err) => {
+                eprintln!(
+                    "[hwpr warn] could not open telemetry sink ({self:?}): {err}; \
+                     telemetry disabled"
+                );
+                false
             }
         }
     }
@@ -87,13 +110,7 @@ impl TelemetrySpec {
 /// off. Returns whether telemetry is enabled.
 pub fn init_from_env() -> bool {
     match TelemetrySpec::from_env() {
-        Ok(spec) => match spec.install() {
-            Ok(enabled) => enabled,
-            Err(err) => {
-                eprintln!("[hwpr warn] could not open telemetry sink: {err}");
-                false
-            }
-        },
+        Ok(spec) => spec.install_or_warn(),
         Err(err) => {
             eprintln!("[hwpr warn] {err}");
             false

@@ -24,6 +24,9 @@ pub enum Event {
         /// Optional variant label, e.g. the precision of an
         /// `"infer.frozen"` span. Omitted from the JSON when absent.
         label: Option<String>,
+        /// Dense lane id of the emitting thread (0 in pre-tracing
+        /// captures; see [`crate::thread_id`]).
+        tid: u64,
         /// Start time.
         t_us: u64,
     },
@@ -37,6 +40,9 @@ pub enum Event {
         name: String,
         /// Optional variant label from the matching start event.
         label: Option<String>,
+        /// Dense lane id of the emitting thread (0 in pre-tracing
+        /// captures; see [`crate::thread_id`]).
+        tid: u64,
         /// End time.
         t_us: u64,
         /// Span duration (monotonic, so `t_us >= start.t_us + dur_us` is
@@ -137,6 +143,7 @@ impl Event {
                 parent,
                 name,
                 label,
+                tid,
                 t_us,
             } => {
                 put("type", Value::String("span_start".into()));
@@ -146,6 +153,7 @@ impl Event {
                 if let Some(label) = label {
                     put("label", Value::String(label.clone()));
                 }
+                put("tid", Value::UInt(*tid));
                 put("t_us", Value::UInt(*t_us));
             }
             Event::SpanEnd {
@@ -153,6 +161,7 @@ impl Event {
                 parent,
                 name,
                 label,
+                tid,
                 t_us,
                 dur_us,
             } => {
@@ -163,6 +172,7 @@ impl Event {
                 if let Some(label) = label {
                     put("label", Value::String(label.clone()));
                 }
+                put("tid", Value::UInt(*tid));
                 put("t_us", Value::UInt(*t_us));
                 put("dur_us", Value::UInt(*dur_us));
             }
@@ -268,6 +278,14 @@ impl Event {
                 )),
             }
         };
+        // absent on spans written before thread lanes existed; 0 keeps
+        // old captures loadable (exporters fold lane 0 into one lane)
+        let get_tid = || -> Result<u64, String> {
+            match pairs.iter().find(|(k, _)| k == "tid") {
+                None => Ok(0),
+                Some(_) => get_u64("tid"),
+            }
+        };
         let kind = get_str("type")?;
         Ok(match kind.as_str() {
             "span_start" => Event::SpanStart {
@@ -275,6 +293,7 @@ impl Event {
                 parent: get_u64("parent")?,
                 name: get_str("name")?,
                 label: get_label()?,
+                tid: get_tid()?,
                 t_us: get_u64("t_us")?,
             },
             "span_end" => Event::SpanEnd {
@@ -282,6 +301,7 @@ impl Event {
                 parent: get_u64("parent")?,
                 name: get_str("name")?,
                 label: get_label()?,
+                tid: get_tid()?,
                 t_us: get_u64("t_us")?,
                 dur_us: get_u64("dur_us")?,
             },
@@ -357,6 +377,7 @@ mod tests {
             parent: 3,
             name: "search.moea".into(),
             label: None,
+            tid: 1,
             t_us: 120,
         };
         let end = Event::SpanEnd {
@@ -364,6 +385,7 @@ mod tests {
             parent: 3,
             name: "search.moea".into(),
             label: None,
+            tid: 1,
             t_us: 950,
             dur_us: 830,
         };
@@ -381,6 +403,7 @@ mod tests {
             parent: 0,
             name: "infer.frozen".into(),
             label: Some("int8".into()),
+            tid: 4,
             t_us: 5,
         };
         let end = Event::SpanEnd {
@@ -388,14 +411,38 @@ mod tests {
             parent: 0,
             name: "infer.frozen".into(),
             label: Some("int8".into()),
+            tid: 4,
             t_us: 55,
             dur_us: 50,
         };
         for ev in [start, end] {
             let json = ev.to_json();
             assert!(json.contains("\"label\":\"int8\""));
+            assert!(json.contains("\"tid\":4"));
             assert_eq!(Event::from_json(&json).unwrap(), ev);
         }
+    }
+
+    #[test]
+    fn pre_tracing_span_events_parse_with_lane_zero() {
+        // captures written before thread lanes existed carry no `tid`
+        let ev = Event::from_json(
+            "{\"type\":\"span_end\",\"id\":2,\"parent\":1,\
+             \"name\":\"train.loop\",\"t_us\":80,\"dur_us\":70}",
+        )
+        .unwrap();
+        assert_eq!(
+            ev,
+            Event::SpanEnd {
+                id: 2,
+                parent: 1,
+                name: "train.loop".into(),
+                label: None,
+                tid: 0,
+                t_us: 80,
+                dur_us: 70,
+            }
+        );
     }
 
     #[test]

@@ -4,7 +4,12 @@
 //!
 //! - **Spans** ([`span`]) — hierarchical, monotonically timed regions
 //!   ("search.moea" contains "search.generation" contains the evaluator
-//!   call), emitted as start/end event pairs.
+//!   call), emitted as start/end event pairs. Fan-outs stay connected
+//!   across threads through explicit [`SpanContext`] propagation
+//!   ([`current_context`] → [`span_with_parent`]); the whole process
+//!   shares one [`trace_id`], and the [`trace`] module renders a capture
+//!   as a Chrome Trace Event file, a self-time-attributed span tree or
+//!   folded flamegraph stacks.
 //! - **Metrics** ([`metrics`]) — typed counters, gauges and histograms in
 //!   a process-global [`metrics::Registry`]; instrumented subsystems hold
 //!   `Arc` handles and the registry can snapshot every live metric into
@@ -45,18 +50,22 @@
 
 #![warn(missing_docs)]
 
+pub mod benchdiff;
 pub mod config;
 pub mod event;
 pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use config::{env_or_else, init_from_env, spec_or, TelemetrySpec};
 pub use event::Event;
 pub use serde::Value;
 pub use sink::Recorder;
-pub use span::{span, span_labeled, Span};
+pub use span::{
+    current_context, span, span_labeled, span_with_parent, thread_id, Span, SpanContext,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -88,6 +97,37 @@ fn epoch() -> Instant {
 /// Microseconds since the process telemetry epoch (monotonic).
 pub fn now_us() -> u64 {
     epoch().elapsed().as_micros() as u64
+}
+
+/// The process-wide trace id: every span this process emits belongs to
+/// one logical trace, identified by this value. Fixed for the process
+/// lifetime; derived from wall clock and pid (then bit-mixed) so two runs
+/// practically never collide, and never 0.
+pub fn trace_id() -> u64 {
+    static TRACE_ID: OnceLock<u64> = OnceLock::new();
+    *TRACE_ID.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        // splitmix64 finalizer spreads the timestamp/pid bits
+        let mut z = nanos ^ ((std::process::id() as u64) << 32);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)).max(1)
+    })
+}
+
+/// Emits the run-identifying `trace.meta` record (trace id + pid). Called
+/// by [`TelemetrySpec::install`] right after the sink goes live so every
+/// JSONL capture opens with it; trace exporters read it back into the
+/// exported trace's metadata. A no-op when telemetry is off.
+pub fn emit_run_metadata() {
+    record_with("trace.meta", || {
+        vec![
+            field("trace_id", format!("{:016x}", trace_id())),
+            field("pid", std::process::id() as u64),
+        ]
+    });
 }
 
 /// Installs `recorder` as the process-global event sink and turns

@@ -138,12 +138,13 @@ pub fn summarize(events: &[Event]) -> String {
                     return None;
                 };
                 let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                let q = |q: f64| quantile(bounds, counts, q).map_or("-".into(), fmt_f64);
                 Some(vec![
                     name.clone(),
                     count.to_string(),
                     fmt_f64(mean),
-                    fmt_f64(quantile(bounds, counts, 0.5)),
-                    fmt_f64(quantile(bounds, counts, 0.95)),
+                    q(0.5),
+                    q(0.95),
                 ])
             })
             .collect();
@@ -202,26 +203,34 @@ pub fn summarize(events: &[Event]) -> String {
     out
 }
 
-/// Approximate quantile from cumulative bucket counts (upper bound of the
-/// bucket holding the q-th observation; the overflow bucket reports the
-/// last finite bound).
-fn quantile(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
+/// Approximate quantile from cumulative bucket counts: the upper bound of
+/// the bucket holding the q-th observation. Returns `None` when the value
+/// is unknowable — an empty histogram, or a quantile landing in the
+/// overflow bucket of a histogram with no finite bounds. A quantile in
+/// the overflow bucket of a bounded histogram reports the last finite
+/// bound (a lower bound for the true quantile — the same direction of
+/// approximation every bucket gives).
+fn quantile(bounds: &[f64], counts: &[u64], q: f64) -> Option<f64> {
     let total: u64 = counts.iter().sum();
     if total == 0 {
-        return 0.0;
+        return None;
     }
-    let target = (q * total as f64).ceil().max(1.0) as u64;
+    // clamp into [1, total] so q = 0 and fp round-up past 1.0 stay valid
+    let target = ((q * total as f64).ceil().max(1.0) as u64).min(total);
     let mut seen = 0u64;
     for (i, &c) in counts.iter().enumerate() {
         seen += c;
         if seen >= target {
-            return bounds
-                .get(i)
-                .copied()
-                .unwrap_or_else(|| bounds.last().copied().unwrap_or(f64::INFINITY));
+            return match bounds.get(i) {
+                Some(&bound) => Some(bound),
+                // overflow bucket: best available is the last finite bound
+                None => bounds.last().copied(),
+            };
         }
     }
-    bounds.last().copied().unwrap_or(f64::INFINITY)
+    // counts summed to < target can only happen with inconsistent input;
+    // report the weakest valid answer rather than panicking
+    bounds.last().copied()
 }
 
 fn fmt_value(value: &Value) -> String {
@@ -241,7 +250,7 @@ fn fmt_u64(v: u64) -> String {
     v.to_string()
 }
 
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v == 0.0 {
         "0".into()
     } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
@@ -253,7 +262,7 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn fmt_us(us: u64) -> String {
+pub(crate) fn fmt_us(us: u64) -> String {
     if us >= 10_000_000 {
         format!("{:.1}s", us as f64 / 1e6)
     } else if us >= 10_000 {
@@ -264,7 +273,7 @@ fn fmt_us(us: u64) -> String {
 }
 
 /// Renders an aligned plain-text table.
-fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+pub(crate) fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -319,6 +328,7 @@ mod tests {
                 parent: 0,
                 name: "search.moea".into(),
                 label: None,
+                tid: 1,
                 t_us: 0,
             },
             Event::SpanEnd {
@@ -326,6 +336,7 @@ mod tests {
                 parent: 0,
                 name: "search.moea".into(),
                 label: None,
+                tid: 1,
                 t_us: 900,
                 dur_us: 900,
             },
@@ -381,6 +392,7 @@ mod tests {
                 parent: 0,
                 name: "infer.frozen".into(),
                 label: Some("int8".into()),
+                tid: 2,
                 t_us: 0,
             },
             Event::SpanEnd {
@@ -388,6 +400,7 @@ mod tests {
                 parent: 0,
                 name: "infer.frozen".into(),
                 label: Some("int8".into()),
+                tid: 2,
                 t_us: 400,
                 dur_us: 400,
             },
@@ -463,10 +476,76 @@ mod tests {
     fn quantile_walks_buckets() {
         let bounds = [1.0, 2.0, 4.0];
         let counts = [5, 4, 1, 0];
-        assert_eq!(quantile(&bounds, &counts, 0.5), 1.0);
-        assert_eq!(quantile(&bounds, &counts, 0.9), 2.0);
-        assert_eq!(quantile(&bounds, &counts, 0.95), 4.0);
-        assert_eq!(quantile(&bounds, &counts, 1.0), 4.0);
-        assert_eq!(quantile(&bounds, &[0, 0, 0, 0], 0.5), 0.0);
+        assert_eq!(quantile(&bounds, &counts, 0.5), Some(1.0));
+        assert_eq!(quantile(&bounds, &counts, 0.9), Some(2.0));
+        assert_eq!(quantile(&bounds, &counts, 0.95), Some(4.0));
+        assert_eq!(quantile(&bounds, &counts, 1.0), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_unknown() {
+        assert_eq!(quantile(&[1.0, 2.0, 4.0], &[0, 0, 0, 0], 0.5), None);
+        assert_eq!(quantile(&[], &[], 0.5), None);
+        assert_eq!(quantile(&[], &[0], 0.99), None);
+    }
+
+    #[test]
+    fn quantile_single_sample_reports_its_bucket_for_every_q() {
+        let bounds = [1.0, 2.0, 4.0];
+        let counts = [0, 1, 0, 0];
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(quantile(&bounds, &counts, q), Some(2.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_all_in_overflow_reports_last_finite_bound() {
+        // every observation past the last bound: the honest answer is a
+        // lower bound, never a division by zero or a panic
+        let bounds = [1.0, 2.0, 4.0];
+        let counts = [0, 0, 0, 7];
+        assert_eq!(quantile(&bounds, &counts, 0.5), Some(4.0));
+        assert_eq!(quantile(&bounds, &counts, 0.99), Some(4.0));
+        // a histogram with only the overflow bucket has no finite bound
+        assert_eq!(quantile(&[], &[3], 0.5), None);
+    }
+
+    #[test]
+    fn summarize_renders_degenerate_histograms_without_panicking() {
+        let events = vec![
+            Event::Hist {
+                name: "t.empty".into(),
+                count: 0,
+                sum: 0.0,
+                bounds: vec![1.0, 10.0],
+                counts: vec![0, 0, 0],
+                t_us: 1,
+            },
+            Event::Hist {
+                name: "t.overflow".into(),
+                count: 4,
+                sum: 400.0,
+                bounds: vec![1.0, 10.0],
+                counts: vec![0, 0, 4],
+                t_us: 1,
+            },
+            Event::Hist {
+                name: "t.single".into(),
+                count: 1,
+                sum: 5.0,
+                bounds: vec![1.0, 10.0],
+                counts: vec![0, 1, 0],
+                t_us: 1,
+            },
+        ];
+        let text = summarize(&events);
+        // empty histogram: unknown quantiles render as "-", mean as 0
+        assert!(text.contains("t.empty"), "{text}");
+        assert!(text.contains('-'), "{text}");
+        // all-in-overflow: last finite bound, not inf/NaN
+        assert!(text.contains("t.overflow"), "{text}");
+        assert!(!text.to_lowercase().contains("inf"), "{text}");
+        assert!(!text.to_lowercase().contains("nan"), "{text}");
+        assert!(text.contains("t.single"), "{text}");
     }
 }

@@ -30,12 +30,20 @@ impl std::fmt::Debug for JsonlSink {
 }
 
 impl JsonlSink {
-    /// Streams JSONL to (truncating) the file at `path`.
+    /// Streams JSONL to (truncating) the file at `path`, creating missing
+    /// parent directories — `jsonl:runs/today/run.jsonl` must not fail
+    /// just because `runs/today/` does not exist yet.
     ///
     /// # Errors
     ///
-    /// Propagates the file-creation error.
+    /// Propagates the directory- or file-creation error.
     pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
         Ok(Self::to_writer(Box::new(File::create(path)?)))
     }
 

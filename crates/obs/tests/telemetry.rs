@@ -121,6 +121,123 @@ fn span_restores_parent_after_drop() {
 }
 
 #[test]
+fn span_context_propagates_across_threads() {
+    let events = with_memory_sink(|| {
+        let root = hwpr_obs::span("t.fanout");
+        let ctx = root.context();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    let _worker = hwpr_obs::span_with_parent("t.worker", ctx);
+                    let _inner = hwpr_obs::span("t.worker_inner");
+                });
+            }
+        });
+    });
+    let root_id = events
+        .iter()
+        .find_map(|e| match e {
+            Event::SpanStart { id, name, .. } if name == "t.fanout" => Some(*id),
+            _ => None,
+        })
+        .expect("root start");
+    // every worker span hangs off the spawning thread's span, and the
+    // workers' own children nest under the worker (thread-local nesting
+    // keeps working under an explicit parent)
+    let worker_starts: Vec<(u64, u64, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::SpanStart {
+                id,
+                parent,
+                name,
+                tid,
+                ..
+            } if name == "t.worker" => Some((*id, *parent, *tid)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(worker_starts.len(), 4);
+    for (_, parent, _) in &worker_starts {
+        assert_eq!(*parent, root_id, "worker must parent to the fan-out span");
+    }
+    // the four workers ran on distinct threads with distinct lane ids,
+    // none of them the root's lane
+    let root_tid = events
+        .iter()
+        .find_map(|e| match e {
+            Event::SpanStart { name, tid, .. } if name == "t.fanout" => Some(*tid),
+            _ => None,
+        })
+        .unwrap();
+    let mut worker_tids: Vec<u64> = worker_starts.iter().map(|(_, _, tid)| *tid).collect();
+    worker_tids.sort_unstable();
+    worker_tids.dedup();
+    assert_eq!(worker_tids.len(), 4, "one lane per worker thread");
+    assert!(!worker_tids.contains(&root_tid));
+    for (worker_id, _, worker_tid) in &worker_starts {
+        let inner = events
+            .iter()
+            .find_map(|e| match e {
+                Event::SpanStart {
+                    parent, name, tid, ..
+                } if name == "t.worker_inner" && tid == worker_tid => Some(*parent),
+                _ => None,
+            })
+            .expect("worker inner span");
+        assert_eq!(inner, *worker_id, "inner span nests under its worker");
+    }
+    // the capture is one connected tree: one root, no orphans
+    let stats = hwpr_obs::trace::stats(&events);
+    assert_eq!(stats.roots, 1, "{stats:?}");
+    assert_eq!(stats.orphans, 0, "{stats:?}");
+    assert_eq!(stats.spans, 9, "1 root + 4 workers + 4 inners");
+    assert_eq!(stats.threads, 5, "main + 4 workers");
+}
+
+#[test]
+fn jsonl_spec_creates_missing_directories_and_opens_with_trace_meta() {
+    let _guard = recorder_lock();
+    let dir = std::env::temp_dir().join(format!("hwpr-obs-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("deeply/nested/run.jsonl");
+    let spec = hwpr_obs::TelemetrySpec::Jsonl(path.clone());
+    assert!(spec.install_or_warn(), "nested dirs must be created");
+    {
+        let _probe = hwpr_obs::span("t.config_probe");
+    }
+    hwpr_obs::shutdown();
+    let text = std::fs::read_to_string(&path).expect("run record written");
+    let events = hwpr_obs::report::parse_jsonl(&text).expect("valid JSONL");
+    // the capture opens with the run-identifying trace.meta record
+    assert!(
+        matches!(&events[0], Event::Record { name, fields, .. }
+            if name == "trace.meta"
+                && fields.iter().any(|(k, _)| k == "trace_id")
+                && fields.iter().any(|(k, _)| k == "pid")),
+        "{events:?}"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::SpanStart { name, .. } if name == "t.config_probe")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_jsonl_spec_degrades_to_a_warning() {
+    let _guard = recorder_lock();
+    // /proc/version exists and is definitely not a directory, so creating
+    // a file beneath it must fail on any Linux runner
+    let spec = hwpr_obs::TelemetrySpec::Jsonl("/proc/version/nope/run.jsonl".into());
+    assert!(spec.install().is_err(), "sanity: the path is unwritable");
+    assert!(!spec.install_or_warn(), "degrades instead of panicking");
+    assert!(
+        !hwpr_obs::enabled(),
+        "telemetry stays off after the failure"
+    );
+}
+
+#[test]
 fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
     let h = Histogram::new("t.bounds", &Histogram::exponential_bounds(1.0, 10.0, 3));
     assert_eq!(h.bounds(), &[1.0, 10.0, 100.0]);
@@ -143,6 +260,7 @@ fn every_event_kind_round_trips_through_jsonl() {
             parent: 3,
             name: "search.moea".into(),
             label: None,
+            tid: 1,
             t_us: 12,
         },
         Event::SpanEnd {
@@ -150,6 +268,7 @@ fn every_event_kind_round_trips_through_jsonl() {
             parent: 3,
             name: "search.moea".into(),
             label: Some("f16".into()),
+            tid: 2,
             t_us: 90,
             dur_us: 78,
         },

@@ -373,6 +373,7 @@ impl Evaluator for HwPrNasEvaluator {
     }
 
     fn evaluate(&mut self, archs: &[Architecture], clock: &mut SearchClock) -> Result<Fitness> {
+        let _span = hwpr_obs::span("search.eval");
         let mut scores = vec![0.0f64; archs.len()];
         let mut objectives: Vec<Option<SharedObjectives>> = vec![None; archs.len()];
         // batch-local dedup on top of the shared cache: duplicate offspring

@@ -208,6 +208,7 @@ impl Moea {
             if clock.exhausted() {
                 break;
             }
+            let _gen_span = hwpr_obs::span("search.generation");
             // offspring via tournament selection + crossover + mutation
             let keys = selection_keys(&fitness, &mut moo)?;
             let mut offspring = Vec::with_capacity(cfg.population);

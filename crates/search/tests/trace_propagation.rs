@@ -1,0 +1,120 @@
+//! Cross-thread trace connectivity: a multi-threaded MOEA run must
+//! capture as **one** connected span tree — a single `search.moea` root
+//! and zero orphan spans — regardless of how many evaluation workers the
+//! frozen engine fans out to. Orphans are the failure signature of a
+//! worker thread opening spans without the spawner's
+//! [`hwpr_obs::SpanContext`].
+
+use hwpr_core::{HwPrNas, ModelConfig, SurrogateDataset, TrainConfig};
+use hwpr_hwmodel::{Platform, SimBench, SimBenchConfig};
+use hwpr_nasbench::{Dataset, SearchSpaceId};
+use hwpr_obs::sink::MemorySink;
+use hwpr_obs::{Event, Recorder};
+use hwpr_search::{HwPrNasEvaluator, Moea, MoeaConfig};
+use hwpr_tensor::Precision;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// The recorder slot is process-global; tests that install one serialise
+/// on this lock.
+fn recorder_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn trained_model() -> Arc<HwPrNas> {
+    let bench = SimBench::generate(SimBenchConfig {
+        space: SearchSpaceId::NasBench201,
+        sample_size: Some(48),
+        seed: 3,
+    });
+    let data = SurrogateDataset::from_simbench(&bench, Dataset::Cifar10, Platform::EdgeGpu)
+        .expect("fixture dataset");
+    let (model, _) =
+        HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).expect("tiny fit");
+    Arc::new(model)
+}
+
+/// Runs a short seeded search at `threads` workers and returns the
+/// captured events. Training happens before the sink is installed, so
+/// the capture holds only the search.
+fn run_instrumented_search(model: &Arc<HwPrNas>, threads: usize) -> Vec<Event> {
+    let sink = Arc::new(MemorySink::new());
+    hwpr_obs::install(Arc::clone(&sink) as Arc<dyn Recorder>);
+    let cfg = MoeaConfig {
+        generations: 2,
+        ..MoeaConfig::small(SearchSpaceId::NasBench201)
+    }
+    .with_seed(7);
+    let mut evaluator =
+        HwPrNasEvaluator::new(Arc::clone(model), Platform::EdgeGpu).with_threads(threads);
+    Moea::new(cfg)
+        .expect("valid config")
+        .run(&mut evaluator)
+        .expect("search runs");
+    hwpr_obs::shutdown();
+    sink.events()
+}
+
+#[test]
+fn multi_threaded_search_captures_one_connected_trace() {
+    let _guard = recorder_lock();
+    let model = trained_model();
+    // a small compiled batch forces predict_full_parallel to actually
+    // split the population across workers (the default 256-wide batch
+    // would collapse a small population onto one worker thread)
+    model.freeze_with(4, Precision::F32);
+
+    for threads in [1usize, 2, 8] {
+        let events = run_instrumented_search(&model, threads);
+        let stats = hwpr_obs::trace::stats(&events);
+        assert!(stats.spans > 0, "threads={threads}: no spans captured");
+        assert_eq!(
+            stats.roots, 1,
+            "threads={threads}: expected exactly the search.moea root, got {stats:?}"
+        );
+        assert_eq!(
+            stats.orphans, 0,
+            "threads={threads}: cross-thread span propagation broke, {stats:?}"
+        );
+        // the root really is the search span
+        let root = events
+            .iter()
+            .find_map(|e| match e {
+                Event::SpanStart {
+                    parent: 0, name, ..
+                } => Some(name.clone()),
+                _ => None,
+            })
+            .expect("a root span start");
+        assert_eq!(root, "search.moea");
+        // the evaluation layer shows up inside the tree
+        for expected in ["search.generation", "search.eval", "infer.frozen"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, Event::SpanStart { name, .. } if name == expected)),
+                "threads={threads}: span {expected} missing from the capture"
+            );
+        }
+        if threads > 1 {
+            // real fan-out: worker spans on more than one thread lane
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, Event::SpanStart { name, .. } if name == "infer.worker")),
+                "threads={threads}: no infer.worker spans captured"
+            );
+            assert!(
+                stats.threads > 1,
+                "threads={threads}: all spans landed on one lane, {stats:?}"
+            );
+        }
+        // the exporters accept the capture end-to-end
+        let chrome = hwpr_obs::trace::chrome_trace(&events);
+        assert!(chrome.contains("\"traceEvents\""));
+        let tree = hwpr_obs::trace::span_tree(&events);
+        assert!(tree.contains("search.moea"), "{tree}");
+    }
+}

@@ -1,6 +1,7 @@
 //! End-to-end telemetry demo: train the surrogate and run the MOEA with
 //! the JSONL recorder installed, then render the run record with the
-//! report renderer (the same one behind `hwpr-report`).
+//! report renderer (the same one behind `hwpr-report`) and export the
+//! span tree plus a Chrome Trace file (open it in https://ui.perfetto.dev).
 //!
 //! ```text
 //! cargo run --release --example telemetry_run
@@ -8,7 +9,8 @@
 //! ```
 //!
 //! Without `HWPR_TELEMETRY` the run records to `telemetry_run.jsonl` in
-//! the current directory.
+//! the current directory; the Chrome trace lands next to the JSONL with a
+//! `.trace.json` suffix.
 
 use hw_pr_nas::core::{HwPrNas, ModelConfig, SurrogateDataset, TrainConfig};
 use hw_pr_nas::hwmodel::{Platform, SimBench, SimBenchConfig};
@@ -25,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(value) => TelemetrySpec::parse(&value)?,
         Err(_) => TelemetrySpec::Jsonl(PathBuf::from("telemetry_run.jsonl")),
     };
-    spec.install()?;
+    // best-effort wiring: an unwritable path degrades to a warning and a
+    // plain (unrecorded) run instead of killing the demo
+    spec.install_or_warn();
     if let TelemetrySpec::Jsonl(path) = &spec {
         println!("recording telemetry to {}", path.display());
     }
@@ -71,11 +75,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     hw_pr_nas::obs::metrics::registry().emit();
     hw_pr_nas::obs::shutdown();
 
-    // 5. Render the record the way `hwpr-report` would.
+    // 5. Render the record the way `hwpr-report` would: the summary
+    //    tables, the self-time span tree, and a Perfetto-openable Chrome
+    //    trace next to the JSONL.
     if let TelemetrySpec::Jsonl(path) = &spec {
         let text = std::fs::read_to_string(path)?;
         let events = hw_pr_nas::obs::report::parse_jsonl(&text)?;
         println!("\n{}", hw_pr_nas::obs::report::summarize(&events));
+        println!("{}", hw_pr_nas::obs::trace::span_tree(&events));
+        let trace_path = path.with_extension("trace.json");
+        std::fs::write(&trace_path, hw_pr_nas::obs::trace::chrome_trace(&events))?;
+        let stats = hw_pr_nas::obs::trace::stats(&events);
+        println!(
+            "chrome trace written to {} ({} spans, {} roots, {} orphans, {} thread lanes) \
+             — open in https://ui.perfetto.dev",
+            trace_path.display(),
+            stats.spans,
+            stats.roots,
+            stats.orphans,
+            stats.threads
+        );
     }
     Ok(())
 }
