@@ -117,6 +117,80 @@ fn warm_incremental_hv2_is_allocation_free() {
 }
 
 #[test]
+fn warm_island_generation_loop_is_allocation_free() {
+    use hwpr_search::island::{IslandConfig, IslandHarness};
+    use hwpr_search::{Evaluator, Fitness, SearchClock};
+
+    /// Scores-kind evaluator with an allocation-free buffer-reusing fast
+    /// path, so the measurement isolates the island machinery itself —
+    /// tournament selection, crossover/mutation, the dedup set and the
+    /// survivor sorts. (The frozen engine's own warm-path zero-allocation
+    /// property is pinned separately above; it cannot hold for an
+    /// evolving population, whose fresh offspring each pay a one-time
+    /// encoding.)
+    struct IndexScoreEvaluator;
+
+    impl Evaluator for IndexScoreEvaluator {
+        fn name(&self) -> String {
+            "index-scores".to_string()
+        }
+
+        fn evaluate(
+            &mut self,
+            archs: &[hwpr_nasbench::Architecture],
+            _clock: &mut SearchClock,
+        ) -> hwpr_search::Result<Fitness> {
+            Ok(Fitness::Scores(
+                archs
+                    .iter()
+                    .map(|a| (a.index() % 9973) as f64 / 9973.0)
+                    .collect(),
+            ))
+        }
+
+        fn evaluate_scores_into(
+            &mut self,
+            archs: &[hwpr_nasbench::Architecture],
+            _clock: &mut SearchClock,
+            out: &mut Vec<f64>,
+        ) -> hwpr_search::Result<bool> {
+            out.clear();
+            out.extend(archs.iter().map(|a| (a.index() % 9973) as f64 / 9973.0));
+            Ok(true)
+        }
+
+        fn calls_per_arch(&self) -> usize {
+            1
+        }
+    }
+
+    let config = IslandConfig {
+        population: 24,
+        generations: usize::MAX,
+        ..IslandConfig::small(SearchSpaceId::NasBench201)
+    };
+    let mut harness =
+        IslandHarness::new(config, Box::new(IndexScoreEvaluator)).expect("harness builds");
+    // warm-up: offspring/fitness/selection buffers reach their
+    // steady-state footprint
+    for _ in 0..5 {
+        harness.step().expect("warm-up step");
+    }
+    let before = allocations();
+    for _ in 0..3 {
+        harness.step().expect("measured step");
+    }
+    let after = allocations();
+    assert!(harness.evaluations() > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "warm island generation steps performed {} heap allocations",
+        after - before
+    );
+}
+
+#[test]
 fn steady_state_frozen_inference_is_allocation_free() {
     let model = fixture_model(32);
     let archs = fixture_archs(SearchSpaceId::NasBench201, 40);

@@ -46,21 +46,44 @@ pub struct SavedModel {
 /// Current format version.
 pub const FORMAT_VERSION: u32 = 1;
 
+/// Serialises `value` and writes it to `path` as a single JSON document —
+/// the on-disk convention every persisted artifact in the workspace
+/// follows (trained models here, search snapshots in `hwpr-search`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Data`] on serialisation or I/O failure.
+pub fn write_json_file<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<()> {
+    let json =
+        serde_json::to_string(value).map_err(|e| CoreError::Data(format!("serialise: {e}")))?;
+    std::fs::write(path.as_ref(), json)
+        .map_err(|e| CoreError::Data(format!("write {}: {e}", path.as_ref().display())))
+}
+
+/// Reads and parses a JSON document previously written by
+/// [`write_json_file`]. Version checking stays with the caller: the
+/// document's `version` field means different things per artifact type.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Data`] on I/O or parse failure.
+pub fn read_json_file<T: Deserialize>(path: impl AsRef<Path>) -> Result<T> {
+    let json = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| CoreError::Data(format!("read {}: {e}", path.as_ref().display())))?;
+    serde_json::from_str(&json).map_err(|e| CoreError::Data(format!("parse: {e}")))
+}
+
 impl HwPrNas {
-    /// Serialises the model to a JSON string.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::Data`] if serialisation fails (cannot happen
-    /// for well-formed models).
-    pub fn to_json(&self) -> Result<String> {
+    /// The model's on-disk form (always at the current
+    /// [`FORMAT_VERSION`]).
+    fn saved(&self) -> SavedModel {
         let parameters: Vec<Matrix> = self
             .params
             .ids()
             .into_iter()
             .map(|id| self.params.get(id).clone())
             .collect();
-        let saved = SavedModel {
+        SavedModel {
             version: FORMAT_VERSION,
             model_config: self.model_config.clone(),
             platforms: self.platforms.clone(),
@@ -71,8 +94,17 @@ impl HwPrNas {
             accuracy_normalizer: self.accuracy_encoder.normalizer().cloned(),
             latency_normalizer: self.latency_encoder.normalizer().cloned(),
             parameters,
-        };
-        serde_json::to_string(&saved).map_err(|e| CoreError::Data(format!("serialise: {e}")))
+        }
+    }
+
+    /// Serialises the model to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Data`] if serialisation fails (cannot happen
+    /// for well-formed models).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(&self.saved()).map_err(|e| CoreError::Data(format!("serialise: {e}")))
     }
 
     /// Writes the model to `path` as JSON.
@@ -81,9 +113,7 @@ impl HwPrNas {
     ///
     /// Returns [`CoreError::Data`] on I/O or serialisation failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let json = self.to_json()?;
-        std::fs::write(path.as_ref(), json)
-            .map_err(|e| CoreError::Data(format!("write {}: {e}", path.as_ref().display())))
+        write_json_file(&self.saved(), path)
     }
 
     /// Rebuilds a model from its JSON form.
@@ -96,6 +126,11 @@ impl HwPrNas {
     pub fn from_json(json: &str) -> Result<Self> {
         let saved: SavedModel =
             serde_json::from_str(json).map_err(|e| CoreError::Data(format!("parse: {e}")))?;
+        Self::from_saved(saved)
+    }
+
+    /// Rebuilds a model from its parsed on-disk form.
+    fn from_saved(saved: SavedModel) -> Result<Self> {
         if saved.version != FORMAT_VERSION {
             return Err(CoreError::Data(format!(
                 "unsupported model format version {} (expected {FORMAT_VERSION})",
@@ -149,9 +184,7 @@ impl HwPrNas {
     ///
     /// Returns [`CoreError::Data`] on I/O or parse failure.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
-        let json = std::fs::read_to_string(path.as_ref())
-            .map_err(|e| CoreError::Data(format!("read {}: {e}", path.as_ref().display())))?;
-        Self::from_json(&json)
+        Self::from_saved(read_json_file(path)?)
     }
 }
 

@@ -1,0 +1,289 @@
+//! [`ParetoArchive`]: a global non-dominated archive with ordered,
+//! shard-independent merges.
+//!
+//! The island-model search maintains one global elite archive fed by many
+//! per-island fronts. The archive keeps a mutually non-dominated point
+//! set **sorted lexicographically by objectives** (ties impossible: an
+//! exact duplicate is weakly dominated and rejected), so the archived
+//! set — and its iteration order — depends only on *which* points were
+//! ever offered, never on the chunking or interleaving of the offers.
+//! That is the property that makes the island merge deterministic across
+//! executor counts: merging per-island fronts island-by-island produces
+//! a front set-identical to pushing the whole union through one
+//! [`crate::MooWorkspace`] sort (proven by a proptest differential).
+//!
+//! Each accepted point carries a caller-supplied `tag` (the island
+//! search uses it to key back into an architecture store). Inserts are
+//! O(N·M) scans — archives hold at most a few hundred elites, where the
+//! scan is faster than maintaining the CSR machinery of the workspace.
+
+use crate::{MooError, Result};
+
+/// One archived elite: an objective vector plus the caller's tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveEntry {
+    /// Minimisation objectives.
+    pub objectives: Vec<f64>,
+    /// Caller-supplied payload key (e.g. an architecture-store index).
+    pub tag: u64,
+}
+
+/// A mutually non-dominated archive with insertion-order-independent
+/// contents (see the [module docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use hwpr_moo::ParetoArchive;
+///
+/// let mut archive = ParetoArchive::new();
+/// assert!(archive.insert(&[1.0, 4.0], 0).unwrap());
+/// assert!(archive.insert(&[4.0, 1.0], 1).unwrap());
+/// assert!(!archive.insert(&[5.0, 5.0], 2).unwrap()); // dominated
+/// assert!(archive.insert(&[0.5, 0.5], 3).unwrap()); // dominates both
+/// assert_eq!(archive.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParetoArchive {
+    /// Objective dimensionality, fixed by the first accepted point.
+    dim: Option<usize>,
+    /// Mutually non-dominated, sorted lexicographically by objectives.
+    members: Vec<ArchiveEntry>,
+    offered: u64,
+    accepted: u64,
+}
+
+impl ParetoArchive {
+    /// Creates an empty archive; the dimensionality is fixed by the
+    /// first offered point.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers one point. Returns `true` when the archive changed: the
+    /// point was not weakly dominated by (or equal to) a member, so it
+    /// joined the front and every member it dominates was evicted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MooError::NonFinite`] for non-finite coordinates,
+    /// [`MooError::EmptySet`] for an empty vector and
+    /// [`MooError::DimensionMismatch`] when the dimensionality differs
+    /// from earlier offers.
+    pub fn insert(&mut self, objectives: &[f64], tag: u64) -> Result<bool> {
+        if objectives.is_empty() {
+            return Err(MooError::EmptySet);
+        }
+        if objectives.iter().any(|v| !v.is_finite()) {
+            return Err(MooError::NonFinite);
+        }
+        match self.dim {
+            Some(dim) if dim != objectives.len() => {
+                return Err(MooError::DimensionMismatch {
+                    expected: dim,
+                    found: objectives.len(),
+                });
+            }
+            _ => self.dim = Some(objectives.len()),
+        }
+        self.offered += 1;
+        if self
+            .members
+            .iter()
+            .any(|m| weakly_dominates(&m.objectives, objectives))
+        {
+            return Ok(false);
+        }
+        self.accepted += 1;
+        // evict everything the newcomer dominates (strictly: equals were
+        // rejected above as weakly dominated)
+        self.members
+            .retain(|m| !weakly_dominates(objectives, &m.objectives));
+        let pos = self
+            .members
+            .partition_point(|m| lex_less(&m.objectives, objectives));
+        self.members.insert(
+            pos,
+            ArchiveEntry {
+                objectives: objectives.to_vec(),
+                tag,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Offers every `(point, tag)` pair of a front in order; returns how
+    /// many were accepted. Offer order cannot change the final archive
+    /// *set* — only which of two exactly-equal points' tags survives,
+    /// which ordered island merges keep deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::insert`]; earlier points of the batch
+    /// stay merged when a later one is rejected.
+    pub fn extend_from<'a, I>(&mut self, points: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = (&'a [f64], u64)>,
+    {
+        let mut changed = 0;
+        for (p, tag) in points {
+            if self.insert(p, tag)? {
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// The archived front, sorted lexicographically by objectives.
+    pub fn members(&self) -> &[ArchiveEntry] {
+        &self.members
+    }
+
+    /// Number of archived elites.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the archive holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Total points offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Offers that changed the front.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Drops all members (capacity and counters are kept).
+    pub fn clear(&mut self) {
+        self.members.clear();
+        self.dim = None;
+    }
+}
+
+/// `a` weakly dominates `b`: no-worse everywhere (equal counts).
+fn weakly_dominates(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// Strict lexicographic order over objective vectors (total over the
+/// finite, equal-length vectors the archive holds).
+fn lex_less(a: &[f64], b: &[f64]) -> bool {
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return true;
+        }
+        if x > y {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_non_dominated_set() {
+        let mut archive = ParetoArchive::new();
+        assert!(archive.insert(&[2.0, 2.0], 0).unwrap());
+        assert!(archive.insert(&[1.0, 3.0], 1).unwrap());
+        assert!(!archive.insert(&[3.0, 3.0], 2).unwrap()); // dominated
+        assert!(!archive.insert(&[2.0, 2.0], 3).unwrap()); // duplicate
+        assert!(archive.insert(&[3.0, 1.0], 4).unwrap());
+        assert_eq!(archive.len(), 3);
+        // sorted lexicographically by objectives
+        let objs: Vec<&[f64]> = archive
+            .members()
+            .iter()
+            .map(|m| m.objectives.as_slice())
+            .collect();
+        assert_eq!(objs, vec![&[1.0, 3.0][..], &[2.0, 2.0], &[3.0, 1.0]]);
+        assert_eq!(archive.offered(), 5);
+        assert_eq!(archive.accepted(), 3);
+    }
+
+    #[test]
+    fn dominating_insert_evicts_the_run() {
+        let mut archive = ParetoArchive::new();
+        for (i, p) in [[2.0, 8.0], [4.0, 6.0], [6.0, 4.0], [8.0, 2.0]]
+            .iter()
+            .enumerate()
+        {
+            assert!(archive.insert(p, i as u64).unwrap());
+        }
+        assert!(archive.insert(&[3.0, 3.0], 9).unwrap());
+        let objs: Vec<&[f64]> = archive
+            .members()
+            .iter()
+            .map(|m| m.objectives.as_slice())
+            .collect();
+        assert_eq!(objs, vec![&[2.0, 8.0][..], &[3.0, 3.0], &[8.0, 2.0]]);
+        assert_eq!(archive.members()[1].tag, 9);
+    }
+
+    #[test]
+    fn order_independent_contents() {
+        let points: Vec<Vec<f64>> = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 2.0],
+            vec![4.0, 1.0],
+            vec![3.0, 3.0],
+            vec![1.0, 4.0], // duplicate
+            vec![0.5, 4.5],
+        ];
+        let mut forward = ParetoArchive::new();
+        for (i, p) in points.iter().enumerate() {
+            forward.insert(p, i as u64).unwrap();
+        }
+        let mut backward = ParetoArchive::new();
+        for (i, p) in points.iter().enumerate().rev() {
+            backward.insert(p, i as u64).unwrap();
+        }
+        let f: Vec<&Vec<f64>> = forward.members().iter().map(|m| &m.objectives).collect();
+        let b: Vec<&Vec<f64>> = backward.members().iter().map(|m| &m.objectives).collect();
+        assert_eq!(f, b, "archive contents depend on offer order");
+    }
+
+    #[test]
+    fn rejects_bad_points() {
+        let mut archive = ParetoArchive::new();
+        assert_eq!(archive.insert(&[], 0).unwrap_err(), MooError::EmptySet);
+        assert_eq!(
+            archive.insert(&[f64::NAN, 1.0], 0).unwrap_err(),
+            MooError::NonFinite
+        );
+        archive.insert(&[1.0, 1.0], 0).unwrap();
+        assert!(matches!(
+            archive.insert(&[1.0], 1).unwrap_err(),
+            MooError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            }
+        ));
+        // clear unfixes the dimensionality
+        archive.clear();
+        assert!(archive.insert(&[1.0, 2.0, 3.0], 2).unwrap());
+    }
+
+    #[test]
+    fn extend_counts_front_changes() {
+        let mut archive = ParetoArchive::new();
+        let pts = [vec![1.0, 3.0], vec![3.0, 1.0], vec![2.0, 4.0]];
+        let n = archive
+            .extend_from(
+                pts.iter()
+                    .enumerate()
+                    .map(|(i, p)| (p.as_slice(), i as u64)),
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(archive.len(), 2);
+    }
+}

@@ -18,6 +18,9 @@
 //!   O(N log N) sweep for the paper's two-objective configuration,
 //! - [`IncrementalHv2`] — a persistent 2-D front archive with
 //!   O(Δ log N) per-generation hypervolume maintenance,
+//! - [`ParetoArchive`] — a global non-dominated elite archive whose
+//!   contents are independent of offer order, the merge target for the
+//!   island-model search,
 //! - [`reference`] — the original kernels, frozen as ground truth for
 //!   differential tests and benchmarks.
 //!
@@ -36,6 +39,7 @@
 //! ```
 
 #![warn(missing_docs)]
+mod archive;
 mod dominance;
 mod hypervolume;
 mod incremental;
@@ -43,6 +47,7 @@ pub mod reference;
 mod sort;
 mod workspace;
 
+pub use archive::{ArchiveEntry, ParetoArchive};
 pub use dominance::{dominates, weakly_dominates};
 pub use hypervolume::{hypervolume, nadir_reference_point, normalized_hypervolume};
 pub use incremental::IncrementalHv2;

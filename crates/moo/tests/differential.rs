@@ -7,7 +7,7 @@
 //! value grid (`0.0, 0.5, …`) so duplicates and per-objective ties are
 //! common rather than measure-zero.
 
-use hwpr_moo::{reference, Fronts, IncrementalHv2, MooWorkspace};
+use hwpr_moo::{reference, Fronts, IncrementalHv2, MooWorkspace, ParetoArchive};
 use proptest::prelude::*;
 
 /// Point sets over a coarse grid: duplicates and ties occur constantly.
@@ -131,6 +131,85 @@ proptest! {
             reference::pareto_ranks(&points).unwrap()
         );
         prop_assert_eq!(hwpr_moo::pareto_front(&points).unwrap(), expected[0].clone());
+    }
+}
+
+/// The island merge path: points arrive at the global [`ParetoArchive`]
+/// in island-sized chunks (one `extend_from` per island per epoch, the
+/// exact shape of the coordinator merge). The archived set must equal
+/// the distinct first-front members of feeding **all** points through a
+/// single [`MooWorkspace`] at once — regardless of how the points were
+/// chunked, and with duplicate/tied-objective migrants on the coarse
+/// grid exercised constantly.
+fn assert_island_merge_matches_workspace(points: &[Vec<f64>], chunk: usize) {
+    let mut archive = ParetoArchive::new();
+    for (island, islanders) in points.chunks(chunk.max(1)).enumerate() {
+        let base = island * chunk.max(1);
+        archive
+            .extend_from(
+                islanders
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (p.as_slice(), (base + i) as u64)),
+            )
+            .unwrap();
+    }
+
+    let mut ws = MooWorkspace::new();
+    let front = ws.pareto_front(points).unwrap();
+    let mut expected: Vec<&Vec<f64>> = front.iter().map(|&i| &points[i]).collect();
+    expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    expected.dedup();
+
+    let archived: Vec<&Vec<f64>> = archive.members().iter().map(|m| &m.objectives).collect();
+    assert_eq!(
+        archived, expected,
+        "chunk={chunk}: archive disagrees with the single-workspace front"
+    );
+    // archived tags point back at real members of the offered set
+    for m in archive.members() {
+        assert_eq!(&points[m.tag as usize], &m.objectives);
+    }
+}
+
+proptest! {
+    #[test]
+    fn island_merge_matches_single_workspace_2d(
+        points in tied_point_set(2),
+        chunk in 1usize..9,
+    ) {
+        assert_island_merge_matches_workspace(&points, chunk);
+    }
+
+    #[test]
+    fn island_merge_matches_single_workspace_3d(
+        points in tied_point_set(3),
+        chunk in 1usize..9,
+    ) {
+        assert_island_merge_matches_workspace(&points, chunk);
+    }
+
+    /// Different chunkings (different island counts / executor shapes)
+    /// must land on byte-identical archived point sets.
+    #[test]
+    fn island_merge_is_chunking_independent(points in tied_point_set(2)) {
+        let collect = |chunk: usize| {
+            let mut archive = ParetoArchive::new();
+            for islanders in points.chunks(chunk) {
+                archive
+                    .extend_from(islanders.iter().map(|p| (p.as_slice(), 0)))
+                    .unwrap();
+            }
+            archive
+                .members()
+                .iter()
+                .map(|m| m.objectives.clone())
+                .collect::<Vec<_>>()
+        };
+        let whole = collect(points.len());
+        for chunk in [1, 2, 3, 7] {
+            prop_assert_eq!(&whole, &collect(chunk));
+        }
     }
 }
 

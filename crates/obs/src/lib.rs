@@ -64,7 +64,8 @@ pub use event::Event;
 pub use serde::Value;
 pub use sink::Recorder;
 pub use span::{
-    current_context, span, span_labeled, span_with_parent, thread_id, Span, SpanContext,
+    current_context, span, span_labeled, span_labeled_with, span_with_parent,
+    span_with_parent_labeled, thread_id, Span, SpanContext,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};

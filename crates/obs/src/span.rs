@@ -19,6 +19,7 @@
 //! no allocation, no thread-local touch.
 
 use crate::event::Event;
+use std::borrow::Cow;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -106,7 +107,7 @@ struct SpanInner {
     /// `parent` for spans opened with an explicit cross-thread context.
     prev: u64,
     name: &'static str,
-    label: Option<&'static str>,
+    label: Option<Cow<'static, str>>,
     start: Instant,
 }
 
@@ -121,7 +122,18 @@ pub fn span(name: &'static str) -> Span {
 /// start and end events and is rendered as `name[label]` by the report.
 /// Inert (and allocation-free) when telemetry is off.
 pub fn span_labeled(name: &'static str, label: &'static str) -> Span {
-    open(name, Some(label), None)
+    open(name, Some(Cow::Borrowed(label)), None)
+}
+
+/// [`span_labeled`] with a computed label (e.g. the island id of a
+/// `"search.island"` span). The closure runs only when telemetry is on,
+/// so the disabled path stays one relaxed load with no formatting and no
+/// allocation.
+pub fn span_labeled_with(name: &'static str, label: impl FnOnce() -> String) -> Span {
+    if !crate::enabled() {
+        return Span { inner: None };
+    }
+    open(name, Some(Cow::Owned(label())), None)
 }
 
 /// Opens a span whose parent is the explicitly supplied `parent` context
@@ -133,7 +145,25 @@ pub fn span_with_parent(name: &'static str, parent: SpanContext) -> Span {
     open(name, None, Some(parent))
 }
 
-fn open(name: &'static str, label: Option<&'static str>, explicit: Option<SpanContext>) -> Span {
+/// [`span_with_parent`] with a computed label — the worker-thread variant
+/// of [`span_labeled_with`]: the span joins `parent`'s trace tree and the
+/// label closure runs only when telemetry is on.
+pub fn span_with_parent_labeled(
+    name: &'static str,
+    parent: SpanContext,
+    label: impl FnOnce() -> String,
+) -> Span {
+    if !crate::enabled() {
+        return Span { inner: None };
+    }
+    open(name, Some(Cow::Owned(label())), Some(parent))
+}
+
+fn open(
+    name: &'static str,
+    label: Option<Cow<'static, str>>,
+    explicit: Option<SpanContext>,
+) -> Span {
     if !crate::enabled() {
         return Span { inner: None };
     }
@@ -144,7 +174,7 @@ fn open(name: &'static str, label: Option<&'static str>, explicit: Option<SpanCo
         id,
         parent,
         name: name.to_string(),
-        label: label.map(str::to_string),
+        label: label.as_ref().map(|l| l.clone().into_owned()),
         tid: thread_id(),
         t_us: crate::now_us(),
     });
@@ -185,7 +215,7 @@ impl Drop for Span {
             id: inner.id,
             parent: inner.parent,
             name: inner.name.to_string(),
-            label: inner.label.map(str::to_string),
+            label: inner.label.map(Cow::into_owned),
             tid: thread_id(),
             t_us: crate::now_us(),
             dur_us: inner.start.elapsed().as_micros() as u64,

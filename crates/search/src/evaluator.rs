@@ -92,6 +92,50 @@ pub trait Evaluator {
     fn cache_stats(&self) -> Option<(u64, u64)> {
         None
     }
+
+    /// Scores-only fast path that writes into a caller-owned buffer
+    /// (capacity reuse — the island search's warm generation loop stays
+    /// allocation-free through this). `out` arrives cleared. Returns
+    /// `Ok(false)` — without touching `out` — when the evaluator has no
+    /// buffer-reusing path, and the caller falls back to
+    /// [`Self::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Surrogate`] when the backing model fails.
+    fn evaluate_scores_into(
+        &mut self,
+        archs: &[Architecture],
+        clock: &mut SearchClock,
+        out: &mut Vec<f64>,
+    ) -> Result<bool> {
+        let _ = (archs, clock, out);
+        Ok(false)
+    }
+
+    /// The evaluator's memo-cache contents, sorted by key — what a search
+    /// snapshot persists so a resumed run replays with the same cache
+    /// state (empty for uncached evaluators).
+    fn cache_snapshot(&self) -> Vec<CacheEntry> {
+        Vec::new()
+    }
+
+    /// Restores a cache previously exported by [`Self::cache_snapshot`]
+    /// (a no-op for uncached evaluators).
+    fn restore_cache(&mut self, entries: &[CacheEntry]) {
+        let _ = entries;
+    }
+}
+
+/// One persisted score-cache entry (see [`Evaluator::cache_snapshot`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheEntry {
+    /// Architecture string codec key.
+    pub key: String,
+    /// Cached Pareto score.
+    pub score: f64,
+    /// Cached predicted objectives.
+    pub objectives: Vec<f64>,
 }
 
 /// Ground-truth evaluation against the synthetic benchmark: returns true
@@ -181,8 +225,10 @@ impl Evaluator for MeasuredEvaluator {
     }
 }
 
-/// Scoring closure type for [`ScoreEvaluator::from_fn`].
-pub type ScoreFn = Box<dyn FnMut(&[Architecture]) -> Result<Vec<f64>>>;
+/// Scoring closure type for [`ScoreEvaluator::from_fn`]. `Send` so
+/// score-backed evaluators can serve as island workers
+/// (`Box<dyn Evaluator + Send>`).
+pub type ScoreFn = Box<dyn FnMut(&[Architecture]) -> Result<Vec<f64>> + Send>;
 
 /// Cross-generation surrogate score cache, keyed by the architecture
 /// string codec ([`Architecture::to_arch_string`]).
@@ -274,6 +320,33 @@ impl ScoreCache {
         self.hits.reset();
         self.misses.reset();
     }
+
+    /// Exports every entry **sorted by key**: map iteration order is
+    /// nondeterministic, and checkpoint bytes must be a pure function of
+    /// the cache contents.
+    pub fn snapshot(&self) -> Vec<CacheEntry> {
+        let mut entries: Vec<CacheEntry> = self
+            .entries
+            .read()
+            .iter()
+            .map(|(key, (score, objectives))| CacheEntry {
+                key: key.clone(),
+                score: *score,
+                objectives: objectives.as_ref().clone(),
+            })
+            .collect();
+        entries.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+        entries
+    }
+
+    /// Reloads entries exported by [`Self::snapshot`] (counters are left
+    /// alone; hits/misses restart from the resumed run's perspective).
+    pub fn restore(&self, entries: &[CacheEntry]) {
+        let mut map = self.entries.write();
+        for e in entries {
+            map.insert(e.key.clone(), (e.score, Arc::new(e.objectives.clone())));
+        }
+    }
 }
 
 /// Worker-thread count for parallel surrogate evaluation: `HWPR_THREADS`
@@ -299,7 +372,7 @@ fn parse_threads(spec: &str) -> Option<usize> {
 /// warn-and-default policy (factored out of [`evaluation_threads`] so
 /// tests need not mutate the environment).
 #[cfg(test)]
-fn threads_from_spec(spec: &str) -> usize {
+pub(crate) fn threads_from_spec(spec: &str) -> usize {
     hwpr_obs::spec_or("HWPR_THREADS", "a positive integer", spec, parse_threads, 1)
 }
 
@@ -436,6 +509,14 @@ impl Evaluator for HwPrNasEvaluator {
 
     fn cache_stats(&self) -> Option<(u64, u64)> {
         Some((self.cache.hits(), self.cache.misses()))
+    }
+
+    fn cache_snapshot(&self) -> Vec<CacheEntry> {
+        self.cache.snapshot()
+    }
+
+    fn restore_cache(&mut self, entries: &[CacheEntry]) {
+        self.cache.restore(entries);
     }
 }
 

@@ -18,21 +18,34 @@
 //! - [`PairEvaluator`] — two per-objective surrogates (BRP-NAS/GATES
 //!   style; two calls per architecture plus non-dominated sorting in the
 //!   selection step).
+//!
+//! [`IslandSearch`] scales the MOEA across parallel islands with ring
+//! migration, a global Pareto archive, deterministic replay at any
+//! worker-lane count, and checkpoint/resume (see the [`island`] module
+//! docs).
 
 #![warn(missing_docs)]
+mod channel;
 mod clock;
 mod evaluator;
+pub mod island;
 mod moea;
 mod random;
+mod rng;
 mod telemetry;
 
+pub use channel::MigrationChannel;
 pub use clock::SearchClock;
 pub use evaluator::{
-    evaluation_threads, share_objectives, Evaluator, Fitness, HwPrNasEvaluator, MeasuredEvaluator,
-    PairEvaluator, ScoreCache, ScoreEvaluator, ScoreFn, SharedObjectives,
+    evaluation_threads, share_objectives, CacheEntry, Evaluator, Fitness, HwPrNasEvaluator,
+    MeasuredEvaluator, PairEvaluator, ScoreCache, ScoreEvaluator, ScoreFn, SharedObjectives,
+};
+pub use island::{
+    ArchiveMember, FitnessKind, IslandConfig, IslandSearch, IslandSearchResult, SearchSnapshot,
 };
 pub use moea::{GenerationStats, Moea, MoeaConfig, SearchResult};
 pub use random::{random_search, RandomSearchConfig};
+pub use rng::SplitMix64;
 
 use std::error::Error;
 use std::fmt;

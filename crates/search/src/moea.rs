@@ -306,7 +306,7 @@ fn selection_keys<'a>(fitness: &'a Fitness, moo: &mut MooWorkspace) -> Result<Co
     }
 }
 
-fn tournament<R: Rng>(keys: &[f64], size: usize, rng: &mut R) -> usize {
+pub(crate) fn tournament<R: Rng>(keys: &[f64], size: usize, rng: &mut R) -> usize {
     let mut best = rng.gen_range(0..keys.len());
     for _ in 1..size {
         let challenger = rng.gen_range(0..keys.len());

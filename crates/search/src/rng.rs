@@ -1,0 +1,122 @@
+//! SplitMix64: the island-model RNG.
+//!
+//! Each island owns an independent stream derived from the run seed and
+//! its island id ([`SplitMix64::stream`]), so an island's trajectory
+//! within an epoch depends only on its own state — the property that
+//! makes results independent of how islands are packed onto executor
+//! lanes. The entire generator state is one `u64`, so checkpoints
+//! persist it exactly ([`SplitMix64::state`] /
+//! [`SplitMix64::from_state`]) — unlike the block-cipher generators,
+//! whose buffered internal state has no stable serial form.
+
+use rand::RngCore;
+
+/// Weyl-sequence increment (the golden-ratio constant of splitmix64).
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The splitmix64 generator of Steele, Lea & Flood: a Weyl sequence
+/// finalised by a 64-bit avalanche mix. Passes BigCrush; one `u64` of
+/// state; every step is a handful of arithmetic ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded directly with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Stream `stream` of the run seeded by `seed`: the seed is avalanched
+    /// together with the stream index so neighbouring islands start at
+    /// statistically unrelated points of the sequence space.
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        Self {
+            state: mix(seed ^ mix(stream.wrapping_add(1).wrapping_mul(GAMMA))),
+        }
+    }
+
+    /// The current state word — everything a checkpoint needs.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restores a generator from a checkpointed [`Self::state`].
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+}
+
+/// The splitmix64 avalanche finaliser.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        mix(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // the published seed-0 sequence of Vigna's splitmix64.c
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+        // determinism is the real contract: same seed, same sequence
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_and_deterministic() {
+        let mut s0 = SplitMix64::stream(7, 0);
+        let mut s1 = SplitMix64::stream(7, 1);
+        assert_ne!(s0.state(), s1.state());
+        let first0 = s0.next_u64();
+        assert_ne!(first0, s1.next_u64());
+        // re-deriving the stream replays it
+        let mut again = SplitMix64::stream(7, 0);
+        assert_eq!(again.next_u64(), first0);
+    }
+
+    #[test]
+    fn state_round_trips_mid_sequence() {
+        let mut rng = SplitMix64::stream(99, 3);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let mut restored = SplitMix64::from_state(rng.state());
+        for _ in 0..50 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    fn drives_the_rand_facade() {
+        let mut rng = SplitMix64::new(5);
+        let x: f64 = rng.gen_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&x));
+        let i = rng.gen_range(0..10usize);
+        assert!(i < 10);
+        let _ = rng.gen_bool(0.5);
+    }
+}

@@ -39,6 +39,34 @@ impl EvalTimer {
     }
 }
 
+/// Times one island generation into the `search.island.gen.us`
+/// histogram (microsecond buckets — island generations are much shorter
+/// than whole evaluator batches). Inert when telemetry is off.
+pub(crate) struct IslandGenTimer {
+    start: Option<Instant>,
+}
+
+/// Starts an island-generation timer (a no-op with telemetry off).
+pub(crate) fn island_gen_timer() -> IslandGenTimer {
+    IslandGenTimer {
+        start: hwpr_obs::enabled().then(Instant::now),
+    }
+}
+
+impl IslandGenTimer {
+    /// Stops the timer, recording the latency in microseconds.
+    pub(crate) fn finish(self) {
+        let Some(start) = self.start else { return };
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        registry()
+            .histogram(
+                "search.island.gen.us",
+                &Histogram::exponential_bounds(10.0, 4.0, 12),
+            )
+            .observe(us);
+    }
+}
+
 /// Everything one generation record needs, gathered by the MOEA loop.
 pub(crate) struct GenerationRecord<'a> {
     /// Generation index (0-based).

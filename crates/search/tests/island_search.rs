@@ -1,0 +1,139 @@
+//! Differential tests for the island-model search:
+//!
+//! - a seeded run is a pure function of `(config, seed)` — bit-identical
+//!   when re-run, and bit-identical across executor worker-lane counts,
+//!   for 1, 2 and 8 logical islands;
+//! - a run checkpointed mid-flight and resumed finishes bit-identical to
+//!   the uninterrupted run (populations, archive, hypervolume).
+
+use hwpr_core::{HwPrNas, ModelConfig, SurrogateDataset, TrainConfig};
+use hwpr_hwmodel::{Platform, SimBench, SimBenchConfig};
+use hwpr_nasbench::{Dataset, SearchSpaceId};
+use hwpr_search::{Evaluator, HwPrNasEvaluator, IslandConfig, IslandSearch, IslandSearchResult};
+use std::sync::Arc;
+
+fn trained_model() -> Arc<HwPrNas> {
+    let bench = SimBench::generate(SimBenchConfig {
+        space: SearchSpaceId::NasBench201,
+        sample_size: Some(48),
+        seed: 3,
+    });
+    let data = SurrogateDataset::from_simbench(&bench, Dataset::Cifar10, Platform::EdgeGpu)
+        .expect("fixture dataset");
+    let (model, _) =
+        HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).expect("tiny fit");
+    Arc::new(model)
+}
+
+fn factory(model: &Arc<HwPrNas>) -> impl FnMut(usize) -> Box<dyn Evaluator + Send> + '_ {
+    move |_id| Box::new(HwPrNasEvaluator::new(Arc::clone(model), Platform::EdgeGpu))
+}
+
+fn config(islands: usize, workers: usize) -> IslandConfig {
+    IslandConfig {
+        islands,
+        workers,
+        generations: 6,
+        migration_every: 2,
+        ..IslandConfig::small(SearchSpaceId::NasBench201)
+    }
+    .with_seed(11)
+}
+
+fn assert_bit_identical(a: &IslandSearchResult, b: &IslandSearchResult) {
+    assert_eq!(a.populations, b.populations, "populations diverged");
+    assert_eq!(a.archive, b.archive, "archives diverged");
+    assert_eq!(a.hypervolume, b.hypervolume, "hypervolume diverged");
+    assert_eq!(a.evaluations, b.evaluations);
+    assert_eq!(a.migrants_accepted, b.migrants_accepted);
+}
+
+#[test]
+fn seeded_runs_are_replayable_across_lane_counts() {
+    let model = trained_model();
+    for islands in [1, 2, 8] {
+        let serial = IslandSearch::new(config(islands, 1))
+            .expect("valid config")
+            .run(factory(&model))
+            .expect("search runs");
+        // re-run with the same config: deterministic replay
+        let again = IslandSearch::new(config(islands, 1))
+            .unwrap()
+            .run(factory(&model))
+            .unwrap();
+        assert_bit_identical(&serial, &again);
+        // the worker-lane count is an executor choice, never a result
+        for workers in [2, 8] {
+            let parallel = IslandSearch::new(config(islands, workers))
+                .unwrap()
+                .run(factory(&model))
+                .unwrap();
+            assert_bit_identical(&serial, &parallel);
+        }
+    }
+}
+
+#[test]
+fn checkpoint_and_resume_matches_uninterrupted_run() {
+    let model = trained_model();
+    let uninterrupted = IslandSearch::new(config(2, 2))
+        .unwrap()
+        .run(factory(&model))
+        .unwrap();
+
+    // checkpoint every epoch; the file left behind is the state at the
+    // last epoch boundary before completion (generation 4 of 6) — exactly
+    // what a kill between epochs would leave
+    let dir = std::env::temp_dir().join(format!("hwpr_island_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("snapshot.json");
+    let checkpointed = IslandSearch::new(IslandConfig {
+        checkpoint_every: 1,
+        checkpoint_path: Some(path.to_string_lossy().into_owned()),
+        ..config(2, 2)
+    })
+    .unwrap()
+    .run(factory(&model))
+    .unwrap();
+    // checkpointing itself must not perturb the search
+    assert_bit_identical(&uninterrupted, &checkpointed);
+
+    let snapshot = IslandSearch::load_snapshot(&path).expect("snapshot readable");
+    assert!(
+        snapshot.generations_done < snapshot.config.generations,
+        "snapshot must be mid-run"
+    );
+    let resumed = IslandSearch::resume(&snapshot, factory(&model)).expect("resume runs");
+    assert_bit_identical(&uninterrupted, &resumed);
+    assert_eq!(resumed.generations, uninterrupted.generations);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    let model = trained_model();
+    let dir = std::env::temp_dir().join(format!("hwpr_island_snap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("snapshot.json");
+    IslandSearch::new(IslandConfig {
+        checkpoint_every: 1,
+        checkpoint_path: Some(path.to_string_lossy().into_owned()),
+        ..config(2, 1)
+    })
+    .unwrap()
+    .run(factory(&model))
+    .unwrap();
+    let snapshot = IslandSearch::load_snapshot(&path).expect("snapshot readable");
+    // the embedded config governs a resume: verify the exact fields
+    assert_eq!(snapshot.config.islands, 2);
+    assert_eq!(snapshot.islands.len(), 2);
+    for island in &snapshot.islands {
+        assert_eq!(island.population.len(), snapshot.config.population);
+        assert!(!island.cache.is_empty(), "cache shard not persisted");
+    }
+    // tags index into the elite store
+    let elites = snapshot.elites.len() as u64;
+    assert!(snapshot.archive_tags.iter().all(|&t| t < elites));
+    std::fs::remove_dir_all(&dir).ok();
+}

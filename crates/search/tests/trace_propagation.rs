@@ -10,7 +10,7 @@ use hwpr_hwmodel::{Platform, SimBench, SimBenchConfig};
 use hwpr_nasbench::{Dataset, SearchSpaceId};
 use hwpr_obs::sink::MemorySink;
 use hwpr_obs::{Event, Recorder};
-use hwpr_search::{HwPrNasEvaluator, Moea, MoeaConfig};
+use hwpr_search::{Evaluator, HwPrNasEvaluator, IslandConfig, IslandSearch, Moea, MoeaConfig};
 use hwpr_tensor::Precision;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -116,5 +116,117 @@ fn multi_threaded_search_captures_one_connected_trace() {
         assert!(chrome.contains("\"traceEvents\""));
         let tree = hwpr_obs::trace::span_tree(&events);
         assert!(tree.contains("search.moea"), "{tree}");
+    }
+}
+
+/// Runs a short seeded island search at `islands` islands (one worker
+/// lane per island) and returns the captured events.
+fn run_instrumented_island_search(model: &Arc<HwPrNas>, islands: usize) -> Vec<Event> {
+    let sink = Arc::new(MemorySink::new());
+    hwpr_obs::install(Arc::clone(&sink) as Arc<dyn Recorder>);
+    let cfg = IslandConfig {
+        islands,
+        workers: islands,
+        generations: 4,
+        migration_every: 2,
+        ..IslandConfig::small(SearchSpaceId::NasBench201)
+    }
+    .with_seed(7);
+    IslandSearch::new(cfg)
+        .expect("valid config")
+        .run(|_| {
+            Box::new(HwPrNasEvaluator::new(Arc::clone(model), Platform::EdgeGpu))
+                as Box<dyn Evaluator + Send>
+        })
+        .expect("search runs");
+    hwpr_obs::shutdown();
+    sink.events()
+}
+
+#[test]
+fn island_search_captures_one_connected_trace() {
+    let _guard = recorder_lock();
+    let model = trained_model();
+    for islands in [1usize, 2, 8] {
+        let migrants_before = hwpr_obs::metrics::registry()
+            .counter("search.migrants")
+            .get();
+        let events = run_instrumented_island_search(&model, islands);
+        let stats = hwpr_obs::trace::stats(&events);
+        assert!(stats.spans > 0, "islands={islands}: no spans captured");
+        assert_eq!(
+            stats.roots, 1,
+            "islands={islands}: expected exactly the search.islands root, got {stats:?}"
+        );
+        assert_eq!(
+            stats.orphans, 0,
+            "islands={islands}: worker-lane span propagation broke, {stats:?}"
+        );
+        let root = events
+            .iter()
+            .find_map(|e| match e {
+                Event::SpanStart {
+                    parent: 0, name, ..
+                } => Some(name.clone()),
+                _ => None,
+            })
+            .expect("a root span start");
+        assert_eq!(root, "search.islands");
+        // one labelled island span per island per epoch (2 epochs here)
+        let island_spans: Vec<&Option<String>> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart { name, label, .. } if name == "search.island" => Some(label),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            island_spans.len(),
+            islands * 2,
+            "islands={islands}: wrong search.island span count"
+        );
+        for id in 0..islands {
+            let expect = Some(id.to_string());
+            assert!(
+                island_spans.iter().any(|l| **l == expect),
+                "islands={islands}: no span labelled for island {id}"
+            );
+        }
+        // the migration barrier is spanned (it runs between epochs only)
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::SpanStart { name, .. } if name == "search.migration")),
+            "islands={islands}: no search.migration span"
+        );
+        if islands > 1 {
+            assert!(
+                stats.threads > 1,
+                "islands={islands}: all island spans landed on one lane, {stats:?}"
+            );
+            // ring migration on identically-scored islands accepts migrants
+            let migrants_after = hwpr_obs::metrics::registry()
+                .counter("search.migrants")
+                .get();
+            assert!(
+                migrants_after > migrants_before,
+                "islands={islands}: search.migrants counter never moved"
+            );
+        }
+        // per-generation island timings flow into the histogram
+        assert!(
+            hwpr_obs::metrics::registry()
+                .snapshot()
+                .histograms
+                .iter()
+                .any(|e| matches!(
+                    e,
+                    Event::Hist { name, count, .. }
+                        if name == "search.island.gen.us" && *count > 0
+                )),
+            "islands={islands}: search.island.gen.us histogram empty"
+        );
+        let tree = hwpr_obs::trace::span_tree(&events);
+        assert!(tree.contains("search.islands"), "{tree}");
     }
 }

@@ -123,6 +123,23 @@ fn record(name: String, bencher: Bencher) {
     });
 }
 
+/// Records a scalar quality metric (a hypervolume, a throughput, ...)
+/// into the snapshot alongside the timing rows. The value is stored in
+/// the `mean_ns`/`median_ns` columns so the JSON schema — and every tool
+/// that reads it — stays uniform; diff tooling should give metric rows a
+/// wide budget, since "bigger" is not "slower" for them.
+pub fn record_metric(name: impl Into<String>, value: f64) {
+    let name = name.into();
+    println!("metric {name:<49} {value:>15.3}");
+    RESULTS.lock().unwrap().push(Entry {
+        name,
+        mean_ns: value,
+        median_ns: value,
+        samples: 1,
+        iters_per_sample: 1,
+    });
+}
+
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
