@@ -191,6 +191,95 @@ fn warm_island_generation_loop_is_allocation_free() {
 }
 
 #[test]
+fn warm_serving_loop_is_allocation_free() {
+    use hwpr_serve::{
+        BatchQueue, ModelRegistry, Pending, PredictKind, ReplySink, ServeConfig, WorkerState,
+    };
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Reply transport that reuses one buffer — stands in for the TCP
+    /// sink so the measurement covers the queue + worker + engine loop
+    /// without socket noise.
+    struct BufferSink {
+        last: std::sync::Mutex<Vec<u8>>,
+        frames: std::sync::atomic::AtomicU64,
+    }
+
+    impl ReplySink for BufferSink {
+        fn send(&self, frame: &[u8]) {
+            let mut last = self.last.lock().expect("sink lock");
+            last.clear();
+            last.extend_from_slice(frame);
+            self.frames
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    let registry = ModelRegistry::new();
+    let nas = Arc::new(fixture_model(32));
+    nas.freeze_with(16, Precision::F32);
+    registry.publish("default", nas);
+    let model = registry.get("default").expect("published");
+    let archs = fixture_archs(SearchSpaceId::NasBench201, 24);
+    let config = ServeConfig {
+        max_batch: 64,
+        batch_deadline: Duration::ZERO,
+        request_timeout: Duration::from_secs(600),
+        ..ServeConfig::default()
+    };
+    let queue = BatchQueue::new(&config);
+    let mut worker = WorkerState::new(&config, hwpr_obs::SpanContext::NONE);
+    let sink = Arc::new(BufferSink {
+        last: std::sync::Mutex::new(Vec::new()),
+        frames: std::sync::atomic::AtomicU64::new(0),
+    });
+
+    // uneven interleaved-client windows, so the coalesced forward and
+    // the per-request reply split both get exercised
+    let windows: [std::ops::Range<usize>; 3] = [0..7, 7..12, 12..24];
+    let mut round = |request_id: u64| {
+        for (i, window) in windows.iter().enumerate() {
+            let mut buf = queue.take_arch_buf();
+            buf.extend_from_slice(&archs[window.clone()]);
+            queue
+                .push(Pending {
+                    request_id: request_id + i as u64,
+                    kind: PredictKind::Scores,
+                    model: Arc::clone(&model),
+                    slot: 0,
+                    archs: buf,
+                    reply: Arc::clone(&sink) as Arc<dyn ReplySink>,
+                    arrived: Instant::now(),
+                })
+                .expect("queue has room");
+        }
+        while worker.try_run_once(&queue) {}
+    };
+    // warm-up: queue ring, arch pool, worker staging/output/frame
+    // buffers and the engine arena reach steady state
+    for r in 0..5 {
+        round(r * 10);
+    }
+    let before = allocations();
+    for r in 5..8 {
+        round(r * 10);
+    }
+    let after = allocations();
+    assert_eq!(
+        sink.frames.load(std::sync::atomic::Ordering::Relaxed),
+        8 * windows.len() as u64,
+        "every request must have been answered"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "warm serving loop performed {} heap allocations",
+        after - before
+    );
+}
+
+#[test]
 fn steady_state_frozen_inference_is_allocation_free() {
     let model = fixture_model(32);
     let archs = fixture_archs(SearchSpaceId::NasBench201, 40);

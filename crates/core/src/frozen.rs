@@ -385,6 +385,24 @@ impl FrozenModel {
         self.arenas.lock().pop().unwrap_or_default()
     }
 
+    /// Checks a reusable activation arena out of the engine's pool (or
+    /// builds a cold one when the pool is empty).
+    ///
+    /// Arenas hold no model state — only pooled activation buffers and
+    /// scratch vectors — so a caller that owns one outright (the serving
+    /// workers in `hwpr-serve`) can keep it warm across *different*
+    /// engines, including across a hot-swap to a freshly compiled model,
+    /// and drive the `*_with` prediction entry points allocation-free.
+    pub fn take_arena(&self) -> InferArena {
+        self.checkout()
+    }
+
+    /// Returns an arena taken with [`Self::take_arena`] to the engine's
+    /// pool so later pool-routed predict calls reuse its warmed buffers.
+    pub fn put_arena(&self, arena: InferArena) {
+        self.arenas.lock().push(arena);
+    }
+
     /// One frozen forward over `chunk`, returning pooled
     /// `(score, accuracy, latency)` columns (each `[chunk.len(), 1]`);
     /// the caller returns them to the arena's pool.
@@ -465,20 +483,39 @@ impl FrozenModel {
         slot: usize,
         out: &mut Vec<f64>,
     ) -> Result<()> {
+        let mut arena = self.checkout();
+        let result = self.predict_scores_into_with(cache, archs, slot, out, &mut arena);
+        self.arenas.lock().push(arena);
+        result
+    }
+
+    /// [`Self::predict_scores_into`] against a caller-owned arena instead
+    /// of the engine's pool — the form the serving workers use so one
+    /// warmed arena survives model hot-swaps.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `slot` is out of range or a forward fails.
+    pub fn predict_scores_into_with(
+        &self,
+        cache: &EncodingCache,
+        archs: &[Architecture],
+        slot: usize,
+        out: &mut Vec<f64>,
+        arena: &mut InferArena,
+    ) -> Result<()> {
         self.check_slot(slot)?;
         let _span = hwpr_obs::span_labeled("infer.frozen", self.precision.label());
-        let mut arena = self.checkout();
         out.reserve(archs.len());
         for chunk in archs.chunks(self.batch) {
             let timer = ChunkTimer::start();
-            let (score, accuracy, latency) = self.forward_chunk(cache, &mut arena, chunk, slot)?;
+            let (score, accuracy, latency) = self.forward_chunk(cache, arena, chunk, slot)?;
             out.extend(score.as_slice().iter().map(|&v| v as f64));
             arena.pool.put(score);
             arena.pool.put(accuracy);
             arena.pool.put(latency);
             timer.finish(self.prepacked_gemms, chunk.len());
         }
-        self.arenas.lock().push(arena);
         Ok(())
     }
 
@@ -529,13 +566,50 @@ impl FrozenModel {
         archs: &[Architecture],
         slot: usize,
     ) -> Result<Vec<(f64, f64)>> {
+        let mut out = Vec::with_capacity(archs.len());
+        self.predict_objectives_into(cache, archs, slot, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::predict_objectives`] into a caller-held buffer — the
+    /// allocation-free steady-state form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `slot` is out of range or a forward fails.
+    pub fn predict_objectives_into(
+        &self,
+        cache: &EncodingCache,
+        archs: &[Architecture],
+        slot: usize,
+        out: &mut Vec<(f64, f64)>,
+    ) -> Result<()> {
+        let mut arena = self.checkout();
+        let result = self.predict_objectives_into_with(cache, archs, slot, out, &mut arena);
+        self.arenas.lock().push(arena);
+        result
+    }
+
+    /// [`Self::predict_objectives_into`] against a caller-owned arena —
+    /// see [`Self::predict_scores_into_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `slot` is out of range or a forward fails.
+    pub fn predict_objectives_into_with(
+        &self,
+        cache: &EncodingCache,
+        archs: &[Architecture],
+        slot: usize,
+        out: &mut Vec<(f64, f64)>,
+        arena: &mut InferArena,
+    ) -> Result<()> {
         self.check_slot(slot)?;
         let _span = hwpr_obs::span_labeled("infer.frozen", self.precision.label());
-        let mut arena = self.checkout();
-        let mut out = Vec::with_capacity(archs.len());
+        out.reserve(archs.len());
         for chunk in archs.chunks(self.batch) {
             let timer = ChunkTimer::start();
-            let (score, accuracy, latency) = self.forward_chunk(cache, &mut arena, chunk, slot)?;
+            let (score, accuracy, latency) = self.forward_chunk(cache, arena, chunk, slot)?;
             for (&a, &l) in accuracy.as_slice().iter().zip(latency.as_slice()) {
                 out.push((
                     denorm_accuracy(a),
@@ -547,8 +621,7 @@ impl FrozenModel {
             arena.pool.put(latency);
             timer.finish(self.prepacked_gemms, chunk.len());
         }
-        self.arenas.lock().push(arena);
-        Ok(out)
+        Ok(())
     }
 
     /// [`Self::predict_full`] split across scoped worker threads. Each

@@ -273,6 +273,13 @@ impl HwPrNas {
         self.dataset
     }
 
+    /// The model's shared per-architecture encoding cache. Exposed so
+    /// external drivers of the frozen engine (the serving layer) can pair
+    /// [`Self::frozen`] with the cache it was compiled against.
+    pub fn encoding_cache(&self) -> &EncodingCache {
+        &self.cache
+    }
+
     /// Total number of trainable scalars.
     pub fn parameter_count(&self) -> usize {
         self.params.scalar_count()

@@ -15,8 +15,11 @@ use crate::{CoreError, Result};
 use hwpr_hwmodel::Platform;
 use hwpr_nasbench::{Architecture, Dataset};
 use hwpr_tensor::Matrix;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// On-disk representation of a trained model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,6 +48,62 @@ pub struct SavedModel {
 
 /// Current format version.
 pub const FORMAT_VERSION: u32 = 1;
+
+/// A registered save observer (see [`observe_saves`]).
+type SaveObserver = Arc<dyn Fn(&Path) + Send + Sync>;
+
+static SAVE_OBSERVERS: OnceLock<Mutex<Vec<(u64, SaveObserver)>>> = OnceLock::new();
+static NEXT_WATCH_ID: AtomicU64 = AtomicU64::new(1);
+
+fn save_observers() -> &'static Mutex<Vec<(u64, SaveObserver)>> {
+    SAVE_OBSERVERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registration handle returned by [`observe_saves`]; dropping it
+/// removes the observer.
+#[must_use = "dropping the watch immediately unregisters the observer"]
+pub struct SaveWatch {
+    id: u64,
+}
+
+impl std::fmt::Debug for SaveWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SaveWatch").field("id", &self.id).finish()
+    }
+}
+
+impl Drop for SaveWatch {
+    fn drop(&mut self) {
+        save_observers().lock().retain(|(id, _)| *id != self.id);
+    }
+}
+
+/// Registers a process-wide observer called (on the saving thread, after
+/// the file is fully written) every time [`HwPrNas::save`] succeeds.
+///
+/// This is the hot-swap hook the serving layer builds on: a model
+/// registry watches the path a trainer persists to and republishes the
+/// retrained weights the moment they hit disk. Observers receive the
+/// path exactly as the saver passed it and must not panic.
+pub fn observe_saves(observer: impl Fn(&Path) + Send + Sync + 'static) -> SaveWatch {
+    let id = NEXT_WATCH_ID.fetch_add(1, Ordering::Relaxed);
+    save_observers().lock().push((id, Arc::new(observer)));
+    SaveWatch { id }
+}
+
+/// Snapshots and invokes the registered save observers for `path`.
+fn notify_saved(path: &Path) {
+    // snapshot under the lock, call outside it: an observer is allowed to
+    // save another model (republish flows) without deadlocking
+    let observers: Vec<SaveObserver> = save_observers()
+        .lock()
+        .iter()
+        .map(|(_, o)| Arc::clone(o))
+        .collect();
+    for observer in observers {
+        observer(path);
+    }
+}
 
 /// Serialises `value` and writes it to `path` as a single JSON document —
 /// the on-disk convention every persisted artifact in the workspace
@@ -107,13 +166,16 @@ impl HwPrNas {
         serde_json::to_string(&self.saved()).map_err(|e| CoreError::Data(format!("serialise: {e}")))
     }
 
-    /// Writes the model to `path` as JSON.
+    /// Writes the model to `path` as JSON and notifies any registered
+    /// save observers (see [`observe_saves`]) once the write succeeded.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Data`] on I/O or serialisation failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        write_json_file(&self.saved(), path)
+        write_json_file(&self.saved(), path.as_ref())?;
+        notify_saved(path.as_ref());
+        Ok(())
     }
 
     /// Rebuilds a model from its JSON form.
@@ -257,6 +319,31 @@ mod tests {
         assert!(HwPrNas::from_json(&json).is_err());
         assert!(HwPrNas::from_json("{not json").is_err());
         assert!(HwPrNas::load("/nonexistent/path/model.json").is_err());
+    }
+
+    #[test]
+    fn save_observers_fire_after_save_and_unregister_on_drop() {
+        let (model, _) = trained();
+        let dir = std::env::temp_dir().join("hwpr_persist_watch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("watched.json");
+        let seen = Arc::new(Mutex::new(0usize));
+        // other tests in the binary save models concurrently: the
+        // observer counts only its own path
+        let watch = observe_saves({
+            let seen = Arc::clone(&seen);
+            move |p: &Path| {
+                if p.ends_with("watched.json") {
+                    *seen.lock() += 1;
+                }
+            }
+        });
+        model.save(&path).unwrap();
+        assert_eq!(*seen.lock(), 1, "observer must fire once per save");
+        drop(watch);
+        model.save(&path).unwrap();
+        assert_eq!(*seen.lock(), 1, "a dropped watch must not fire");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

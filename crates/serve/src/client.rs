@@ -1,0 +1,191 @@
+//! A blocking, pipelining-capable client for the serving protocol.
+//!
+//! [`ServeClient`] reuses one request buffer and one frame buffer, so a
+//! steady-state client allocates nothing per request. The split
+//! `send_predict` / `recv_scores` API lets a load generator keep many
+//! requests in flight on one connection (the server replies in
+//! completion order, so match responses by the returned request id).
+
+use crate::protocol::{self, PredictKind, MAX_FRAME, STATUS_ERROR, STATUS_OK, STATUS_OVERLOADED};
+use crate::{Result, ServeError};
+use hwpr_hwmodel::Platform;
+use hwpr_nasbench::Architecture;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connection to a running [`crate::Server`].
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    payload: Vec<u8>,
+    frame: Vec<u8>,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connects to a server at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            payload: Vec::new(),
+            frame: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends a predict request without waiting for the response; returns
+    /// the request id to match against a later `recv_*` call. Use this
+    /// to pipeline many requests on one connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_predict(
+        &mut self,
+        kind: PredictKind,
+        model: &str,
+        platform: Platform,
+        archs: &[Architecture],
+    ) -> Result<u64> {
+        let id = self.fresh_id();
+        protocol::encode_predict(&mut self.payload, kind, id, model, platform.name(), archs);
+        protocol::write_frame(&mut self.stream, &self.payload)?;
+        Ok(id)
+    }
+
+    /// Reads the next response frame, returning its `(status-checked)`
+    /// body in `self.frame` space.
+    fn recv_ok_body(&mut self) -> Result<(u64, usize)> {
+        if !protocol::read_frame(&mut self.stream, &mut self.frame, MAX_FRAME)? {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let head = protocol::decode_response_head(&self.frame).map_err(ServeError::Protocol)?;
+        let body_at = self.frame.len() - head.body.len();
+        match head.status {
+            STATUS_OK => Ok((head.request_id, body_at)),
+            STATUS_OVERLOADED => Err(ServeError::Overloaded),
+            STATUS_ERROR => Err(ServeError::Remote(protocol::decode_error_message(
+                head.body,
+            ))),
+            other => Err(ServeError::Protocol(format!(
+                "unknown response status {other}"
+            ))),
+        }
+    }
+
+    /// Receives one scores response, appending to `out`. Returns the
+    /// request id the response answers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the server shed the request,
+    /// [`ServeError::Remote`] for request-level errors, and
+    /// [`ServeError::Protocol`]/[`ServeError::Io`] for transport faults.
+    pub fn recv_scores(&mut self, out: &mut Vec<f64>) -> Result<u64> {
+        let (id, body_at) = self.recv_ok_body()?;
+        protocol::decode_scores(&self.frame[body_at..], out).map_err(ServeError::Protocol)?;
+        Ok(id)
+    }
+
+    /// Receives one objectives response, appending to `out`. Returns the
+    /// request id the response answers.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::recv_scores`].
+    pub fn recv_objectives(&mut self, out: &mut Vec<(f64, f64)>) -> Result<u64> {
+        let (id, body_at) = self.recv_ok_body()?;
+        protocol::decode_objectives(&self.frame[body_at..], out).map_err(ServeError::Protocol)?;
+        Ok(id)
+    }
+
+    /// Round-trip convenience: predict Pareto scores for `archs`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::recv_scores`].
+    pub fn predict_scores(
+        &mut self,
+        model: &str,
+        platform: Platform,
+        archs: &[Architecture],
+    ) -> Result<Vec<f64>> {
+        let sent = self.send_predict(PredictKind::Scores, model, platform, archs)?;
+        let mut out = Vec::with_capacity(archs.len());
+        let got = self.recv_scores(&mut out)?;
+        debug_assert_eq!(sent, got, "unpipelined round trip must match ids");
+        Ok(out)
+    }
+
+    /// Round-trip convenience: predict `(accuracy %, latency ms)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::recv_scores`].
+    pub fn predict_objectives(
+        &mut self,
+        model: &str,
+        platform: Platform,
+        archs: &[Architecture],
+    ) -> Result<Vec<(f64, f64)>> {
+        let sent = self.send_predict(PredictKind::Objectives, model, platform, archs)?;
+        let mut out = Vec::with_capacity(archs.len());
+        let got = self.recv_objectives(&mut out)?;
+        debug_assert_eq!(sent, got, "unpipelined round trip must match ids");
+        Ok(out)
+    }
+
+    /// Lists the server's published models as `(name, version)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::recv_scores`].
+    pub fn list_models(&mut self) -> Result<Vec<(String, u32)>> {
+        let id = self.fresh_id();
+        protocol::encode_list_models(&mut self.payload, id);
+        protocol::write_frame(&mut self.stream, &self.payload)?;
+        let (_, body_at) = self.recv_ok_body()?;
+        protocol::decode_model_list(&self.frame[body_at..]).map_err(ServeError::Protocol)
+    }
+
+    /// Sends a raw pre-encoded payload frame (robustness tests poke the
+    /// server with malformed frames through this).
+    #[doc(hidden)]
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<()> {
+        protocol::write_frame(&mut self.stream, payload)?;
+        Ok(())
+    }
+
+    /// Receives one raw response, returning `(status, request_id,
+    /// message-or-empty)`. Robustness-test helper.
+    #[doc(hidden)]
+    pub fn recv_raw(&mut self) -> Result<(u8, u64, String)> {
+        if !protocol::read_frame(&mut self.stream, &mut self.frame, MAX_FRAME)? {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let head = protocol::decode_response_head(&self.frame).map_err(ServeError::Protocol)?;
+        let message = if head.status == STATUS_OK {
+            String::new()
+        } else {
+            protocol::decode_error_message(head.body)
+        };
+        Ok((head.status, head.request_id, message))
+    }
+}

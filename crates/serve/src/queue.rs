@@ -1,0 +1,562 @@
+//! The admission queue and its adaptive micro-batching policy, plus the
+//! worker loop that drains it into the frozen engine.
+//!
+//! # Micro-batch deadline math
+//!
+//! The first waiting request (the *leader*) opens a coalesce window: the
+//! queue releases a batch as soon as `max_batch` rows compatible with
+//! the leader are waiting, or when `leader.arrived + batch_deadline`
+//! passes — whichever comes first. The deadline therefore bounds the
+//! latency a lone request can pay for the throughput of a full batch:
+//! worst-case added latency is exactly `batch_deadline`, while under
+//! load the window fills long before it expires and adds ~0. A deadline
+//! of `0` disables coalescing delay entirely (the uncoalesced baseline
+//! the `serving_throughput` bench compares against).
+//!
+//! Compatibility is `Arc` identity of the served model plus the latency
+//! head slot and prediction kind — so requests split across a hot-swap
+//! never share a forward, and a batch's rows all come from one engine.
+//!
+//! Requests are shed with an explicit `Overloaded` reply in two places:
+//! at admission when the queue already holds `queue_cap` requests, and
+//! at execution when a request sat queued longer than `request_timeout`.
+//!
+//! The queue recycles request buffers (`Vec<Architecture>`) through an
+//! internal pool, and [`WorkerState`] owns its arena and output/frame
+//! buffers, so the warm path — admit, coalesce, forward, reply — does
+//! zero heap allocations (pinned by the `alloc-count` harness).
+
+use crate::config::ServeConfig;
+use crate::protocol::{self, PredictKind, STATUS_ERROR, STATUS_OVERLOADED};
+use crate::registry::ServedModel;
+use crate::telemetry::metrics;
+use hwpr_core::InferArena;
+use hwpr_nasbench::Architecture;
+use hwpr_obs::SpanContext;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a request's reply frame goes. Abstracted over the transport so
+/// the worker loop is testable (and provable allocation-free) without
+/// sockets; the TCP implementation lives in the server module.
+pub trait ReplySink: Send + Sync {
+    /// Delivers one complete response frame. Must not panic; transport
+    /// failures are the sink's to swallow (warn + drop).
+    fn send(&self, frame: &[u8]);
+}
+
+/// One admitted request waiting for a worker.
+pub struct Pending {
+    /// Client-chosen id echoed in the reply.
+    pub request_id: u64,
+    /// Which prediction to run.
+    pub kind: PredictKind,
+    /// The resolved model (pinned: a hot-swap does not retarget this).
+    pub model: Arc<ServedModel>,
+    /// Latency-head slot resolved at admission.
+    pub slot: usize,
+    /// The architecture batch (buffer owned by the queue's pool).
+    pub archs: Vec<Architecture>,
+    /// Reply transport.
+    pub reply: Arc<dyn ReplySink>,
+    /// Admission timestamp (drives the coalesce deadline, the request
+    /// timeout and the latency histogram).
+    pub arrived: Instant,
+}
+
+impl std::fmt::Debug for Pending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending")
+            .field("request_id", &self.request_id)
+            .field("kind", &self.kind)
+            .field("model", &self.model.name())
+            .field("slot", &self.slot)
+            .field("rows", &self.archs.len())
+            .finish()
+    }
+}
+
+#[derive(Default)]
+struct QueueInner {
+    pending: VecDeque<Pending>,
+    arch_pool: Vec<Vec<Architecture>>,
+    shutdown: bool,
+}
+
+/// The bounded admission queue with micro-batch coalescing.
+pub struct BatchQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    queue_cap: usize,
+    max_batch: usize,
+    deadline: Duration,
+}
+
+impl std::fmt::Debug for BatchQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchQueue")
+            .field("queue_cap", &self.queue_cap)
+            .field("max_batch", &self.max_batch)
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+impl BatchQueue {
+    /// A queue with `config`'s capacity, coalesce target and deadline.
+    pub fn new(config: &ServeConfig) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner::default()),
+            ready: Condvar::new(),
+            queue_cap: config.queue_cap.max(1),
+            max_batch: config.max_batch.max(1),
+            deadline: config.batch_deadline,
+        }
+    }
+
+    /// Takes a pooled architecture buffer (empty, capacity retained).
+    pub fn take_arch_buf(&self) -> Vec<Architecture> {
+        self.inner
+            .lock()
+            .expect("queue lock")
+            .arch_pool
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns an architecture buffer to the pool.
+    pub fn recycle_arch_buf(&self, mut buf: Vec<Architecture>) {
+        buf.clear();
+        self.inner.lock().expect("queue lock").arch_pool.push(buf);
+    }
+
+    /// Admits a request. On a full queue the request comes back as
+    /// `Err` — the caller sheds it with an `Overloaded` reply.
+    #[allow(clippy::result_large_err)]
+    pub fn push(&self, pending: Pending) -> Result<(), Pending> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.shutdown || inner.pending.len() >= self.queue_cap {
+            return Err(pending);
+        }
+        let rows = pending.archs.len() as i64;
+        inner.pending.push_back(pending);
+        let depth = inner.pending.len();
+        drop(inner);
+        self.ready.notify_one();
+        if hwpr_obs::enabled() {
+            let m = metrics();
+            m.requests.inc();
+            m.queue_depth.set(depth as f64);
+            m.inflight_add(rows);
+        }
+        Ok(())
+    }
+
+    /// Marks the queue shut down and wakes every waiting worker.
+    pub fn shutdown(&self) {
+        self.inner.lock().expect("queue lock").shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// Rows in the queue compatible with `leader` (including itself).
+    fn compatible_rows(pending: &VecDeque<Pending>, leader: &Pending) -> usize {
+        pending
+            .iter()
+            .filter(|p| Self::compatible(p, leader))
+            .map(|p| p.archs.len())
+            .sum()
+    }
+
+    fn compatible(a: &Pending, b: &Pending) -> bool {
+        Arc::ptr_eq(&a.model, &b.model) && a.slot == b.slot && a.kind == b.kind
+    }
+
+    /// Blocks until a batch is ready (or the queue shuts down), then
+    /// moves the leader and every compatible follower — up to the
+    /// coalesce target — into `out`. Returns `false` on shutdown.
+    pub fn next_batch(&self, out: &mut Vec<Pending>) -> bool {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.shutdown {
+                return false;
+            }
+            if inner.pending.is_empty() {
+                inner = self.ready.wait(inner).expect("queue lock");
+                continue;
+            }
+            // a leader is waiting: hold its coalesce window open until
+            // the target fills or the deadline passes
+            let deadline = inner.pending[0].arrived + self.deadline;
+            loop {
+                if inner.shutdown {
+                    return false;
+                }
+                let Some(leader) = inner.pending.front() else {
+                    break; // another worker drained the queue
+                };
+                if Self::compatible_rows(&inner.pending, leader) >= self.max_batch {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .ready
+                    .wait_timeout(inner, deadline - now)
+                    .expect("queue lock");
+                inner = guard;
+            }
+            if self.extract(&mut inner, out) {
+                return true;
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`Self::next_batch`]: collects whatever
+    /// is already waiting without honouring the deadline. Returns
+    /// `false` when the queue is empty. Test and drain harnesses use
+    /// this; the server workers use the blocking form.
+    pub fn try_next_batch(&self, out: &mut Vec<Pending>) -> bool {
+        let mut inner = self.inner.lock().expect("queue lock");
+        self.extract(&mut inner, out)
+    }
+
+    /// Moves the leader + compatible followers into `out`; `false` when
+    /// nothing is pending.
+    fn extract(&self, inner: &mut QueueInner, out: &mut Vec<Pending>) -> bool {
+        out.clear();
+        let Some(leader) = inner.pending.pop_front() else {
+            return false;
+        };
+        let mut rows = leader.archs.len();
+        out.push(leader);
+        let mut i = 0;
+        while i < inner.pending.len() && rows < self.max_batch {
+            if Self::compatible(&inner.pending[i], &out[0]) {
+                let follower = inner.pending.remove(i).expect("index in range");
+                rows += follower.archs.len();
+                out.push(follower);
+            } else {
+                i += 1;
+            }
+        }
+        if hwpr_obs::enabled() {
+            metrics().queue_depth.set(inner.pending.len() as f64);
+        }
+        true
+    }
+}
+
+/// One prediction worker's reusable state: an engine-independent arena,
+/// the coalesced batch staging, output columns and the reply frame.
+pub struct WorkerState {
+    arena: InferArena,
+    batch: Vec<Pending>,
+    archs: Vec<Architecture>,
+    scores: Vec<f64>,
+    objectives: Vec<(f64, f64)>,
+    frame: Vec<u8>,
+    parent: SpanContext,
+    request_timeout: Duration,
+}
+
+impl std::fmt::Debug for WorkerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerState")
+            .field("request_timeout", &self.request_timeout)
+            .finish()
+    }
+}
+
+impl WorkerState {
+    /// A fresh worker. `parent` is the server's root span context so
+    /// batch spans land in the serving trace.
+    pub fn new(config: &ServeConfig, parent: SpanContext) -> Self {
+        Self {
+            arena: InferArena::default(),
+            batch: Vec::new(),
+            archs: Vec::new(),
+            scores: Vec::new(),
+            objectives: Vec::new(),
+            frame: Vec::new(),
+            parent,
+            request_timeout: config.request_timeout,
+        }
+    }
+
+    /// Blocks for the next batch and serves it. Returns `false` once the
+    /// queue shuts down.
+    pub fn run_once(&mut self, queue: &BatchQueue) -> bool {
+        // move the batch out of self so `execute` can borrow freely
+        let mut batch = std::mem::take(&mut self.batch);
+        if !queue.next_batch(&mut batch) {
+            self.batch = batch;
+            return false;
+        }
+        self.execute(queue, &mut batch);
+        self.batch = batch;
+        true
+    }
+
+    /// Serves whatever is already queued without waiting. Returns
+    /// `false` when the queue was empty.
+    pub fn try_run_once(&mut self, queue: &BatchQueue) -> bool {
+        let mut batch = std::mem::take(&mut self.batch);
+        if !queue.try_next_batch(&mut batch) {
+            self.batch = batch;
+            return false;
+        }
+        self.execute(queue, &mut batch);
+        self.batch = batch;
+        true
+    }
+
+    /// Runs one coalesced forward and replies to every request in
+    /// `batch`, recycling the request buffers into `queue`'s pool.
+    fn execute(&mut self, queue: &BatchQueue, batch: &mut Vec<Pending>) {
+        let telemetry = hwpr_obs::enabled();
+        // shed requests that aged out while queued
+        let mut i = 0;
+        while i < batch.len() {
+            if batch[i].arrived.elapsed() > self.request_timeout {
+                let shed = batch.swap_remove(i);
+                protocol::encode_error_response(
+                    &mut self.frame,
+                    shed.request_id,
+                    STATUS_OVERLOADED,
+                    "request timed out in the admission queue",
+                );
+                shed.reply.send(&self.frame);
+                if telemetry {
+                    let m = metrics();
+                    m.overloaded.inc();
+                    m.inflight_add(-(shed.archs.len() as i64));
+                }
+                queue.recycle_arch_buf(shed.archs);
+            } else {
+                i += 1;
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let _span = hwpr_obs::span_with_parent("serve.batch", self.parent);
+        let started = if telemetry {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        // stage the coalesced rows in request order
+        self.archs.clear();
+        for p in batch.iter() {
+            self.archs.extend_from_slice(&p.archs);
+        }
+        let model = &batch[0].model;
+        let kind = batch[0].kind;
+        let slot = batch[0].slot;
+        let result = match kind {
+            PredictKind::Scores => {
+                self.scores.clear();
+                model.frozen().predict_scores_into_with(
+                    model.cache(),
+                    &self.archs,
+                    slot,
+                    &mut self.scores,
+                    &mut self.arena,
+                )
+            }
+            PredictKind::Objectives => {
+                self.objectives.clear();
+                model.frozen().predict_objectives_into_with(
+                    model.cache(),
+                    &self.archs,
+                    slot,
+                    &mut self.objectives,
+                    &mut self.arena,
+                )
+            }
+        };
+        let rows_served = self.archs.len();
+        match result {
+            Ok(()) => {
+                // split the output columns back per request, in order
+                let mut offset = 0;
+                for p in batch.iter() {
+                    let rows = p.archs.len();
+                    match kind {
+                        PredictKind::Scores => protocol::encode_scores_response(
+                            &mut self.frame,
+                            p.request_id,
+                            &self.scores[offset..offset + rows],
+                        ),
+                        PredictKind::Objectives => protocol::encode_objectives_response(
+                            &mut self.frame,
+                            p.request_id,
+                            &self.objectives[offset..offset + rows],
+                        ),
+                    }
+                    offset += rows;
+                    p.reply.send(&self.frame);
+                }
+            }
+            Err(ref e) => {
+                // slot was validated at admission, so this is a genuine
+                // engine failure: every rider gets the error, the worker
+                // survives
+                for p in batch.iter() {
+                    protocol::encode_error_response(
+                        &mut self.frame,
+                        p.request_id,
+                        STATUS_ERROR,
+                        &format!("prediction failed: {e}"),
+                    );
+                    p.reply.send(&self.frame);
+                }
+                if telemetry {
+                    metrics().errors.add(batch.len() as u64);
+                }
+            }
+        }
+        if let Some(start) = started {
+            let m = metrics();
+            m.batches.inc();
+            m.batch_rows.observe(rows_served as f64);
+            m.batch_us.observe(start.elapsed().as_secs_f64() * 1e6);
+            for p in batch.iter() {
+                m.request_us
+                    .observe(p.arrived.elapsed().as_secs_f64() * 1e6);
+            }
+            m.inflight_add(-(rows_served as i64));
+        }
+        for mut p in batch.drain(..) {
+            queue.recycle_arch_buf(std::mem::take(&mut p.archs));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PlMutex;
+
+    struct CountingSink {
+        frames: PlMutex<Vec<Vec<u8>>>,
+    }
+
+    impl CountingSink {
+        fn new() -> Arc<Self> {
+            Arc::new(Self {
+                frames: PlMutex::new(Vec::new()),
+            })
+        }
+    }
+
+    impl ReplySink for CountingSink {
+        fn send(&self, frame: &[u8]) {
+            self.frames.lock().push(frame.to_vec());
+        }
+    }
+
+    fn tiny_served() -> Arc<ServedModel> {
+        use hwpr_core::{HwPrNas, ModelConfig, SurrogateDataset, TrainConfig};
+        use hwpr_hwmodel::{Platform, SimBench, SimBenchConfig};
+        use hwpr_nasbench::{Dataset, SearchSpaceId};
+        let bench = SimBench::generate(SimBenchConfig {
+            space: SearchSpaceId::NasBench201,
+            sample_size: Some(24),
+            seed: 5,
+        });
+        let data =
+            SurrogateDataset::from_simbench(&bench, Dataset::Cifar10, Platform::EdgeGpu).unwrap();
+        let (model, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+        let registry = crate::ModelRegistry::new();
+        registry.publish("m", Arc::new(model));
+        registry.get("m").unwrap()
+    }
+
+    fn pending(
+        model: &Arc<ServedModel>,
+        queue: &BatchQueue,
+        sink: &Arc<CountingSink>,
+        id: u64,
+        n: usize,
+    ) -> Pending {
+        let mut archs = queue.take_arch_buf();
+        for i in 0..n {
+            archs.push(hwpr_nasbench::Architecture::nb201_from_index(id * 100 + i as u64).unwrap());
+        }
+        Pending {
+            request_id: id,
+            kind: PredictKind::Scores,
+            model: Arc::clone(model),
+            slot: 0,
+            archs,
+            reply: Arc::clone(sink) as Arc<dyn ReplySink>,
+            arrived: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_and_batches_coalesce_to_the_target() {
+        let model = tiny_served();
+        let sink = CountingSink::new();
+        let config = ServeConfig {
+            max_batch: 8,
+            batch_deadline: Duration::ZERO,
+            queue_cap: 2,
+            ..ServeConfig::default()
+        };
+        let queue = BatchQueue::new(&config);
+        assert!(queue.push(pending(&model, &queue, &sink, 1, 3)).is_ok());
+        assert!(queue.push(pending(&model, &queue, &sink, 2, 3)).is_ok());
+        // cap reached: the third admission is bounced back
+        assert!(queue.push(pending(&model, &queue, &sink, 3, 3)).is_err());
+
+        let mut worker = WorkerState::new(&config, SpanContext::NONE);
+        assert!(worker.try_run_once(&queue));
+        // both compatible requests rode one batch: two reply frames
+        assert_eq!(sink.frames.lock().len(), 2);
+        assert!(!worker.try_run_once(&queue), "queue must be drained");
+    }
+
+    #[test]
+    fn timed_out_requests_get_an_overloaded_reply() {
+        let model = tiny_served();
+        let sink = CountingSink::new();
+        let config = ServeConfig {
+            max_batch: 8,
+            batch_deadline: Duration::ZERO,
+            request_timeout: Duration::ZERO,
+            ..ServeConfig::default()
+        };
+        let queue = BatchQueue::new(&config);
+        queue.push(pending(&model, &queue, &sink, 1, 2)).unwrap();
+        let mut worker = WorkerState::new(&config, SpanContext::NONE);
+        assert!(worker.try_run_once(&queue));
+        let frames = sink.frames.lock();
+        assert_eq!(frames.len(), 1);
+        let head = protocol::decode_response_head(&frames[0][4..]).unwrap();
+        assert_eq!(head.status, STATUS_OVERLOADED);
+        assert_eq!(head.request_id, 1);
+    }
+
+    #[test]
+    fn shutdown_unblocks_next_batch() {
+        let config = ServeConfig::default();
+        let queue = Arc::new(BatchQueue::new(&config));
+        let q = Arc::clone(&queue);
+        let waiter = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            q.next_batch(&mut out)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        queue.shutdown();
+        assert!(!waiter.join().unwrap(), "shutdown must return false");
+        // pushes after shutdown bounce
+        let model = tiny_served();
+        let sink = CountingSink::new();
+        assert!(queue.push(pending(&model, &queue, &sink, 1, 1)).is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! The model registry: named, versioned, hot-swappable frozen engines.
+//!
+//! # Hot-swap memory model
+//!
+//! Publishing is an atomic pointer swap under a short registry lock:
+//! the new [`ServedModel`] `Arc` replaces the old entry and a relaxed
+//! generation counter is bumped. The **hot path never takes that lock**
+//! — each connection resolves models through a [`RegistryCache`] that
+//! revalidates only when one atomic generation load says the registry
+//! changed — and in-flight requests keep their `Arc<ServedModel>`, so
+//! batches admitted before a swap finish on the old weights while later
+//! requests see the new ones. The old engine (weight panels, arenas) is
+//! freed when its last in-flight `Arc` drops. The admission queue never
+//! mixes the two: batch compatibility is keyed by `Arc` identity.
+//!
+//! [`ModelRegistry::republish_on_save`] closes the retraining loop: it
+//! watches the persist layer (`hwpr_core::observe_saves`) and republishes
+//! a model the moment a trainer writes it to the watched path.
+
+use crate::ServeError;
+use hwpr_core::{EncodingCache, FrozenModel, HwPrNas};
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One published model: a name, a monotonically increasing version, and
+/// the frozen engine + encoding cache the workers drive.
+#[derive(Debug)]
+pub struct ServedModel {
+    name: String,
+    version: u32,
+    nas: Arc<HwPrNas>,
+    frozen: Arc<FrozenModel>,
+}
+
+impl ServedModel {
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The publish version (1 for the first publish of a name).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The underlying surrogate.
+    pub fn nas(&self) -> &Arc<HwPrNas> {
+        &self.nas
+    }
+
+    /// The frozen engine captured at publish time.
+    pub fn frozen(&self) -> &Arc<FrozenModel> {
+        &self.frozen
+    }
+
+    /// The encoding cache the engine was compiled against.
+    pub fn cache(&self) -> &EncodingCache {
+        self.nas.encoding_cache()
+    }
+
+    /// Resolves a platform display name (e.g. `"Edge GPU"`) to the
+    /// model's latency-head slot.
+    pub fn slot(&self, platform: &str) -> Option<usize> {
+        self.nas
+            .platforms()
+            .iter()
+            .position(|p| p.name() == platform)
+    }
+}
+
+/// A named, versioned collection of [`ServedModel`]s.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    entries: Mutex<Vec<Arc<ServedModel>>>,
+    /// Bumped on every publish; connection-local caches revalidate on
+    /// one relaxed load of this instead of locking `entries`.
+    generation: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes (or hot-swaps) `nas` under `name`, freezing it with the
+    /// model's current engine settings. Returns the new version number.
+    ///
+    /// In-flight requests admitted against the previous version keep
+    /// their `Arc` and finish on the old weights; requests resolved
+    /// after this call see the new ones.
+    pub fn publish(&self, name: &str, nas: Arc<HwPrNas>) -> u32 {
+        // compile (or fetch) the engine outside the registry lock: weight
+        // packing is the expensive part of a publish
+        let frozen = nas.frozen();
+        let mut entries = self.entries.lock();
+        let version = entries
+            .iter()
+            .find(|e| e.name == name)
+            .map_or(1, |e| e.version + 1);
+        let model = Arc::new(ServedModel {
+            name: name.to_string(),
+            version,
+            nas,
+            frozen,
+        });
+        match entries.iter_mut().find(|e| e.name == name) {
+            Some(slot) => *slot = model,
+            None => entries.push(model),
+        }
+        drop(entries);
+        self.generation.fetch_add(1, Ordering::Release);
+        if hwpr_obs::enabled() {
+            crate::telemetry::metrics().publishes.inc();
+        }
+        version
+    }
+
+    /// The current entry for `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<ServedModel>> {
+        self.entries
+            .lock()
+            .iter()
+            .find(|e| e.name == name)
+            .map(Arc::clone)
+    }
+
+    /// The publish generation (bumped on every [`Self::publish`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of `(name, version)` pairs, in publish order.
+    pub fn list(&self) -> Vec<(String, u32)> {
+        self.entries
+            .lock()
+            .iter()
+            .map(|e| (e.name.clone(), e.version))
+            .collect()
+    }
+
+    /// Number of published names.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Watches the persist layer and republishes `name` whenever a model
+    /// is saved to `path` — the hot-swap trigger for retraining loops.
+    /// The watch lasts as long as the returned guard.
+    ///
+    /// A save that fails to load back warns through the telemetry sink
+    /// and leaves the currently published version serving.
+    pub fn republish_on_save(self: &Arc<Self>, name: &str, path: &Path) -> hwpr_core::SaveWatch {
+        let registry = Arc::clone(self);
+        let name = name.to_string();
+        let watched: PathBuf = path.to_path_buf();
+        hwpr_core::observe_saves(move |saved: &Path| {
+            if saved != watched {
+                return;
+            }
+            match HwPrNas::load(saved) {
+                Ok(nas) => {
+                    let version = registry.publish(&name, Arc::new(nas));
+                    hwpr_obs::record_with("serve.republish", || {
+                        vec![
+                            hwpr_obs::field("model", &name),
+                            hwpr_obs::field("version", version),
+                        ]
+                    });
+                }
+                Err(e) => hwpr_obs::warn(format!(
+                    "serve: model saved to {} failed to load for republish \
+                     (keeping the current version): {e}",
+                    saved.display()
+                )),
+            }
+        })
+    }
+}
+
+/// A connection-local resolution cache over a [`ModelRegistry`].
+///
+/// `resolve` is one relaxed atomic load on the hit path — the registry
+/// lock is taken only on the first lookup of a name and after a publish
+/// bumps the generation.
+#[derive(Debug, Default)]
+pub struct RegistryCache {
+    entries: Vec<(String, u64, Arc<ServedModel>)>,
+}
+
+impl RegistryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves `name`, revalidating against `registry` only when its
+    /// generation moved since the last lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Remote`] when no model is published under
+    /// `name`.
+    pub fn resolve(
+        &mut self,
+        registry: &ModelRegistry,
+        name: &str,
+    ) -> Result<Arc<ServedModel>, ServeError> {
+        let generation = registry.generation();
+        if let Some((_, cached_gen, model)) = self.entries.iter_mut().find(|(n, _, _)| n == name) {
+            if *cached_gen == generation {
+                return Ok(Arc::clone(model));
+            }
+            // the registry moved: revalidate this name
+            match registry.get(name) {
+                Some(fresh) => {
+                    *cached_gen = generation;
+                    *model = Arc::clone(&fresh);
+                    return Ok(fresh);
+                }
+                None => {
+                    self.entries.retain(|(n, _, _)| n != name);
+                    return Err(unknown_model(name));
+                }
+            }
+        }
+        match registry.get(name) {
+            Some(model) => {
+                self.entries
+                    .push((name.to_string(), generation, Arc::clone(&model)));
+                Ok(model)
+            }
+            None => Err(unknown_model(name)),
+        }
+    }
+}
+
+fn unknown_model(name: &str) -> ServeError {
+    ServeError::Remote(format!("no model published under {name:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwpr_core::{ModelConfig, SurrogateDataset, TrainConfig};
+    use hwpr_hwmodel::{Platform, SimBench, SimBenchConfig};
+    use hwpr_nasbench::{Dataset, SearchSpaceId};
+
+    fn tiny_model(seed: u64) -> Arc<HwPrNas> {
+        let bench = SimBench::generate(SimBenchConfig {
+            space: SearchSpaceId::NasBench201,
+            sample_size: Some(32),
+            seed,
+        });
+        let data =
+            SurrogateDataset::from_simbench(&bench, Dataset::Cifar10, Platform::EdgeGpu).unwrap();
+        let (model, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+        Arc::new(model)
+    }
+
+    #[test]
+    fn publish_versions_and_swaps() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        let v1_model = tiny_model(1);
+        assert_eq!(registry.publish("default", Arc::clone(&v1_model)), 1);
+        let g1 = registry.generation();
+        let held = registry.get("default").unwrap();
+        assert_eq!(held.version(), 1);
+        assert!(held.slot("Edge GPU").is_some());
+        assert!(held.slot("Abacus").is_none());
+
+        assert_eq!(registry.publish("default", tiny_model(2)), 2);
+        assert!(registry.generation() > g1);
+        // the held Arc still points at v1 (in-flight semantics)...
+        assert_eq!(held.version(), 1);
+        assert!(Arc::ptr_eq(held.nas(), &v1_model));
+        // ...while fresh lookups see v2
+        assert_eq!(registry.get("default").unwrap().version(), 2);
+        assert_eq!(registry.list(), vec![("default".to_string(), 2)]);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn cache_revalidates_only_on_generation_change() {
+        let registry = ModelRegistry::new();
+        registry.publish("m", tiny_model(3));
+        let mut cache = RegistryCache::new();
+        let a = cache.resolve(&registry, "m").unwrap();
+        let b = cache.resolve(&registry, "m").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(cache.resolve(&registry, "ghost").is_err());
+
+        registry.publish("m", tiny_model(4));
+        let c = cache.resolve(&registry, "m").unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "cache must pick up the hot-swap");
+        assert_eq!(c.version(), 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Correctness differential: a round trip through the serving stack must
+//! return exactly what the frozen engine returns in-process — bit-for-bit
+//! at f32 (results cross the wire as exact `f64` bit patterns), and
+//! inside the workspace rank budget (Kendall τ ≥ 0.99 against the f32
+//! reference) at f16/int8 — including when the server coalesces uneven
+//! batches from interleaved clients into one forward.
+
+use hwpr_core::{HwPrNas, ModelConfig, Precision, SurrogateDataset, TrainConfig};
+use hwpr_hwmodel::{Platform, SimBench, SimBenchConfig};
+use hwpr_nasbench::{Architecture, Dataset, SearchSpaceId};
+use hwpr_serve::{ModelRegistry, ServeClient, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn trained(n: usize) -> (Arc<HwPrNas>, Vec<Architecture>) {
+    let bench = SimBench::generate(SimBenchConfig {
+        space: SearchSpaceId::NasBench201,
+        sample_size: Some(n),
+        seed: 11,
+    });
+    let data =
+        SurrogateDataset::from_simbench(&bench, Dataset::Cifar10, Platform::EdgeGpu).unwrap();
+    let (model, _) = HwPrNas::fit(&data, &ModelConfig::tiny(), &TrainConfig::tiny()).unwrap();
+    let archs = data.samples().iter().map(|s| s.arch.clone()).collect();
+    (Arc::new(model), archs)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn pair_bits(v: &[(f64, f64)]) -> Vec<(u64, u64)> {
+    v.iter().map(|(a, l)| (a.to_bits(), l.to_bits())).collect()
+}
+
+fn tau(a: &[f64], b: &[f64]) -> f64 {
+    let af: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+    let bf: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+    hwpr_metrics::kendall_tau(&af, &bf).unwrap()
+}
+
+#[test]
+fn round_trip_is_bit_identical_to_direct_frozen_inference_at_f32() {
+    let (nas, archs) = trained(48);
+    nas.freeze_with(16, Precision::F32);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("default", Arc::clone(&nas));
+    let served = registry.get("default").unwrap();
+    let slot = served.slot("Edge GPU").unwrap();
+
+    let direct_scores = served
+        .frozen()
+        .predict_scores(served.cache(), &archs, slot)
+        .unwrap();
+    let direct_objectives = served
+        .frozen()
+        .predict_objectives(served.cache(), &archs, slot)
+        .unwrap();
+
+    let config = ServeConfig {
+        batch_deadline: Duration::from_millis(1),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, config).unwrap();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let scores = client
+        .predict_scores("default", Platform::EdgeGpu, &archs)
+        .unwrap();
+    assert_eq!(bits(&scores), bits(&direct_scores));
+
+    let objectives = client
+        .predict_objectives("default", Platform::EdgeGpu, &archs)
+        .unwrap();
+    assert_eq!(pair_bits(&objectives), pair_bits(&direct_objectives));
+
+    assert_eq!(client.list_models().unwrap(), vec![("default".into(), 1)]);
+}
+
+/// Interleaved clients with uneven batch sizes (7 and 13) under a long
+/// coalesce deadline: the server merges them into one forward, and every
+/// client still gets exactly its own rows, bit-identical to a direct
+/// call on its own sub-batch.
+#[test]
+fn coalesced_uneven_batches_split_back_bit_exactly() {
+    let (nas, archs) = trained(80);
+    nas.freeze_with(16, Precision::F32);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("default", Arc::clone(&nas));
+    let served = registry.get("default").unwrap();
+    let slot = served.slot("Edge GPU").unwrap();
+
+    let config = ServeConfig {
+        max_batch: 64,
+        batch_deadline: Duration::from_millis(30),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Arc::clone(&registry), config).unwrap();
+    let addr = server.addr();
+
+    let sizes: &[&[usize]] = &[&[7, 13, 7], &[13, 7, 13]];
+    let mut handles = Vec::new();
+    for (worker, plan) in sizes.iter().enumerate() {
+        let archs = archs.clone();
+        let plan: Vec<usize> = plan.to_vec();
+        handles.push(std::thread::spawn(move || {
+            let mut client = ServeClient::connect(addr).unwrap();
+            // pipeline every request before reading any response, so the
+            // requests are all in the queue together and coalesce
+            let mut offset = worker * 40;
+            let mut windows = Vec::new();
+            for &n in &plan {
+                let window = archs[offset..offset + n].to_vec();
+                client
+                    .send_predict(
+                        hwpr_serve::PredictKind::Scores,
+                        "default",
+                        Platform::EdgeGpu,
+                        &window,
+                    )
+                    .unwrap();
+                windows.push(window);
+                offset += n;
+            }
+            let mut replies = Vec::new();
+            for _ in &plan {
+                let mut out = Vec::new();
+                let id = client.recv_scores(&mut out).unwrap();
+                replies.push((id, out));
+            }
+            // replies arrive in completion order; ids are issued 1..=n
+            replies.sort_by_key(|(id, _)| *id);
+            (windows, replies)
+        }));
+    }
+    for handle in handles {
+        let (windows, replies) = handle.join().unwrap();
+        assert_eq!(windows.len(), replies.len());
+        for (window, (_, scores)) in windows.iter().zip(&replies) {
+            let direct = served
+                .frozen()
+                .predict_scores(served.cache(), window, slot)
+                .unwrap();
+            assert_eq!(bits(scores), bits(&direct));
+        }
+    }
+}
+
+#[test]
+fn reduced_precision_round_trips_stay_inside_the_rank_budget() {
+    let (nas, archs) = trained(96);
+    nas.freeze_with(16, Precision::F32);
+    let f32_engine = nas.frozen();
+    let slot = 0;
+    let base = f32_engine
+        .predict_scores(nas.encoding_cache(), &archs, slot)
+        .unwrap();
+
+    for precision in [Precision::F16, Precision::Int8] {
+        nas.freeze_with(16, precision);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("quantized", Arc::clone(&nas));
+        let served = registry.get("quantized").unwrap();
+        assert_eq!(served.frozen().precision(), precision);
+        let direct = served
+            .frozen()
+            .predict_scores(served.cache(), &archs, slot)
+            .unwrap();
+
+        let server = Server::start(registry, ServeConfig::default()).unwrap();
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        let scores = client
+            .predict_scores("quantized", Platform::EdgeGpu, &archs)
+            .unwrap();
+
+        // the wire is exact: served == the same engine called directly
+        assert_eq!(bits(&scores), bits(&direct), "{precision:?} wire drift");
+        // and the engine itself stays inside the workspace rank budget
+        let t = tau(&base, &scores);
+        assert!(t >= 0.99, "{precision:?}: Kendall tau {t:.4} < 0.99");
+    }
+}

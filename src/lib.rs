@@ -21,6 +21,8 @@
 //! - [`core`] — the paper's contribution: the HW-PR-NAS surrogate with its
 //!   Pareto ranking loss, plus BRP-NAS- and GATES-style baselines.
 //! - [`search`] — random search and the MOEA of Algorithm 1.
+//! - [`serve`] — surrogate-as-a-service: a batched TCP prediction server
+//!   with adaptive micro-batching and a hot-swappable model registry.
 //!
 //! # Quickstart
 //!
@@ -52,4 +54,5 @@ pub use hwpr_nasbench as nasbench;
 pub use hwpr_nn as nn;
 pub use hwpr_obs as obs;
 pub use hwpr_search as search;
+pub use hwpr_serve as serve;
 pub use hwpr_tensor as tensor;
